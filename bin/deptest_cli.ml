@@ -1,0 +1,313 @@
+(* deptest — command-line driver for the dependence analyzer.
+
+   Subcommands:
+     analyze    print all data dependences of a mini-Fortran file
+     parallel   report which loops are parallelizable
+     vectorize  print the Allen-Kennedy vectorization plan
+     suggest    print peel/split suggestions for breakable dependences
+     tables     regenerate the paper's evaluation tables over the corpus
+     corpus     list the embedded benchmark corpus *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_unit path =
+  let src = read_file path in
+  let is_c =
+    Filename.check_suffix path ".c"
+    || ((not (Filename.check_suffix path ".f"))
+       && Dt_frontend.Cfront.looks_like_c src)
+  in
+  match
+    if is_c then [ Dt_frontend.Cfront.parse_and_lower src ]
+    else Dt_frontend.Lower.parse_unit src
+  with
+  | [] ->
+      Printf.eprintf "%s: empty compilation unit\n" path;
+      exit 1
+  | progs -> progs
+  | exception Dt_frontend.Cfront.Error (msg, line) ->
+      Printf.eprintf "%s:%d: syntax error: %s\n" path line msg;
+      exit 1
+  | exception Dt_frontend.Lexer.Error (msg, line) ->
+      Printf.eprintf "%s:%d: lexical error: %s\n" path line msg;
+      exit 1
+  | exception Dt_frontend.Parser.Error (msg, line) ->
+      Printf.eprintf "%s:%d: syntax error: %s\n" path line msg;
+      exit 1
+  | exception Dt_frontend.Lower.Error (msg, line) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg;
+      exit 1
+
+(* run a per-program command over every routine of the file *)
+let each path f =
+  let progs = load_unit path in
+  let many = List.length progs > 1 in
+  List.iter
+    (fun (p : Dt_ir.Nest.program) ->
+      if many then Printf.printf "===== %s =====\n" p.Dt_ir.Nest.name;
+      f p)
+    progs
+
+let load path = List.hd (load_unit path)
+let _ = load
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Mini-Fortran source file.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("partition", Deptest.Pair_test.Partition_based);
+                  ("subscript", Deptest.Pair_test.Subscript_by_subscript) ])
+        Deptest.Pair_test.Partition_based
+    & info [ "strategy" ]
+        ~doc:"Testing strategy: $(b,partition) (the paper) or $(b,subscript) \
+              (pre-Delta baseline).")
+
+let inputs_arg =
+  Arg.(
+    value & flag
+    & info [ "inputs" ] ~doc:"Also report input (read-read) dependences.")
+
+let bind_arg =
+  Arg.(
+    value
+    & opt (list (pair ~sep:'=' string int)) []
+    & info [ "bind" ] ~docv:"N=100,M=50"
+        ~doc:
+          "Bind symbolic constants to values before analysis \
+           (specialization makes every exact test fully precise).")
+
+let analyze_cmd =
+  let run file strategy inputs bindings =
+    each file @@ fun prog ->
+    let prog =
+      if bindings = [] then prog
+      else Dt_ir.Specialize.program prog ~bindings
+    in
+    let options =
+      { Deptest.Analyze.default_options with strategy; include_inputs = inputs }
+    in
+    let r = Deptest.Analyze.program ~options prog in
+    Format.printf "%a@." Dt_ir.Nest.pp prog;
+    if r.Deptest.Analyze.deps = [] then print_endline "no dependences"
+    else
+      List.iter (fun d -> Format.printf "%a@." Deptest.Dep.pp d)
+        r.Deptest.Analyze.deps;
+    Format.printf "@.-- tests applied --@.%a" Deptest.Counters.pp
+      r.Deptest.Analyze.counters
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Print all data dependences of a program")
+    Term.(const run $ file_arg $ strategy_arg $ inputs_arg $ bind_arg)
+
+let parallel_cmd =
+  let run file =
+    each file @@ fun prog ->
+    let deps = Deptest.Analyze.deps_of prog in
+    List.iter
+      (fun rep -> Format.printf "%a@." Dt_transform.Parallel.pp_report rep)
+      (Dt_transform.Parallel.analyze prog deps)
+  in
+  Cmd.v
+    (Cmd.info "parallel" ~doc:"Report which loops can run in parallel")
+    Term.(const run $ file_arg)
+
+let vectorize_cmd =
+  let run file =
+    each file @@ fun prog ->
+    let deps = Deptest.Analyze.deps_of prog in
+    Format.printf "%a" Dt_transform.Vectorize.pp
+      (Dt_transform.Vectorize.codegen prog deps)
+  in
+  Cmd.v
+    (Cmd.info "vectorize"
+       ~doc:"Print the Allen-Kennedy vectorization plan for a program")
+    Term.(const run $ file_arg)
+
+let suggest_cmd =
+  let run file =
+    each file @@ fun prog ->
+    (match Dt_transform.Restructure.suggest prog with
+    | [] -> print_endline "no peel/split opportunities found"
+    | sugg ->
+        List.iter
+          (fun s -> Format.printf "%a@." Dt_transform.Restructure.pp s)
+          sugg);
+    let deps = Deptest.Analyze.deps_of prog in
+    match Dt_transform.Scalar_replace.suggest prog deps with
+    | [] -> ()
+    | cands ->
+        print_endline "-- scalar replacement candidates --";
+        List.iter
+          (fun c -> Format.printf "%a@." Dt_transform.Scalar_replace.pp c)
+          cands
+  in
+  Cmd.v
+    (Cmd.info "suggest"
+       ~doc:
+         "Suggest loop peeling / splitting / scalar replacement based on \
+          the dependence information")
+    Term.(const run $ file_arg)
+
+let distribute_cmd =
+  let run file =
+    each file @@ fun prog ->
+    let prog', reports = Dt_transform.Distribute.run_and_report prog in
+    Format.printf "%a" Dt_ir.Nest.pp prog';
+    print_endline "-- loop parallelism after distribution --";
+    List.iter
+      (fun r -> Format.printf "  %a@." Dt_transform.Parallel.pp_report r)
+      reports
+  in
+  Cmd.v
+    (Cmd.info "distribute"
+       ~doc:"Distribute loops around dependence cycles (loop fission)")
+    Term.(const run $ file_arg)
+
+let graph_cmd =
+  let run file =
+    each file @@ fun prog ->
+    let deps = Deptest.Analyze.deps_of prog in
+    let g = Deptest.Depgraph.build deps in
+    let label id =
+      match Dt_ir.Nest.find_stmt prog id with
+      | Some s -> Format.asprintf "S%d: %a" id Dt_ir.Stmt.pp s
+      | None -> Printf.sprintf "S%d" id
+    in
+    print_string (Deptest.Depgraph.to_dot ~stmt_label:label g)
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Print the statement dependence graph in Graphviz dot format")
+    Term.(const run $ file_arg)
+
+let check_cmd =
+  let run file n =
+    let failures = ref 0 and checked = ref 0 in
+    each file @@ fun prog ->
+    let accesses =
+      List.concat_map
+        (fun (s, loops) ->
+          List.map (fun a -> (a, loops)) (Dt_ir.Stmt.accesses s))
+        (Dt_ir.Nest.stmts_with_loops prog)
+    in
+    let arr = Array.of_list accesses in
+    for i = 0 to Array.length arr - 1 do
+      for j = i to Array.length arr - 1 do
+        let (a1 : Dt_ir.Stmt.access), l1 = arr.(i)
+        and (a2 : Dt_ir.Stmt.access), l2 = arr.(j) in
+        if
+          a1.Dt_ir.Stmt.aref.Dt_ir.Aref.base = a2.Dt_ir.Stmt.aref.Dt_ir.Aref.base
+          && Dt_ir.Aref.rank a1.Dt_ir.Stmt.aref > 0
+        then
+          match
+            Dt_exact.Brute.test ~sym_env:(fun _ -> n)
+              ~src:(a1.Dt_ir.Stmt.aref, l1) ~snk:(a2.Dt_ir.Stmt.aref, l2) ()
+          with
+          | None -> ()
+          | Some rep ->
+              incr checked;
+              let t =
+                Deptest.Pair_test.test
+                  ~src:(a1.Dt_ir.Stmt.aref, l1)
+                  ~snk:(a2.Dt_ir.Stmt.aref, l2)
+                  ()
+              in
+              let indep = t.Deptest.Pair_test.result = `Independent in
+              if indep && rep.Dt_exact.Brute.dependent then begin
+                incr failures;
+                Format.printf "UNSOUND: %a vs %a@." Dt_ir.Aref.pp
+                  a1.Dt_ir.Stmt.aref Dt_ir.Aref.pp a2.Dt_ir.Stmt.aref
+              end
+              else if (not indep) && not rep.Dt_exact.Brute.dependent then
+                Format.printf "conservative: %a vs %a (no collision at N=%d)@."
+                  Dt_ir.Aref.pp a1.Dt_ir.Stmt.aref Dt_ir.Aref.pp
+                  a2.Dt_ir.Stmt.aref n
+      done
+    done;
+    Printf.printf "%d reference pairs checked against the oracle, %d unsound\n"
+      !checked !failures;
+    if !failures > 0 then exit 1
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Value bound to every symbolic constant for the oracle run.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate the analyzer against brute-force enumeration on a file \
+          (reports unsound or conservative verdicts)")
+    Term.(const run $ file_arg $ n_arg)
+
+let suites_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "suites" ] ~docv:"S1,S2"
+        ~doc:"Restrict to these corpus suites.")
+
+let tables_cmd =
+  let run suites which =
+    let suites = suites in
+    let s =
+      match which with
+      | "1" -> Dt_stats.Tables.table1 ?suites ()
+      | "2" -> Dt_stats.Tables.table2 ?suites ()
+      | "3" -> Dt_stats.Tables.table3 ?suites ()
+      | "4" -> Dt_stats.Tables.table4 ?suites ()
+      | _ -> Dt_stats.Tables.all ?suites ()
+    in
+    print_string s
+  in
+  let which =
+    Arg.(
+      value & opt string "all"
+      & info [ "table" ] ~docv:"N" ~doc:"Which table (1-4 or all).")
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Regenerate the paper's evaluation tables over the corpus")
+    Term.(const run $ suites_arg $ which)
+
+let corpus_cmd =
+  let run () =
+    List.iter
+      (fun (e : Dt_workloads.Corpus.entry) ->
+        Printf.printf "%-10s %s\n" e.Dt_workloads.Corpus.suite
+          e.Dt_workloads.Corpus.name)
+      Dt_workloads.Corpus.all
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List the embedded benchmark corpus")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "deptest" ~version:"1.0.0"
+       ~doc:"Practical dependence testing for loop nests (Goff-Kennedy-Tseng, PLDI 1991)")
+    [
+      analyze_cmd;
+      parallel_cmd;
+      vectorize_cmd;
+      distribute_cmd;
+      graph_cmd;
+      suggest_cmd;
+      check_cmd;
+      tables_cmd;
+      corpus_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

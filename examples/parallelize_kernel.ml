@@ -1,0 +1,40 @@
+(* Driving real transformations with dependence information: loop
+   parallelization, Allen-Kennedy vectorization, interchange legality, and
+   peel/split suggestions, over kernels from the embedded corpus.
+
+   Run with:  dune exec examples/parallelize_kernel.exe *)
+
+let show (e : Dt_workloads.Corpus.entry) =
+  let prog = Dt_workloads.Corpus.program e in
+  Printf.printf "=== %s/%s ===\n" e.Dt_workloads.Corpus.suite
+    e.Dt_workloads.Corpus.name;
+  Format.printf "%a" Dt_ir.Nest.pp prog;
+  let deps = Deptest.Analyze.deps_of prog in
+  Printf.printf "-- dependences (%d) --\n" (List.length deps);
+  List.iter (fun d -> Format.printf "  %a@." Deptest.Dep.pp d) deps;
+  print_endline "-- loop parallelism --";
+  List.iter
+    (fun r -> Format.printf "  %a@." Dt_transform.Parallel.pp_report r)
+    (Dt_transform.Parallel.analyze prog deps);
+  print_endline "-- vectorization plan (Allen-Kennedy) --";
+  Format.printf "%a" Dt_transform.Vectorize.pp
+    (Dt_transform.Vectorize.codegen prog deps);
+  (match Dt_transform.Restructure.suggest prog with
+  | [] -> ()
+  | sugg ->
+      print_endline "-- restructuring suggestions --";
+      List.iter (fun s -> Format.printf "  %a@." Dt_transform.Restructure.pp s) sugg);
+  print_newline ()
+
+let () =
+  List.iter
+    (fun (suite, name) -> show (Dt_workloads.Corpus.find_exn ~suite ~name))
+    [
+      ("livermore", "lfk01_hydro");     (* fully parallel *)
+      ("livermore", "lfk05_tridiag");   (* sequential recurrence *)
+      ("livermore", "lfk_skewed");      (* the paper's skewed example *)
+      ("paper", "tomcatv_weakzero");    (* peeling breaks the dependence *)
+      ("paper", "cdl_weakcrossing");    (* splitting breaks the crossing *)
+      ("eispack", "transpose_update");  (* RDIV coupling *)
+      ("spec", "matrix300_saxpy");      (* vectorizable inner loop *)
+    ]

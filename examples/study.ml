@@ -1,0 +1,23 @@
+(* Reproduce the paper's empirical study (section 6) over the embedded
+   corpus: Tables 1-4 plus the figure renderings.
+
+   Run with:  dune exec examples/study.exe *)
+
+let () =
+  print_string (Dt_stats.Tables.all ());
+  print_newline ();
+
+  (* Figure 2: geometric view of the weak SIV test. The pair
+     <i, 2*i' - 9> over [1,10]: line i = 2*i' - 9. *)
+  print_string (Dt_stats.Figures.fig2_weak_siv ~a1:1 ~a2:2 ~c:(-9) ~lo:1 ~hi:10);
+  print_newline ();
+
+  (* Class distribution histogram over the whole corpus (Table 2 as a
+     figure). *)
+  let suites =
+    List.filter (fun s -> s <> "paper") Dt_workloads.Corpus.suites
+  in
+  let profs = List.concat_map (fun (_, p) -> p) (Dt_stats.Tables.profiles ~suites) in
+  let agg = Dt_stats.Profile.aggregate ~name:"all" ~suite:"all" profs in
+  print_endline "Subscript class distribution over the corpus:";
+  print_string (Dt_stats.Figures.class_histogram agg.Dt_stats.Profile.classes)

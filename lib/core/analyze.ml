@@ -1,0 +1,175 @@
+open Dt_ir
+
+type options = {
+  strategy : Pair_test.strategy;
+  include_inputs : bool;
+  assume : Assume.t;
+}
+
+let default_options =
+  {
+    strategy = Pair_test.Partition_based;
+    include_inputs = false;
+    assume = Assume.empty;
+  }
+
+type pair_record = {
+  array : string;
+  src_stmt : int;
+  snk_stmt : int;
+  meta : Pair_test.meta;
+  independent : bool;
+}
+
+type result = {
+  deps : Dep.t list;
+  pairs : pair_record list;
+  counters : Counters.t;
+}
+
+let decompose (v : Dirvec.t) =
+  let n = Array.length v in
+  let out = ref [] in
+  let rec go k =
+    if k = n then out := (None, Array.map (fun _ -> Direction.single Eq) v, `Forward) :: !out
+    else begin
+      (if Direction.mem Lt v.(k) then
+         let w = Array.copy v in
+         for j = 0 to k - 1 do
+           w.(j) <- Direction.single Eq
+         done;
+         w.(k) <- Direction.single Lt;
+         out := (Some (k + 1), w, `Forward) :: !out);
+      (if Direction.mem Gt v.(k) then
+         let w = Array.copy v in
+         for j = 0 to k - 1 do
+           w.(j) <- Direction.single Eq
+         done;
+         w.(k) <- Direction.single Gt;
+         out := (Some (k + 1), w, `Backward) :: !out);
+      if Direction.mem Eq v.(k) then go (k + 1)
+    end
+  in
+  go 0;
+  List.rev !out
+
+let kind_of src_kind snk_kind =
+  match (src_kind, snk_kind) with
+  | `Write, `Read -> Dep.Flow
+  | `Read, `Write -> Dep.Anti
+  | `Write, `Write -> Dep.Output
+  | `Read, `Read -> Dep.Input
+
+let neg_dist = function
+  | Outcome.Const d -> Outcome.Const (-d)
+  | Outcome.Sym e -> Outcome.Sym (Affine.neg e)
+  | Outcome.Unknown -> Outcome.Unknown
+
+let program ?(options = default_options) prog =
+  let counters = Counters.create () in
+  let accesses =
+    List.concat_map
+      (fun (s, loops) ->
+        List.map (fun a -> (a, loops)) (Stmt.accesses s))
+      (Nest.stmts_with_loops prog)
+  in
+  let accesses = Array.of_list accesses in
+  let deps = ref [] and pairs = ref [] in
+  let emit_dep ~src ~snk ~array ~dirvec ~level ~distances =
+    let (a1 : Stmt.access), _ = src and (a2 : Stmt.access), _ = snk in
+    deps :=
+      {
+        Dep.src_stmt = a1.Stmt.stmt.Stmt.id;
+        snk_stmt = a2.Stmt.stmt.Stmt.id;
+        array;
+        kind = kind_of a1.Stmt.kind a2.Stmt.kind;
+        dirvec;
+        level;
+        distances;
+      }
+      :: !deps
+  in
+  let test_pair i j =
+    let ((a1 : Stmt.access), loops1) = accesses.(i)
+    and ((a2 : Stmt.access), loops2) = accesses.(j) in
+    if a1.Stmt.aref.Aref.base <> a2.Stmt.aref.Aref.base then ()
+    else if
+      (not options.include_inputs)
+      && a1.Stmt.kind = `Read
+      && a2.Stmt.kind = `Read
+    then ()
+    else begin
+      let array = a1.Stmt.aref.Aref.base in
+      let r =
+        Pair_test.test ~counters ~strategy:options.strategy
+          ~assume:options.assume
+          ~src:(a1.Stmt.aref, loops1)
+          ~snk:(a2.Stmt.aref, loops2)
+          ()
+      in
+      pairs :=
+        {
+          array;
+          src_stmt = a1.Stmt.stmt.Stmt.id;
+          snk_stmt = a2.Stmt.stmt.Stmt.id;
+          meta = r.Pair_test.meta;
+          independent = r.Pair_test.result = `Independent;
+        }
+        :: !pairs;
+      match r.Pair_test.result with
+      | `Independent -> ()
+      | `Dependent { Pair_test.dirvecs; distances } ->
+          let same_access = i = j in
+          let id1 = a1.Stmt.stmt.Stmt.id and id2 = a2.Stmt.stmt.Stmt.id in
+          let parts =
+            Dt_support.Listx.dedup ~compare:Stdlib.compare
+              (List.concat_map decompose dirvecs)
+          in
+          List.iter
+            (fun (level, v, orient) ->
+              match (level, orient) with
+              | None, `Forward ->
+                  (* loop-independent: source is the textually earlier
+                     access; within one statement reads precede the
+                     write. *)
+                  if same_access then ()
+                  else if id1 < id2 then
+                    emit_dep ~src:accesses.(i) ~snk:accesses.(j) ~array
+                      ~dirvec:v ~level:None ~distances
+                  else if id1 > id2 then
+                    emit_dep ~src:accesses.(j) ~snk:accesses.(i) ~array
+                      ~dirvec:v ~level:None
+                      ~distances:(List.map (fun (ix, d) -> (ix, neg_dist d)) distances)
+                  else begin
+                    (* same statement: read executes before write *)
+                    match (a1.Stmt.kind, a2.Stmt.kind) with
+                    | `Read, `Write ->
+                        emit_dep ~src:accesses.(i) ~snk:accesses.(j) ~array
+                          ~dirvec:v ~level:None ~distances
+                    | `Write, `Read ->
+                        emit_dep ~src:accesses.(j) ~snk:accesses.(i) ~array
+                          ~dirvec:v ~level:None
+                          ~distances:
+                            (List.map (fun (ix, d) -> (ix, neg_dist d)) distances)
+                    | _ -> ()
+                  end
+              | Some k, `Forward ->
+                  emit_dep ~src:accesses.(i) ~snk:accesses.(j) ~array
+                    ~dirvec:v ~level:(Some k) ~distances
+              | Some k, `Backward ->
+                  emit_dep ~src:accesses.(j) ~snk:accesses.(i) ~array
+                    ~dirvec:(Dirvec.negate v) ~level:(Some k)
+                    ~distances:(List.map (fun (ix, d) -> (ix, neg_dist d)) distances)
+              | None, `Backward -> assert false)
+            parts
+    end
+  in
+  let n = Array.length accesses in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      test_pair i j
+    done
+  done;
+  { deps = List.rev !deps; pairs = List.rev !pairs; counters }
+
+let deps_of ?options prog = (program ?options prog).deps

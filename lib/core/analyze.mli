@@ -1,0 +1,38 @@
+(** Whole-program dependence analysis: enumerate reference pairs, run the
+    per-pair driver, orient the resulting direction vectors into forward /
+    backward / loop-independent dependences, and collect statistics. *)
+
+open Dt_ir
+
+type options = {
+  strategy : Pair_test.strategy;
+  include_inputs : bool;  (** also compute input (read-read) dependences *)
+  assume : Assume.t;  (** extra symbolic facts, e.g. N >= 1 *)
+}
+
+val default_options : options
+
+type pair_record = {
+  array : string;
+  src_stmt : int;
+  snk_stmt : int;
+  meta : Pair_test.meta;
+  independent : bool;
+}
+
+type result = {
+  deps : Dep.t list;
+  pairs : pair_record list;  (** one per reference pair tested *)
+  counters : Counters.t;
+}
+
+val program : ?options:options -> Nest.program -> result
+
+val deps_of : ?options:options -> Nest.program -> Dep.t list
+
+val decompose :
+  Dirvec.t -> (int option * Dirvec.t * [ `Forward | `Backward ]) list
+(** Split a (possibly starred) direction vector into its carried components:
+    [(Some k, v, `Forward)] is the part carried forward at level k;
+    backward parts denote reversed dependences (vector NOT yet negated);
+    [(None, v, `Forward)] is the loop-independent (all '=') part. *)

@@ -1,0 +1,75 @@
+open Dt_ir
+
+type t = { facts : Affine.t list }
+
+let empty = { facts = [] }
+
+let check_sym_only e =
+  if not (Index.Set.is_empty (Affine.indices e)) then
+    invalid_arg "Assume: facts must not mention loop indices"
+
+let add_nonneg t e =
+  check_sym_only e;
+  if Affine.is_const e && Affine.const_part e >= 0 then t
+  else { facts = e :: t.facts }
+
+let add_loop_facts t loops =
+  List.fold_left
+    (fun t (l : Loop.t) ->
+      let d = Affine.sub l.hi l.lo in
+      if Index.Set.is_empty (Affine.indices d) then
+        if Affine.is_const d then t else { facts = d :: t.facts }
+      else t)
+    t loops
+
+let facts t = t.facts
+
+(* Prove e >= 0 by searching for e = sum lambda_i * f_i + c, lambda_i >= 0
+   rational, c >= 0. We eliminate one symbolic constant at a time: pick the
+   first sym s with coefficient c_e in e; for each fact f with coefficient
+   c_f of matching sign, the combination |c_f| * e - |c_e| * f cancels s and
+   remains a valid (positively scaled) goal. Depth-bounded backtracking. *)
+let prove_nonneg t goal =
+  if not (Index.Set.is_empty (Affine.indices goal)) then false
+  else
+    (* A fact may be used several times (integer multiples in the Farkas
+       combination), so the search is bounded by depth only. Eliminating
+       the first symbol strictly reduces the symbol multiset reachable
+       from useful fact choices, and the depth bound cuts any cycle. *)
+    let rec go depth e =
+      match Affine.sym_terms e with
+      | [] -> Affine.const_part e >= 0
+      | (s, ce) :: _ ->
+          depth > 0
+          && List.exists
+               (fun f ->
+                 let cf = Affine.sym_coeff f s in
+                 cf <> 0
+                 && (cf > 0) = (ce > 0)
+                 &&
+                 let e' =
+                   Affine.sub (Affine.scale (abs cf) e) (Affine.scale (abs ce) f)
+                 in
+                 go (depth - 1) e')
+               t.facts
+    in
+    go (min 10 ((2 * List.length t.facts) + 2)) goal
+
+let prove_pos t e = prove_nonneg t (Affine.add_const (-1) e)
+let prove_nonpos t e = prove_nonneg t (Affine.neg e)
+let prove_neg t e = prove_pos t (Affine.neg e)
+
+let sign t e =
+  if Affine.is_const e then
+    let c = Affine.const_part e in
+    if c = 0 then `Zero else if c > 0 then `Pos else `Neg
+  else if prove_pos t e then `Pos
+  else if prove_neg t e then `Neg
+  else if prove_nonneg t e then `Nonneg
+  else if prove_nonpos t e then `Nonpos
+  else `Unknown
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf f -> Format.fprintf ppf "%a >= 0" Affine.pp f))
+    t.facts

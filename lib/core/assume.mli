@@ -1,0 +1,45 @@
+(** A sign oracle over symbolic constants.
+
+    Dependence tests repeatedly need facts like "is N - 1 >= 0?" when
+    deciding whether a solution falls within symbolic loop bounds (paper
+    sections 4.3 and 4.5). The oracle holds a set of affine facts
+    [f >= 0] over symbolic constants and proves goals [e >= 0] by
+    exhibiting a non-negative rational combination of facts plus a
+    non-negative constant (a bounded Farkas-style search).
+
+    Soundness note: a fact [hi - lo >= 0] for a loop is always safe to use
+    while *disproving* dependence inside that loop — if the loop is empty
+    there are no iterations and hence no dependence at all. The driver adds
+    such facts automatically for loops with symbol-only bounds. *)
+
+open Dt_ir
+
+type t
+
+val empty : t
+val add_nonneg : t -> Affine.t -> t
+(** Record the fact [e >= 0]. Index terms must be absent (only symbolic
+    constants and a constant are allowed); raises [Invalid_argument]
+    otherwise. *)
+
+val add_loop_facts : t -> Loop.t list -> t
+(** Add [hi - lo >= 0] for every loop whose bounds are free of loop
+    indices. *)
+
+val facts : t -> Affine.t list
+
+val prove_nonneg : t -> Affine.t -> bool
+(** Sound, incomplete: [true] implies [e >= 0] under the facts; [false]
+    means unknown. The goal must be index-free (indices make it vacuously
+    unprovable, and we return [false]). *)
+
+val prove_pos : t -> Affine.t -> bool
+(** Proves [e >= 1] (integer positivity). *)
+
+val prove_nonpos : t -> Affine.t -> bool
+val prove_neg : t -> Affine.t -> bool
+
+val sign : t -> Affine.t -> [ `Zero | `Pos | `Neg | `Nonneg | `Nonpos | `Unknown ]
+(** Strongest provable sign fact. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+open Dt_ir
+
+(* Candidate extremal values for one index's contribution a*alpha - b*beta
+   under a direction constraint: the vertex values of the feasible region.
+   [`Unbounded] when a needed range endpoint is unknown. *)
+let contributions ~a ~b ~(range : Range.range) dir =
+  if a = 0 && b = 0 then `Vertices [ Affine.zero ]
+  else
+    match (range.Range.lo, range.Range.hi) with
+    | Some lo, Some hi -> (
+        let v ax ay = Affine.sub (Affine.scale a ax) (Affine.scale b ay) in
+        let lo1 = Affine.add_const 1 lo (* lo + 1 *)
+        and him1 = Affine.add_const (-1) hi in
+        match dir with
+        | Some Direction.Eq ->
+            let d = a - b in
+            if d = 0 then `Vertices [ Affine.zero ]
+            else `Vertices [ Affine.scale d lo; Affine.scale d hi ]
+        | Some Direction.Lt -> `Vertices [ v lo lo1; v lo hi; v him1 hi ]
+        | Some Direction.Gt -> `Vertices [ v lo1 lo; v hi lo; v hi him1 ]
+        | None -> `Vertices [ v lo lo; v lo hi; v hi lo; v hi hi ])
+    | _ -> `Unbounded
+
+let region_nonempty assume range i dir =
+  match dir with
+  | Some Direction.Lt | Some Direction.Gt -> (
+      (* needs at least two iterations: hi - lo >= 1 *)
+      match Range.trip_minus_one range i with
+      | None -> true
+      | Some d -> not (Assume.prove_nonpos assume d) || Assume.prove_pos assume d)
+  | _ -> true
+
+let max_combos = 4096
+
+let feasible assume range (p : Spair.t) ~dirs =
+  let eq_indices =
+    List.fold_left
+      (fun s (i, d) ->
+        if d = Some Direction.Eq then Index.Set.add i s else s)
+      Index.Set.empty dirs
+  in
+  match Gcd_test.test ~eq_indices p with
+  | `Independent -> false
+  | `Maybe -> (
+      let c = Spair.diff_const p in
+      let occurring = Spair.indices p in
+      (* indices of the pair not mentioned in [dirs] are unconstrained *)
+      let dir_of i =
+        match List.find_opt (fun (j, _) -> Index.equal i j) dirs with
+        | Some (_, d) -> d
+        | None -> None
+      in
+      let per_index =
+        Index.Set.fold
+          (fun i acc ->
+            match acc with
+            | `Unbounded -> `Unbounded
+            | `Lists ls -> (
+                let a = Affine.coeff p.src i and b = Affine.coeff p.snk i in
+                match
+                  contributions ~a ~b ~range:(Range.find range i) (dir_of i)
+                with
+                | `Unbounded -> `Unbounded
+                | `Vertices vs -> `Lists (vs :: ls)))
+          occurring (`Lists [])
+      in
+      match per_index with
+      | `Unbounded -> true
+      | `Lists lists ->
+          let n_combos = List.fold_left (fun acc l -> acc * List.length l) 1 lists in
+          if n_combos > max_combos then true
+          else
+            let combos = Dt_support.Listx.cartesian lists in
+            let sums =
+              List.map (List.fold_left Affine.add Affine.zero) combos
+            in
+            let all_below =
+              (* c > max: for every vertex value v, c - v > 0 *)
+              List.for_all
+                (fun v -> Assume.prove_pos assume (Affine.sub c v))
+                sums
+            in
+            let all_above =
+              List.for_all
+                (fun v -> Assume.prove_pos assume (Affine.sub v c))
+                sums
+            in
+            not (all_below || all_above))
+
+let vectors assume range pairs ~indices =
+  let results = ref [] in
+  let feasible_all assignment =
+    List.for_all (fun p -> feasible assume range p ~dirs:assignment) pairs
+  in
+  (* depth-first refinement of the '*' hierarchy, outermost index first *)
+  let rec refine fixed rest =
+    let assignment = List.rev_append fixed (List.map (fun i -> (i, None)) rest) in
+    if feasible_all assignment then
+      match rest with
+      | [] -> results := List.rev_map snd fixed :: !results
+      | i :: rest' ->
+          List.iter
+            (fun d ->
+              if region_nonempty assume range i (Some d) then
+                refine ((i, Some d) :: fixed) rest')
+            Direction.all
+  in
+  refine [] indices;
+  let vecs =
+    List.rev_map
+      (fun ds -> List.map (function Some d -> d | None -> assert false) ds)
+      !results
+  in
+  if vecs = [] then `Independent else `Vectors vecs

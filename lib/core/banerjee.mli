@@ -1,0 +1,45 @@
+(** Banerjee's inequalities with the direction-vector hierarchy, combined
+    with the directed GCD test (paper §4.4).
+
+    For each candidate direction-vector assignment, the test brackets the
+    dependence equation's left side [h = sum a_k*alpha_k - sum b_k*beta_k]
+    between its minimum and maximum over the constrained iteration region
+    and reports infeasibility when the constant [c] falls outside.
+
+    Implementation note: instead of the classic a+/a- closed forms we
+    evaluate [h] at the *vertices* of the per-index regions (segment for
+    '=', triangles for '<' and '>', box for '*') — linear objectives attain
+    their extremes at vertices, so the bracket is identical, and the vertex
+    formulation extends directly to symbolic and triangular bounds: each
+    vertex is an affine form compared against [c] by the sign oracle. This
+    subsumes the paper's "triangular Banerjee" through the section 4.3
+    index ranges. *)
+
+open Dt_ir
+
+val feasible :
+  Assume.t ->
+  Range.t ->
+  Spair.t ->
+  dirs:(Index.t * Direction.t option) list ->
+  bool
+(** Can the subscript's dependence equation hold under the (partial)
+    direction assignment? [None] entries are the paper's '*'. Sound:
+    [false] proves no solution. Includes the directed GCD test. *)
+
+val region_nonempty :
+  Assume.t -> Range.t -> Index.t -> Direction.t option -> bool
+(** Whether any (alpha_k, beta_k) satisfies the direction within the
+    index's range — '<' and '>' are impossible in single-trip loops.
+    [false] is a proof of emptiness. *)
+
+val vectors :
+  Assume.t ->
+  Range.t ->
+  Spair.t list ->
+  indices:Index.t list ->
+  [ `Independent | `Vectors of Direction.t list list ]
+(** The direction-vector hierarchy: refine '*' entries outermost-first,
+    keeping assignments under which *every* subscript pair is feasible.
+    Returns the concrete legal vectors over [indices] (in the given
+    order), or [`Independent] when none survive. *)

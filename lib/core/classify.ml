@@ -1,0 +1,80 @@
+open Dt_ir
+
+type siv_kind = Strong | Weak_zero | Weak_crossing | General
+
+type t =
+  | Ziv
+  | Siv of { index : Index.t; kind : siv_kind }
+  | Rdiv of { src_index : Index.t; snk_index : Index.t }
+  | Miv of Index.Set.t
+
+let siv_kind_of (p : Spair.t) i =
+  let a1 = Affine.coeff p.src i and a2 = Affine.coeff p.snk i in
+  if a1 = a2 then Strong
+  else if a1 = 0 || a2 = 0 then Weak_zero
+  else if a1 = -a2 then Weak_crossing
+  else General
+
+let classify ~relevant (p : Spair.t) =
+  let occurring = Index.Set.inter (Spair.indices p) relevant in
+  match Index.Set.cardinal occurring with
+  | 0 -> Ziv
+  | 1 ->
+      let i = Index.Set.choose occurring in
+      Siv { index = i; kind = siv_kind_of p i }
+  | 2 ->
+      let src_only =
+        Index.Set.inter (Affine.indices p.src) relevant
+      and snk_only = Index.Set.inter (Affine.indices p.snk) relevant in
+      if
+        Index.Set.cardinal src_only = 1
+        && Index.Set.cardinal snk_only = 1
+        && not (Index.Set.equal src_only snk_only)
+      then
+        Rdiv
+          {
+            src_index = Index.Set.choose src_only;
+            snk_index = Index.Set.choose snk_only;
+          }
+      else Miv occurring
+  | _ -> Miv occurring
+
+let is_coupled_group classes = List.length classes > 1
+
+type group = { positions : int list; indices : Index.Set.t }
+
+let partition ~relevant pairs =
+  let pairs = Array.of_list pairs in
+  let n = Array.length pairs in
+  let idx_of k = Index.Set.inter (Spair.indices pairs.(k)) relevant in
+  let uf = Dt_support.Union_find.create n in
+  (* join positions sharing an index *)
+  let seen : (Index.t, int) Hashtbl.t = Hashtbl.create 8 in
+  for k = 0 to n - 1 do
+    Index.Set.iter
+      (fun i ->
+        match Hashtbl.find_opt seen i with
+        | Some j -> Dt_support.Union_find.union uf j k
+        | None -> Hashtbl.add seen i k)
+      (idx_of k)
+  done;
+  Dt_support.Union_find.groups uf
+  |> List.map (fun positions ->
+         let indices =
+           List.fold_left
+             (fun s k -> Index.Set.union s (idx_of k))
+             Index.Set.empty positions
+         in
+         { positions; indices })
+
+let pp ppf = function
+  | Ziv -> Format.pp_print_string ppf "ZIV"
+  | Siv { kind = Strong; _ } -> Format.pp_print_string ppf "strong SIV"
+  | Siv { kind = Weak_zero; _ } -> Format.pp_print_string ppf "weak-zero SIV"
+  | Siv { kind = Weak_crossing; _ } ->
+      Format.pp_print_string ppf "weak-crossing SIV"
+  | Siv { kind = General; _ } -> Format.pp_print_string ppf "general SIV"
+  | Rdiv _ -> Format.pp_print_string ppf "RDIV"
+  | Miv _ -> Format.pp_print_string ppf "MIV"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,44 @@
+(** Subscript classification and reference-pair partitioning (paper §2-3).
+
+    A subscript pair is ZIV (zero index variables), SIV (single index
+    variable) or MIV (multiple index variables), counting the *distinct*
+    loop indices that occur on either side. SIV pairs subdivide into the
+    paper's special shapes; the RDIV shape is the restricted two-index MIV
+    form <a1*i + c1, a2*j + c2>.
+
+    [partition] splits the subscript positions of a reference pair into
+    separable positions and minimal coupled groups by union-find on shared
+    indices, exactly as the driver of section 3 requires. *)
+
+open Dt_ir
+
+type siv_kind = Strong | Weak_zero | Weak_crossing | General
+
+type t =
+  | Ziv
+  | Siv of { index : Index.t; kind : siv_kind }
+  | Rdiv of { src_index : Index.t; snk_index : Index.t }
+  | Miv of Index.Set.t
+
+val classify : relevant:Index.Set.t -> Spair.t -> t
+(** [relevant] is the set of common-loop indices; indices outside it (loops
+    enclosing only one of the two references) are treated as symbolic...
+    no — the frontend guarantees subscripts only mention enclosing loops;
+    non-common indices are handled by the driver prior to classification
+    (see {!Pair_test}). Indices not in [relevant] are ignored for the ZIV /
+    SIV / MIV count. *)
+
+val siv_kind_of : Spair.t -> Index.t -> siv_kind
+(** Requires the pair to be SIV in that index. *)
+
+val is_coupled_group : t list -> bool
+
+type group = { positions : int list; indices : Index.Set.t }
+
+val partition : relevant:Index.Set.t -> Spair.t list -> group list
+(** Minimal coupled groups over subscript positions; singleton groups are
+    separable. Groups ordered by smallest position. ZIV positions are each
+    their own (separable) group. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,294 @@
+open Dt_ir
+open Dt_support
+
+type t =
+  | Any
+  | Dist of int
+  | Sym_dist of Affine.t
+  | Line of { a : int; b : int; c : Affine.t }
+  | Point of { x : int; y : int }
+  | Empty
+
+let dist d = Dist d
+
+let sym_dist e =
+  match Affine.as_const e with Some d -> Dist d | None -> Sym_dist e
+
+let line ~a ~b ~c =
+  if a = 0 && b = 0 then
+    match Affine.as_const c with
+    | Some 0 -> Any
+    | Some _ -> Empty
+    | None -> Any (* 0 = symbolic: unknown, no constraint representable *)
+  else
+    let g = Int_ops.gcd a b in
+    (* integer solvability: g must divide c *)
+    let sym_gcd =
+      List.fold_left (fun acc (_, k) -> Int_ops.gcd acc k) g (Affine.sym_terms c)
+    in
+    if not (Int_ops.divides sym_gcd (Affine.const_part c)) then Empty
+    else
+      let a, b, c =
+        match Affine.div_exact c g with
+        | Some c' -> (a / g, b / g, c')
+        | None -> (a, b, c)
+      in
+      (* canonical sign: first nonzero of (a, b) positive *)
+      let a, b, c =
+        if a < 0 || (a = 0 && b < 0) then (-a, -b, Affine.neg c) else (a, b, c)
+      in
+      (* recognize distance lines: -alpha + beta = d, i.e. (a,b) = (-1,1)
+         after sign normalization a >= 0 ... distance is a = -1 form; our
+         canonical form makes a >= 0, so beta - alpha = d appears as
+         a = -1 -> flipped to (1,-1,-d): alpha - beta = -d. *)
+      if a = 1 && b = -1 then sym_dist (Affine.neg c)
+      else Line { a; b; c }
+
+let point ~x ~y = Point { x; y }
+let is_empty t = t = Empty
+
+let to_line = function
+  | Dist d -> Some (1, -1, Affine.const (-d))
+  | Sym_dist e -> Some (1, -1, Affine.neg e)
+  | Line { a; b; c } -> Some (a, b, c)
+  | _ -> None
+
+(* decide whether a symbol-only affine is zero / nonzero under assumptions *)
+let affine_sign assume e = Assume.sign assume e
+
+let point_on_line assume ~x ~y (a, b, c) =
+  let residual = Affine.add_const (-((a * x) + (b * y))) c in
+  match affine_sign assume residual with
+  | `Zero -> `On
+  | `Pos | `Neg -> `Off
+  | _ -> `Unknown
+
+let intersect assume c1 c2 =
+  let sym_dist_inter e1 e2 =
+    let d = Affine.sub e1 e2 in
+    match affine_sign assume d with
+    | `Zero -> sym_dist e1
+    | `Pos | `Neg -> Empty
+    | _ -> sym_dist e1 (* conservative: keep one operand *)
+  in
+  let with_point ~x ~y other =
+    match other with
+    | Any -> Point { x; y }
+    | Empty -> Empty
+    | Point { x = x2; y = y2 } ->
+        if x = x2 && y = y2 then Point { x; y } else Empty
+    | Dist d -> if y - x = d then Point { x; y } else Empty
+    | Sym_dist e -> (
+        match affine_sign assume (Affine.add_const (-(y - x)) e) with
+        | `Zero -> Point { x; y }
+        | `Pos | `Neg -> Empty
+        | _ -> Point { x; y })
+    | Line { a; b; c } -> (
+        match point_on_line assume ~x ~y (a, b, c) with
+        | `On -> Point { x; y }
+        | `Off -> Empty
+        | `Unknown -> Point { x; y })
+  in
+  let line_line (a1, b1, e1) (a2, b2, e2) keep1 keep2 =
+    let det = (a1 * b2) - (a2 * b1) in
+    if det <> 0 then
+      let nx = Affine.sub (Affine.scale b2 e1) (Affine.scale b1 e2) in
+      let ny = Affine.sub (Affine.scale a1 e2) (Affine.scale a2 e1) in
+      match (Affine.as_const nx, Affine.as_const ny) with
+      | Some nx, Some ny ->
+          if nx mod det = 0 && ny mod det = 0 then
+            Point { x = nx / det; y = ny / det }
+          else Empty
+      | _ -> (
+          (* symbolic unique solution; keep the more useful operand *)
+          match (keep1, keep2) with
+          | (Dist _ | Sym_dist _ | Point _), _ -> keep1
+          | _, (Dist _ | Sym_dist _ | Point _) -> keep2
+          | _ -> keep1)
+    else
+      (* parallel: consistent iff a1*e2 - a2*e1 = 0 (or b-version) *)
+      let resid =
+        if a1 <> 0 || a2 <> 0 then
+          Affine.sub (Affine.scale a1 e2) (Affine.scale a2 e1)
+        else Affine.sub (Affine.scale b1 e2) (Affine.scale b2 e1)
+      in
+      match affine_sign assume resid with
+      | `Zero -> keep1
+      | `Pos | `Neg -> Empty
+      | _ -> keep1
+  in
+  match (c1, c2) with
+  | Any, x | x, Any -> x
+  | Empty, _ | _, Empty -> Empty
+  | Point { x; y }, other | other, Point { x; y } -> with_point ~x ~y other
+  | Dist d1, Dist d2 -> if d1 = d2 then Dist d1 else Empty
+  | (Dist _ | Sym_dist _), (Dist _ | Sym_dist _) ->
+      let as_aff = function
+        | Dist d -> Affine.const d
+        | Sym_dist e -> e
+        | _ -> assert false
+      in
+      sym_dist_inter (as_aff c1) (as_aff c2)
+  | _ -> (
+      match (to_line c1, to_line c2) with
+      | Some l1, Some l2 -> line_line l1 l2 c1 c2
+      | _ -> assert false)
+
+(* |d| <= U - L, the strong SIV bound check; Independent when refuted. *)
+let dist_in_bounds assume range i d =
+  match Range.trip_minus_one range i with
+  | None -> `Maybe
+  | Some ul ->
+      let far e = Assume.prove_pos assume (Affine.sub e ul) in
+      if far d || far (Affine.neg d) then `No else `Maybe
+
+let to_outcome assume range i t =
+  match t with
+  | Empty -> Outcome.Independent
+  | Any -> Outcome.dependent_star [ i ]
+  | Dist d -> (
+      match dist_in_bounds assume range i (Affine.const d) with
+      | `No -> Outcome.Independent
+      | `Maybe ->
+          Outcome.dep1 i (Direction.single (Direction.of_distance d)) (Const d))
+  | Sym_dist e -> (
+      match dist_in_bounds assume range i e with
+      | `No -> Outcome.Independent
+      | `Maybe ->
+          let dist = Outcome.dist_of_affine e in
+          Outcome.dep1 i (Outcome.dirs_of_dist assume dist) dist)
+  | Point { x; y } -> (
+      match
+        ( Range.contains_int range assume i x,
+          Range.contains_int range assume i y )
+      with
+      | Some false, _ | _, Some false -> Outcome.Independent
+      | _ ->
+          let d = y - x in
+          Outcome.dep1 i (Direction.single (Direction.of_distance d)) (Const d))
+  | Line { a; b; c } ->
+      let r = Range.find range i in
+      if a <> 0 && b = 0 then
+        (* alpha = c / a fixed; beta free in range *)
+        match Affine.div_exact c a with
+        | None when Affine.is_const c -> Outcome.Independent
+        | None -> Outcome.dependent_star [ i ]
+        | Some p -> (
+            match Range.contains_affine range assume i p with
+            | Some false -> Outcome.Independent
+            | _ ->
+                let dirs = Direction.full_set in
+                let dirs =
+                  match r.Range.lo with
+                  | Some lo when Affine.equal p lo ->
+                      Direction.inter dirs (Direction.of_list [ Lt; Eq ])
+                  | _ -> dirs
+                in
+                let dirs =
+                  match r.Range.hi with
+                  | Some hi when Affine.equal p hi ->
+                      Direction.inter dirs (Direction.of_list [ Gt; Eq ])
+                  | _ -> dirs
+                in
+                Outcome.dep1 i dirs Unknown)
+      else if a = 0 && b <> 0 then
+        match Affine.div_exact c b with
+        | None when Affine.is_const c -> Outcome.Independent
+        | None -> Outcome.dependent_star [ i ]
+        | Some p -> (
+            match Range.contains_affine range assume i p with
+            | Some false -> Outcome.Independent
+            | _ ->
+                let dirs = Direction.full_set in
+                let dirs =
+                  match r.Range.lo with
+                  | Some lo when Affine.equal p lo ->
+                      Direction.inter dirs (Direction.of_list [ Gt; Eq ])
+                  | _ -> dirs
+                in
+                let dirs =
+                  match r.Range.hi with
+                  | Some hi when Affine.equal p hi ->
+                      Direction.inter dirs (Direction.of_list [ Lt; Eq ])
+                  | _ -> dirs
+                in
+                Outcome.dep1 i dirs Unknown)
+      else
+        (* both sides involved: use the Diophantine family over the
+           concrete range when available *)
+        let conc = Range.concrete range i in
+        match (Affine.as_const c, conc) with
+        | Some cc, Some (lo, hi) -> (
+            match Dio.solve ~a ~b ~c:cc with
+            | None -> Outcome.Independent
+            | Some fam ->
+                let box = Interval.of_ints lo hi in
+                let tr = Dio.t_range fam ~x_range:box ~y_range:box in
+                if Interval.is_empty tr then Outcome.Independent
+                else
+                  let dirs = Dio.direction_sets fam ~t_range:tr in
+                  if Direction.is_empty dirs then Outcome.Independent
+                  else
+                    let dist =
+                      match Dio.unique fam ~t_range:tr with
+                      | Some (x, y) -> Outcome.Const (y - x)
+                      | None -> Outcome.Unknown
+                    in
+                    Outcome.dep1 i dirs dist)
+        | _ when a = b -> (
+            (* weak-crossing with symbolic data: alpha + beta = c/a must
+               place the crossing point c/(2a) within [L, U] (paper
+               section 4.2). *)
+            match Affine.div_exact c a with
+            | None when Affine.is_const c -> Outcome.Independent
+            | None -> Outcome.dependent_star [ i ]
+            | Some s -> (
+                (* crossing point s/2 in range <=> 2*lo <= s <= 2*hi *)
+                let r = Range.find range i in
+                let out_of_range =
+                  (match r.Range.lo with
+                  | Some lo ->
+                      Assume.prove_pos assume
+                        (Affine.sub (Affine.scale 2 lo) s)
+                  | None -> false)
+                  ||
+                  match r.Range.hi with
+                  | Some hi ->
+                      Assume.prove_pos assume
+                        (Affine.sub s (Affine.scale 2 hi))
+                  | None -> false
+                in
+                if out_of_range then Outcome.Independent
+                else
+                  (* alpha = beta needs s even *)
+                  let eq_possible =
+                    match Affine.div_exact s 2 with
+                    | Some _ -> true
+                    | None -> not (Affine.is_const s)
+                  in
+                  let dirs =
+                    if eq_possible then Direction.full_set
+                    else Direction.of_list [ Lt; Gt ]
+                  in
+                  Outcome.dep1 i dirs Unknown))
+        | _ -> Outcome.dependent_star [ i ]
+
+let equal t1 t2 =
+  match (t1, t2) with
+  | Any, Any | Empty, Empty -> true
+  | Dist a, Dist b -> a = b
+  | Sym_dist a, Sym_dist b -> Affine.equal a b
+  | Point a, Point b -> a.x = b.x && a.y = b.y
+  | Line a, Line b -> a.a = b.a && a.b = b.b && Affine.equal a.c b.c
+  | _ -> false
+
+let pp ppf = function
+  | Any -> Format.pp_print_string ppf "T"
+  | Empty -> Format.pp_print_string ppf "_|_"
+  | Dist d -> Format.fprintf ppf "dist %d" d
+  | Sym_dist e -> Format.fprintf ppf "dist %a" Affine.pp e
+  | Point { x; y } -> Format.fprintf ppf "point (%d,%d)" x y
+  | Line { a; b; c } ->
+      Format.fprintf ppf "line %d*a %+d*b = %a" a b Affine.pp c
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,53 @@
+(** The Delta test's constraint lattice (paper §5.2).
+
+    SIV tests on the subscripts of a coupled group yield constraints on the
+    (source, sink) iteration pair of each index:
+
+    - [Dist d]      : beta = alpha + d          (strong SIV)
+    - [Sym_dist e]  : beta = alpha + e, e symbolic (strong SIV, §4.5)
+    - [Line (a,b,c)]: a*alpha + b*beta = c      (weak / exact SIV)
+    - [Point (x,y)] : alpha = x and beta = y
+    - [Any]         : no information yet
+    - [Empty]       : contradiction — no dependence
+
+    Intersection is exact on constant constraints (a 2x2 rational solve for
+    line pairs, with integrality enforced); on symbolic constraints it is
+    exact when the sign oracle can decide the relevant differences and
+    conservatively keeps one operand otherwise. *)
+
+open Dt_ir
+
+type t =
+  | Any
+  | Dist of int
+  | Sym_dist of Affine.t  (** symbol-only affine *)
+  | Line of { a : int; b : int; c : Affine.t }
+      (** a*alpha + b*beta = c; (a,b) <> (0,0); c symbol-only affine *)
+  | Point of { x : int; y : int }
+  | Empty
+
+val dist : int -> t
+val sym_dist : Affine.t -> t
+(** Collapses to [Dist] when constant. *)
+
+val line : a:int -> b:int -> c:Affine.t -> t
+(** Normalizes by the content gcd; detects integer-infeasible lines
+    ([gcd(a,b)] not dividing a constant [c]) as [Empty]. *)
+
+val point : x:int -> y:int -> t
+
+val intersect : Assume.t -> t -> t -> t
+(** Sound: the result is implied-by-or-equal-to the true intersection
+    (never claims [Empty] unless the intersection is truly empty; may be
+    coarser than exact only on undecidable symbolic cases). *)
+
+val is_empty : t -> bool
+
+val to_outcome : Assume.t -> Range.t -> Index.t -> t -> Outcome.t
+(** Interpret the final constraint of one index as dependence information:
+    direction set and distance. Uses the index's range to sharpen
+    weak-zero-style lines at the loop's first/last iteration, per §4.2. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

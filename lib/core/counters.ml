@@ -1,0 +1,71 @@
+type kind =
+  | Ziv_test
+  | Strong_siv
+  | Weak_zero_siv
+  | Weak_crossing_siv
+  | Exact_siv
+  | Rdiv_test
+  | Gcd_miv
+  | Banerjee_miv
+  | Delta_test
+  | Symbolic_ziv
+
+let all_kinds =
+  [
+    Ziv_test;
+    Strong_siv;
+    Weak_zero_siv;
+    Weak_crossing_siv;
+    Exact_siv;
+    Rdiv_test;
+    Gcd_miv;
+    Banerjee_miv;
+    Delta_test;
+    Symbolic_ziv;
+  ]
+
+let kind_name = function
+  | Ziv_test -> "ZIV"
+  | Strong_siv -> "strong SIV"
+  | Weak_zero_siv -> "weak-zero SIV"
+  | Weak_crossing_siv -> "weak-crossing SIV"
+  | Exact_siv -> "exact SIV"
+  | Rdiv_test -> "RDIV"
+  | Gcd_miv -> "GCD"
+  | Banerjee_miv -> "Banerjee"
+  | Delta_test -> "Delta"
+  | Symbolic_ziv -> "symbolic ZIV"
+
+let n_kinds = List.length all_kinds
+
+let kind_id k =
+  let rec go i = function
+    | [] -> assert false
+    | x :: rest -> if x = k then i else go (i + 1) rest
+  in
+  go 0 all_kinds
+
+type t = { applied : int array; indep : int array }
+
+let create () = { applied = Array.make n_kinds 0; indep = Array.make n_kinds 0 }
+
+let record t k ~indep =
+  let i = kind_id k in
+  t.applied.(i) <- t.applied.(i) + 1;
+  if indep then t.indep.(i) <- t.indep.(i) + 1
+
+let applied t k = t.applied.(kind_id k)
+let proved_indep t k = t.indep.(kind_id k)
+
+let merge_into acc extra =
+  Array.iteri (fun i v -> acc.applied.(i) <- acc.applied.(i) + v) extra.applied;
+  Array.iteri (fun i v -> acc.indep.(i) <- acc.indep.(i) + v) extra.indep
+
+let pp ppf t =
+  List.iter
+    (fun k ->
+      let a = applied t k in
+      if a > 0 then
+        Format.fprintf ppf "%-18s applied %5d  indep %5d@." (kind_name k) a
+          (proved_indep t k))
+    all_kinds

@@ -1,0 +1,31 @@
+(** Instrumentation counters for the empirical study (paper §6).
+
+    The driver and the Delta test record how many times each dependence
+    test was applied and how often it proved independence — the exact
+    measurements PFC was instrumented for in the paper. *)
+
+type kind =
+  | Ziv_test
+  | Strong_siv
+  | Weak_zero_siv
+  | Weak_crossing_siv
+  | Exact_siv
+  | Rdiv_test
+  | Gcd_miv
+  | Banerjee_miv
+  | Delta_test
+  | Symbolic_ziv  (** ZIV decided only via symbolic reasoning *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+type t
+
+val create : unit -> t
+val record : t -> kind -> indep:bool -> unit
+val applied : t -> kind -> int
+val proved_indep : t -> kind -> int
+val merge_into : t -> t -> unit
+(** [merge_into acc extra] adds [extra]'s counts into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+open Dt_ir
+
+type kind = Flow | Anti | Output | Input
+
+type t = {
+  src_stmt : int;
+  snk_stmt : int;
+  array : string;
+  kind : kind;
+  dirvec : Dirvec.t;
+  level : int option;
+  distances : (Index.t * Outcome.dist) list;
+}
+
+let kind_name = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+  | Input -> "input"
+
+let is_carried_at t k = t.level = Some k
+
+let pp ppf t =
+  Format.fprintf ppf "S%d -%s-> S%d %s %a" t.src_stmt (kind_name t.kind)
+    t.snk_stmt t.array Dirvec.pp t.dirvec;
+  (match t.level with
+  | Some k -> Format.fprintf ppf " carried level %d" k
+  | None -> Format.fprintf ppf " loop-independent");
+  List.iter
+    (fun (i, d) ->
+      Format.fprintf ppf " d_%a=%a" Index.pp i Outcome.pp_dist d)
+    t.distances
+
+let compare = Stdlib.compare

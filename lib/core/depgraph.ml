@@ -1,0 +1,65 @@
+type t = { edges : Dep.t list; by_src : (int, Dep.t list) Hashtbl.t }
+
+let build ?(keep_inputs = false) deps =
+  let edges =
+    List.filter (fun d -> keep_inputs || d.Dep.kind <> Dep.Input) deps
+  in
+  let by_src = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let cur = Option.value (Hashtbl.find_opt by_src d.Dep.src_stmt) ~default:[] in
+      Hashtbl.replace by_src d.Dep.src_stmt (d :: cur))
+    (List.rev edges);
+  { edges; by_src }
+
+let stmts t =
+  List.concat_map (fun d -> [ d.Dep.src_stmt; d.Dep.snk_stmt ]) t.edges
+  |> Dt_support.Listx.dedup ~compare:Int.compare
+
+let edges t = t.edges
+let succs t s = Option.value (Hashtbl.find_opt t.by_src s) ~default:[]
+
+let edges_between t ~src ~snk =
+  List.filter (fun d -> d.Dep.snk_stmt = snk) (succs t src)
+
+let active_at d ~level =
+  match d.Dep.level with None -> true | Some k -> k >= level
+
+let carried_at t ~level =
+  List.filter (fun d -> d.Dep.level = Some level) t.edges
+
+let pp ppf t =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Dep.pp d) t.edges
+
+let to_dot ?(stmt_label = fun id -> Printf.sprintf "S%d" id) t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph dependences {\n  rankdir=TB;\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=box];\n" s
+           (String.map (function '"' -> '\'' | c -> c) (stmt_label s))))
+    (stmts t);
+  List.iter
+    (fun d ->
+      let style =
+        match d.Dep.kind with
+        | Dep.Flow -> "solid"
+        | Dep.Anti -> "dashed"
+        | Dep.Output -> "dotted"
+        | Dep.Input -> "bold"
+      in
+      let label =
+        Format.asprintf "%s %a%s"
+          (Dep.kind_name d.Dep.kind)
+          Dirvec.pp d.Dep.dirvec
+          (match d.Dep.level with
+          | Some k -> Printf.sprintf " @%d" k
+          | None -> "")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [style=%s, label=\"%s\"];\n"
+           d.Dep.src_stmt d.Dep.snk_stmt style label))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

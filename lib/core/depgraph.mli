@@ -1,0 +1,26 @@
+(** Statement-level dependence graph.
+
+    Nodes are statement ids; edges are data dependences (input dependences
+    excluded by default). The vectorization and parallelization passes
+    query edges by carried level, following Allen-Kennedy: an edge is
+    *active at level k* if it is carried at some level >= k or is
+    loop-independent between statements nested at least k deep. *)
+
+type t
+
+val build : ?keep_inputs:bool -> Dep.t list -> t
+val stmts : t -> int list
+val edges : t -> Dep.t list
+val succs : t -> int -> Dep.t list
+val edges_between : t -> src:int -> snk:int -> Dep.t list
+
+val active_at : Dep.t -> level:int -> bool
+(** Carried at level >= [level], or loop-independent. *)
+
+val carried_at : t -> level:int -> Dep.t list
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?stmt_label:(int -> string) -> t -> string
+(** Graphviz rendering: nodes are statements, edge styles encode the
+    dependence kind (solid = flow, dashed = anti, dotted = output), edge
+    labels carry the direction vector and level. *)

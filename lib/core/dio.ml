@@ -1,0 +1,112 @@
+open Dt_support
+
+type family = { g : int; x0 : int; y0 : int; dx : int; dy : int }
+
+let solve ~a ~b ~c =
+  if a = 0 && b = 0 then
+    if c = 0 then invalid_arg "Dio.solve: degenerate 0 = 0 equation"
+    else None
+  else
+    let g, u, v = Int_ops.egcd a b in
+    if not (Int_ops.divides g c) then None
+    else
+      let k = c / g in
+      (* a*(u*k) + b*(v*k) = c; family moves along the kernel (b/g, -a/g) *)
+      Some { g; x0 = u * k; y0 = v * k; dx = b / g; dy = -(a / g) }
+
+(* t values keeping x0 + d*t within [lo, hi] *)
+let t_for ~x0 ~d (r : Interval.t) =
+  if d = 0 then
+    if Interval.contains r x0 then Interval.full else Interval.empty
+  else
+    let bound_t (b : Interval.bound) ~is_lo =
+      (* constraint: x0 + d t >= lo  (is_lo) or <= hi *)
+      match b with
+      | Interval.Neg_inf | Interval.Pos_inf -> None
+      | Interval.Fin v ->
+          let rhs = v - x0 in
+          (* d t >= rhs (is_lo) / d t <= rhs *)
+          let lower_bound = (is_lo && d > 0) || ((not is_lo) && d < 0) in
+          if lower_bound then Some (`Lo (Int_ops.ceil_div rhs d))
+          else Some (`Hi (Int_ops.floor_div rhs d))
+    in
+    let apply acc = function
+      | None -> acc
+      | Some (`Lo t) ->
+          Interval.inter acc (Interval.make (Interval.Fin t) Interval.Pos_inf)
+      | Some (`Hi t) ->
+          Interval.inter acc (Interval.make Interval.Neg_inf (Interval.Fin t))
+    in
+    Interval.full
+    |> fun acc ->
+    apply acc (bound_t (Interval.lo r) ~is_lo:true) |> fun acc ->
+    apply acc (bound_t (Interval.hi r) ~is_lo:false)
+
+let t_range fam ~x_range ~y_range =
+  Interval.inter
+    (t_for ~x0:fam.x0 ~d:fam.dx x_range)
+    (t_for ~x0:fam.y0 ~d:fam.dy y_range)
+
+let feasible ~a ~b ~c ~x_range ~y_range =
+  match solve ~a ~b ~c with
+  | None -> false
+  | Some fam -> not (Interval.is_empty (t_range fam ~x_range ~y_range))
+
+let direction_sets fam ~t_range:tr =
+  if Interval.is_empty tr then Direction.empty_set
+  else
+    (* y - x = (y0 - x0) + (dy - dx) t *)
+    let c0 = fam.y0 - fam.x0 and d = fam.dy - fam.dx in
+    if d = 0 then Direction.single (Direction.of_distance c0)
+    else
+      (* signs taken by c0 + d*t over integer t in tr *)
+      let sign_possible target =
+        (* is there t in tr with sign (c0 + d t) = target? *)
+        let cond =
+          match target with
+          | 0 ->
+              if Int_ops.divides d (-c0) then
+                let t = -c0 / d in
+                Interval.contains tr t
+              else false
+          | s when s > 0 ->
+              (* c0 + d t >= 1 *)
+              let sub =
+                if d > 0 then
+                  Interval.inter tr
+                    (Interval.make (Interval.Fin (Int_ops.ceil_div (1 - c0) d)) Interval.Pos_inf)
+                else
+                  Interval.inter tr
+                    (Interval.make Interval.Neg_inf (Interval.Fin (Int_ops.floor_div (1 - c0) d)))
+              in
+              not (Interval.is_empty sub)
+          | _ ->
+              let sub =
+                if d > 0 then
+                  Interval.inter tr
+                    (Interval.make Interval.Neg_inf (Interval.Fin (Int_ops.floor_div (-1 - c0) d)))
+                else
+                  Interval.inter tr
+                    (Interval.make (Interval.Fin (Int_ops.ceil_div (-1 - c0) d)) Interval.Pos_inf)
+              in
+              not (Interval.is_empty sub)
+        in
+        cond
+      in
+      Direction.
+        {
+          lt = sign_possible 1;
+          (* y - x > 0 : alpha < beta *)
+          eq = sign_possible 0;
+          gt = sign_possible (-1);
+        }
+
+let value_at fam t = (fam.x0 + (fam.dx * t), fam.y0 + (fam.dy * t))
+
+let unique fam ~t_range:tr =
+  match Interval.finite tr with
+  | Some (a, b) when a = b -> Some (value_at fam a)
+  | _ ->
+      if (fam.dx = 0 && fam.dy = 0) && not (Interval.is_empty tr) then
+        Some (fam.x0, fam.y0)
+      else None

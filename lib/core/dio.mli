@@ -1,0 +1,44 @@
+(** Two-variable linear Diophantine equations over bounded ranges.
+
+    The engine behind the exact SIV test (§4.2) and the RDIV test (§4.4):
+    solve [a*x + b*y = c] for integers [x in xr], [y in yr]. Solutions form
+    the one-parameter family [x = x0 + dx*t, y = y0 + dy*t]; bounding both
+    variables restricts [t] to an interval, making every question about the
+    solution set (emptiness, direction of y - x, uniqueness) answerable
+    exactly in O(1). *)
+
+type family = {
+  g : int;  (** gcd(a, b) *)
+  x0 : int;
+  y0 : int;
+  dx : int;  (** x = x0 + dx * t *)
+  dy : int;  (** y = y0 + dy * t *)
+}
+
+val solve : a:int -> b:int -> c:int -> family option
+(** [None] when gcd(a,b) does not divide [c] (no integer solutions), or
+    when [a = b = 0] and [c <> 0]. When [a = b = 0 = c] the family is the
+    whole plane, encoded as [dx = dy = 0] with... that degenerate case is
+    rejected too: callers must handle all-zero coefficients themselves
+    (raises [Invalid_argument]). *)
+
+val t_range :
+  family -> x_range:Dt_support.Interval.t -> y_range:Dt_support.Interval.t ->
+  Dt_support.Interval.t
+(** Parameter values whose (x, y) lie inside both ranges. *)
+
+val feasible :
+  a:int -> b:int -> c:int ->
+  x_range:Dt_support.Interval.t -> y_range:Dt_support.Interval.t -> bool
+(** Any integer solution within the ranges? Ranges may be infinite. *)
+
+val direction_sets :
+  family -> t_range:Dt_support.Interval.t -> Direction.set
+(** Over the t interval (assumed non-empty), which signs does [y - x]
+    take? Used to derive SIV direction vectors exactly. *)
+
+val value_at : family -> int -> int * int
+(** (x, y) at parameter t. *)
+
+val unique : family -> t_range:Dt_support.Interval.t -> (int * int) option
+(** The solution when the t interval is a singleton. *)

@@ -1,0 +1,19 @@
+open Dt_ir
+open Dt_support
+
+let coeff_gcd ?(eq_indices = Index.Set.empty) (p : Spair.t) =
+  let indices = Spair.indices p in
+  Index.Set.fold
+    (fun i g ->
+      let a = Affine.coeff p.src i and b = Affine.coeff p.snk i in
+      if Index.Set.mem i eq_indices then Int_ops.gcd g (a - b)
+      else Int_ops.gcd (Int_ops.gcd g a) b)
+    indices 0
+
+let test ?eq_indices (p : Spair.t) =
+  let g = coeff_gcd ?eq_indices p in
+  let c = Spair.diff_const p in
+  let g' =
+    List.fold_left (fun acc (_, k) -> Int_ops.gcd acc k) g (Affine.sym_terms c)
+  in
+  if Int_ops.divides g' (Affine.const_part c) then `Maybe else `Independent

@@ -1,0 +1,16 @@
+(** The GCD test for MIV subscripts (paper §4.4).
+
+    The dependence equation [sum a_k*alpha_k - sum b_k*beta_k = c] has
+    integer solutions only when gcd of the coefficients divides [c]. Under
+    a direction-vector assignment, indices constrained to '=' contribute
+    the single merged coefficient [a_k - b_k]. With a symbolic constant
+    part [c], independence still follows when the gcd of coefficient gcd
+    and all symbolic coefficients fails to divide the integer part — the
+    divisibility then fails for every value of the symbolics. *)
+
+open Dt_ir
+
+val test : ?eq_indices:Index.Set.t -> Spair.t -> [ `Independent | `Maybe ]
+
+val coeff_gcd : ?eq_indices:Index.Set.t -> Spair.t -> int
+(** The gcd of index coefficients under the merge. *)

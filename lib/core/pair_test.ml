@@ -1,0 +1,232 @@
+open Dt_ir
+
+type strategy = Partition_based | Subscript_by_subscript
+
+type meta = {
+  dims : int;
+  nonlinear : int;
+  separable : int;
+  coupled_groups : int;
+  coupled_positions : int;
+  classes : Classify.t list;
+  delta_passes : int;
+  delta_leftover_miv : int;
+}
+
+type dependence_info = {
+  dirvecs : Dirvec.t list;
+  distances : (Index.t * Outcome.dist) list;
+}
+
+type t = { result : [ `Independent | `Dependent of dependence_info ]; meta : meta }
+
+let common_loops = Nest.common_loops
+
+(* Rename sink-side loops beyond the common prefix whose indices collide
+   with source-side indices: they are distinct loop variables. *)
+let rename_snk ~src_loops ~common (snk_loops : Loop.t list)
+    (snk_subs : Aref.subscript list) =
+  let n_common = List.length common in
+  let suffix = List.filteri (fun k _ -> k >= n_common) snk_loops in
+  let src_indices =
+    List.fold_left
+      (fun s (l : Loop.t) -> Index.Set.add l.index s)
+      Index.Set.empty src_loops
+  in
+  let taken = ref src_indices in
+  let subst = ref [] in
+  let fresh (i : Index.t) =
+    let rec go name =
+      let cand = Index.make name ~depth:(Index.depth i) in
+      if Index.Set.mem cand !taken then go (name ^ "'") else cand
+    in
+    let j = go (Index.name i ^ "'") in
+    taken := Index.Set.add j !taken;
+    j
+  in
+  let rename_affine a =
+    List.fold_left
+      (fun a (i, j) -> Affine.subst_index a i (Affine.of_index j))
+      a !subst
+  in
+  let suffix' =
+    List.map
+      (fun (l : Loop.t) ->
+        let lo = rename_affine l.lo and hi = rename_affine l.hi in
+        if Index.Set.mem l.index src_indices then begin
+          let j = fresh l.index in
+          subst := (l.index, j) :: !subst;
+          Loop.make j ~lo ~hi
+        end
+        else begin
+          taken := Index.Set.add l.index !taken;
+          Loop.make l.index ~lo ~hi
+        end)
+      suffix
+  in
+  let subs' =
+    List.map
+      (function
+        | Aref.Linear a -> Aref.Linear (rename_affine a)
+        | Aref.Nonlinear _ as s -> s)
+      snk_subs
+  in
+  (suffix', subs')
+
+let test ?counters ?(strategy = Partition_based) ?(assume = Assume.empty)
+    ~src:(src_ref, src_loops) ~snk:(snk_ref, snk_loops) () =
+  if src_ref.Aref.base <> snk_ref.Aref.base then
+    invalid_arg "Pair_test.test: references to different arrays";
+  let common = common_loops src_loops snk_loops in
+  let snk_suffix, snk_subs =
+    rename_snk ~src_loops ~common snk_loops snk_ref.Aref.subs
+  in
+  let all_loops = src_loops @ snk_suffix in
+  let assume = Assume.add_loop_facts assume all_loops in
+  let range = Range.compute all_loops in
+  let common_indices = List.map (fun (l : Loop.t) -> l.Loop.index) common in
+  let n = List.length common_indices in
+  let relevant =
+    List.fold_left
+      (fun s (l : Loop.t) -> Index.Set.add l.index s)
+      Index.Set.empty all_loops
+  in
+  (* pair up subscript positions *)
+  let src_subs = src_ref.Aref.subs in
+  let rank_mismatch = List.length src_subs <> List.length snk_subs in
+  let spairs, nonlinear =
+    if rank_mismatch then ([], max (List.length src_subs) (List.length snk_subs))
+    else
+      List.fold_right2
+        (fun s1 s2 (ps, nl) ->
+          match (s1, s2) with
+          | Aref.Linear a, Aref.Linear b -> (Spair.make a b :: ps, nl)
+          | _ -> (ps, nl + 1))
+        src_subs snk_subs ([], 0)
+  in
+  let classes =
+    List.map (fun p -> Classify.classify ~relevant p) spairs
+  in
+  let delta_passes = ref 0 and delta_leftover = ref 0 in
+  let record k ~indep =
+    match counters with Some c -> Counters.record c k ~indep | None -> ()
+  in
+  let exception Indep in
+  let test_separable p =
+    match Classify.classify ~relevant p with
+    | Classify.Ziv ->
+        let o = Ziv.test assume p in
+        let symbolic = not (Affine.is_const (Affine.sub p.Spair.snk p.Spair.src)) in
+        record
+          (if symbolic then Counters.Symbolic_ziv else Counters.Ziv_test)
+          ~indep:(o = Outcome.Independent);
+        if o = Outcome.Independent then raise Indep;
+        Presult.of_outcome o
+    | Classify.Siv { index; kind } ->
+        let r = Siv.test assume range p index in
+        let ck =
+          match kind with
+          | Classify.Strong -> Counters.Strong_siv
+          | Classify.Weak_zero -> Counters.Weak_zero_siv
+          | Classify.Weak_crossing -> Counters.Weak_crossing_siv
+          | Classify.General -> Counters.Exact_siv
+        in
+        record ck ~indep:(r.Siv.outcome = Outcome.Independent);
+        if r.Siv.outcome = Outcome.Independent then raise Indep;
+        Presult.of_outcome r.Siv.outcome
+    | Classify.Rdiv { src_index; snk_index } ->
+        let r = Rdiv.test assume range p ~src:src_index ~snk:snk_index in
+        record Counters.Rdiv_test ~indep:(r.Rdiv.outcome = Outcome.Independent);
+        if r.Rdiv.outcome = Outcome.Independent then raise Indep;
+        Presult.of_outcome r.Rdiv.outcome
+    | Classify.Miv _ -> (
+        (match Gcd_test.test p with
+        | `Independent ->
+            record Counters.Gcd_miv ~indep:true;
+            raise Indep
+        | `Maybe -> record Counters.Gcd_miv ~indep:false);
+        let occurring = Spair.indices p in
+        let indices =
+          List.filter (fun i -> Index.Set.mem i occurring) common_indices
+        in
+        match Banerjee.vectors assume range [ p ] ~indices with
+        | `Independent ->
+            record Counters.Banerjee_miv ~indep:true;
+            raise Indep
+        | `Vectors vecs ->
+            record Counters.Banerjee_miv ~indep:false;
+            Presult.Vectors (indices, vecs))
+  in
+  let groups = Classify.partition ~relevant spairs in
+  let spairs_arr = Array.of_list spairs in
+  let separable, coupled =
+    List.partition (fun g -> List.length g.Classify.positions = 1) groups
+  in
+  let run () =
+    let parts =
+      match strategy with
+      | Subscript_by_subscript -> (
+          match
+            Subscript_wise.test ?counters assume range spairs
+              ~common:common_indices
+          with
+          | `Independent -> raise Indep
+          | `Dependent parts -> parts)
+      | Partition_based ->
+          let sep_parts =
+            List.map
+              (fun g ->
+                test_separable spairs_arr.(List.hd g.Classify.positions))
+              separable
+          in
+          let coup_parts =
+            List.concat_map
+              (fun g ->
+                let group_pairs =
+                  List.map (fun k -> spairs_arr.(k)) g.Classify.positions
+                in
+                let r =
+                  Delta.test ?counters ~loops:all_loops assume range
+                    group_pairs ~relevant
+                in
+                delta_passes := max !delta_passes r.Delta.passes;
+                delta_leftover := !delta_leftover + r.Delta.leftover_miv;
+                match r.Delta.verdict with
+                | `Independent -> raise Indep
+                | `Dependent parts -> parts)
+              coupled
+          in
+          sep_parts @ coup_parts
+    in
+    if List.exists Presult.is_independent parts then raise Indep;
+    let vec_sets =
+      List.map (Presult.to_dirvecs ~loop_indices:common_indices) parts
+    in
+    if List.exists (fun s -> s = []) vec_sets then raise Indep;
+    let dirvecs =
+      match vec_sets with [] -> [ Dirvec.full n ] | _ -> Dirvec.merge vec_sets
+    in
+    if dirvecs = [] then raise Indep;
+    let distances =
+      List.concat_map Presult.distances parts
+      |> List.filter (fun (i, _) -> List.exists (Index.equal i) common_indices)
+    in
+    `Dependent { dirvecs; distances }
+  in
+  let result = try run () with Indep -> `Independent in
+  let meta =
+    {
+      dims = List.length spairs + nonlinear;
+      nonlinear;
+      separable = List.length separable;
+      coupled_groups = List.length coupled;
+      coupled_positions =
+        Dt_support.Listx.sum_by
+          (fun g -> List.length g.Classify.positions)
+          coupled;
+      classes;
+      delta_passes = !delta_passes;
+      delta_leftover_miv = !delta_leftover;
+    }
+  in
+  { result; meta }

@@ -1,0 +1,28 @@
+(** Partition results: what testing one separable subscript or one coupled
+    group proves, in a form the driver can merge across partitions
+    (paper §3, step 6).
+
+    Index-wise (product) form suffices for separable subscripts; coupled
+    groups and MIV hierarchy tests can produce *joint* sets of direction
+    vectors that are not products (e.g. {(<,>), (=,=)}). *)
+
+open Dt_ir
+
+type t =
+  | Independent
+  | Indexwise of Outcome.index_dep list
+      (** constraints per index; unlisted indices are unconstrained *)
+  | Vectors of Index.t list * Direction.t list list
+      (** joint legal direction vectors over exactly these indices *)
+
+val of_outcome : Outcome.t -> t
+
+val to_dirvecs : loop_indices:Index.t list -> t -> Dirvec.t list
+(** Lift to direction vectors over the full common-loop list ('*' on
+    unconstrained positions). [Independent] yields the empty list. *)
+
+val distances : t -> (Index.t * Outcome.dist) list
+(** Exact distance facts carried by the result. *)
+
+val is_independent : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+open Dt_ir
+
+type range = { lo : Affine.t option; hi : Affine.t option }
+type t = range Index.Map.t
+
+(* Substitute outer indices in a bound with their extremal endpoints.
+   [dir] selects minimization (`Lo`) or maximization (`Hi`) of the bound. *)
+let resolve ranges dir bound =
+  let terms = Affine.index_terms bound in
+  List.fold_left
+    (fun acc (i, c) ->
+      match acc with
+      | None -> None
+      | Some e -> (
+          let r =
+            Option.value (Index.Map.find_opt i ranges)
+              ~default:{ lo = None; hi = None }
+          in
+          (* coefficient c > 0: minimizing picks lo, maximizing picks hi;
+             c < 0 swaps. *)
+          let pick =
+            match (dir, c > 0) with
+            | `Lo, true | `Hi, false -> r.lo
+            | `Lo, false | `Hi, true -> r.hi
+          in
+          match pick with
+          | None -> None
+          | Some p -> Some (Affine.add (Affine.drop_index e i) (Affine.scale c p))))
+    (Some bound) terms
+
+let compute loops =
+  List.fold_left
+    (fun ranges (l : Loop.t) ->
+      let lo = resolve ranges `Lo l.lo in
+      let hi = resolve ranges `Hi l.hi in
+      Index.Map.add l.index { lo; hi } ranges)
+    Index.Map.empty loops
+
+let find t i =
+  Option.value (Index.Map.find_opt i t) ~default:{ lo = None; hi = None }
+
+let trip_minus_one t i =
+  let r = find t i in
+  match (r.lo, r.hi) with
+  | Some lo, Some hi -> Some (Affine.sub hi lo)
+  | _ -> None
+
+let contains_affine t assume i (p : Affine.t) =
+  let r = find t i in
+  let above =
+    (* p - lo >= 0 ? *)
+    match r.lo with
+    | None -> None
+    | Some lo ->
+        let d = Affine.sub p lo in
+        if Assume.prove_nonneg assume d then Some true
+        else if Assume.prove_neg assume d then Some false
+        else None
+  in
+  let below =
+    match r.hi with
+    | None -> None
+    | Some hi ->
+        let d = Affine.sub hi p in
+        if Assume.prove_nonneg assume d then Some true
+        else if Assume.prove_neg assume d then Some false
+        else None
+  in
+  match (above, below) with
+  | Some false, _ | _, Some false -> Some false
+  | Some true, Some true -> Some true
+  | _ -> None
+
+let contains_int t assume i n = contains_affine t assume i (Affine.const n)
+
+let contains_ratio t assume i (q : Dt_support.Ratio.t) =
+  let den = Dt_support.Ratio.den q in
+  if den = 1 then contains_int t assume i (Dt_support.Ratio.num q)
+  else
+    let r = find t i in
+    (* q >= lo iff num >= den*lo (den > 0) *)
+    let above =
+      match r.lo with
+      | None -> None
+      | Some lo ->
+          let d = Affine.add_const (Dt_support.Ratio.num q) (Affine.neg (Affine.scale den lo)) in
+          if Assume.prove_nonneg assume d then Some true
+          else if Assume.prove_neg assume d then Some false
+          else None
+    in
+    let below =
+      match r.hi with
+      | None -> None
+      | Some hi ->
+          let d = Affine.add_const (-Dt_support.Ratio.num q) (Affine.scale den hi) in
+          if Assume.prove_nonneg assume d then Some true
+          else if Assume.prove_neg assume d then Some false
+          else None
+    in
+    match (above, below) with
+    | Some false, _ | _, Some false -> Some false
+    | Some true, Some true -> Some true
+    | _ -> None
+
+let concrete t i =
+  let r = find t i in
+  match (r.lo, r.hi) with
+  | Some lo, Some hi -> (
+      match (Affine.as_const lo, Affine.as_const hi) with
+      | Some a, Some b -> Some (a, b)
+      | _ -> None)
+  | _ -> None
+
+let pp ppf t =
+  Index.Map.iter
+    (fun i r ->
+      let pb ppf = function
+        | None -> Format.pp_print_string ppf "?"
+        | Some e -> Affine.pp ppf e
+      in
+      Format.fprintf ppf "%a in [%a, %a]@ " Index.pp i pb r.lo pb r.hi)
+    t

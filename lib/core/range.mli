@@ -1,0 +1,43 @@
+(** The index-range algorithm of section 4.3.
+
+    For triangular or trapezoidal loop nests, the bounds of inner loops are
+    affine functions of outer indices. Working outermost-in, we substitute
+    each outer index with its own extremal range to obtain, for every
+    index, a conservative *symbolic* range [lo, hi] whose endpoints mention
+    only symbolic constants. This maximal range is all the SIV tests need
+    (the paper notes the same). Endpoints are [None] when a bound cannot be
+    resolved (e.g. an unresolved outer endpoint). *)
+
+open Dt_ir
+
+type range = { lo : Affine.t option; hi : Affine.t option }
+(** Endpoints are symbol-only affines. *)
+
+type t
+(** Ranges for every index of a loop nest. *)
+
+val compute : Loop.t list -> t
+(** Loops outermost first. *)
+
+val find : t -> Index.t -> range
+(** Full/unknown range for indices the nest does not declare. *)
+
+val trip_minus_one : t -> Index.t -> Affine.t option
+(** [hi - lo] for the index, i.e. the paper's [U - L] used by the strong
+    SIV bound check [|d| <= U - L]. *)
+
+val contains_int : t -> Assume.t -> Index.t -> int -> bool option
+(** Is the integer within the index's range? [Some true/false] when
+    provable, [None] when unknown. *)
+
+val contains_affine : t -> Assume.t -> Index.t -> Affine.t -> bool option
+(** Same, for a symbolic point. *)
+
+val contains_ratio : t -> Assume.t -> Index.t -> Dt_support.Ratio.t -> bool option
+(** Rational membership (constant ranges only yield definite answers
+    unless provable symbolically after scaling). *)
+
+val concrete : t -> Index.t -> (int * int) option
+(** Constant endpoints when both are integer constants. *)
+
+val pp : Format.formatter -> t -> unit

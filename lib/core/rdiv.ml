@@ -1,0 +1,42 @@
+open Dt_ir
+open Dt_support
+
+type relation = {
+  src_index : Index.t;
+  snk_index : Index.t;
+  a : int;
+  b : int;
+  c : Affine.t;
+}
+
+type result = { outcome : Outcome.t; relation : relation option }
+
+let interval_of_range range assume i =
+  ignore assume;
+  match Range.concrete range i with
+  | Some (lo, hi) -> Interval.of_ints lo hi
+  | None -> Interval.full
+
+let test assume range (p : Spair.t) ~src ~snk =
+  let a1 = Affine.coeff p.src src and a2 = Affine.coeff p.snk snk in
+  let c1 = Affine.drop_index p.src src and c2 = Affine.drop_index p.snk snk in
+  let c = Affine.sub c2 c1 in
+  (* a1 * alpha_src - a2 * beta_snk = c *)
+  let relation = Some { src_index = src; snk_index = snk; a = a1; b = -a2; c } in
+  let indices = [ src; snk ] in
+  match Affine.as_const c with
+  | Some cc ->
+      let x_range = interval_of_range range assume src in
+      let y_range = interval_of_range range assume snk in
+      if Dio.feasible ~a:a1 ~b:(-a2) ~c:cc ~x_range ~y_range then
+        { outcome = Outcome.dependent_star indices; relation }
+      else { outcome = Outcome.Independent; relation = None }
+  | None ->
+      (* symbolic constant part: only the gcd disproof applies *)
+      let g = Int_ops.gcd a1 a2 in
+      let g' =
+        List.fold_left (fun acc (_, k) -> Int_ops.gcd acc k) g (Affine.sym_terms c)
+      in
+      if not (Int_ops.divides g' (Affine.const_part c)) then
+        { outcome = Outcome.Independent; relation = None }
+      else { outcome = Outcome.dependent_star indices; relation }

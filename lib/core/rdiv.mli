@@ -1,0 +1,21 @@
+(** The RDIV test (paper §4.4).
+
+    RDIV (Restricted Double Index Variable) subscripts have the shape
+    <a1*i + c1, a2*j + c2> with i and j *distinct* indices. The exact SIV
+    machinery extends to them by observing different loop bounds for the
+    two variables. The test also records the cross-index relation for the
+    Delta test's restricted RDIV constraint propagation (§5.3.2). *)
+
+open Dt_ir
+
+type relation = {
+  src_index : Index.t;  (** the index on the source side *)
+  snk_index : Index.t;  (** the index on the sink side *)
+  a : int;  (** a * alpha_src + b * beta_snk = c *)
+  b : int;
+  c : Affine.t;  (** symbol-only affine *)
+}
+
+type result = { outcome : Outcome.t; relation : relation option }
+
+val test : Assume.t -> Range.t -> Spair.t -> src:Index.t -> snk:Index.t -> result

@@ -1,0 +1,70 @@
+open Dt_ir
+
+type result = { outcome : Outcome.t; constr : Constr.t }
+
+(* All SIV tests reduce the dependence equation
+     a1*alpha + c1 = a2*beta + c2
+   to the canonical constraint a1*alpha - a2*beta = (c2 - c1); the
+   specialized entry points build the cheap special-case constraints
+   directly (distance / fixed iteration / crossing line) and share a single
+   interpreter (Constr.to_outcome) that performs the bound checks. *)
+
+let parts (p : Spair.t) i =
+  let a1 = Affine.coeff p.src i and a2 = Affine.coeff p.snk i in
+  let c1 = Affine.drop_index p.src i and c2 = Affine.drop_index p.snk i in
+  (a1, a2, Affine.sub c2 c1)
+
+let finish assume range i constr =
+  { outcome = Constr.to_outcome assume range i constr; constr }
+
+let strong assume range (p : Spair.t) i =
+  let a1, a2, e = parts p i in
+  assert (a1 = a2 && a1 <> 0);
+  let constr =
+    match Affine.div_exact (Affine.neg e) a1 with
+    | Some d -> Constr.sym_dist d (* d = (c1 - c2) / a *)
+    | None -> Constr.line ~a:a1 ~b:(-a2) ~c:e
+  in
+  finish assume range i constr
+
+let weak_zero assume range (p : Spair.t) i =
+  let a1, a2, e = parts p i in
+  assert ((a1 = 0) <> (a2 = 0));
+  let constr = Constr.line ~a:a1 ~b:(-a2) ~c:e in
+  finish assume range i constr
+
+let weak_crossing assume range (p : Spair.t) i =
+  let a1, a2, e = parts p i in
+  assert (a1 = -a2 && a1 <> 0);
+  let constr = Constr.line ~a:a1 ~b:(-a2) ~c:e in
+  finish assume range i constr
+
+let exact assume range (p : Spair.t) i =
+  let a1, a2, e = parts p i in
+  let constr = Constr.line ~a:a1 ~b:(-a2) ~c:e in
+  finish assume range i constr
+
+let test assume range p i =
+  match Classify.siv_kind_of p i with
+  | Classify.Strong -> strong assume range p i
+  | Classify.Weak_zero -> weak_zero assume range p i
+  | Classify.Weak_crossing -> weak_crossing assume range p i
+  | Classify.General -> exact assume range p i
+
+let crossing_point (p : Spair.t) i =
+  let a1, a2, e = parts p i in
+  if a1 = -a2 && a1 <> 0 then
+    match Affine.as_const e with
+    | Some c -> Some (Dt_support.Ratio.make c (2 * a1))
+    | None -> None
+  else None
+
+let crossing_point2 (p : Spair.t) i =
+  let a1, a2, e = parts p i in
+  if a1 = -a2 && a1 <> 0 then Affine.div_exact e a1 else None
+
+let weak_zero_iteration _assume (p : Spair.t) i =
+  let a1, a2, e = parts p i in
+  if a1 <> 0 && a2 = 0 then Affine.div_exact e a1
+  else if a1 = 0 && a2 <> 0 then Affine.div_exact (Affine.neg e) a2
+  else None

@@ -1,0 +1,48 @@
+(** The SIV test suite (paper §4.2): strong, weak-zero, weak-crossing, and
+    the general exact SIV test.
+
+    Every test both decides dependence and, when dependence is possible,
+    produces the constraint the Delta test intersects and propagates. All
+    tests are exact for constant ranges; with symbolic bounds or symbolic
+    additive constants they remain exact whenever the sign oracle can
+    decide the relevant comparisons and are conservative otherwise
+    (§4.5). *)
+
+open Dt_ir
+
+type result = { outcome : Outcome.t; constr : Constr.t }
+
+val test : Assume.t -> Range.t -> Spair.t -> Index.t -> result
+(** Dispatch on the SIV kind of the pair in the given index. *)
+
+val strong : Assume.t -> Range.t -> Spair.t -> Index.t -> result
+(** <a*i + c1, a*i' + c2>: distance d = (c1 - c2) / a; dependence iff d
+    integral and |d| <= U - L. *)
+
+val weak_zero : Assume.t -> Range.t -> Spair.t -> Index.t -> result
+(** One coefficient zero: solves for the single defined iteration and
+    checks it against the loop bounds; the driver uses first/last-iteration
+    hits to suggest loop peeling. *)
+
+val weak_crossing : Assume.t -> Range.t -> Spair.t -> Index.t -> result
+(** a2 = -a1: all dependences cross iteration i_c = (c2 - c1) / 2a;
+    dependence iff i_c falls within bounds on an integer or half-integer
+    point. *)
+
+val exact : Assume.t -> Range.t -> Spair.t -> Index.t -> result
+(** General <a1*i + c1, a2*i' + c2> via the bounded two-variable
+    Diophantine solver — the Banerjee-Wolfe single-index exact test. *)
+
+val crossing_point : Spair.t -> Index.t -> Dt_support.Ratio.t option
+(** The crossing iteration of a weak-crossing pair, for reporting and for
+    the loop-splitting transformation. [None] when the additive constants
+    are symbolic (use {!crossing_point2}). *)
+
+val crossing_point2 : Spair.t -> Index.t -> Affine.t option
+(** Twice the crossing iteration, as a symbol-only affine — defined even
+    with symbolic additive constants, e.g. [N + 1] for the pair
+    <i, N - i' + 1> (the paper's CDL example crosses at (N+1)/2). *)
+
+val weak_zero_iteration : Assume.t -> Spair.t -> Index.t -> Affine.t option
+(** The single source/sink iteration of a weak-zero pair (symbol-only
+    affine), for the loop-peeling suggestion. *)

@@ -1,0 +1,31 @@
+open Dt_ir
+
+let test ?counters assume range pairs ~common =
+  let record k ~indep =
+    match counters with Some c -> Counters.record c k ~indep | None -> ()
+  in
+  let exception Indep in
+  try
+    let parts =
+      List.map
+        (fun p ->
+          (match Gcd_test.test p with
+          | `Independent ->
+              record Counters.Gcd_miv ~indep:true;
+              raise Indep
+          | `Maybe -> record Counters.Gcd_miv ~indep:false);
+          let occurring = Spair.indices p in
+          let indices =
+            List.filter (fun i -> Index.Set.mem i occurring) common
+          in
+          match Banerjee.vectors assume range [ p ] ~indices with
+          | `Independent ->
+              record Counters.Banerjee_miv ~indep:true;
+              raise Indep
+          | `Vectors vecs ->
+              record Counters.Banerjee_miv ~indep:false;
+              Presult.Vectors (indices, vecs))
+        pairs
+    in
+    `Dependent parts
+  with Indep -> `Independent

@@ -1,0 +1,18 @@
+(** The traditional subscript-by-subscript testing strategy (baseline).
+
+    Every subscript position is tested independently with the Banerjee-GCD
+    hierarchy and the per-dimension direction-vector sets are intersected —
+    the strategy the first version of PFC used (paper §8) and the one the
+    Delta test improves upon for coupled subscripts (§2.2's example shows
+    it can report direction vectors that do not exist). *)
+
+open Dt_ir
+
+val test :
+  ?counters:Counters.t ->
+  Assume.t ->
+  Range.t ->
+  Spair.t list ->
+  common:Index.t list ->
+  [ `Independent | `Dependent of Presult.t list ]
+(** One [Presult] per subscript position. *)

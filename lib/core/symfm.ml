@@ -1,0 +1,59 @@
+open Dt_ir
+
+type constr = { coeffs : int array; bound : Affine.t }
+
+let le coeffs bound = { coeffs; bound }
+
+let eq coeffs bound =
+  [
+    { coeffs; bound };
+    { coeffs = Array.map (fun c -> -c) coeffs; bound = Affine.neg bound };
+  ]
+
+let max_constraints = 256
+
+let is_trivial c = Array.for_all (fun k -> k = 0) c.coeffs
+
+exception Infeasible
+exception Give_up
+
+let infeasible assume ~nvars cs =
+  let contradictory c =
+    (* 0 <= bound with bound provably negative *)
+    is_trivial c && Assume.prove_neg assume c.bound
+  in
+  let prune cs =
+    List.iter (fun c -> if contradictory c then raise Infeasible) cs;
+    List.filter (fun c -> not (is_trivial c)) cs
+  in
+  let eliminate var cs =
+    let pos, rest = List.partition (fun c -> c.coeffs.(var) > 0) cs in
+    let neg, zero = List.partition (fun c -> c.coeffs.(var) < 0) rest in
+    let combined =
+      List.concat_map
+        (fun p ->
+          List.map
+            (fun n ->
+              let a = p.coeffs.(var) and a' = -n.coeffs.(var) in
+              {
+                coeffs =
+                  Array.init nvars (fun v ->
+                      (a' * p.coeffs.(v)) + (a * n.coeffs.(v)));
+                bound =
+                  Affine.add (Affine.scale a' p.bound) (Affine.scale a n.bound);
+              })
+            neg)
+        pos
+    in
+    let out = zero @ combined in
+    if List.length out > max_constraints then raise Give_up;
+    prune out
+  in
+  match
+    let cs = prune cs in
+    let rec go var cs = if var >= nvars then () else go (var + 1) (eliminate var cs) in
+    go 0 cs
+  with
+  | () -> false
+  | exception Infeasible -> true
+  | exception Give_up -> false

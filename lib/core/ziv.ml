@@ -1,0 +1,7 @@
+open Dt_ir
+
+let test assume (p : Spair.t) =
+  let d = Affine.sub p.snk p.src in
+  match Assume.sign assume d with
+  | `Pos | `Neg -> Outcome.Independent
+  | _ -> Outcome.Dependent []

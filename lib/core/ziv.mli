@@ -1,0 +1,12 @@
+(** The ZIV test (paper §4.1).
+
+    A ZIV subscript pair <e1, e2> contains no loop index. The references
+    can only collide when e1 = e2; if the difference simplifies to a
+    (provably) non-zero value, the subscript proves independence. The
+    symbolic extension falls out of affine subtraction plus the sign
+    oracle. *)
+
+open Dt_ir
+
+val test : Assume.t -> Spair.t -> Outcome.t
+(** [Dependent []] (no index constrained) when a collision is possible. *)

@@ -1,0 +1,75 @@
+open Dt_ir
+
+type report = {
+  dependent : bool;
+  dirvecs : Deptest.Direction.t list list;
+  distances : int option array;
+  witnesses : int;
+}
+
+type dist_acc = Unset | Const of int | Varies
+
+let default_sym_env _ = 10
+
+let test ?(sym_env = default_sym_env) ?(max_pairs = 2_000_000)
+    ~src:(src_ref, src_loops) ~snk:(snk_ref, snk_loops) () =
+  match (Aref.linear_subs src_ref, Aref.linear_subs snk_ref) with
+  | Some fs, Some gs when List.length fs = List.length gs -> (
+      let common = Nest.common_loops src_loops snk_loops in
+      let ncommon = List.length common in
+      let common_indices = List.map (fun (l : Loop.t) -> l.Loop.index) common in
+      match
+        ( Iter_space.enumerate ~loops:src_loops ~sym_env ~max_points:max_pairs,
+          Iter_space.enumerate ~loops:snk_loops ~sym_env ~max_points:max_pairs )
+      with
+      | Some alphas, Some betas
+        when List.length alphas * List.length betas <= max_pairs ->
+          let vecs = ref [] in
+          let witnesses = ref 0 in
+          let distances = Array.make ncommon Unset in
+          List.iter
+            (fun alpha ->
+              let aenv i = Iter_space.lookup alpha i in
+              let fvals =
+                List.map (fun f -> Affine.eval f ~index_env:aenv ~sym_env) fs
+              in
+              List.iter
+                (fun beta ->
+                  let benv i = Iter_space.lookup beta i in
+                  let gvals =
+                    List.map (fun g -> Affine.eval g ~index_env:benv ~sym_env) gs
+                  in
+                  if List.for_all2 Int.equal fvals gvals then begin
+                    incr witnesses;
+                    let vec =
+                      List.map
+                        (fun i ->
+                          let a = aenv i and b = benv i in
+                          if a < b then Deptest.Direction.Lt
+                          else if a = b then Deptest.Direction.Eq
+                          else Deptest.Direction.Gt)
+                        common_indices
+                    in
+                    vecs := vec :: !vecs;
+                    List.iteri
+                      (fun k i ->
+                        let d = benv i - aenv i in
+                        distances.(k) <-
+                          (match distances.(k) with
+                          | Unset -> Const d
+                          | Const d' when d' = d -> Const d
+                          | _ -> Varies))
+                      common_indices
+                  end)
+                betas)
+            alphas;
+          Some
+            {
+              dependent = !witnesses > 0;
+              dirvecs = Dt_support.Listx.dedup ~compare:Stdlib.compare !vecs;
+              distances =
+                Array.map (function Const d -> Some d | _ -> None) distances;
+              witnesses = !witnesses;
+            }
+      | _ -> None)
+  | _ -> None

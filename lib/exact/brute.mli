@@ -1,0 +1,29 @@
+(** Brute-force dependence oracle.
+
+    Enumerates the two iteration spaces and checks the subscript equations
+    point-by-point. Exact by construction on small concrete spaces; used by
+    the property-test harness as ground truth and by the precision studies
+    as the reference answer. *)
+
+open Dt_ir
+
+type report = {
+  dependent : bool;
+  dirvecs : Deptest.Direction.t list list;
+      (** observed direction vectors over the common loops, deduplicated *)
+  distances : int option array;
+      (** per common loop, the dependence distance when constant over all
+          witnesses *)
+  witnesses : int;  (** number of (alpha, beta) collisions *)
+}
+
+val test :
+  ?sym_env:(string -> int) ->
+  ?max_pairs:int ->
+  src:Aref.t * Loop.t list ->
+  snk:Aref.t * Loop.t list ->
+  unit ->
+  report option
+(** [None] when a subscript is nonlinear, a bound cannot be evaluated, or
+    the pair count exceeds [max_pairs] (default 2_000_000). The references
+    must name the same base array and have equal rank. *)

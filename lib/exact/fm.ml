@@ -1,0 +1,76 @@
+open Dt_support
+
+type cmp = Le | Eq
+type constr = { coeffs : Ratio.t array; cmp : cmp; bound : Ratio.t }
+
+let make ~coeffs ~cmp ~bound = { coeffs; cmp; bound }
+
+(* normalize equalities into two inequalities *)
+let to_le cs =
+  List.concat_map
+    (fun c ->
+      match c.cmp with
+      | Le -> [ c ]
+      | Eq ->
+          [
+            { c with cmp = Le };
+            {
+              coeffs = Array.map Ratio.neg c.coeffs;
+              cmp = Le;
+              bound = Ratio.neg c.bound;
+            };
+          ])
+    cs
+
+let is_trivial c = Array.for_all (fun q -> Ratio.sign q = 0) c.coeffs
+let c_abs q = Ratio.abs q
+
+let eliminate ~nvars ~var cs =
+  ignore nvars;
+  let pos, rest =
+    List.partition (fun c -> Ratio.sign c.coeffs.(var) > 0) cs
+  in
+  let neg, zero = List.partition (fun c -> Ratio.sign c.coeffs.(var) < 0) rest in
+  let combined =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun n ->
+            (* p: a*x + ... <= bp with a > 0; n: -a'*x + ... <= bn, a' > 0.
+               x <= (bp - ...) / a and x >= (... - bn) / a'.
+               Combine: a' * p + a * n eliminates x. *)
+            let a = c_abs p.coeffs.(var) and a' = c_abs n.coeffs.(var) in
+            let coeffs =
+              Array.init (Array.length p.coeffs) (fun i ->
+                  Ratio.add
+                    (Ratio.mul a' p.coeffs.(i))
+                    (Ratio.mul a n.coeffs.(i)))
+            in
+            let bound = Ratio.add (Ratio.mul a' p.bound) (Ratio.mul a n.bound) in
+            { coeffs; cmp = Le; bound })
+          neg)
+      pos
+  in
+  let out = zero @ combined in
+  if
+    List.exists
+      (fun c -> is_trivial c && Ratio.sign c.bound < 0)
+      out
+  then None
+  else Some (List.filter (fun c -> not (is_trivial c)) out)
+
+let feasible ~nvars cs =
+  let cs = to_le cs in
+  if List.exists (fun c -> is_trivial c && Ratio.sign c.bound < 0) cs then false
+  else
+    let cs = List.filter (fun c -> not (is_trivial c)) cs in
+    let rec go var cs =
+      if var >= nvars then
+        (* all remaining constraints are trivial by the filter invariant *)
+        cs = []
+      else
+        match eliminate ~nvars ~var cs with
+        | None -> false
+        | Some cs' -> go (var + 1) cs'
+    in
+    go 0 cs

@@ -1,0 +1,24 @@
+(** Fourier-Motzkin elimination over the rationals.
+
+    The workhorse of the "expensive but general" multiple-subscript tests
+    the paper compares against (§7.1, §7.3): decide feasibility of a
+    conjunction of linear inequalities by eliminating variables pairwise.
+    Exponential in the worst case — which is exactly the point of the
+    efficiency comparison (Triolet measured 22-28x slowdowns versus
+    conventional tests). *)
+
+open Dt_support
+
+type cmp = Le  (** sum_i c_i * x_i <= k *) | Eq
+
+type constr = { coeffs : Ratio.t array; cmp : cmp; bound : Ratio.t }
+
+val make : coeffs:Ratio.t array -> cmp:cmp -> bound:Ratio.t -> constr
+
+val feasible : nvars:int -> constr list -> bool
+(** Rational satisfiability. All coefficient arrays must have length
+    [nvars]. *)
+
+val eliminate : nvars:int -> var:int -> constr list -> constr list option
+(** One elimination step; [None] when an immediate contradiction between
+    constant constraints appears. Exposed for testing. *)

@@ -1,0 +1,103 @@
+open Dt_support
+
+type solution = { particular : int array; kernel : int array array }
+
+let solve ~a ~b =
+  let m = Array.length a in
+  let n = if m = 0 then 0 else Array.length a.(0) in
+  (* working copies; u tracks column operations so that x = u * y *)
+  let a = Array.map Array.copy a in
+  let u = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0)) in
+  let col_op f j1 j2 =
+    (* replace columns j1, j2 by unimodular combinations *)
+    for r = 0 to m - 1 do
+      let x1 = a.(r).(j1) and x2 = a.(r).(j2) in
+      let y1, y2 = f x1 x2 in
+      a.(r).(j1) <- y1;
+      a.(r).(j2) <- y2
+    done;
+    for r = 0 to n - 1 do
+      let x1 = u.(r).(j1) and x2 = u.(r).(j2) in
+      let y1, y2 = f x1 x2 in
+      u.(r).(j1) <- y1;
+      u.(r).(j2) <- y2
+    done
+  in
+  let free = Array.make n true in
+  let pivots = ref [] in
+  (* pivot col, row, value *)
+  let y = Array.make n 0 in
+  let exception No_solution in
+  try
+    for r = 0 to m - 1 do
+      (* gather the gcd of row r's free-column entries into one column *)
+      let free_cols =
+        List.filter (fun j -> free.(j) && a.(r).(j) <> 0)
+          (List.init n Fun.id)
+      in
+      match free_cols with
+      | [] ->
+          (* row involves only pivot columns: consistency check *)
+          let lhs =
+            List.fold_left
+              (fun acc (j, _, _) -> acc + (a.(r).(j) * y.(j)))
+              0 !pivots
+          in
+          if lhs <> b.(r) then raise No_solution
+      | jp :: rest ->
+          List.iter
+            (fun j ->
+              let a1 = a.(r).(jp) and a2 = a.(r).(j) in
+              if a2 <> 0 then
+                if a1 = 0 then col_op (fun x1 x2 -> (x2, x1)) jp j
+                else begin
+                  let g, pu, pv = Int_ops.egcd a1 a2 in
+                  let f x1 x2 =
+                    ( (pu * x1) + (pv * x2),
+                      (-(a2 / g) * x1) + (a1 / g * x2) )
+                  in
+                  col_op f jp j
+                end)
+            rest;
+          let g = a.(r).(jp) in
+          let g = if g < 0 then begin
+            (* flip the column sign (unimodular) *)
+            for rr = 0 to m - 1 do a.(rr).(jp) <- -a.(rr).(jp) done;
+            for rr = 0 to n - 1 do u.(rr).(jp) <- -u.(rr).(jp) done;
+            -g
+          end else g
+          in
+          let rhs =
+            b.(r)
+            - List.fold_left
+                (fun acc (j, _, _) -> acc + (a.(r).(j) * y.(j)))
+                0 !pivots
+          in
+          if g = 0 then (if rhs <> 0 then raise No_solution)
+          else if rhs mod g <> 0 then raise No_solution
+          else begin
+            y.(jp) <- rhs / g;
+            free.(jp) <- false;
+            pivots := (jp, r, g) :: !pivots
+          end
+    done;
+    (* x = U y with free y's = 0 for the particular solution *)
+    let particular =
+      Array.init n (fun i ->
+          let acc = ref 0 in
+          for j = 0 to n - 1 do
+            acc := !acc + (u.(i).(j) * y.(j))
+          done;
+          !acc)
+    in
+    let kernel =
+      List.filter_map
+        (fun j ->
+          if free.(j) then Some (Array.init n (fun i -> u.(i).(j))) else None)
+        (List.init n Fun.id)
+      |> Array.of_list
+    in
+    Some { particular; kernel }
+  with No_solution -> None
+
+let test ~a ~b = match solve ~a ~b with None -> `Independent | Some _ -> `Maybe

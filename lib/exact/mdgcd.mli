@@ -1,0 +1,20 @@
+(** The multidimensional GCD test: integer solvability of a linear system
+    (paper §7.3).
+
+    Gaussian elimination modified for integers (unimodular column
+    operations) reduces [A x = b] to a triangular system in new variables
+    [y] with [x = U y]; integer solutions exist iff each pivot divides its
+    right-hand side. On success the full solution set is returned as a
+    particular solution plus a basis of the integer kernel — exactly what
+    the Power test needs to apply loop bounds with Fourier-Motzkin. *)
+
+type solution = {
+  particular : int array;  (** one integer solution, length n *)
+  kernel : int array array;  (** basis vectors of the solution lattice *)
+}
+
+val solve : a:int array array -> b:int array -> solution option
+(** [a] is m x n (rows = equations); [None] means no integer solution —
+    the multidimensional GCD test reports independence. *)
+
+val test : a:int array array -> b:int array -> [ `Independent | `Maybe ]

@@ -1,0 +1,204 @@
+open Dt_ir
+open Dt_support
+
+(* Variable layout: src loop indices, then snk loop indices, then symbolic
+   constants. The two iteration vectors are independent variable blocks —
+   common loops are linked only through direction constraints, which is
+   the correct dependence-equation semantics. *)
+type layout = {
+  src_loops : Loop.t array;
+  snk_loops : Loop.t array;
+  syms : string array;
+  nvars : int;
+}
+
+let build_layout src_loops snk_loops (syms : string list) =
+  let src_loops = Array.of_list src_loops and snk_loops = Array.of_list snk_loops in
+  {
+    src_loops;
+    snk_loops;
+    syms = Array.of_list syms;
+    nvars = Array.length src_loops + Array.length snk_loops + List.length syms;
+  }
+
+let src_var _lay k = k
+let snk_var lay k = Array.length lay.src_loops + k
+let sym_var lay name =
+  let base = Array.length lay.src_loops + Array.length lay.snk_loops in
+  let rec go i =
+    if i >= Array.length lay.syms then invalid_arg "Power: unknown symbol"
+    else if lay.syms.(i) = name then base + i
+    else go (i + 1)
+  in
+  go 0
+
+let pos_of_index loops i =
+  let n = Array.length loops in
+  let rec go k =
+    if k >= n then None
+    else if Index.equal loops.(k).Loop.index i then Some k
+    else go (k + 1)
+  in
+  go 0
+
+(* coefficient row (length nvars) for an affine on one side *)
+let side_coeffs lay ~side (a : Affine.t) =
+  let row = Array.make lay.nvars 0 in
+  let loops = match side with `Src -> lay.src_loops | `Snk -> lay.snk_loops in
+  List.iter
+    (fun (i, c) ->
+      match pos_of_index loops i with
+      | Some k ->
+          let v = match side with `Src -> src_var lay k | `Snk -> snk_var lay k in
+          row.(v) <- row.(v) + c
+      | None -> invalid_arg "Power: subscript mentions a non-enclosing index")
+    (Affine.index_terms a);
+  List.iter
+    (fun (s, c) ->
+      let v = sym_var lay s in
+      row.(v) <- row.(v) + c)
+    (Affine.sym_terms a);
+  row
+
+let collect_syms (arefs_and_loops : (Affine.t list * Loop.t list) list) =
+  let acc = ref [] in
+  let add a = acc := Affine.syms a @ !acc in
+  List.iter
+    (fun (subs, loops) ->
+      List.iter add subs;
+      List.iter
+        (fun (l : Loop.t) ->
+          add l.Loop.lo;
+          add l.Loop.hi)
+        loops)
+    arefs_and_loops;
+  Listx.dedup ~compare:String.compare !acc
+
+type prepared = {
+  lay : layout;
+  fam : Mdgcd.solution;
+  ncommon : int;
+}
+
+let prepare ~src:(src_ref, src_loops) ~snk:(snk_ref, snk_loops) =
+  match (Aref.linear_subs src_ref, Aref.linear_subs snk_ref) with
+  | Some fs, Some gs when List.length fs = List.length gs -> (
+      let syms =
+        collect_syms [ (fs, src_loops); (gs, snk_loops) ]
+      in
+      let lay = build_layout src_loops snk_loops syms in
+      let rows, rhs =
+        List.split
+          (List.map2
+             (fun f g ->
+               let rf = side_coeffs lay ~side:`Src f in
+               let rg = side_coeffs lay ~side:`Snk g in
+               let row = Array.init lay.nvars (fun i -> rf.(i) - rg.(i)) in
+               (row, Affine.const_part g - Affine.const_part f))
+             fs gs)
+      in
+      let a = Array.of_list rows and b = Array.of_list rhs in
+      match Mdgcd.solve ~a ~b with
+      | None -> `Independent
+      | Some fam ->
+          let common = Nest.common_loops src_loops snk_loops in
+          `Prepared { lay; fam; ncommon = List.length common })
+  | _ -> `Unknown
+
+(* bound constraints lo <= x_v and x_v <= hi, expressed over the original
+   variables, then projected onto the lattice parameters t:
+   x = particular + kernel^T t. *)
+let constraints_over_t prep ~dirs =
+  let { lay; fam; _ } = prep in
+  let nk = Array.length fam.Mdgcd.kernel in
+  let project row bound =
+    (* row . x <= bound  ==>  (row . K_j)_j t <= bound - row . particular *)
+    let dot a b =
+      let acc = ref 0 in
+      Array.iteri (fun i v -> acc := !acc + (v * b.(i))) a;
+      !acc
+    in
+    let coeffs =
+      Array.init nk (fun j -> Ratio.of_int (dot row fam.Mdgcd.kernel.(j)))
+    in
+    Fm.make ~coeffs ~cmp:Fm.Le
+      ~bound:(Ratio.of_int (bound - dot row fam.Mdgcd.particular))
+  in
+  let out = ref [] in
+  let bound_constraints ~side loops =
+    Array.iteri
+      (fun k (l : Loop.t) ->
+        let v = match side with `Src -> src_var lay k | `Snk -> snk_var lay k in
+        (* lo - x_v <= 0 *)
+        let row_lo = side_coeffs lay ~side l.Loop.lo in
+        row_lo.(v) <- row_lo.(v) - 1;
+        out := project row_lo (-Affine.const_part l.Loop.lo) :: !out;
+        (* x_v - hi <= 0 *)
+        let row_hi = side_coeffs lay ~side l.Loop.hi in
+        Array.iteri (fun i c -> row_hi.(i) <- -c) (Array.copy row_hi);
+        row_hi.(v) <- row_hi.(v) + 1;
+        out := project row_hi (Affine.const_part l.Loop.hi) :: !out)
+      loops
+  in
+  bound_constraints ~side:`Src lay.src_loops;
+  bound_constraints ~side:`Snk lay.snk_loops;
+  (* direction constraints on common loops *)
+  List.iteri
+    (fun k dir ->
+      let row = Array.make lay.nvars 0 in
+      row.(src_var lay k) <- 1;
+      row.(snk_var lay k) <- -1;
+      match dir with
+      | None -> ()
+      | Some Deptest.Direction.Lt ->
+          (* alpha - beta <= -1 *)
+          out := project row (-1) :: !out
+      | Some Deptest.Direction.Gt ->
+          let neg = Array.map (fun c -> -c) row in
+          out := project neg (-1) :: !out
+      | Some Deptest.Direction.Eq ->
+          out := project row 0 :: !out;
+          out := project (Array.map (fun c -> -c) row) 0 :: !out)
+    dirs;
+  (!out, nk)
+
+let feasible_for prep ~dirs =
+  let cs, nk = constraints_over_t prep ~dirs in
+  Fm.feasible ~nvars:nk cs
+
+let test ~src ~snk () =
+  match prepare ~src ~snk with
+  | `Independent -> `Independent
+  | `Unknown -> `Maybe
+  | `Prepared prep ->
+      let dirs = List.init prep.ncommon (fun _ -> None) in
+      if feasible_for prep ~dirs then `Maybe else `Independent
+
+let all_vectors n =
+  Dt_support.Listx.cartesian (List.init n (fun _ -> Deptest.Direction.all))
+
+let vectors ~src ~snk () =
+  match prepare ~src ~snk with
+  | `Independent -> `Independent
+  | `Unknown ->
+      let n = List.length (Nest.common_loops (snd src) (snd snk)) in
+      `Vectors (all_vectors n)
+  | `Prepared prep ->
+      let n = prep.ncommon in
+      let results = ref [] in
+      let rec refine fixed k =
+        let dirs =
+          List.rev_append fixed (List.init (n - k) (fun _ -> None))
+        in
+        if feasible_for prep ~dirs then
+          if k = n then
+            results :=
+              List.rev_map (function Some d -> d | None -> assert false) fixed
+              :: !results
+          else
+            List.iter
+              (fun d -> refine (Some d :: fixed) (k + 1))
+              Deptest.Direction.all
+      in
+      refine [] 0;
+      if !results = [] then `Independent else `Vectors (List.rev !results)

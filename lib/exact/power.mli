@@ -1,0 +1,30 @@
+(** The Power test (Wolfe & Tseng, paper §7.3): multidimensional GCD to
+    capture integer solvability, then Fourier-Motzkin elimination over the
+    solution lattice parameters to apply loop bounds and direction
+    constraints.
+
+    Expensive but the most precise test in this repository: exact integer
+    reasoning for the equation system combined with exact rational
+    reasoning for the bounds. Used as the precision yardstick in the
+    Table-4 experiment and as a cross-check oracle in the property tests.
+
+    Symbolic constants are modelled as additional unconstrained integer
+    variables — sound (it over-approximates the solution set) and precise
+    whenever the symbols cancel. *)
+
+open Dt_ir
+
+val test :
+  src:Aref.t * Loop.t list ->
+  snk:Aref.t * Loop.t list ->
+  unit ->
+  [ `Independent | `Maybe ]
+(** Any dependence at all (no direction constraint)? *)
+
+val vectors :
+  src:Aref.t * Loop.t list ->
+  snk:Aref.t * Loop.t list ->
+  unit ->
+  [ `Independent | `Vectors of Deptest.Direction.t list list ]
+(** Legal direction vectors over the common loops (hierarchy refinement,
+    each candidate checked by mdGCD + FM). *)

@@ -1,0 +1,48 @@
+type expr =
+  | Int of int
+  | Var of string
+  | Neg of expr
+  | Bin of binop * expr * expr
+  | Ref of string * expr list
+
+and binop = Add | Sub | Mul | Div
+
+type stmt =
+  | Assign of { label : int option; lhs : lvalue; rhs : expr; line : int }
+  | Do of {
+      label : int option;
+      terminal : int option;
+      var : string;
+      lo : expr;
+      hi : expr;
+      step : expr option;
+      body : stmt list;
+      line : int;
+    }
+  | Continue of { label : int option; line : int }
+
+and lvalue = { base : string; args : expr list }
+
+type program = { name : string; body : stmt list; lines : int }
+
+let binop_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp_expr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Var v -> Format.pp_print_string ppf v
+  | Neg e -> Format.fprintf ppf "-%a" pp_atom e
+  | Bin (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" pp_atom a (binop_str op) pp_atom b
+  | Ref (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           pp_expr)
+        args
+
+and pp_atom ppf e =
+  match e with
+  | Bin _ -> Format.fprintf ppf "(%a)" pp_expr e
+  | _ -> pp_expr ppf e
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e

@@ -1,0 +1,25 @@
+(** A C-style front end for the same loop-nest language.
+
+    Modern users think in [for]-loops and bracketed subscripts; this
+    parser accepts the C-shaped fragment
+
+    {v
+      for (i = 1; i <= n; i++) {
+        for (j = 2; j < m; j += 2)
+          a[i][j] = a[i-1][j] + b[2*i+1];
+      }
+    v}
+
+    and produces the same {!Ast.program} the Fortran parser does, so
+    lowering, analysis and every transformation apply unchanged.
+    Identifiers are case-preserved but analysis treats them verbatim;
+    loops with [<] bounds become [<=] bounds minus one; [i++], [++i],
+    [i += k] and [i = i + k] steps are recognized. *)
+
+exception Error of string * int
+
+val parse : string -> Ast.program
+val parse_and_lower : ?name:string -> string -> Dt_ir.Nest.program
+
+val looks_like_c : string -> bool
+(** Heuristic dialect sniffing: a [for (] with brackets/braces. *)

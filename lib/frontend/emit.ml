@@ -1,0 +1,43 @@
+open Dt_ir
+
+let affine a = Affine.to_string a
+
+let aref (r : Aref.t) =
+  if r.Aref.subs = [] then r.Aref.base
+  else
+    r.Aref.base ^ "("
+    ^ String.concat ","
+        (List.map
+           (function
+             | Aref.Linear a -> affine a
+             | Aref.Nonlinear s -> s)
+           r.Aref.subs)
+    ^ ")"
+
+let stmt (s : Stmt.t) =
+  match (s.Stmt.writes, s.Stmt.reads) with
+  | [ w ], [] -> Printf.sprintf "%s = 0" (aref w)
+  | [ w ], reads ->
+      Printf.sprintf "%s = %s" (aref w)
+        (String.concat " + " (List.map aref reads))
+  | _ -> s.Stmt.text
+
+let program (prog : Nest.program) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "      PROGRAM %s\n"
+    (String.map (function '.' | '-' -> '_' | c -> c) prog.Nest.name));
+  let rec node indent n =
+    let pad = String.make indent ' ' in
+    match n with
+    | Nest.Stmt s -> Buffer.add_string buf (pad ^ stmt s ^ "\n")
+    | Nest.Loop (l, body) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sDO %s = %s, %s\n" pad
+             (Index.name l.Loop.index)
+             (affine l.Loop.lo) (affine l.Loop.hi));
+        List.iter (node (indent + 2)) body;
+        Buffer.add_string buf (pad ^ "ENDDO\n")
+  in
+  List.iter (node 6) prog.Nest.body;
+  Buffer.add_string buf "      END\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Emission of IR programs back to mini-Fortran source.
+
+    Closes the loop for program transformations: the output of loop
+    distribution (or any other [Nest.program] manipulation) can be printed
+    as compilable source, and [parse (emit p)] must analyze identically to
+    [p] — a property the test suite checks on random programs. *)
+
+val affine : Dt_ir.Affine.t -> string
+val aref : Dt_ir.Aref.t -> string
+val stmt : Dt_ir.Stmt.t -> string
+(** The canonical assignment text [write = read1 + read2 + ...]; used when
+    the statement's recorded source text is absent. *)
+
+val program : Dt_ir.Nest.program -> string
+(** Full program unit, ENDDO loop syntax, including the final END. *)

@@ -1,0 +1,105 @@
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_alpha c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_alnum c = is_alpha c || is_digit c
+
+(* Pre-process: drop comment lines, handle '&' continuations and the
+   classic column-6 continuation convention, strip '!' comments. *)
+let logical_lines src =
+  let raw = String.split_on_char '\n' src in
+  let strip_inline_comment line =
+    match String.index_opt line '!' with
+    | Some k -> String.sub line 0 k
+    | None -> line
+  in
+  let is_comment line =
+    String.length line > 0 && (line.[0] = 'C' || line.[0] = 'c' || line.[0] = '*')
+  in
+  let is_continuation line =
+    (* columns 1-5 blank, column 6 non-blank non-zero *)
+    String.length line >= 6
+    && String.for_all (fun c -> c = ' ') (String.sub line 0 5)
+    && line.[5] <> ' ' && line.[5] <> '0'
+  in
+  let rec go acc lineno = function
+    | [] -> List.rev acc
+    | line :: rest ->
+        if is_comment line then go acc (lineno + 1) rest
+        else
+          let line = strip_inline_comment line in
+          if String.trim line = "" then go acc (lineno + 1) rest
+          else if is_continuation line then
+            let cont = String.sub line 6 (String.length line - 6) in
+            match acc with
+            | (prev_no, prev) :: acc' ->
+                go ((prev_no, prev ^ " " ^ cont) :: acc') (lineno + 1) rest
+            | [] -> raise (Error ("continuation with no previous line", lineno))
+          else
+            (* trailing '&' splices the next line too *)
+            let line = String.trim line in
+            if String.length line > 0 && line.[String.length line - 1] = '&'
+            then
+              match rest with
+              | next :: rest' ->
+                  let joined =
+                    String.sub line 0 (String.length line - 1) ^ " " ^ next
+                  in
+                  go acc lineno (joined :: rest')
+              | [] -> raise (Error ("dangling '&'", lineno))
+            else go ((lineno, line) :: acc) (lineno + 1) rest
+  in
+  go [] 1 raw
+
+let tokenize src =
+  let out = ref [] in
+  let emit tok line = out := { Token.tok; loc = { Token.line } } :: !out in
+  let lex_line (lineno, line) =
+    let n = String.length line in
+    let pos = ref 0 in
+    while !pos < n do
+      let c = line.[!pos] in
+      if c = ' ' || c = '\t' || c = '\r' then incr pos
+      else if is_digit c then begin
+        let start = !pos in
+        while !pos < n && is_digit line.[!pos] do
+          incr pos
+        done;
+        emit (Token.INT (int_of_string (String.sub line start (!pos - start)))) lineno
+      end
+      else if is_alpha c then begin
+        let start = !pos in
+        while !pos < n && is_alnum line.[!pos] do
+          incr pos
+        done;
+        emit
+          (Token.IDENT (String.uppercase_ascii (String.sub line start (!pos - start))))
+          lineno
+      end
+      else begin
+        (match c with
+        | '(' -> emit Token.LPAREN lineno
+        | ')' -> emit Token.RPAREN lineno
+        | ',' -> emit Token.COMMA lineno
+        | '=' -> emit Token.EQUALS lineno
+        | '+' -> emit Token.PLUS lineno
+        | '-' -> emit Token.MINUS lineno
+        | '*' -> emit Token.STAR lineno
+        | '/' -> emit Token.SLASH lineno
+        | '.' ->
+            (* skip real-literal fraction / logical operators crudely: treat
+               the rest of a ".XY." operator or fraction digits as skipped *)
+            raise (Error ("unsupported '.' syntax", lineno))
+        | _ -> raise (Error (Printf.sprintf "illegal character %c" c, lineno)));
+        incr pos
+      end
+    done;
+    emit Token.NEWLINE lineno
+  in
+  List.iter lex_line (logical_lines src);
+  emit Token.EOF
+    (match !out with t :: _ -> t.Token.loc.Token.line | [] -> 1);
+  List.rev !out

@@ -1,0 +1,12 @@
+(** Hand-written lexer for the mini-Fortran dialect.
+
+    Line-oriented: statements end at newlines (which are tokens). Comment
+    lines start with 'C', 'c' or '*' in column one, or '!' anywhere
+    (to end of line). Identifiers are case-insensitive and uppercased.
+    Continuation lines (a non-blank character in column six after five
+    blanks, or an '&' at the end of the previous line) splice lines. *)
+
+exception Error of string * int  (** message, line *)
+
+val tokenize : string -> Token.spanned list
+(** Always ends with an EOF token. Raises {!Error} on illegal input. *)

@@ -1,0 +1,28 @@
+(** Lowering from AST to the dependence-testing IR.
+
+    Responsibilities:
+    - scope management: DO variables become {!Dt_ir.Index.t} values, made
+      globally unique per program so two sibling loops reusing a name never
+      alias (sound prefix-based common-loop detection);
+    - loop normalization: non-unit constant steps are rewritten to
+      step-1 loops, substituting [i = lo + (i' - 1) * step] into
+      subscripts (the paper assumes normalized induction variables);
+    - subscript linearization: affine subscripts become {!Dt_ir.Affine.t};
+      everything else (products of variables, divisions, indirection,
+      written scalars) is conservatively [Nonlinear];
+    - access collection: array reads/writes per statement; scalar
+      variables that are ever written are tracked as rank-0 accesses. *)
+
+exception Error of string * int
+
+val program : Ast.program -> Dt_ir.Nest.program
+val parse : ?name:string -> string -> Dt_ir.Nest.program
+(** Parse and lower the first program unit of a mini-Fortran source
+    string. [name] overrides the program name. *)
+
+val parse_unit : ?name:string -> string -> Dt_ir.Nest.program list
+(** Parse and lower a whole compilation unit (several PROGRAM /
+    SUBROUTINE bodies). [name] prefixes each routine's program name. *)
+
+val intrinsics : string list
+(** Names treated as intrinsic functions rather than array references. *)

@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the mini-Fortran dialect.
+
+    The grammar is line-oriented and LL(1). Loop nesting is resolved in a
+    second pass so that the classic shared-terminal form
+
+    {v
+        DO 10 I = 1, N
+        DO 10 J = 1, N
+        A(I,J) = ...
+     10 CONTINUE
+    v}
+
+    closes both loops at the labelled statement, exactly as Fortran-77
+    does. *)
+
+exception Error of string * int  (** message, line *)
+
+val parse : string -> Ast.program
+(** Parse a single program unit (the first one in the source). Raises
+    {!Error} (or {!Lexer.Error}) on malformed input. *)
+
+val parse_unit : string -> Ast.program list
+(** Parse a whole compilation unit: several PROGRAM / SUBROUTINE bodies
+    separated by END statements. *)

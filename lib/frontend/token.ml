@@ -1,0 +1,32 @@
+type t =
+  | INT of int
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | NEWLINE
+  | EOF
+
+type loc = { line : int }
+type spanned = { tok : t; loc : loc }
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | EQUALS -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | NEWLINE -> "<newline>"
+  | EOF -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,21 @@
+(** Tokens of the mini-Fortran dialect. *)
+
+type t =
+  | INT of int
+  | IDENT of string  (** uppercased *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | NEWLINE
+  | EOF
+
+type loc = { line : int }
+type spanned = { tok : t; loc : loc }
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,143 @@
+type t = { idx : int Index.Map.t; sym : int Smap.t; const : int }
+
+let norm_idx m = Index.Map.filter (fun _ c -> c <> 0) m
+let norm_sym m = Smap.filter (fun _ c -> c <> 0) m
+
+let zero = { idx = Index.Map.empty; sym = Smap.empty; const = 0 }
+let const c = { zero with const = c }
+
+let of_index ?(coeff = 1) i =
+  { zero with idx = norm_idx (Index.Map.singleton i coeff) }
+
+let of_sym ?(coeff = 1) s = { zero with sym = norm_sym (Smap.singleton s coeff) }
+
+let make ~idx ~sym ~const =
+  let add_idx m (i, c) =
+    Index.Map.update i (fun v -> Some (Option.value v ~default:0 + c)) m
+  in
+  let add_sym m (s, c) =
+    Smap.update s (fun v -> Some (Option.value v ~default:0 + c)) m
+  in
+  {
+    idx = norm_idx (List.fold_left add_idx Index.Map.empty idx);
+    sym = norm_sym (List.fold_left add_sym Smap.empty sym);
+    const;
+  }
+
+let merge_idx f a b =
+  norm_idx
+    (Index.Map.merge
+       (fun _ x y -> Some (f (Option.value x ~default:0) (Option.value y ~default:0)))
+       a b)
+
+let merge_sym f a b =
+  norm_sym
+    (Smap.merge
+       (fun _ x y -> Some (f (Option.value x ~default:0) (Option.value y ~default:0)))
+       a b)
+
+let add a b =
+  { idx = merge_idx ( + ) a.idx b.idx;
+    sym = merge_sym ( + ) a.sym b.sym;
+    const = a.const + b.const }
+
+let sub a b =
+  { idx = merge_idx ( - ) a.idx b.idx;
+    sym = merge_sym ( - ) a.sym b.sym;
+    const = a.const - b.const }
+
+let neg a = sub zero a
+
+let scale k a =
+  if k = 0 then zero
+  else
+    { idx = Index.Map.map (fun c -> k * c) a.idx;
+      sym = Smap.map (fun c -> k * c) a.sym;
+      const = k * a.const }
+
+let add_const c a = { a with const = a.const + c }
+
+let content a =
+  let g = Dt_support.Int_ops.gcd_list (List.map snd (Index.Map.bindings a.idx)) in
+  let g = Dt_support.Int_ops.gcd g (Dt_support.Int_ops.gcd_list (List.map snd (Smap.bindings a.sym))) in
+  Dt_support.Int_ops.gcd g a.const
+
+let div_exact a k =
+  if k = 0 then None
+  else if
+    Index.Map.for_all (fun _ c -> c mod k = 0) a.idx
+    && Smap.for_all (fun _ c -> c mod k = 0) a.sym
+    && a.const mod k = 0
+  then
+    Some
+      {
+        idx = Index.Map.map (fun c -> c / k) a.idx;
+        sym = Smap.map (fun c -> c / k) a.sym;
+        const = a.const / k;
+      }
+  else None
+let coeff a i = Option.value (Index.Map.find_opt i a.idx) ~default:0
+let sym_coeff a s = Option.value (Smap.find_opt s a.sym) ~default:0
+let const_part a = a.const
+
+let set_coeff a i c =
+  { a with idx = norm_idx (Index.Map.add i c a.idx) }
+
+let indices a = Index.Map.fold (fun i _ s -> Index.Set.add i s) a.idx Index.Set.empty
+let syms a = Smap.fold (fun s _ acc -> s :: acc) a.sym [] |> List.rev
+let index_terms a = Index.Map.bindings a.idx
+let sym_terms a = Smap.bindings a.sym
+let is_const a = Index.Map.is_empty a.idx && Smap.is_empty a.sym
+let as_const a = if is_const a then Some a.const else None
+let is_sym_free a = Smap.is_empty a.sym
+let drop_index a i = { a with idx = Index.Map.remove i a.idx }
+
+let subst_index a i e =
+  let c = coeff a i in
+  if c = 0 then a else add (drop_index a i) (scale c e)
+
+let eval a ~index_env ~sym_env =
+  Index.Map.fold (fun i c acc -> acc + (c * index_env i)) a.idx a.const
+  + Smap.fold (fun s c acc -> acc + (c * sym_env s)) a.sym 0
+
+let eval_syms a ~sym_env =
+  Smap.fold
+    (fun s c acc ->
+      match sym_env s with
+      | Some v -> add_const (c * v) { acc with sym = Smap.remove s acc.sym }
+      | None -> acc)
+    a.sym a
+
+let equal a b =
+  a.const = b.const
+  && Index.Map.equal Int.equal a.idx b.idx
+  && Smap.equal Int.equal a.sym b.sym
+
+let compare a b =
+  let c = Index.Map.compare Int.compare a.idx b.idx in
+  if c <> 0 then c
+  else
+    let c = Smap.compare Int.compare a.sym b.sym in
+    if c <> 0 then c else Int.compare a.const b.const
+
+let pp ppf a =
+  let first = ref true in
+  let term ppf c name =
+    let sep =
+      if !first then (
+        first := false;
+        if c < 0 then "-" else "")
+      else if c < 0 then " - "
+      else " + "
+    in
+    let c = abs c in
+    if c = 1 then Format.fprintf ppf "%s%s" sep name
+    else Format.fprintf ppf "%s%d*%s" sep c name
+  in
+  Index.Map.iter (fun i c -> term ppf c (Index.name i)) a.idx;
+  Smap.iter (fun s c -> term ppf c s) a.sym;
+  if !first then Format.pp_print_int ppf a.const
+  else if a.const > 0 then Format.fprintf ppf " + %d" a.const
+  else if a.const < 0 then Format.fprintf ppf " - %d" (-a.const)
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,25 @@
+type subscript = Linear of Affine.t | Nonlinear of string
+type t = { base : string; subs : subscript list }
+
+let make base subs = { base; subs }
+let linear base affs = { base; subs = List.map (fun a -> Linear a) affs }
+let rank t = List.length t.subs
+let is_linear t = List.for_all (function Linear _ -> true | Nonlinear _ -> false) t.subs
+
+let linear_subs t =
+  if is_linear t then
+    Some (List.map (function Linear a -> a | Nonlinear _ -> assert false) t.subs)
+  else None
+
+let pp_sub ppf = function
+  | Linear a -> Affine.pp ppf a
+  | Nonlinear s -> Format.fprintf ppf "<%s>" s
+
+let pp ppf t =
+  if t.subs = [] then Format.pp_print_string ppf t.base
+  else
+    Format.fprintf ppf "%s(%a)" t.base
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") pp_sub)
+      t.subs
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,19 @@
+(** A subscripted array reference.
+
+    Each subscript is either an affine form or [Nonlinear] — the paper's
+    empirical study counts nonlinear subscripts separately and never tests
+    them (the driver conservatively assumes dependence). *)
+
+type subscript = Linear of Affine.t | Nonlinear of string
+(** The string is the source text of the nonlinear expression, kept for
+    reporting. *)
+
+type t = { base : string; subs : subscript list }
+
+val make : string -> subscript list -> t
+val linear : string -> Affine.t list -> t
+val rank : t -> int
+val is_linear : t -> bool
+val linear_subs : t -> Affine.t list option
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

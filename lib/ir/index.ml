@@ -1,0 +1,17 @@
+module T = struct
+  type t = { name : string; depth : int }
+
+  let compare a b =
+    match compare a.depth b.depth with 0 -> compare a.name b.name | c -> c
+end
+
+include T
+
+let make name ~depth = { name; depth }
+let name t = t.name
+let depth t = t.depth
+let equal a b = compare a b = 0
+let pp ppf t = Format.pp_print_string ppf t.name
+
+module Map = Map.Make (T)
+module Set = Set.Make (T)

@@ -1,0 +1,18 @@
+(** Loop index variables.
+
+    An index is identified by its source name and the nesting depth of the
+    loop that declares it (0 = outermost). Depth participates in identity so
+    that two distinct loops reusing the name [i] in disjoint nests do not
+    alias; within a single nest the frontend guarantees unique names. *)
+
+type t = private { name : string; depth : int }
+
+val make : string -> depth:int -> t
+val name : t -> string
+val depth : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

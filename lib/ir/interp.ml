@@ -1,0 +1,64 @@
+exception Unsupported of string
+
+type cell = string * int list
+
+type memory = (cell, int) Hashtbl.t
+
+let default_init name subs =
+  Hashtbl.hash (name, subs) land 0xffffff
+
+let run ?(sym_env = fun _ -> 10) ?(init = default_init) (prog : Nest.program) =
+  let mem : memory = Hashtbl.create 256 in
+  let read name subs =
+    match Hashtbl.find_opt mem (name, subs) with
+    | Some v -> v
+    | None ->
+        let v = init name subs in
+        Hashtbl.replace mem (name, subs) v;
+        v
+  in
+  let eval_aref env (r : Aref.t) =
+    ( r.Aref.base,
+      List.map
+        (function
+          | Aref.Linear a -> Affine.eval a ~index_env:env ~sym_env
+          | Aref.Nonlinear s -> raise (Unsupported ("nonlinear subscript " ^ s)))
+        r.Aref.subs )
+  in
+  let exec_stmt env (s : Stmt.t) =
+    let values =
+      List.map
+        (fun r ->
+          let name, subs = eval_aref env r in
+          read name subs)
+        s.Stmt.reads
+    in
+    let v = Hashtbl.hash (s.Stmt.id :: values) land 0xffffff in
+    List.iter
+      (fun w ->
+        let name, subs = eval_aref env w in
+        Hashtbl.replace mem (name, subs) v)
+      s.Stmt.writes
+  in
+  let rec node env = function
+    | Nest.Stmt s -> exec_stmt env s
+    | Nest.Loop (l, body) ->
+        let lo = Affine.eval l.Loop.lo ~index_env:env ~sym_env in
+        let hi = Affine.eval l.Loop.hi ~index_env:env ~sym_env in
+        for v = lo to hi do
+          let env' i = if Index.equal i l.Loop.index then v else env i in
+          List.iter (node env') body
+        done
+  in
+  let top i =
+    raise (Unsupported ("unbound index " ^ Index.name i))
+  in
+  List.iter (node top) prog.Nest.body;
+  mem
+
+let dump mem =
+  Hashtbl.fold (fun (name, subs) v acc -> (name, subs, v) :: acc) mem []
+  |> List.sort compare
+
+let equal a b = dump a = dump b
+let cells mem = Hashtbl.length mem

@@ -1,0 +1,36 @@
+(** An executable semantics for IR programs.
+
+    Statements carry only their memory-access shape, so we give each a
+    deterministic synthetic semantics: the value stored by statement [S]
+    into its target is a hash of [S]'s id combined with the values of all
+    its reads (in order). This is enough to detect any transformation bug
+    that reorders two accesses connected by a true, anti, or output
+    dependence — if a transformed program produces the same final memory
+    on random inputs, its execution order respected the dependences of
+    the original.
+
+    The test suite uses this as the correctness oracle for loop
+    distribution: [run p = run (Distribute.run p deps)] must hold.
+
+    Memory is a map from (array name, subscript-value vector) to int.
+    Nonlinear subscripts make a statement non-executable — [run] raises
+    [Unsupported]. *)
+
+exception Unsupported of string
+
+type memory
+
+val run :
+  ?sym_env:(string -> int) ->
+  ?init:(string -> int list -> int) ->
+  Nest.program ->
+  memory
+(** Execute the program. [init] seeds reads of never-written cells
+    (default: a hash of the name and subscripts). [sym_env] defaults to
+    binding every symbol to 10. *)
+
+val dump : memory -> (string * int list * int) list
+(** Final memory, sorted. *)
+
+val equal : memory -> memory -> bool
+val cells : memory -> int

@@ -1,0 +1,49 @@
+type point = int Index.Map.t
+
+exception Too_big
+exception Unevaluable
+
+let eval_bound a point ~sym_env =
+  let index_env i =
+    match Index.Map.find_opt i point with
+    | Some v -> v
+    | None -> raise Unevaluable
+  in
+  Affine.eval a ~index_env ~sym_env
+
+let enumerate ~loops ~sym_env ~max_points =
+  let count = ref 0 in
+  let acc = ref [] in
+  let rec go point = function
+    | [] ->
+        incr count;
+        if !count > max_points then raise Too_big;
+        acc := point :: !acc
+    | (l : Loop.t) :: rest ->
+        let lo = eval_bound l.lo point ~sym_env in
+        let hi = eval_bound l.hi point ~sym_env in
+        for v = lo to hi do
+          go (Index.Map.add l.index v point) rest
+        done
+  in
+  match go Index.Map.empty loops with
+  | () -> Some (List.rev !acc)
+  | exception (Too_big | Unevaluable) -> None
+
+let lookup point i = Index.Map.find i point
+
+let size ~loops ~sym_env =
+  let rec go point = function
+    | [] -> 1
+    | (l : Loop.t) :: rest ->
+        let lo = eval_bound l.lo point ~sym_env in
+        let hi = eval_bound l.hi point ~sym_env in
+        let total = ref 0 in
+        for v = lo to hi do
+          total := !total + go (Index.Map.add l.index v point) rest
+        done;
+        !total
+  in
+  match go Index.Map.empty loops with
+  | n -> Some n
+  | exception Unevaluable -> None

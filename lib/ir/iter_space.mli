@@ -1,0 +1,21 @@
+(** Enumeration of iteration spaces.
+
+    Used by the brute-force dependence oracle and the property-test
+    harness. Bounds may be triangular (affine in outer indices); symbolic
+    constants must be bound by [sym_env] for enumeration to be possible. *)
+
+type point = int Index.Map.t
+
+val enumerate :
+  loops:Loop.t list -> sym_env:(string -> int) -> max_points:int -> point list option
+(** All iteration vectors of the nest, lexicographic order, outermost index
+    first. [None] if the space exceeds [max_points] (guards the oracle
+    against blowup) or a bound fails to evaluate. *)
+
+val lookup : point -> Index.t -> int
+(** Raises [Not_found] for indices outside the point. *)
+
+val size :
+  loops:Loop.t list -> sym_env:(string -> int) -> int option
+(** Number of points, without materializing them; [None] on evaluation
+    failure. *)

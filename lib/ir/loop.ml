@@ -1,0 +1,12 @@
+type t = { index : Index.t; lo : Affine.t; hi : Affine.t }
+
+let make index ~lo ~hi = { index; lo; hi }
+
+let trip_const t =
+  match (Affine.as_const t.lo, Affine.as_const t.hi) with
+  | Some l, Some h -> Some (h - l + 1)
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "DO %a = %a, %a" Index.pp t.index Affine.pp t.lo
+    Affine.pp t.hi

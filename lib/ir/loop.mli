@@ -1,0 +1,13 @@
+(** A normalized DO loop.
+
+    After frontend normalization every loop has step 1; bounds are affine
+    forms that may reference outer loop indices (triangular/trapezoidal
+    nests) and symbolic constants. *)
+
+type t = { index : Index.t; lo : Affine.t; hi : Affine.t }
+
+val make : Index.t -> lo:Affine.t -> hi:Affine.t -> t
+val trip_const : t -> int option
+(** Trip count [hi - lo + 1] when both bounds are constant. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type node = Loop of Loop.t * node list | Stmt of Stmt.t
+
+type program = {
+  name : string;
+  routine : string;
+  body : node list;
+  source_lines : int;
+}
+
+let program ?routine ?(source_lines = 0) ~name body =
+  { name; routine = Option.value routine ~default:name; body; source_lines }
+
+let stmts_with_loops prog =
+  let rec go loops acc node =
+    match node with
+    | Stmt s -> (s, List.rev loops) :: acc
+    | Loop (l, body) -> List.fold_left (go (l :: loops)) acc body
+  in
+  List.rev (List.fold_left (go []) [] prog.body)
+
+let all_stmts prog = List.map fst (stmts_with_loops prog)
+
+let all_loops prog =
+  let rec go acc = function
+    | Stmt _ -> acc
+    | Loop (l, body) -> List.fold_left go (l :: acc) body
+  in
+  List.rev (List.fold_left go [] prog.body)
+
+let max_depth prog =
+  let rec go d = function
+    | Stmt _ -> d
+    | Loop (_, body) -> Dt_support.Listx.max_by (go (d + 1)) body
+  in
+  Dt_support.Listx.max_by (go 0) prog.body
+
+let common_loops a b =
+  let rec go acc a b =
+    match (a, b) with
+    | la :: ra, lb :: rb when Index.equal la.Loop.index lb.Loop.index ->
+        go (la :: acc) ra rb
+    | _ -> List.rev acc
+  in
+  go [] a b
+
+let find_stmt prog id = List.find_opt (fun s -> s.Stmt.id = id) (all_stmts prog)
+
+let symbolics prog =
+  let acc = ref [] in
+  let add_affine a = acc := Affine.syms a @ !acc in
+  let add_aref (r : Aref.t) =
+    List.iter
+      (function Aref.Linear a -> add_affine a | Aref.Nonlinear _ -> ())
+      r.Aref.subs
+  in
+  let rec go = function
+    | Stmt s ->
+        List.iter add_aref s.Stmt.writes;
+        List.iter add_aref s.Stmt.reads
+    | Loop (l, body) ->
+        add_affine l.Loop.lo;
+        add_affine l.Loop.hi;
+        List.iter go body
+  in
+  List.iter go prog.body;
+  Dt_support.Listx.dedup ~compare:String.compare !acc
+
+let pp ppf prog =
+  let rec node indent ppf n =
+    let pad = String.make indent ' ' in
+    match n with
+    | Stmt s -> Format.fprintf ppf "%s%a@." pad Stmt.pp s
+    | Loop (l, body) ->
+        Format.fprintf ppf "%s%a@." pad Loop.pp l;
+        List.iter (node (indent + 2) ppf) body;
+        Format.fprintf ppf "%sENDDO@." pad
+  in
+  Format.fprintf ppf "PROGRAM %s@." prog.name;
+  List.iter (node 2 ppf) prog.body

@@ -1,0 +1,36 @@
+(** Loop-nest trees and whole programs.
+
+    A program body is a forest of loops and statements. Statement ids are
+    assigned in textual order by the frontend, so [Stmt.id] doubles as the
+    "lexically precedes" relation needed to orient loop-independent
+    dependences. *)
+
+type node = Loop of Loop.t * node list | Stmt of Stmt.t
+
+type program = {
+  name : string;
+  routine : string;  (** subroutine name, for the per-routine statistics *)
+  body : node list;
+  source_lines : int;  (** line count of the original source, for Table 1 *)
+}
+
+val program :
+  ?routine:string -> ?source_lines:int -> name:string -> node list -> program
+
+val stmts_with_loops : program -> (Stmt.t * Loop.t list) list
+(** Every statement paired with its enclosing loops, outermost first,
+    in textual order. *)
+
+val all_stmts : program -> Stmt.t list
+val all_loops : program -> Loop.t list
+val max_depth : program -> int
+
+val common_loops : Loop.t list -> Loop.t list -> Loop.t list
+(** Longest common prefix of two enclosing-loop lists (loops compared by
+    index identity). *)
+
+val find_stmt : program -> int -> Stmt.t option
+val symbolics : program -> string list
+(** All symbolic constants appearing in bounds or subscripts, sorted. *)
+
+val pp : Format.formatter -> program -> unit

@@ -1,0 +1,3 @@
+(** String-keyed maps for symbolic-constant coefficients. *)
+
+include Map.S with type key = string

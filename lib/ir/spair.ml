@@ -1,0 +1,15 @@
+type t = { src : Affine.t; snk : Affine.t }
+
+let make src snk = { src; snk }
+let indices t = Index.Set.union (Affine.indices t.src) (Affine.indices t.snk)
+
+let diff_const t =
+  let d = Affine.sub t.snk t.src in
+  Affine.make ~idx:[] ~sym:(Affine.sym_terms d) ~const:(Affine.const_part d)
+
+let eval t ~src_env ~snk_env ~sym_env =
+  ( Affine.eval t.src ~index_env:src_env ~sym_env,
+    Affine.eval t.snk ~index_env:snk_env ~sym_env )
+
+let pp ppf t = Format.fprintf ppf "<%a, %a>" Affine.pp t.src Affine.pp t.snk
+let to_string t = Format.asprintf "%a" pp t

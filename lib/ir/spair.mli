@@ -1,0 +1,32 @@
+(** Subscript pairs — the unit of dependence testing.
+
+    For two references [A(f1,...,fm)] (source, at iteration vector alpha)
+    and [A(g1,...,gm)] (sink, at iteration vector beta), the k-th subscript
+    pair is <f_k, g_k>. Both affines range over the same [Index.t] values,
+    but an index [i] in [src] denotes alpha_i while in [snk] it denotes
+    beta_i; every test in the suite is written with this convention. *)
+
+type t = { src : Affine.t; snk : Affine.t }
+
+val make : Affine.t -> Affine.t -> t
+
+val indices : t -> Index.Set.t
+(** All loop indices occurring on either side. *)
+
+val diff_const : t -> Affine.t
+(** The "constant" part of the dependence equation
+    [src(alpha) = snk(beta)] after moving index terms to one side:
+    symbolic + integer part of [snk.const - src.const] (coefficients of
+    indices excluded).  Concretely: the affine [snk - src] restricted to
+    its symbolic and constant terms. *)
+
+val eval :
+  t ->
+  src_env:(Index.t -> int) ->
+  snk_env:(Index.t -> int) ->
+  sym_env:(string -> int) ->
+  int * int
+(** Evaluate both sides. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

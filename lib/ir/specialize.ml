@@ -1,0 +1,28 @@
+let affine a ~bindings =
+  Affine.eval_syms a ~sym_env:(fun s -> List.assoc_opt s bindings)
+
+let program prog ~bindings =
+  let aff a = affine a ~bindings in
+  let aref (r : Aref.t) =
+    Aref.make r.Aref.base
+      (List.map
+         (function
+           | Aref.Linear a -> Aref.Linear (aff a)
+           | Aref.Nonlinear _ as s -> s)
+         r.Aref.subs)
+  in
+  let rec node = function
+    | Nest.Stmt s ->
+        Nest.Stmt
+          (Stmt.make ~id:s.Stmt.id
+             ~writes:(List.map aref s.Stmt.writes)
+             ~reads:(List.map aref s.Stmt.reads)
+             ~text:s.Stmt.text ())
+    | Nest.Loop (l, body) ->
+        Nest.Loop
+          ( Loop.make l.Loop.index ~lo:(aff l.Loop.lo) ~hi:(aff l.Loop.hi),
+            List.map node body )
+  in
+  Nest.program ~routine:prog.Nest.routine ~source_lines:prog.Nest.source_lines
+    ~name:prog.Nest.name
+    (List.map node prog.Nest.body)

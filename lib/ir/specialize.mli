@@ -1,0 +1,9 @@
+(** Specialization of symbolic constants.
+
+    Binding symbols (e.g. [N = 100]) turns symbolic bounds and subscripts
+    into concrete ones, letting every exact test run at full precision and
+    making programs enumerable by the brute-force oracle. Unbound symbols
+    are left in place. *)
+
+val affine : Affine.t -> bindings:(string * int) list -> Affine.t
+val program : Nest.program -> bindings:(string * int) list -> Nest.program

@@ -1,0 +1,19 @@
+type t = { id : int; writes : Aref.t list; reads : Aref.t list; text : string }
+
+let make ~id ?(writes = []) ?(reads = []) ?(text = "") () =
+  { id; writes; reads; text }
+
+let pp ppf t =
+  if t.text <> "" then Format.pp_print_string ppf t.text
+  else
+    Format.fprintf ppf "S%d: %a = f(%a)" t.id
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Aref.pp)
+      t.writes
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Aref.pp)
+      t.reads
+
+type access = { stmt : t; aref : Aref.t; kind : [ `Read | `Write ] }
+
+let accesses t =
+  List.map (fun aref -> { stmt = t; aref; kind = `Write }) t.writes
+  @ List.map (fun aref -> { stmt = t; aref; kind = `Read }) t.reads

@@ -1,0 +1,23 @@
+(** Statements: array assignments inside loop nests.
+
+    Only the memory-access shape matters for dependence testing, so a
+    statement records which array references it writes and reads plus the
+    scalar names it touches (scalars induce loop-carried dependences too,
+    but the paper — and we — focus on subscripted references; scalars are
+    kept so the vectorizer can be conservative about them). *)
+
+type t = {
+  id : int;  (** unique within a program *)
+  writes : Aref.t list;
+  reads : Aref.t list;
+  text : string;  (** source text for reporting *)
+}
+
+val make : id:int -> ?writes:Aref.t list -> ?reads:Aref.t list -> ?text:string -> unit -> t
+val pp : Format.formatter -> t -> unit
+
+type access = { stmt : t; aref : Aref.t; kind : [ `Read | `Write ] }
+(** One array access, paired with its statement and access kind. *)
+
+val accesses : t -> access list
+(** Writes first, then reads, in declaration order. *)

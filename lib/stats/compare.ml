@@ -1,0 +1,117 @@
+open Dt_ir
+open Deptest
+
+type row = {
+  label : string;
+  coupled_pairs : int;
+  indep_baseline : int;
+  indep_delta : int;
+  indep_power : int;
+  vecs_baseline : int;
+  vecs_delta : int;
+  vecs_power : int;
+}
+
+let zero label =
+  {
+    label;
+    coupled_pairs = 0;
+    indep_baseline = 0;
+    indep_delta = 0;
+    indep_power = 0;
+    vecs_baseline = 0;
+    vecs_delta = 0;
+    vecs_power = 0;
+  }
+
+let concrete_count = function
+  | `Independent -> 0
+  | `Dependent info ->
+      Dt_support.Listx.sum_by
+        (fun v -> List.length (Dirvec.expand v))
+        info.Pair_test.dirvecs
+
+let of_program ~label prog =
+  let accesses =
+    List.concat_map
+      (fun (s, loops) -> List.map (fun a -> (a, loops)) (Stmt.accesses s))
+      (Nest.stmts_with_loops prog)
+  in
+  let accesses = Array.of_list accesses in
+  let n = Array.length accesses in
+  let acc = ref (zero label) in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let (a1 : Stmt.access), loops1 = accesses.(i)
+      and (a2 : Stmt.access), loops2 = accesses.(j) in
+      if
+        a1.Stmt.aref.Aref.base = a2.Stmt.aref.Aref.base
+        && (a1.Stmt.kind = `Write || a2.Stmt.kind = `Write)
+        && Aref.rank a1.Stmt.aref > 0
+      then begin
+        let delta =
+          Pair_test.test ~strategy:Pair_test.Partition_based
+            ~src:(a1.Stmt.aref, loops1) ~snk:(a2.Stmt.aref, loops2) ()
+        in
+        if delta.Pair_test.meta.Pair_test.coupled_groups > 0 then begin
+          let baseline =
+            Pair_test.test ~strategy:Pair_test.Subscript_by_subscript
+              ~src:(a1.Stmt.aref, loops1) ~snk:(a2.Stmt.aref, loops2) ()
+          in
+          let power =
+            Dt_exact.Power.vectors ~src:(a1.Stmt.aref, loops1)
+              ~snk:(a2.Stmt.aref, loops2) ()
+          in
+          let b = !acc in
+          acc :=
+            {
+              b with
+              coupled_pairs = b.coupled_pairs + 1;
+              indep_baseline =
+                (b.indep_baseline
+                + if baseline.Pair_test.result = `Independent then 1 else 0);
+              indep_delta =
+                (b.indep_delta
+                + if delta.Pair_test.result = `Independent then 1 else 0);
+              indep_power =
+                (b.indep_power + if power = `Independent then 1 else 0);
+              vecs_baseline = b.vecs_baseline + concrete_count baseline.Pair_test.result;
+              vecs_delta = b.vecs_delta + concrete_count delta.Pair_test.result;
+              vecs_power =
+                (b.vecs_power
+                + match power with
+                  | `Independent -> 0
+                  | `Vectors vs -> List.length vs);
+            }
+        end
+      end
+    done
+  done;
+  !acc
+
+let add a b =
+  {
+    label = a.label;
+    coupled_pairs = a.coupled_pairs + b.coupled_pairs;
+    indep_baseline = a.indep_baseline + b.indep_baseline;
+    indep_delta = a.indep_delta + b.indep_delta;
+    indep_power = a.indep_power + b.indep_power;
+    vecs_baseline = a.vecs_baseline + b.vecs_baseline;
+    vecs_delta = a.vecs_delta + b.vecs_delta;
+    vecs_power = a.vecs_power + b.vecs_power;
+  }
+
+let of_entries ~label entries =
+  List.fold_left
+    (fun acc e ->
+      List.fold_left
+        (fun acc p -> add acc (of_program ~label p))
+        acc
+        (Dt_workloads.Corpus.programs e))
+    (zero label) entries
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%s: %d coupled pairs; indep baseline/delta/power = %d/%d/%d; vectors = %d/%d/%d"
+    r.label r.coupled_pairs r.indep_baseline r.indep_delta r.indep_power
+    r.vecs_baseline r.vecs_delta r.vecs_power

@@ -1,0 +1,58 @@
+let fig2_weak_siv ~a1 ~a2 ~c ~lo ~hi =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "Figure 2: dependence equation %d*i = %d*i' + %d over [%d,%d]^2\n"
+       a1 a2 c lo hi);
+  Buffer.add_string buf "(columns: i = source iteration; rows: i' = sink iteration; o = integer solution)\n";
+  for row = hi downto lo do
+    Buffer.add_string buf (Printf.sprintf "%3d |" row);
+    for col = lo to hi do
+      (* on the line: a1*col - a2*row = c *)
+      let v = (a1 * col) - (a2 * row) - c in
+      if v = 0 then Buffer.add_string buf " o"
+      else begin
+        (* does the real line cross this cell? check sign change against
+           neighbours *)
+        let v_left = (a1 * (col - 1)) - (a2 * row) - c in
+        let v_down = (a1 * col) - (a2 * (row - 1)) - c in
+        if (v > 0 && (v_left < 0 || v_down < 0)) || (v < 0 && (v_left > 0 || v_down > 0))
+        then Buffer.add_string buf " ."
+        else Buffer.add_string buf "  "
+      end
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "    +";
+  for _ = lo to hi do
+    Buffer.add_string buf "--"
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "     ";
+  for col = lo to hi do
+    Buffer.add_string buf (Printf.sprintf "%2d" (col mod 100))
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let class_histogram (c : Profile.class_counts) =
+  let entries =
+    [
+      ("ZIV", c.Profile.ziv);
+      ("strong SIV", c.Profile.strong_siv);
+      ("weak-zero SIV", c.Profile.weak_zero);
+      ("weak-crossing SIV", c.Profile.weak_crossing);
+      ("general SIV", c.Profile.general_siv);
+      ("RDIV", c.Profile.rdiv);
+      ("MIV", c.Profile.miv);
+    ]
+  in
+  let total = max 1 (Profile.class_total c) in
+  let width = 50 in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, n) ->
+      let bar = n * width / total in
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %5d |%s\n" label n (String.make bar '#')))
+    entries;
+  Buffer.contents buf

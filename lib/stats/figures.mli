@@ -1,0 +1,16 @@
+(** ASCII renderings of the paper's figures.
+
+    Figure 2 is the geometric view of the weak SIV test: the dependence
+    equation [a1*i = a2*i' + c] describes a line in the (i, i') plane;
+    a dependence exists iff the line meets an integer point inside the
+    square spanned by the loop bounds. *)
+
+val fig2_weak_siv :
+  a1:int -> a2:int -> c:int -> lo:int -> hi:int -> string
+(** Plot the line [a1*i - a2*i' = c] over [lo..hi]^2; integer solutions
+    are 'o', the real line's passage '.', axes labelled with i (columns,
+    source iteration) and i' (rows, sink iteration). *)
+
+val class_histogram : Profile.class_counts -> string
+(** Horizontal bar chart of the subscript-class distribution — the visual
+    companion to Table 2. *)

@@ -1,0 +1,155 @@
+open Deptest
+
+type class_counts = {
+  ziv : int;
+  strong_siv : int;
+  weak_zero : int;
+  weak_crossing : int;
+  general_siv : int;
+  rdiv : int;
+  miv : int;
+}
+
+type t = {
+  name : string;
+  suite : string;
+  lines : int;
+  routines : int;
+  pairs_tested : int;
+  pairs_independent : int;
+  dims_hist : int array;
+  separable : int;
+  coupled : int;
+  coupled_pairs : int;
+  nonlinear : int;
+  classes : class_counts;
+  counters : Counters.t;
+}
+
+let zero_classes =
+  {
+    ziv = 0;
+    strong_siv = 0;
+    weak_zero = 0;
+    weak_crossing = 0;
+    general_siv = 0;
+    rdiv = 0;
+    miv = 0;
+  }
+
+let add_class acc (c : Classify.t) =
+  match c with
+  | Classify.Ziv -> { acc with ziv = acc.ziv + 1 }
+  | Classify.Siv { kind = Classify.Strong; _ } ->
+      { acc with strong_siv = acc.strong_siv + 1 }
+  | Classify.Siv { kind = Classify.Weak_zero; _ } ->
+      { acc with weak_zero = acc.weak_zero + 1 }
+  | Classify.Siv { kind = Classify.Weak_crossing; _ } ->
+      { acc with weak_crossing = acc.weak_crossing + 1 }
+  | Classify.Siv { kind = Classify.General; _ } ->
+      { acc with general_siv = acc.general_siv + 1 }
+  | Classify.Rdiv _ -> { acc with rdiv = acc.rdiv + 1 }
+  | Classify.Miv _ -> { acc with miv = acc.miv + 1 }
+
+let of_program ~suite ~name prog =
+  let r = Analyze.program prog in
+  (* only subscripted (rank > 0) reference pairs enter the study, as in
+     the paper *)
+  let array_pairs =
+    List.filter (fun p -> p.Analyze.meta.Pair_test.dims > 0) r.Analyze.pairs
+  in
+  let dims_hist = Array.make 3 0 in
+  List.iter
+    (fun p ->
+      let d = min 3 p.Analyze.meta.Pair_test.dims in
+      dims_hist.(d - 1) <- dims_hist.(d - 1) + 1)
+    array_pairs;
+  let classes =
+    List.fold_left
+      (fun acc p -> List.fold_left add_class acc p.Analyze.meta.Pair_test.classes)
+      zero_classes array_pairs
+  in
+  {
+    name;
+    suite;
+    lines = prog.Dt_ir.Nest.source_lines;
+    routines = 1;
+    pairs_tested = List.length array_pairs;
+    pairs_independent =
+      List.length (List.filter (fun p -> p.Analyze.independent) array_pairs);
+    dims_hist;
+    separable =
+      Dt_support.Listx.sum_by
+        (fun p -> p.Analyze.meta.Pair_test.separable)
+        array_pairs;
+    coupled =
+      Dt_support.Listx.sum_by
+        (fun p -> p.Analyze.meta.Pair_test.coupled_positions)
+        array_pairs;
+    coupled_pairs =
+      List.length
+        (List.filter
+           (fun p -> p.Analyze.meta.Pair_test.coupled_groups > 0)
+           array_pairs);
+    nonlinear =
+      Dt_support.Listx.sum_by
+        (fun p -> p.Analyze.meta.Pair_test.nonlinear)
+        array_pairs;
+    classes;
+    counters = r.Analyze.counters;
+  }
+
+let rec measure ~suite (e : Dt_workloads.Corpus.entry) =
+  match Dt_workloads.Corpus.programs e with
+  | [ p ] -> of_program ~suite ~name:e.Dt_workloads.Corpus.name p
+  | routines ->
+      aggregate ~name:e.Dt_workloads.Corpus.name ~suite
+        (List.map
+           (fun p -> of_program ~suite ~name:p.Dt_ir.Nest.name p)
+           routines)
+
+and aggregate ~name ~suite profiles =
+
+
+  let counters = Counters.create () in
+  List.iter (fun p -> Counters.merge_into counters p.counters) profiles;
+  let sum f = Dt_support.Listx.sum_by f profiles in
+  let dims_hist = Array.make 3 0 in
+  List.iter
+    (fun p -> Array.iteri (fun i v -> dims_hist.(i) <- dims_hist.(i) + v) p.dims_hist)
+    profiles;
+  let classes =
+    List.fold_left
+      (fun acc p ->
+        {
+          ziv = acc.ziv + p.classes.ziv;
+          strong_siv = acc.strong_siv + p.classes.strong_siv;
+          weak_zero = acc.weak_zero + p.classes.weak_zero;
+          weak_crossing = acc.weak_crossing + p.classes.weak_crossing;
+          general_siv = acc.general_siv + p.classes.general_siv;
+          rdiv = acc.rdiv + p.classes.rdiv;
+          miv = acc.miv + p.classes.miv;
+        })
+      zero_classes profiles
+  in
+  {
+    name;
+    suite;
+    lines = sum (fun p -> p.lines);
+    routines = sum (fun p -> p.routines);
+    pairs_tested = sum (fun p -> p.pairs_tested);
+    pairs_independent = sum (fun p -> p.pairs_independent);
+    dims_hist;
+    separable = sum (fun p -> p.separable);
+    coupled = sum (fun p -> p.coupled);
+    coupled_pairs = sum (fun p -> p.coupled_pairs);
+    nonlinear = sum (fun p -> p.nonlinear);
+    classes;
+    counters;
+  }
+
+let total_positions t = t.separable + t.coupled + t.nonlinear
+
+let class_total c =
+  c.ziv + c.strong_siv + c.weak_zero + c.weak_crossing + c.general_siv + c.rdiv
+  + c.miv

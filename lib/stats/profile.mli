@@ -1,0 +1,43 @@
+(** Per-program measurements for the empirical study (paper §6).
+
+    Running the analyzer over a program yields the quantities the paper's
+    Table 1 (subscript complexity), Table 2 (subscript classification) and
+    Table 3 (tests applied / independence proven) report, plus
+    independence totals for the strategy comparisons. *)
+
+open Deptest
+
+type class_counts = {
+  ziv : int;
+  strong_siv : int;
+  weak_zero : int;
+  weak_crossing : int;
+  general_siv : int;
+  rdiv : int;
+  miv : int;
+}
+
+type t = {
+  name : string;
+  suite : string;
+  lines : int;
+  routines : int;
+  pairs_tested : int;  (** array reference pairs (rank > 0) *)
+  pairs_independent : int;
+  dims_hist : int array;  (** index d = pairs with d+1 dimensions; length 3, last bucket is 3+ *)
+  separable : int;  (** separable subscript positions *)
+  coupled : int;  (** positions inside coupled groups *)
+  coupled_pairs : int;  (** reference pairs containing a coupled group *)
+  nonlinear : int;  (** nonlinear subscript positions *)
+  classes : class_counts;
+  counters : Counters.t;
+}
+
+val measure : suite:string -> Dt_workloads.Corpus.entry -> t
+val of_program : suite:string -> name:string -> Dt_ir.Nest.program -> t
+
+val aggregate : name:string -> suite:string -> t list -> t
+(** Column-wise sum (lines and routines added; counters merged). *)
+
+val total_positions : t -> int
+val class_total : class_counts -> int

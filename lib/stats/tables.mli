@@ -1,0 +1,20 @@
+(** Render the paper's evaluation tables over the corpus.
+
+    - Table 1: complexity of array subscripts per program — lines,
+      routines, dimension histogram of tested reference pairs, and
+      separable / coupled / nonlinear subscript-position counts.
+    - Table 2: distribution of subscript classes among linear positions
+      (ZIV, strong SIV, weak-zero, weak-crossing, general SIV, RDIV, MIV).
+    - Table 3: number of times each dependence test was applied and how
+      often it proved independence, per suite.
+    - Table 4: coupled-subscript precision — subscript-by-subscript
+      baseline vs Delta vs Power test. *)
+
+val table1 : ?suites:string list -> unit -> string
+val table2 : ?suites:string list -> unit -> string
+val table3 : ?suites:string list -> unit -> string
+val table4 : ?suites:string list -> unit -> string
+val all : ?suites:string list -> unit -> string
+
+val profiles : suites:string list -> (string * Profile.t list) list
+(** Per-suite per-program profiles (memoized per call). *)

@@ -1,0 +1,39 @@
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let gcd_list l = List.fold_left gcd 0 l
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+let egcd a b =
+  (* Iterative extended Euclid, maintaining r = a*x + b*y invariants. *)
+  let rec go r0 x0 y0 r1 x1 y1 =
+    if r1 = 0 then (r0, x0, y0)
+    else
+      let q = r0 / r1 in
+      go r1 x1 y1 (r0 - (q * r1)) (x0 - (q * x1)) (y0 - (q * y1))
+  in
+  let g, x, y = go a 1 0 b 0 1 in
+  if g < 0 then (-g, -x, -y) else (g, x, y)
+
+let floor_div a b =
+  if b = 0 then raise Division_by_zero
+  else
+    let q = a / b and r = a mod b in
+    if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let ceil_div a b =
+  if b = 0 then raise Division_by_zero
+  else
+    let q = a / b and r = a mod b in
+    if r <> 0 && (r < 0) = (b < 0) then q + 1 else q
+
+let divides d n = if d = 0 then n = 0 else n mod d = 0
+let pos_part a = if a > 0 then a else 0
+let neg_part a = if a < 0 then -a else 0
+let sign a = compare a 0
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Int_ops.clamp: lo > hi"
+  else if x < lo then lo
+  else if x > hi then hi
+  else x

@@ -1,0 +1,42 @@
+(** Integer arithmetic helpers used throughout the dependence tests.
+
+    All operations are defined on OCaml native [int]s. The dependence
+    analyzer only ever manipulates subscript coefficients and loop bounds
+    drawn from source programs, so magnitudes stay far below the 63-bit
+    range; we nonetheless use overflow-conscious formulations (e.g. gcd by
+    Euclid on absolute values). *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor. [gcd 0 0 = 0]. *)
+
+val gcd_list : int list -> int
+(** Non-negative gcd of a list; [gcd_list [] = 0]. *)
+
+val lcm : int -> int -> int
+(** Least common multiple, non-negative. [lcm x 0 = 0]. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b = (g, x, y)] with [g = gcd a b >= 0] and [a*x + b*y = g]. *)
+
+val floor_div : int -> int -> int
+(** Division rounding toward negative infinity. Raises [Division_by_zero]
+    when the divisor is zero. *)
+
+val ceil_div : int -> int -> int
+(** Division rounding toward positive infinity. *)
+
+val divides : int -> int -> bool
+(** [divides d n] is true iff [d] divides [n]; by convention
+    [divides 0 n = (n = 0)]. *)
+
+val pos_part : int -> int
+(** [pos_part a = max a 0] — Banerjee's a⁺. *)
+
+val neg_part : int -> int
+(** [neg_part a = max (-a) 0] — Banerjee's a⁻ (non-negative). *)
+
+val sign : int -> int
+(** -1, 0 or 1. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** Clamp into [lo,hi] (requires lo <= hi). *)

@@ -1,0 +1,89 @@
+type bound = Neg_inf | Fin of int | Pos_inf
+type t = { lo : bound; hi : bound }
+
+let make lo hi = { lo; hi }
+let of_ints a b = { lo = Fin a; hi = Fin b }
+let full = { lo = Neg_inf; hi = Pos_inf }
+let singleton n = of_ints n n
+let empty = of_ints 1 0
+let lo t = t.lo
+let hi t = t.hi
+
+let bound_le a b =
+  match (a, b) with
+  | Neg_inf, _ | _, Pos_inf -> true
+  | Pos_inf, _ | _, Neg_inf -> false
+  | Fin x, Fin y -> x <= y
+
+let bound_min a b = if bound_le a b then a else b
+let bound_max a b = if bound_le a b then b else a
+
+let is_empty t =
+  match (t.lo, t.hi) with
+  | Pos_inf, _ | _, Neg_inf -> true
+  | _ -> not (bound_le t.lo t.hi)
+
+let contains t n = bound_le t.lo (Fin n) && bound_le (Fin n) t.hi
+
+let contains_ratio t r =
+  (match t.lo with
+  | Neg_inf -> true
+  | Pos_inf -> false
+  | Fin l -> Ratio.(of_int l <= r))
+  &&
+  match t.hi with
+  | Pos_inf -> true
+  | Neg_inf -> false
+  | Fin h -> Ratio.(r <= of_int h)
+
+let inter a b = { lo = bound_max a.lo b.lo; hi = bound_min a.hi b.hi }
+
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = bound_min a.lo b.lo; hi = bound_max a.hi b.hi }
+
+let bound_add a b =
+  match (a, b) with
+  | Fin x, Fin y -> Fin (x + y)
+  | Neg_inf, Pos_inf | Pos_inf, Neg_inf ->
+      invalid_arg "Interval.bound_add: oo + -oo"
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+
+let add a b =
+  if is_empty a || is_empty b then empty
+  else { lo = bound_add a.lo b.lo; hi = bound_add a.hi b.hi }
+
+let bound_neg = function Neg_inf -> Pos_inf | Pos_inf -> Neg_inf | Fin x -> Fin (-x)
+let neg t = if is_empty t then empty else { lo = bound_neg t.hi; hi = bound_neg t.lo }
+
+let bound_scale k = function
+  | Fin x -> Fin (k * x)
+  | Neg_inf -> if k > 0 then Neg_inf else if k < 0 then Pos_inf else Fin 0
+  | Pos_inf -> if k > 0 then Pos_inf else if k < 0 then Neg_inf else Fin 0
+
+let scale k t =
+  if is_empty t then empty
+  else if k >= 0 then { lo = bound_scale k t.lo; hi = bound_scale k t.hi }
+  else { lo = bound_scale k t.hi; hi = bound_scale k t.lo }
+
+let shift d t = add t (singleton d)
+
+let finite t =
+  if is_empty t then None
+  else match (t.lo, t.hi) with Fin a, Fin b -> Some (a, b) | _ -> None
+
+let width t = match finite t with Some (a, b) -> Some (b - a) | None -> None
+
+let pp_bound ppf = function
+  | Neg_inf -> Format.pp_print_string ppf "-oo"
+  | Pos_inf -> Format.pp_print_string ppf "+oo"
+  | Fin n -> Format.pp_print_int ppf n
+
+let pp ppf t =
+  if is_empty t then Format.pp_print_string ppf "[]"
+  else Format.fprintf ppf "[%a,%a]" pp_bound t.lo pp_bound t.hi
+
+let equal a b =
+  (is_empty a && is_empty b) || (a.lo = b.lo && a.hi = b.hi)

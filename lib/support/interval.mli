@@ -1,0 +1,57 @@
+(** Integer intervals with infinite endpoints.
+
+    The index-range algorithm of the paper (section 4.3) computes, for each
+    loop index, a conservative range [lo, hi] where either endpoint may be
+    unknown (symbolic bounds that do not resolve). Unknown endpoints are
+    modelled as -oo / +oo. *)
+
+type bound = Neg_inf | Fin of int | Pos_inf
+
+type t = private { lo : bound; hi : bound }
+(** Invariant: the interval is non-empty is NOT required — [is_empty]
+    detects lo > hi for finite endpoints. *)
+
+val make : bound -> bound -> t
+val of_ints : int -> int -> t
+val full : t
+val singleton : int -> t
+val empty : t
+
+val lo : t -> bound
+val hi : t -> bound
+
+val is_empty : t -> bool
+val contains : t -> int -> bool
+val contains_ratio : t -> Ratio.t -> bool
+(** Rational membership: used when checking whether the real-valued solution
+    of a dependence equation falls within the loop bounds. *)
+
+val inter : t -> t -> t
+val hull : t -> t -> t
+
+val add : t -> t -> t
+(** Interval sum. *)
+
+val neg : t -> t
+val scale : int -> t -> t
+(** Multiply both endpoints by a constant (swapping on negative factors). *)
+
+val shift : int -> t -> t
+
+val width : t -> int option
+(** [hi - lo] when both ends are finite and the interval non-empty. *)
+
+val finite : t -> (int * int) option
+(** Both endpoints, when finite and non-empty. *)
+
+val bound_add : bound -> bound -> bound
+(** Raises [Invalid_argument] on oo + (-oo). *)
+
+val bound_scale : int -> bound -> bound
+val bound_le : bound -> bound -> bool
+val bound_min : bound -> bound -> bound
+val bound_max : bound -> bound -> bound
+
+val pp : Format.formatter -> t -> unit
+val pp_bound : Format.formatter -> bound -> unit
+val equal : t -> t -> bool

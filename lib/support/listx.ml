@@ -1,0 +1,28 @@
+let cartesian lists =
+  List.fold_right
+    (fun choices acc ->
+      List.concat_map (fun c -> List.map (fun rest -> c :: rest) acc) choices)
+    lists [ [] ]
+
+let dedup ~compare l =
+  let sorted = List.sort compare l in
+  let rec go = function
+    | a :: (b :: _ as rest) -> if compare a b = 0 then go rest else a :: go rest
+    | l -> l
+  in
+  go sorted
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let sum_by f l = List.fold_left (fun acc x -> acc + f x) 0 l
+let max_by f l = List.fold_left (fun acc x -> max acc (f x)) 0 l
+
+let rec transpose = function
+  | [] -> []
+  | [] :: _ -> []
+  | rows -> List.map List.hd rows :: transpose (List.map List.tl rows)
+
+let range a b = List.init (max 0 (b - a + 1)) (fun k -> a + k)

@@ -1,0 +1,19 @@
+(** Small list utilities missing from the stdlib. *)
+
+val cartesian : 'a list list -> 'a list list
+(** Cartesian product of a list of choice lists; the product of an empty
+    list is [[[]]]. Order: leftmost list varies slowest. *)
+
+val dedup : compare:('a -> 'a -> int) -> 'a list -> 'a list
+(** Sort and remove duplicates. *)
+
+val take : int -> 'a list -> 'a list
+val sum_by : ('a -> int) -> 'a list -> int
+val max_by : ('a -> int) -> 'a list -> int
+(** 0 on the empty list. *)
+
+val transpose : 'a list list -> 'a list list
+(** Transpose a rectangular list of lists. *)
+
+val range : int -> int -> int list
+(** [range a b] is [a; a+1; ...; b]; empty when [a > b]. *)

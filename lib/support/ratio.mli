@@ -1,0 +1,62 @@
+(** Exact rational arithmetic over native ints.
+
+    Used by the exact SIV test, constraint intersection (2x2 rational
+    solves), Banerjee bound evaluation, and Fourier-Motzkin elimination.
+    Values are kept normalized: positive denominator, gcd(num, den) = 1. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] normalizes; raises [Division_by_zero] if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Raises [Division_by_zero] on a zero divisor. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val sign : t -> int
+
+val is_int : t -> bool
+(** True iff the value is an integer. *)
+
+val is_half_int : t -> bool
+(** True iff twice the value is an integer (denominator 1 or 2) — the
+    weak-crossing SIV test accepts crossing points on half-iterations. *)
+
+val to_int_exn : t -> int
+(** Raises [Invalid_argument] if not an integer. *)
+
+val floor : t -> int
+val ceil : t -> int
+
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool

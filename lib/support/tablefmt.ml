@@ -1,0 +1,71 @@
+type align = L | R
+
+let render ?title ~columns ~rows () =
+  let ncols = List.length columns in
+  let pad_row r =
+    let len = List.length r in
+    if len >= ncols then Listx.take ncols r
+    else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let data_rows =
+    List.map (fun r -> if r = [ "--" ] then None else Some (pad_row r)) rows
+  in
+  let headers = List.map fst columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        let cell_w =
+          List.fold_left
+            (fun acc -> function
+              | None -> acc
+              | Some r -> max acc (String.length (List.nth r i)))
+            (String.length h) data_rows
+        in
+        cell_w)
+      headers
+  in
+  let aligns = List.map snd columns in
+  let fmt_cell w a s =
+    let pad = w - String.length s in
+    let pad = max 0 pad in
+    match a with
+    | L -> s ^ String.make pad ' '
+    | R -> String.make pad ' ' ^ s
+  in
+  let fmt_row cells =
+    let parts =
+      List.map2
+        (fun (w, a) s -> fmt_cell w a s)
+        (List.combine widths aligns)
+        cells
+    in
+    String.concat "  " parts
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (fmt_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | None ->
+          Buffer.add_string buf rule;
+          Buffer.add_char buf '\n'
+      | Some r ->
+          Buffer.add_string buf (fmt_row r);
+          Buffer.add_char buf '\n')
+    data_rows;
+  Buffer.contents buf
+
+let percent ~num ~den =
+  if den = 0 then "-"
+  else Printf.sprintf "%.1f%%" (100.0 *. float_of_int num /. float_of_int den)

@@ -1,0 +1,16 @@
+(** Plain-text table rendering for the empirical-study reports.
+
+    Renders the paper-shaped tables (Table 1-4) as aligned ASCII with a
+    header rule, in the style of the original publication's layout. *)
+
+type align = L | R
+
+val render :
+  ?title:string -> columns:(string * align) list -> rows:string list list ->
+  unit -> string
+(** [render ~columns ~rows ()] aligns every column to its widest cell.
+    Rows shorter than the header are right-padded with empty cells. A row
+    equal to [["--"]] renders as a horizontal rule. *)
+
+val percent : num:int -> den:int -> string
+(** "12.3%" with one decimal; "-" when [den = 0]. *)

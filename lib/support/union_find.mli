@@ -1,0 +1,20 @@
+(** Imperative union-find with path compression and union by rank.
+
+    Used to partition the subscripts of a multidimensional reference pair
+    into minimal coupled groups (paper section 3): two subscript positions
+    are joined whenever they share a loop index. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a structure over elements [0 .. n-1], each its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+val groups : t -> int list list
+(** All equivalence classes, each sorted ascending; classes ordered by their
+    smallest element. *)

@@ -1,0 +1,52 @@
+open Deptest
+open Dt_ir
+
+let run prog deps =
+  let with_loops = Nest.stmts_with_loops prog in
+  let loops_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (s, ls) -> Hashtbl.replace tbl s.Stmt.id (s, ls)) with_loops;
+    fun id -> Hashtbl.find tbl id
+  in
+  let rec go stmt_ids level : Nest.node list =
+    let in_set id = List.mem id stmt_ids in
+    let active =
+      List.filter
+        (fun d ->
+          in_set d.Dep.src_stmt && in_set d.Dep.snk_stmt
+          && Depgraph.active_at d ~level)
+        deps
+    in
+    let succs v =
+      List.filter_map
+        (fun d -> if d.Dep.src_stmt = v then Some d.Dep.snk_stmt else None)
+        active
+    in
+    let sccs = Scc.topo_order ~nodes:stmt_ids ~succs in
+    List.concat_map
+      (fun comp ->
+        let comp = List.sort compare comp in
+        let shallow, deep =
+          List.partition (fun id -> List.length (snd (loops_of id)) < level) comp
+        in
+        let shallow_nodes =
+          List.map (fun id -> Nest.Stmt (fst (loops_of id))) shallow
+        in
+        match deep with
+        | [] -> shallow_nodes
+        | id0 :: _ ->
+            let loop = List.nth (snd (loops_of id0)) (level - 1) in
+            shallow_nodes @ [ Nest.Loop (loop, go deep (level + 1)) ])
+      sccs
+  in
+  let body = go (List.map (fun (s, _) -> s.Stmt.id) with_loops) 1 in
+  Nest.program ~routine:prog.Nest.routine
+    ~source_lines:prog.Nest.source_lines
+    ~name:(prog.Nest.name ^ "_distributed")
+    body
+
+let run_and_report prog =
+  let deps = Analyze.deps_of prog in
+  let prog' = run prog deps in
+  let deps' = Analyze.deps_of prog' in
+  (prog', Parallel.analyze prog' deps')

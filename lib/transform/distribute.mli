@@ -1,0 +1,18 @@
+(** Loop distribution (loop fission).
+
+    Splits each loop around the strongly connected components of its
+    dependence graph, in topological order — the structural half of
+    Allen-Kennedy: after distribution every resulting loop either carries
+    a genuine recurrence or is fully parallel. The result is a new
+    program; statement ids (and texts) are preserved, so dependences of
+    the original program can be compared against the distributed one. *)
+
+open Dt_ir
+
+val run : Nest.program -> Deptest.Dep.t list -> Nest.program
+(** Dependences must come from analyzing the same program. *)
+
+val run_and_report :
+  Nest.program -> Nest.program * Parallel.report list
+(** Convenience: analyze, distribute, re-analyze the result, and report
+    loop parallelism of the distributed program. *)

@@ -1,0 +1,107 @@
+open Deptest
+
+let lex_nonneg dirs =
+  let rec go = function
+    | [] -> true
+    | Direction.Eq :: rest -> go rest
+    | Direction.Lt :: _ -> true
+    | Direction.Gt :: _ -> false
+  in
+  go dirs
+
+let vec_ok perm (v : Dirvec.t) =
+  let n = Array.length perm in
+  if Array.length v < n then true
+  else
+    List.for_all
+      (fun concrete ->
+        let arr = Array.of_list concrete in
+        let permuted = Array.to_list (Array.map (fun old -> arr.(old)) perm) in
+        lex_nonneg permuted)
+      (List.filter_map
+         (fun w -> Dirvec.concrete w)
+         (Dirvec.expand v))
+
+let permutation_legal deps ~perm =
+  List.for_all (fun d -> vec_ok perm d.Dep.dirvec) deps
+
+let reversal_legal deps ~level =
+  List.for_all (fun d -> d.Dep.level <> Some level) deps
+
+let interchange_legal deps ~depth ~level =
+  if level < 1 || level >= depth then invalid_arg "interchange_legal";
+  let perm =
+    Array.init depth (fun i ->
+        if i = level - 1 then level
+        else if i = level then level - 1
+        else i)
+  in
+  permutation_legal deps ~perm
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun rest -> x :: rest)
+            (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+let legal_permutations deps ~depth =
+  List.filter_map
+    (fun p ->
+      let perm = Array.of_list p in
+      if permutation_legal deps ~perm then Some perm else None)
+    (permutations (List.init depth Fun.id))
+
+(* after permuting, position k (0-based) carries a dependence iff some
+   dependence vector has an expansion whose first non-'=' position is k *)
+let carried_positions perm (deps : Dep.t list) =
+  let n = Array.length perm in
+  let carried = Array.make n false in
+  List.iter
+    (fun d ->
+      if Array.length d.Dep.dirvec >= n then
+        List.iter
+          (fun w ->
+            match Dirvec.concrete w with
+            | Some dirs ->
+                let arr = Array.of_list dirs in
+                let permuted = Array.map (fun old -> arr.(old)) perm in
+                let rec first k =
+                  if k >= n then ()
+                  else
+                    match permuted.(k) with
+                    | Direction.Eq -> first (k + 1)
+                    | Direction.Lt -> carried.(k) <- true
+                    | Direction.Gt -> ()
+                in
+                first 0
+            | None -> ())
+          (Dirvec.expand d.Dep.dirvec))
+    deps;
+  carried
+
+let best_permutation deps ~depth =
+  if depth = 0 then None
+  else
+    let score perm =
+      let carried = carried_positions perm deps in
+      (* count innermost positions free of carried dependences *)
+      let rec go k acc =
+        if k < 0 || carried.(k) then acc else go (k - 1) (acc + 1)
+      in
+      go (depth - 1) 0
+    in
+    let best =
+      List.fold_left
+        (fun acc perm ->
+          let s = score perm in
+          match acc with
+          | Some (_, s') when s' >= s -> acc
+          | _ -> Some (perm, s))
+        None
+        (legal_permutations deps ~depth)
+    in
+    best

@@ -1,0 +1,33 @@
+(** Loop interchange and permutation legality.
+
+    A loop permutation is legal iff every dependence's direction vector
+    remains lexicographically non-negative after permuting its entries —
+    the classical direction-vector criterion the paper cites as a primary
+    consumer of dependence information (§2.1). Direction vectors with '*'
+    entries are checked over all concrete expansions. *)
+
+val interchange_legal : Deptest.Dep.t list -> depth:int -> level:int -> bool
+(** Swap loops [level] and [level + 1] (1-based) of a nest of the given
+    depth. Only dependences whose vectors span both positions matter. *)
+
+val permutation_legal : Deptest.Dep.t list -> perm:int array -> bool
+(** [perm] maps new position -> old position (0-based), over vectors of
+    length [Array.length perm]. Dependences with shorter vectors are
+    checked over the positions they define. *)
+
+val reversal_legal : Deptest.Dep.t list -> level:int -> bool
+(** Running loop [level] backwards is legal iff no dependence is carried
+    exactly at that level (outer-carried dependences keep their order,
+    and '='-direction dependences are unaffected). *)
+
+val legal_permutations : Deptest.Dep.t list -> depth:int -> int array list
+(** All legal loop permutations of a [depth]-deep nest (at most
+    [depth!]); the identity is always included. *)
+
+val best_permutation :
+  Deptest.Dep.t list -> depth:int -> (int array * int) option
+(** Among the legal permutations, one that maximizes the number of
+    *innermost* parallel loops — the loop order a vectorizer prefers.
+    Returns the permutation (new position -> old position) and how many
+    of the innermost loops carry no dependence after permuting. [None]
+    when [depth = 0]. *)

@@ -1,0 +1,42 @@
+open Deptest
+open Dt_ir
+
+type report = {
+  loop : Loop.t;
+  level : int;
+  parallel : bool;
+  blockers : Dep.t list;
+}
+
+let analyze prog deps =
+  let reports = ref [] in
+  let rec go level = function
+    | Nest.Stmt s -> [ s.Stmt.id ]
+    | Nest.Loop (l, body) ->
+        let ids = List.concat_map (go (level + 1)) body in
+        let blockers =
+          List.filter
+            (fun d ->
+              d.Dep.level = Some level
+              && List.mem d.Dep.src_stmt ids
+              && List.mem d.Dep.snk_stmt ids)
+            deps
+        in
+        reports :=
+          { loop = l; level; parallel = blockers = []; blockers } :: !reports;
+        ids
+  in
+  List.iter (fun node -> ignore (go 1 node)) prog.Nest.body;
+  List.rev !reports
+
+let parallel_loops prog deps =
+  List.filter_map
+    (fun r -> if r.parallel then Some r.loop else None)
+    (analyze prog deps)
+
+let pp_report ppf r =
+  Format.fprintf ppf "%a : %s" Loop.pp r.loop
+    (if r.parallel then "PARALLEL" else "sequential");
+  if not r.parallel then
+    Format.fprintf ppf " (%d carried dependence%s)" (List.length r.blockers)
+      (if List.length r.blockers = 1 then "" else "s")

@@ -1,0 +1,21 @@
+(** Loop parallelization legality.
+
+    A loop can run its iterations in parallel (DOALL) iff it carries no
+    dependence: every dependence between statements it encloses must be
+    loop-independent or carried by an outer or inner loop. *)
+
+open Dt_ir
+
+type report = {
+  loop : Loop.t;
+  level : int;  (** 1-based nesting level of the loop *)
+  parallel : bool;
+  blockers : Deptest.Dep.t list;  (** dependences carried by this loop *)
+}
+
+val analyze : Nest.program -> Deptest.Dep.t list -> report list
+(** One report per loop of the program, in post-order (each loop after the
+    loops it contains). *)
+
+val parallel_loops : Nest.program -> Deptest.Dep.t list -> Loop.t list
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,125 @@
+open Dt_ir
+open Deptest
+
+type suggestion =
+  | Peel of {
+      loop : Index.t;
+      iteration : Affine.t;
+      at_boundary : [ `First | `Last | `Interior ];
+      array : string;
+      src_stmt : int;
+      snk_stmt : int;
+    }
+  | Split of {
+      loop : Index.t;
+      crossing2 : Affine.t;
+      array : string;
+      src_stmt : int;
+      snk_stmt : int;
+    }
+
+let suggest prog =
+  let out = ref [] in
+  let accesses =
+    List.concat_map
+      (fun (s, loops) -> List.map (fun a -> (a, loops)) (Stmt.accesses s))
+      (Nest.stmts_with_loops prog)
+  in
+  let accesses = Array.of_list accesses in
+  let n = Array.length accesses in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let (a1 : Stmt.access), loops1 = accesses.(i)
+      and (a2 : Stmt.access), loops2 = accesses.(j) in
+      if
+        a1.Stmt.aref.Aref.base = a2.Stmt.aref.Aref.base
+        && (a1.Stmt.kind = `Write || a2.Stmt.kind = `Write)
+      then
+        match
+          (Aref.linear_subs a1.Stmt.aref, Aref.linear_subs a2.Stmt.aref)
+        with
+        | Some fs, Some gs when List.length fs = List.length gs ->
+            let common = Nest.common_loops loops1 loops2 in
+            let relevant =
+              List.fold_left
+                (fun s (l : Loop.t) -> Index.Set.add l.Loop.index s)
+                Index.Set.empty (loops1 @ loops2)
+            in
+            let assume = Assume.add_loop_facts Assume.empty (loops1 @ loops2) in
+            let range = Range.compute common in
+            List.iter2
+              (fun f g ->
+                let p = Spair.make f g in
+                match Classify.classify ~relevant p with
+                | Classify.Siv { index; kind = Classify.Weak_zero }
+                  when List.exists
+                         (fun (l : Loop.t) -> Index.equal l.Loop.index index)
+                         common -> (
+                    let r = Siv.weak_zero assume range p index in
+                    match
+                      (r.Siv.outcome, Siv.weak_zero_iteration assume p index)
+                    with
+                    | Outcome.Dependent _, Some it ->
+                        let rg = Range.find range index in
+                        let at_boundary =
+                          match (rg.Range.lo, rg.Range.hi) with
+                          | Some lo, _ when Affine.equal lo it -> `First
+                          | _, Some hi when Affine.equal hi it -> `Last
+                          | _ -> `Interior
+                        in
+                        out :=
+                          Peel
+                            {
+                              loop = index;
+                              iteration = it;
+                              at_boundary;
+                              array = a1.Stmt.aref.Aref.base;
+                              src_stmt = a1.Stmt.stmt.Stmt.id;
+                              snk_stmt = a2.Stmt.stmt.Stmt.id;
+                            }
+                          :: !out
+                    | _ -> ())
+                | Classify.Siv { index; kind = Classify.Weak_crossing }
+                  when List.exists
+                         (fun (l : Loop.t) -> Index.equal l.Loop.index index)
+                         common -> (
+                    let r = Siv.weak_crossing assume range p index in
+                    match (r.Siv.outcome, Siv.crossing_point2 p index) with
+                    | Outcome.Dependent _, Some c2 ->
+                        out :=
+                          Split
+                            {
+                              loop = index;
+                              crossing2 = c2;
+                              array = a1.Stmt.aref.Aref.base;
+                              src_stmt = a1.Stmt.stmt.Stmt.id;
+                              snk_stmt = a2.Stmt.stmt.Stmt.id;
+                            }
+                          :: !out
+                    | _ -> ())
+                | _ -> ())
+              fs gs
+        | _ -> ()
+    done
+  done;
+  List.rev !out
+
+let pp ppf = function
+  | Peel { loop; iteration; at_boundary; array; src_stmt; snk_stmt } ->
+      Format.fprintf ppf
+        "peel iteration %a=%a (%s) to break the %s dependence S%d->S%d"
+        Index.pp loop Affine.pp iteration
+        (match at_boundary with
+        | `First -> "first"
+        | `Last -> "last"
+        | `Interior -> "interior")
+        array src_stmt snk_stmt
+  | Split { loop; crossing2; array; src_stmt; snk_stmt } ->
+      let point =
+        match Affine.div_exact crossing2 2 with
+        | Some half -> Affine.to_string half
+        | None -> Printf.sprintf "(%s)/2" (Affine.to_string crossing2)
+      in
+      Format.fprintf ppf
+        "split loop %a at iteration %s to break the crossing %s dependence S%d->S%d"
+        Index.pp loop point array src_stmt snk_stmt

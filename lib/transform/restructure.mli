@@ -1,0 +1,35 @@
+(** Dependence-breaking transformation suggestions (paper §4.2).
+
+    - Weak-zero SIV dependences hitting the loop's first or last iteration
+      can be eliminated by *loop peeling* (the paper's tomcatv example);
+    - weak-crossing SIV dependences all cross a single iteration and can
+      be eliminated by *loop splitting* at the crossing point (the paper's
+      Callahan-Dongarra-Levine example). *)
+
+open Dt_ir
+
+type suggestion =
+  | Peel of {
+      loop : Index.t;
+      iteration : Affine.t;  (** the single source/sink iteration *)
+      at_boundary : [ `First | `Last | `Interior ];
+      array : string;
+      src_stmt : int;
+      snk_stmt : int;
+    }
+  | Split of {
+      loop : Index.t;
+      crossing2 : Affine.t;
+          (** twice the crossing iteration (symbol-only affine); the loop
+              splits at iteration crossing2 / 2 *)
+      array : string;
+      src_stmt : int;
+      snk_stmt : int;
+    }
+
+val suggest : Nest.program -> suggestion list
+(** Scan every reference pair with a weak-zero or weak-crossing SIV
+    subscript that induces a dependence and describe the transformation
+    that removes it. *)
+
+val pp : Format.formatter -> suggestion -> unit

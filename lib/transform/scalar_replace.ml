@@ -1,0 +1,65 @@
+open Deptest
+open Dt_ir
+
+type candidate = {
+  array : string;
+  src_stmt : int;
+  snk_stmt : int;
+  distance : int;
+  registers : int;
+}
+
+let suggest ?(max_distance = 4) prog deps =
+  let depth_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (s, loops) -> Hashtbl.replace tbl s.Stmt.id (List.length loops))
+      (Nest.stmts_with_loops prog);
+    fun id -> Option.value (Hashtbl.find_opt tbl id) ~default:0
+  in
+  List.filter_map
+    (fun d ->
+      if d.Dep.kind <> Dep.Flow then None
+      else
+        let n = Array.length d.Dep.dirvec in
+        (* the dependence must be loop-independent or carried by the
+           innermost common loop of the two statements *)
+        let innermost =
+          n = min (depth_of d.Dep.src_stmt) (depth_of d.Dep.snk_stmt)
+        in
+        if not innermost then None
+        else
+          let dist_at k =
+            List.find_map
+              (fun (ix, x) ->
+                match x with
+                | Outcome.Const c when Index.depth ix = k -> Some c
+                | _ -> None)
+              d.Dep.distances
+          in
+          match d.Dep.level with
+          | None -> Some { array = d.Dep.array; src_stmt = d.Dep.src_stmt;
+                           snk_stmt = d.Dep.snk_stmt; distance = 0; registers = 1 }
+          | Some k when k = n -> (
+              (* carried by the innermost loop: need constant distance and
+                 all-'=' outer positions (guaranteed by level = n) *)
+              match dist_at (n - 1) with
+              | Some dd when dd >= 1 && dd <= max_distance ->
+                  Some
+                    {
+                      array = d.Dep.array;
+                      src_stmt = d.Dep.src_stmt;
+                      snk_stmt = d.Dep.snk_stmt;
+                      distance = dd;
+                      registers = dd + 1;
+                    }
+              | _ -> None)
+          | Some _ -> None)
+    deps
+  |> Dt_support.Listx.dedup ~compare:Stdlib.compare
+
+let pp ppf c =
+  Format.fprintf ppf
+    "%s: S%d -> S%d reuse at distance %d (%d register%s)" c.array c.src_stmt
+    c.snk_stmt c.distance c.registers
+    (if c.registers = 1 then "" else "s")

@@ -1,0 +1,26 @@
+(** Scalar replacement opportunities.
+
+    The paper motivates dependence analysis for *scalar* compilers with
+    register-level reuse (Callahan-Carr-Kennedy [11]): a loop-carried flow
+    dependence with a small constant distance on the innermost loop means
+    the value read was produced a fixed, small number of iterations ago
+    and can live in a register rotation instead of being re-loaded. This
+    pass reports such candidates (including distance-0 loop-independent
+    reuse within an iteration). *)
+
+open Dt_ir
+
+type candidate = {
+  array : string;
+  src_stmt : int;
+  snk_stmt : int;
+  distance : int;  (** iterations between production and use (>= 0) *)
+  registers : int;  (** registers needed = distance + 1 *)
+}
+
+val suggest : ?max_distance:int -> Nest.program -> Deptest.Dep.t list -> candidate list
+(** Flow dependences carried by the innermost common loop (or
+    loop-independent) whose distance vector is constant, zero on outer
+    loops, and at most [max_distance] (default 4) on the innermost. *)
+
+val pp : Format.formatter -> candidate -> unit

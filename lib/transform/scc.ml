@@ -1,0 +1,44 @@
+let compute ~nodes ~succs =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let comp = ref [] in
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            comp := w :: !comp;
+            if w = v then continue := false
+        | [] -> continue := false
+      done;
+      components := !comp :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  (* Tarjan emits components in reverse topological order *)
+  List.rev !components
+
+let topo_order ~nodes ~succs = List.rev (compute ~nodes ~succs)

@@ -1,0 +1,13 @@
+(** Tarjan's strongly connected components over integer node ids.
+
+    Used by the Allen-Kennedy vectorization recursion: statements in a
+    dependence cycle at level k must stay inside a sequential level-k
+    loop. *)
+
+val compute : nodes:int list -> succs:(int -> int list) -> int list list
+(** SCCs in reverse topological order (callees first): if there is an edge
+    from component A to component B (A <> B), B appears before A. Each
+    component lists its nodes in discovery order. *)
+
+val topo_order : nodes:int list -> succs:(int -> int list) -> int list list
+(** SCCs in topological order (sources first). *)

@@ -1,0 +1,92 @@
+open Deptest
+open Dt_ir
+
+type plan =
+  | Seq_loop of Loop.t * plan list
+  | Vector_stmt of Stmt.t
+  | Seq_stmt of Stmt.t
+
+let codegen prog deps =
+  let with_loops = Nest.stmts_with_loops prog in
+  let loops_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (s, ls) -> Hashtbl.replace tbl s.Stmt.id (s, ls)) with_loops;
+    fun id -> Hashtbl.find tbl id
+  in
+  let rec go stmt_ids level =
+    let in_set id = List.mem id stmt_ids in
+    let active =
+      List.filter
+        (fun d ->
+          in_set d.Dep.src_stmt && in_set d.Dep.snk_stmt
+          && Depgraph.active_at d ~level
+          (* a loop-independent self anti-dependence (fetch before store
+             within one statement) never prevents vectorization *)
+          && not (d.Dep.src_stmt = d.Dep.snk_stmt && d.Dep.level = None))
+        deps
+    in
+    let succs v =
+      List.filter_map
+        (fun d -> if d.Dep.src_stmt = v then Some d.Dep.snk_stmt else None)
+        active
+    in
+    let sccs = Scc.topo_order ~nodes:stmt_ids ~succs in
+    List.concat_map
+      (fun comp ->
+        let comp = List.sort compare comp in
+        let self_edge id =
+          List.exists
+            (fun d -> d.Dep.src_stmt = id && d.Dep.snk_stmt = id)
+            active
+        in
+        match comp with
+        | [ id ] when not (self_edge id) ->
+            let s, ls = loops_of id in
+            if List.length ls >= level then [ Vector_stmt s ]
+            else [ Seq_stmt s ]
+        | _ -> (
+            (* cyclic (or self-dependent) component *)
+            let shallow, deep =
+              List.partition
+                (fun id -> List.length (snd (loops_of id)) < level)
+                comp
+            in
+            let shallow_plans =
+              List.map (fun id -> Seq_stmt (fst (loops_of id))) shallow
+            in
+            match deep with
+            | [] -> shallow_plans
+            | id0 :: _ ->
+                let loop = List.nth (snd (loops_of id0)) (level - 1) in
+                shallow_plans @ [ Seq_loop (loop, go deep (level + 1)) ]))
+      sccs
+  in
+  go (List.map (fun (s, _) -> s.Stmt.id) with_loops) 1
+
+let rec vector_statements plans =
+  List.concat_map
+    (function
+      | Vector_stmt s -> [ s ]
+      | Seq_stmt _ -> []
+      | Seq_loop (_, inner) -> vector_statements inner)
+    plans
+
+let rec fully_sequential plans =
+  List.concat_map
+    (function
+      | Vector_stmt _ -> []
+      | Seq_stmt s -> [ s ]
+      | Seq_loop (_, inner) -> fully_sequential inner)
+    plans
+
+let pp ppf plans =
+  let rec node indent ppf p =
+    let pad = String.make indent ' ' in
+    match p with
+    | Vector_stmt s -> Format.fprintf ppf "%s[vector] %a@." pad Stmt.pp s
+    | Seq_stmt s -> Format.fprintf ppf "%s[scalar] %a@." pad Stmt.pp s
+    | Seq_loop (l, inner) ->
+        Format.fprintf ppf "%s[seq] %a@." pad Loop.pp l;
+        List.iter (node (indent + 2) ppf) inner
+  in
+  List.iter (node 0 ppf) plans

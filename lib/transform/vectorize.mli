@@ -1,0 +1,30 @@
+(** Allen-Kennedy vectorization codegen.
+
+    Recursively partitions the statements under each loop into strongly
+    connected components of the dependence graph restricted to edges active
+    at the current level; acyclic components become vector statements
+    (after loop distribution, every surrounding loop from the current level
+    inward runs parallel for them), and cyclic components are wrapped in a
+    sequential loop at this level before recursing one level deeper. This
+    is the layered vectorization algorithm PFC's dependence tests were
+    built to feed (paper §1, §8). *)
+
+open Dt_ir
+
+type plan =
+  | Seq_loop of Loop.t * plan list
+      (** a dependence cycle forces this loop to run sequentially *)
+  | Vector_stmt of Stmt.t
+      (** statement executes as a vector operation over all remaining
+          enclosing loops (which are distributed and parallel) *)
+  | Seq_stmt of Stmt.t  (** statement not inside any remaining loop *)
+
+val codegen : Nest.program -> Deptest.Dep.t list -> plan list
+
+val vector_statements : plan list -> Stmt.t list
+(** Statements that ended up (at least partly) vectorized. *)
+
+val fully_sequential : plan list -> Stmt.t list
+(** Statements executed with every enclosing loop sequential. *)
+
+val pp : Format.formatter -> plan list -> unit

@@ -1,0 +1,240 @@
+(* Application-style programs standing in for the paper's RiCEPS / Perfect
+   / SPEC suites: larger routines with the dependence-testing feature mix
+   the paper reports for real codes — dominated by ZIV and strong SIV,
+   sprinkled with symbolic bounds, stencils, reductions, a few coupled and
+   nonlinear subscripts. *)
+
+let riceps =
+  [
+    ( "stencil_jacobi",
+      {|
+      PROGRAM JACOBI
+      DO 20 I = 2, N-1
+        DO 10 J = 2, N-1
+          V(I,J) = (U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1))/4
+   10   CONTINUE
+   20 CONTINUE
+      DO 40 I = 2, N-1
+        DO 30 J = 2, N-1
+          U(I,J) = V(I,J)
+   30   CONTINUE
+   40 CONTINUE
+      END
+|} );
+    ( "gauss_seidel",
+      {|
+      PROGRAM SEIDEL
+      DO 20 I = 2, N-1
+        DO 10 J = 2, N-1
+          U(I,J) = (U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1))/4
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "redblack",
+      {|
+      PROGRAM REDBLACK
+      DO 10 I = 1, N
+        U(2*I) = U(2*I-1) + U(2*I+1)
+   10 CONTINUE
+      DO 20 I = 1, N
+        U(2*I+1) = U(2*I) + U(2*I+2)
+   20 CONTINUE
+      END
+|} );
+    ( "fft_butterfly",
+      {|
+      PROGRAM BUTTERFLY
+      DO 10 I = 1, K
+        XR(I) = XR(I) + XR(I+K)
+        XR(I+K) = XR(I) - 2*XR(I+K)
+   10 CONTINUE
+      END
+|} );
+    ( "convolve",
+      {|
+      PROGRAM CONVOLVE
+      DO 20 I = 1, N
+        DO 10 J = 1, M
+          Y(I+J) = Y(I+J) + X(I)*W(J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "histogram",
+      {|
+      PROGRAM HIST
+      DO 10 I = 1, N
+        H(KEY(I)) = H(KEY(I)) + 1
+   10 CONTINUE
+      END
+|} );
+    ( "prefix_blocked",
+      {|
+      PROGRAM PREFIX
+      DO 10 I = 2, N
+        S(I) = S(I-1) + X(I)
+   10 CONTINUE
+      DO 20 I = 1, N
+        Y(I) = S(I)*SCALE
+   20 CONTINUE
+      END
+|} );
+    ( "multigrid_prolong",
+      {|
+      PROGRAM PROLONG
+      DO 10 I = 1, N
+        UF(2*I-1) = UC(I)
+        UF(2*I) = (UC(I) + UC(I+1))/2
+   10 CONTINUE
+      END
+|} );
+    ( "boundary_wrap",
+      {|
+      PROGRAM WRAP
+      DO 10 I = 2, N-1
+        A(I,1) = A(I,N-1)
+        A(I,N) = A(I,2)
+   10 CONTINUE
+      END
+|} );
+    ( "solver_pipeline",
+      {|
+      SUBROUTINE RESID
+      DO 10 I = 2, N-1
+        R(I) = F(I) - U(I-1) + 2*U(I) - U(I+1)
+   10 CONTINUE
+      END
+      SUBROUTINE RELAX
+      DO 10 I = 2, N-1
+        U(I) = U(I) + W*R(I)
+   10 CONTINUE
+      END
+      SUBROUTINE NORM2
+      S = 0
+      DO 10 I = 1, N
+        S = S + R(I)*R(I)
+   10 CONTINUE
+      END
+|} );
+  ]
+
+let perfect =
+  [
+    ( "tomcatv_like",
+      {|
+      PROGRAM TOMCATV
+      DO 20 J = 2, N
+        DO 10 I = 2, N
+          X(I,J) = X(I,J) - RX(I,J)
+          Y(I,J) = Y(I,J) - RY(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      DO 30 I = 1, N
+        X(I,N) = X(I,1) + XCOR
+   30 CONTINUE
+      END
+|} );
+    ( "flo52_flux",
+      {|
+      PROGRAM FLO52
+      DO 20 J = 2, JL
+        DO 10 I = 2, IL
+          FS(I,J) = FS(I,J-1) + DIS(I,J)*(W(I,J) - W(I,J-1))
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "trfd_integrals",
+      {|
+      PROGRAM TRFD
+      DO 30 M = 1, NUM
+        DO 20 I = 1, NORB
+          DO 10 J = 1, I
+            XIJ(J) = XIJ(J) + V(I,M)*XRS(I,J)
+   10     CONTINUE
+   20   CONTINUE
+   30 CONTINUE
+      END
+|} );
+    ( "adm_smooth",
+      {|
+      PROGRAM ADM
+      DO 20 K = 2, N-1
+        DO 10 I = 2, M-1
+          Q(I,K) = Q(I,K) + C*(Q(I+1,K) - 2*Q(I,K) + Q(I-1,K))
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "ocean_transpose",
+      {|
+      PROGRAM OCEAN
+      DO 20 I = 1, N
+        DO 10 J = 1, I-1
+          WORK(I,J) = GRID(J,I)
+          GRID(I,J) = GRID(I,J)*SCALE
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+  ]
+
+let spec =
+  [
+    ( "swm_shallow",
+      {|
+      PROGRAM SWM
+      DO 20 J = 1, N
+        DO 10 I = 1, M
+          CU(I+1,J) = (P(I+1,J) + P(I,J))*U(I+1,J)
+          CV(I,J+1) = (P(I,J+1) + P(I,J))*V(I,J+1)
+          Z(I+1,J+1) = (V(I+1,J+1) - V(I,J+1) - U(I+1,J+1) + U(I+1,J))/(P(I,J) + P(I+1,J+1))
+          H(I,J) = P(I,J) + U(I+1,J)*U(I,J) + V(I,J+1)*V(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "matrix300_saxpy",
+      {|
+      PROGRAM MAT300
+      DO 30 J = 1, N
+        DO 20 K = 1, N
+          T = B(K,J)
+          DO 10 I = 1, N
+            C(I,J) = C(I,J) + T*A(I,K)
+   10     CONTINUE
+   20   CONTINUE
+   30 CONTINUE
+      END
+|} );
+    ( "nasa7_cholesky",
+      {|
+      PROGRAM NASA7
+      DO 30 I = 1, N
+        DO 20 J = I+1, N
+          DO 10 K = 1, I-1
+            A(J,I) = A(J,I) - A(I,K)*A(J,K)
+   10     CONTINUE
+   20   CONTINUE
+   30 CONTINUE
+      END
+|} );
+    ( "doduc_interp",
+      {|
+      PROGRAM DODUC
+      DO 10 I = 2, N
+        U(I) = U(I-1)*C1 + V(I)*C2
+        V(I) = U(I)*C3
+   10 CONTINUE
+      END
+|} );
+    ( "fpppp_shift",
+      {|
+      PROGRAM FPPPP
+      DO 10 I = 1, NL
+        XX(I) = XX(I+4) + T*XX(I+8)
+   10 CONTINUE
+      END
+|} );
+  ]

@@ -1,0 +1,201 @@
+(* Loops in the style of the Callahan-Dongarra-Levine vectorizer test
+   suite [13]: each kernel isolates one dependence-testing capability.
+   Names follow the suite's s-numbering conventions loosely. *)
+
+let entries =
+  [
+    ( "s111_stride2",
+      {|
+      SUBROUTINE S111
+      DO 10 I = 2, N, 2
+        A(I) = A(I-1) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s112_reverse",
+      {|
+      SUBROUTINE S112
+      DO 10 I = 1, N-1
+        A(N-I+1) = A(N-I) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s113_weakzero",
+      {|
+      SUBROUTINE S113
+      DO 10 I = 2, N
+        A(I) = A(1) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s114_triangular",
+      {|
+      SUBROUTINE S114
+      DO 20 I = 1, N
+        DO 10 J = 1, I-1
+          A(I,J) = A(J,I) + B(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "s115_backsubst",
+      {|
+      SUBROUTINE S115
+      DO 20 J = 1, N
+        DO 10 I = J+1, N
+          A(I) = A(I) - A(J)*B(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "s116_fivepoint",
+      {|
+      SUBROUTINE S116
+      DO 10 I = 1, N-5, 5
+        A(I) = A(I+1)*A(I)
+        A(I+1) = A(I+2)*A(I+1)
+        A(I+2) = A(I+3)*A(I+2)
+        A(I+3) = A(I+4)*A(I+3)
+        A(I+4) = A(I+5)*A(I+4)
+   10 CONTINUE
+      END
+|} );
+    ( "s118_crossing",
+      {|
+      SUBROUTINE S118
+      DO 10 I = 1, N
+        A(I) = A(N-I+1) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s119_coupled",
+      {|
+      SUBROUTINE S119
+      DO 20 I = 2, N
+        DO 10 J = 2, M
+          A(I,J) = A(I-1,J-1) + B(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "s121_independent",
+      {|
+      SUBROUTINE S121
+      DO 10 I = 1, N
+        A(2*I) = A(2*I-1) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s122_stride_sym",
+      {|
+      SUBROUTINE S122
+      DO 10 I = 1, N
+        A(I+N) = A(I) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s126_gcd",
+      {|
+      SUBROUTINE S126
+      DO 10 I = 1, N
+        A(2*I) = A(2*I+5) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s131_scalarexp",
+      {|
+      SUBROUTINE S131
+      DO 10 I = 1, N-1
+        A(I) = A(I+M) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s141_wavefront",
+      {|
+      SUBROUTINE S141
+      DO 20 I = 2, N
+        DO 10 J = 2, N
+          A(I,J) = A(I-1,J) + A(I-1,J-1) + A(I,J-1)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "s151_indirect",
+      {|
+      SUBROUTINE S151
+      DO 10 I = 1, N
+        A(IX(I)) = A(IX(I)) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s161_coupled_miv",
+      {|
+      SUBROUTINE S161
+      DO 20 I = 1, N
+        DO 10 J = 1, M
+          A(I+J) = A(I+J-1) + B(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "s171_twodim_shift",
+      {|
+      SUBROUTINE S171
+      DO 20 I = 1, N
+        DO 10 J = 1, N
+          A(I+1,J) = A(I,J+1) + B(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "s172_diag",
+      {|
+      SUBROUTINE S172
+      DO 20 I = 1, N
+        DO 10 J = 1, N
+          A(I,I) = A(I,J) + B(J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "s1112_decimate",
+      {|
+      SUBROUTINE S1112
+      DO 10 I = 1, N
+        A(2*I) = A(I) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s123_general_siv",
+      {|
+      SUBROUTINE S123
+      DO 10 I = 1, 100
+        A(3*I+1) = A(2*I) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s117_crossing_offset",
+      {|
+      SUBROUTINE S117
+      DO 10 I = 1, N
+        A(I) = A(N-I) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s175_symbolic_stride",
+      {|
+      SUBROUTINE S175
+      DO 10 I = 1, N
+        A(I) = A(I+M) + B(I)
+   10 CONTINUE
+      END
+|} );
+    ( "s176_modulo",
+      {|
+      SUBROUTINE S176
+      DO 10 I = 1, N
+        A(MOD(I,64)+1) = A(I) + B(I)
+   10 CONTINUE
+      END
+|} );
+  ]

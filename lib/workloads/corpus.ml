@@ -1,0 +1,44 @@
+type entry = {
+  suite : string;
+  name : string;
+  source : string;
+  programs : Dt_ir.Nest.program list Lazy.t;
+}
+
+let make suite (name, source) =
+  {
+    suite;
+    name;
+    source;
+    programs = lazy (Dt_frontend.Lower.parse_unit ~name source);
+  }
+
+let all =
+  List.concat
+    [
+      List.map (make "riceps") Apps_src.riceps;
+      List.map (make "perfect") Apps_src.perfect;
+      List.map (make "spec") Apps_src.spec;
+      List.map (make "eispack") Eispack_src.entries;
+      List.map (make "linpack") Linpack_src.entries;
+      List.map (make "livermore") Livermore_src.entries;
+      List.map (make "cdl") Cdl_src.entries;
+      List.map (make "paper") Paper_src.entries;
+    ]
+
+let suites =
+  [ "riceps"; "perfect"; "spec"; "eispack"; "linpack"; "livermore"; "cdl"; "paper" ]
+
+let by_suite s = List.filter (fun e -> e.suite = s) all
+
+let find ~suite ~name =
+  List.find_opt (fun e -> e.suite = suite && e.name = name) all
+
+let find_exn ~suite ~name =
+  match find ~suite ~name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Corpus.find_exn: %s/%s" suite name)
+
+let programs e = Lazy.force e.programs
+let program e = List.hd (programs e)
+let total_programs = List.length all

@@ -1,0 +1,25 @@
+(** The benchmark corpus: mini-Fortran programs organized into suites that
+    mirror the paper's evaluation (RiCEPS, Perfect, SPEC, eispack,
+    linpack), plus the Livermore kernels, the CDL vectorizer loops, and
+    every worked example from the paper's text. *)
+
+type entry = {
+  suite : string;
+  name : string;
+  source : string;
+  programs : Dt_ir.Nest.program list Lazy.t;
+      (** one per routine of the compilation unit *)
+}
+
+val suites : string list
+(** In the paper's Table-1 order where applicable. *)
+
+val all : entry list
+val by_suite : string -> entry list
+val find : suite:string -> name:string -> entry option
+val find_exn : suite:string -> name:string -> entry
+val program : entry -> Dt_ir.Nest.program
+(** The first (usually only) routine. *)
+
+val programs : entry -> Dt_ir.Nest.program list
+val total_programs : int

@@ -1,0 +1,102 @@
+(* Mini-Fortran transcriptions of eispack-style eigenvalue kernels. The
+   real library is the paper's richest source of *coupled* subscripts:
+   transposed accesses A(i,j) vs A(j,i), diagonals A(i,i), and skewed
+   combinations — exactly what the Delta test and RDIV propagation are
+   for. *)
+
+let entries =
+  [
+    ( "tred2_accum",
+      {|
+      SUBROUTINE TRED2A
+      DO 30 I = 1, N
+        DO 20 J = 1, I
+          Z(I,J) = A(I,J)
+   20   CONTINUE
+   30 CONTINUE
+      END
+|} );
+    ( "tred2_sym",
+      {|
+      SUBROUTINE TRED2S
+      DO 20 J = 1, N
+        DO 10 K = 1, N
+          Z(J,K) = Z(J,K) - Z(K,J)*E(K)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "tql2_shift",
+      {|
+      SUBROUTINE TQL2
+      DO 10 I = L, N
+        D(I) = D(I) - H
+   10 CONTINUE
+      DO 30 II = 1, N
+        DO 20 K = 1, N-1
+          Z(K,II) = Z(K+1,II)*S + Z(K,II)*C
+   20   CONTINUE
+   30 CONTINUE
+      END
+|} );
+    ( "balanc_swap",
+      {|
+      SUBROUTINE BALANC
+      DO 10 I = 1, L
+        A(I,J) = A(I,J)*G
+   10 CONTINUE
+      DO 20 I = K, N
+        A(J,I) = A(J,I)*F
+   20 CONTINUE
+      END
+|} );
+    ( "hqr_diag",
+      {|
+      SUBROUTINE HQR
+      DO 10 I = 1, N
+        H(I,I) = H(I,I) - X
+   10 CONTINUE
+      DO 30 J = 1, N
+        DO 20 I = 1, J
+          H(I,J) = H(I,J) + H(J,I)*T
+   20   CONTINUE
+   30 CONTINUE
+      END
+|} );
+    ( "reduc_chol",
+      {|
+      SUBROUTINE REDUC
+      DO 30 I = 1, N
+        DO 20 J = I, N
+          X = A(I,J)
+          DO 10 K = 1, I-1
+            X = X - B(I,K)*A(J,K)
+   10     CONTINUE
+          A(J,I) = X
+   20   CONTINUE
+   30 CONTINUE
+      END
+|} );
+    ( "elmhes_exchange",
+      {|
+      SUBROUTINE ELMHES
+      DO 20 M = K, L
+        X = A(M,M-1)
+        DO 10 I = M, L
+          Y = A(I,M-1)
+          A(I,M-1) = A(I,M-1) - Y*X
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "transpose_update",
+      {|
+      SUBROUTINE TRUPD
+      DO 20 I = 1, N
+        DO 10 J = 1, N
+          A(I,J) = A(J,I) + B(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+  ]

@@ -1,0 +1,91 @@
+open Dt_ir
+
+type config = {
+  max_depth : int;
+  max_dims : int;
+  max_coeff : int;
+  max_const : int;
+  max_bound : int;
+  triangular : bool;
+  symbolic_hi : bool;
+}
+
+let default =
+  {
+    max_depth = 3;
+    max_dims = 3;
+    max_coeff = 2;
+    max_const = 6;
+    max_bound = 6;
+    triangular = false;
+    symbolic_hi = false;
+  }
+
+let rand_int st lo hi = lo + Random.State.int st (hi - lo + 1)
+
+let index_names = [| "I"; "J"; "K"; "L" |]
+
+let loops st cfg =
+  let depth = rand_int st 1 cfg.max_depth in
+  List.init depth (fun d ->
+      let i = Index.make index_names.(d mod Array.length index_names) ~depth:d in
+      let lo = Affine.const (rand_int st 1 2) in
+      let hi =
+        if cfg.symbolic_hi && d = 0 then Affine.of_sym "N"
+        else if cfg.triangular && d > 0 && Random.State.bool st then
+          (* triangular: up to an outer index *)
+          Affine.of_index
+            (Index.make index_names.((d - 1) mod Array.length index_names)
+               ~depth:(d - 1))
+        else Affine.const (rand_int st 2 cfg.max_bound)
+      in
+      Loop.make i ~lo ~hi)
+
+let subscript st cfg indices =
+  let terms =
+    List.filter_map
+      (fun i ->
+        if Random.State.int st 100 < 55 then
+          let c = rand_int st (-cfg.max_coeff) cfg.max_coeff in
+          if c = 0 then None else Some (i, c)
+        else None)
+      indices
+  in
+  Affine.make ~idx:terms ~sym:[] ~const:(rand_int st (-cfg.max_const) cfg.max_const)
+
+let aref st cfg base indices =
+  let dims = rand_int st 1 cfg.max_dims in
+  Aref.linear base (List.init dims (fun _ -> subscript st cfg indices))
+
+let ref_pair st cfg =
+  let ls = loops st cfg in
+  let indices = List.map (fun (l : Loop.t) -> l.Loop.index) ls in
+  let dims = rand_int st 1 cfg.max_dims in
+  let mk () = List.init dims (fun _ -> subscript st cfg indices) in
+  (Aref.linear "A" (mk ()), Aref.linear "A" (mk ()), ls)
+
+let program st cfg ~stmts =
+  let ls = loops st cfg in
+  let indices = List.map (fun (l : Loop.t) -> l.Loop.index) ls in
+  (* fixed rank per array so reference pairs always line up *)
+  let arrays = [| ("A", 2); ("B", 1); ("C", min 3 cfg.max_dims) |] in
+  let mk_ref () =
+    let base, rank = arrays.(Random.State.int st (Array.length arrays)) in
+    Aref.linear base (List.init rank (fun _ -> subscript st cfg indices))
+  in
+  let next_id = ref 0 in
+  let mk_stmt () =
+    let id = !next_id in
+    incr next_id;
+    let w = mk_ref () in
+    let nreads = rand_int st 1 2 in
+    let reads = List.init nreads (fun _ -> mk_ref ()) in
+    Stmt.make ~id ~writes:[ w ] ~reads ()
+  in
+  let body = List.init stmts (fun _ -> Nest.Stmt (mk_stmt ())) in
+  let rec wrap loops body =
+    match loops with
+    | [] -> body
+    | l :: rest -> [ Nest.Loop (l, wrap rest body) ]
+  in
+  Nest.program ~name:"random" (wrap ls body)

@@ -1,0 +1,34 @@
+(** Seeded random generation of loop nests and reference pairs.
+
+    Drives the property-test harness (tests compare the analyzer against
+    the brute-force oracle on thousands of random cases) and the stress
+    benchmarks. All generation is deterministic in the given state. *)
+
+open Dt_ir
+
+type config = {
+  max_depth : int;  (** loop nest depth, >= 1 *)
+  max_dims : int;  (** array rank, >= 1 *)
+  max_coeff : int;  (** |subscript coefficient| bound *)
+  max_const : int;  (** |additive constant| bound *)
+  max_bound : int;  (** loop upper bounds drawn from 1..max_bound *)
+  triangular : bool;  (** allow inner bounds referencing outer indices *)
+  symbolic_hi : bool;  (** outermost upper bound becomes the symbol N *)
+}
+
+val default : config
+(** depth <= 3, rank <= 3, coefficients <= 2, constants <= 6, bounds <= 6,
+    triangular off — small enough for exhaustive brute-force checking. *)
+
+val loops : Random.State.t -> config -> Loop.t list
+(** A random concrete-bound loop nest, outermost first. *)
+
+val subscript : Random.State.t -> config -> Index.t list -> Affine.t
+val aref : Random.State.t -> config -> string -> Index.t list -> Aref.t
+
+val ref_pair : Random.State.t -> config -> Aref.t * Aref.t * Loop.t list
+(** Two references to the same array under a common nest. *)
+
+val program : Random.State.t -> config -> stmts:int -> Nest.program
+(** A random program: a nest with [stmts] assignments over a small pool of
+    arrays. *)

@@ -1,0 +1,135 @@
+(* Mini-Fortran transcriptions of linpack-style BLAS/factorization kernels.
+   These reproduce the subscript shapes of the real library: almost all
+   separable, strong or weak SIV, one and two dimensional. *)
+
+let entries =
+  [
+    ( "daxpy",
+      {|
+      SUBROUTINE DAXPY
+      DO 10 I = 1, N
+        DY(I) = DY(I) + DA*DX(I)
+   10 CONTINUE
+      END
+|} );
+    ( "dscal",
+      {|
+      SUBROUTINE DSCAL
+      DO 10 I = 1, N
+        DX(I) = DA*DX(I)
+   10 CONTINUE
+      END
+|} );
+    ( "ddot",
+      {|
+      SUBROUTINE DDOT
+      DTEMP = 0
+      DO 10 I = 1, N
+        DTEMP = DTEMP + DX(I)*DY(I)
+   10 CONTINUE
+      END
+|} );
+    ( "dgefa",
+      {|
+      SUBROUTINE DGEFA
+      DO 60 K = 1, NM1
+        T = A(K+1,K)
+        DO 30 I = K+1, N
+          A(I,K) = T*A(I,K)
+   30   CONTINUE
+        DO 50 J = K+1, N
+          T = A(K,J)
+          DO 40 I = K+1, N
+            A(I,J) = A(I,J) + T*A(I,K)
+   40     CONTINUE
+   50   CONTINUE
+   60 CONTINUE
+      END
+|} );
+    ( "dgesl",
+      {|
+      SUBROUTINE DGESL
+      DO 20 K = 1, NM1
+        T = B(K)
+        DO 10 I = K+1, N
+          B(I) = B(I) + T*A(I,K)
+   10   CONTINUE
+   20 CONTINUE
+      DO 40 KB = 1, NM1
+        B(N-KB+1) = B(N-KB+1)/A(N-KB+1,N-KB+1)
+        T = B(N-KB+1)
+        DO 30 I = 1, N-KB
+          B(I) = B(I) + T*A(I,N-KB+1)
+   30   CONTINUE
+   40 CONTINUE
+      END
+|} );
+    ( "dmxpy",
+      {|
+      SUBROUTINE DMXPY
+      DO 20 J = 1, N2
+        DO 10 I = 1, N1
+          Y(I) = Y(I) + X(J)*M(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "dtrsl",
+      {|
+      SUBROUTINE DTRSL
+      DO 20 J = 1, N
+        B(J) = B(J)/T(J,J)
+        DO 10 I = J+1, N
+          B(I) = B(I) - T(I,J)*B(J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "dpofa",
+      {|
+      SUBROUTINE DPOFA
+      DO 30 J = 1, N
+        S = 0
+        DO 10 K = 1, J-1
+          S = S + T(K,J)*T(K,J)
+   10   CONTINUE
+        A(J,J) = A(J,J) - S
+        DO 20 I = J+1, N
+          A(J,I) = A(J,I) - A(J,J)
+   20   CONTINUE
+   30 CONTINUE
+      END
+|} );
+    ( "dger_rank1",
+      {|
+      SUBROUTINE DGER
+      DO 20 J = 1, N
+        DO 10 I = 1, M
+          A(I,J) = A(I,J) + X(I)*Y(J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "dtrmv_upper",
+      {|
+      SUBROUTINE DTRMV
+      DO 20 J = 1, N
+        DO 10 I = 1, J-1
+          X(I) = X(I) + T*A(I,J)
+   10   CONTINUE
+        X(J) = X(J)*A(J,J)
+   20 CONTINUE
+      END
+|} );
+    ( "unroll4",
+      {|
+      SUBROUTINE UNROLL4
+      DO 10 I = 1, N, 4
+        Y(I) = Y(I) + A*X(I)
+        Y(I+1) = Y(I+1) + A*X(I+1)
+        Y(I+2) = Y(I+2) + A*X(I+2)
+        Y(I+3) = Y(I+3) + A*X(I+3)
+   10 CONTINUE
+      END
+|} );
+  ]

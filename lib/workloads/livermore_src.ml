@@ -1,0 +1,173 @@
+(* The Livermore Fortran Kernels (McMahon) most relevant to dependence
+   testing, in the mini-Fortran dialect: recurrences, stencils, reductions
+   and 2-D sweeps. Kernel numbering follows the original suite. *)
+
+let entries =
+  [
+    ( "lfk01_hydro",
+      {|
+      SUBROUTINE LFK01
+      DO 10 K = 1, N
+        X(K) = Q + Y(K)*(R*Z(K+10) + T*Z(K+11))
+   10 CONTINUE
+      END
+|} );
+    ( "lfk02_iccg",
+      {|
+      SUBROUTINE LFK02
+      DO 10 K = 1, N, 2
+        X(K) = X(K) - V(K)*X(K+1)
+   10 CONTINUE
+      END
+|} );
+    ( "lfk03_inner",
+      {|
+      SUBROUTINE LFK03
+      Q = 0
+      DO 10 K = 1, N
+        Q = Q + Z(K)*X(K)
+   10 CONTINUE
+      END
+|} );
+    ( "lfk05_tridiag",
+      {|
+      SUBROUTINE LFK05
+      DO 10 I = 2, N
+        X(I) = Z(I)*(Y(I) - X(I-1))
+   10 CONTINUE
+      END
+|} );
+    ( "lfk06_linrec",
+      {|
+      SUBROUTINE LFK06
+      DO 20 I = 2, N
+        W(I) = 0
+        DO 10 K = 1, I-1
+          W(I) = W(I) + B(I,K)*W(I-K)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "lfk07_eqstate",
+      {|
+      SUBROUTINE LFK07
+      DO 10 K = 1, N
+        X(K) = U(K) + R*(Z(K) + R*Y(K)) + T*(U(K+3) + R*(U(K+2) + R*U(K+1)))
+   10 CONTINUE
+      END
+|} );
+    ( "lfk08_adi",
+      {|
+      SUBROUTINE LFK08
+      DO 20 KX = 2, 3
+        DO 10 KY = 2, N
+          DU1 = U1(KX,KY+1) - U1(KX,KY-1)
+          U1(KX+1,KY) = U1(KX-1,KY) + A11*DU1
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "lfk09_integrate",
+      {|
+      SUBROUTINE LFK09
+      DO 10 I = 1, N
+        PX(I) = DM28*PX(I+12) + DM27*PX(I+11) + DM26*PX(I+10)
+   10 CONTINUE
+      END
+|} );
+    ( "lfk11_firstsum",
+      {|
+      SUBROUTINE LFK11
+      DO 10 K = 2, N
+        X(K) = X(K-1) + Y(K)
+   10 CONTINUE
+      END
+|} );
+    ( "lfk12_firstdiff",
+      {|
+      SUBROUTINE LFK12
+      DO 10 K = 1, N
+        X(K) = Y(K+1) - Y(K)
+   10 CONTINUE
+      END
+|} );
+    ( "lfk18_hydro2d",
+      {|
+      SUBROUTINE LFK18
+      DO 20 K = 2, KN
+        DO 10 J = 2, JN
+          ZA(J,K) = (ZP(J-1,K+1) + ZQ(J-1,K+1) - ZP(J-1,K) - ZQ(J-1,K))
+   10   CONTINUE
+   20 CONTINUE
+      DO 40 K = 2, KN
+        DO 30 J = 2, JN
+          ZU(J,K) = ZU(J,K) + S*(ZA(J,K)*(ZZ(J,K) - ZZ(J+1,K)) - ZA(J-1,K)*(ZZ(J,K) - ZZ(J-1,K)))
+   30   CONTINUE
+   40 CONTINUE
+      END
+|} );
+    ( "lfk21_matmul",
+      {|
+      SUBROUTINE LFK21
+      DO 30 K = 1, 25
+        DO 20 I = 1, 25
+          DO 10 J = 1, N
+            PX(I,J) = PX(I,J) + VY(I,K)*CX(K,J)
+   10     CONTINUE
+   20   CONTINUE
+   30 CONTINUE
+      END
+|} );
+    ( "lfk23_implicit",
+      {|
+      SUBROUTINE LFK23
+      DO 20 J = 2, 6
+        DO 10 K = 2, N
+          QA = ZA(K,J+1)*ZR(K) + ZA(K,J-1)*ZB(K) + ZA(K+1,J)*ZU(K) + ZA(K-1,J)*ZV(K)
+          ZA(K,J) = ZA(K,J) + S*(QA - ZA(K,J))
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    ( "lfk04_banded",
+      {|
+      SUBROUTINE LFK04
+      DO 10 K = 7, 107, 50
+        XZ(K) = Y(5)*(XZ(K) - X(K-6)*Y(4) - X(K-5)*Y(3))
+   10 CONTINUE
+      END
+|} );
+    ( "lfk10_diffpredict",
+      {|
+      SUBROUTINE LFK10
+      DO 10 I = 1, N
+        BR = CX(5,I) - PX(5,I)
+        PX(5,I) = CX(5,I)
+        CR = BR - PX(6,I)
+        PX(6,I) = BR
+        PX(7,I) = CR - PX(7,I)
+   10 CONTINUE
+      END
+|} );
+    ( "lfk14_particle",
+      {|
+      SUBROUTINE LFK14
+      DO 10 K = 1, N
+        IX = GRD(K)
+        XI = EX(IX)
+        VX(K) = VX(K) + XI
+        RH(IX) = RH(IX) + VX(K)
+   10 CONTINUE
+      END
+|} );
+    ( "lfk_skewed",
+      {|
+      SUBROUTINE LFKSKEW
+      DO 20 I = 2, N
+        DO 10 J = 2, M
+          A(I,J) = A(I-1,J) + A(I,J-1)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+  ]

@@ -1,0 +1,107 @@
+(* Every worked example from the paper's running text, as programs. These
+   back the integration tests: each comes with the behaviour the paper
+   states (see test/test_paper_examples.ml). *)
+
+let entries =
+  [
+    (* section 2.2: Livermore-style skewed kernel; strong SIV gives
+       distance vectors (1,0) and (0,1). *)
+    ( "livermore_skewed",
+      {|
+      PROGRAM PSKEW
+      DO 20 I = 2, N
+        DO 10 J = 2, N
+          A(I,J) = A(I-1,J) + A(I,J-1)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    (* section 4.2: weak-zero SIV; tomcatv-style first-iteration source;
+       loop peeling removes it. *)
+    ( "tomcatv_weakzero",
+      {|
+      PROGRAM PWZERO
+      DO 10 I = 1, N
+        Y(I) = Y(1) + B(I)
+   10 CONTINUE
+      END
+|} );
+    (* section 4.2: weak-crossing SIV from the CDL suite; all dependences
+       cross iteration (N+1)/2; loop splitting removes them. *)
+    ( "cdl_weakcrossing",
+      {|
+      PROGRAM PWCROSS
+      DO 10 I = 1, N
+        A(I) = A(N-I+1) + B(I)
+   10 CONTINUE
+      END
+|} );
+    (* section 2.2 / 5: coupled subscripts where subscript-by-subscript
+       testing reports the nonexistent direction vector (<) but constraint
+       intersection (the Delta test) proves independence:
+       <i+1, i> and <i+2, i> force d = 1 and d = 2 simultaneously. *)
+    ( "delta_intersect_indep",
+      {|
+      PROGRAM PDELTA1
+      DO 10 I = 1, 100
+        A(I+1,I+2) = A(I,I) + B(I)
+   10 CONTINUE
+      END
+|} );
+    (* section 5.3.1: SIV constraint propagated into an MIV subscript
+       reduces it to SIV. *)
+    ( "delta_propagate",
+      {|
+      PROGRAM PDELTA2
+      DO 20 I = 1, N
+        DO 10 J = 1, N
+          A(I+1,I+J) = A(I,I+J-1) + B(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    (* section 5.3.2: coupled RDIV subscripts (transposed access): only
+       direction vectors of the form (<,>), (=,=), (>,<) are legal. *)
+    ( "rdiv_transpose",
+      {|
+      PROGRAM PRDIV
+      DO 20 I = 1, N
+        DO 10 J = 1, N
+          A(I,J) = A(J,I)*S
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    (* section 4.4: the GCD test disproves dependence: coefficients' gcd 2
+       does not divide the constant 5. *)
+    ( "gcd_indep",
+      {|
+      PROGRAM PGCD
+      DO 10 I = 1, N
+        A(2*I) = A(2*I+5) + B(I)
+   10 CONTINUE
+      END
+|} );
+    (* section 4.3: triangular nest; index ranges resolve the inner
+       bound. *)
+    ( "triangular",
+      {|
+      PROGRAM PTRI
+      DO 20 I = 1, N
+        DO 10 J = I, N
+          A(J) = A(J) + B(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|} );
+    (* section 4.5: symbolic additive constants cancel: independence of
+       A(I+N) and A(I) cannot be proven, but A(I+N) vs A(I+N+1) can. *)
+    ( "symbolic_cancel",
+      {|
+      PROGRAM PSYM
+      DO 10 I = 1, N
+        A(I+K1) = A(I+K1+1) + B(I)
+   10 CONTINUE
+      END
+|} );
+  ]

@@ -1,0 +1,98 @@
+(* Shared helpers for the test suite. *)
+
+open Dt_ir
+
+let idx ?(depth = 0) name = Index.make name ~depth
+let i0 = idx "I"
+let j1 = idx ~depth:1 "J"
+let k2 = idx ~depth:2 "K"
+
+let aff ?(idx = []) ?(sym = []) const = Affine.make ~idx ~sym ~const
+let av ?(c = 0) ?(k = 1) i = Affine.add_const c (Affine.of_index ~coeff:k i)
+
+let loop ?(lo = 1) ~hi i = Loop.make i ~lo:(Affine.const lo) ~hi:(Affine.const hi)
+let loop_aff i ~lo ~hi = Loop.make i ~lo ~hi
+
+let loops1 ?(lo = 1) ?(hi = 10) () = [ loop ~lo ~hi i0 ]
+let loops2 ?(hi = 10) () = [ loop ~hi i0; loop ~hi j1 ]
+
+let assume_of loops = Deptest.Assume.add_loop_facts Deptest.Assume.empty loops
+let range_of loops = Deptest.Range.compute loops
+
+let spair src snk = Spair.make src snk
+
+(* run a SIV-style test context in one call *)
+let siv_ctx loops =
+  (assume_of loops, range_of loops)
+
+(* --- Alcotest testables ------------------------------------------------ *)
+
+let affine_t = Alcotest.testable Affine.pp Affine.equal
+
+let outcome_t =
+  Alcotest.testable Deptest.Outcome.pp (fun a b ->
+      match (a, b) with
+      | Deptest.Outcome.Independent, Deptest.Outcome.Independent -> true
+      | Deptest.Outcome.Dependent x, Deptest.Outcome.Dependent y ->
+          List.length x = List.length y
+          && List.for_all2
+               (fun (p : Deptest.Outcome.index_dep) (q : Deptest.Outcome.index_dep) ->
+                 Index.equal p.index q.index
+                 && Deptest.Direction.set_equal p.dirs q.dirs
+                 && Deptest.Outcome.equal_dist p.dist q.dist)
+               x y
+      | _ -> false)
+
+let constr_t = Alcotest.testable Deptest.Constr.pp Deptest.Constr.equal
+let interval_t =
+  Alcotest.testable Dt_support.Interval.pp Dt_support.Interval.equal
+let ratio_t = Alcotest.testable Dt_support.Ratio.pp Dt_support.Ratio.equal
+
+let dirset_t =
+  Alcotest.testable Deptest.Direction.pp_set Deptest.Direction.set_equal
+
+let is_independent = function
+  | Deptest.Outcome.Independent -> true
+  | Deptest.Outcome.Dependent _ -> false
+
+(* --- Brute-force single-subscript oracle ------------------------------- *)
+
+(* all (alpha, beta) in [lo,hi]^2 with f(alpha) = g(beta), for a pair over
+   a single index *)
+let brute_siv ~lo ~hi (p : Spair.t) i =
+  let sols = ref [] in
+  for a = lo to hi do
+    for b = lo to hi do
+      let ie v x = if Index.equal x i then v else failwith "bad index" in
+      let se _ = failwith "symbolic" in
+      let fa = Affine.eval p.Spair.src ~index_env:(ie a) ~sym_env:se in
+      let gb = Affine.eval p.Spair.snk ~index_env:(ie b) ~sym_env:se in
+      if fa = gb then sols := (a, b) :: !sols
+    done
+  done;
+  List.rev !sols
+
+let dirs_of_sols sols =
+  List.fold_left
+    (fun s (a, b) ->
+      Deptest.Direction.union s
+        (Deptest.Direction.single
+           (if a < b then Deptest.Direction.Lt
+            else if a = b then Deptest.Direction.Eq
+            else Deptest.Direction.Gt)))
+    Deptest.Direction.empty_set sols
+
+(* --- Program-level helpers --------------------------------------------- *)
+
+let parse = Dt_frontend.Lower.parse
+
+let deps_of src = Deptest.Analyze.deps_of (parse src)
+
+let find_entry suite name = Dt_workloads.Corpus.find_exn ~suite ~name
+
+let analyze_entry suite name =
+  Deptest.Analyze.program (Dt_workloads.Corpus.program (find_entry suite name))
+
+(* convert qcheck into alcotest cases *)
+let qtest ?(count = 300) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen law)

@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "deptest"
+    [
+      ("support", Test_support.suite);
+      ("affine", Test_affine.suite);
+      ("assume-range", Test_assume_range.suite);
+      ("dirvec", Test_dirvec.suite);
+      ("classify", Test_classify.suite);
+      ("symfm", Test_symfm.suite);
+      ("dio", Test_dio.suite);
+      ("ziv-siv", Test_siv.suite);
+      ("rdiv", Test_rdiv.suite);
+      ("gcd-banerjee", Test_gcd_banerjee.suite);
+      ("constraints", Test_constr.suite);
+      ("delta", Test_delta.suite);
+      ("driver", Test_driver.suite);
+      ("frontend", Test_frontend.suite);
+      ("cfront", Test_cfront.suite);
+      ("exact", Test_exact.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("transform", Test_transform.suite);
+      ("stats", Test_stats.suite);
+      ("corpus", Test_corpus.suite);
+      ("extras", Test_extras.suite);
+      ("emit", Test_emit.suite);
+      ("semantics", Test_semantics.suite);
+      ("properties", Test_properties.suite);
+    ]

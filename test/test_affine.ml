@@ -1,0 +1,113 @@
+(* Tests for the affine expression substrate. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+let test_construction () =
+  let a = aff ~idx:[ (i0, 2); (j1, 0) ] ~sym:[ ("N", 1) ] 5 in
+  check Alcotest.int "coeff i" 2 (Affine.coeff a i0);
+  check Alcotest.int "zero coeff dropped" 0 (Affine.coeff a j1);
+  check Alcotest.int "sym coeff" 1 (Affine.sym_coeff a "N");
+  check Alcotest.int "const" 5 (Affine.const_part a);
+  check Alcotest.bool "not const" false (Affine.is_const a);
+  check Alcotest.bool "const detect" true (Affine.is_const (Affine.const 3));
+  check (Alcotest.option Alcotest.int) "as_const" (Some 3)
+    (Affine.as_const (Affine.const 3));
+  check Alcotest.bool "indices" true
+    (Index.Set.mem i0 (Affine.indices a) && not (Index.Set.mem j1 (Affine.indices a)))
+
+let test_arith () =
+  let a = av ~c:1 i0 (* I + 1 *) and b = av ~c:(-2) ~k:3 i0 (* 3I - 2 *) in
+  check affine_t "add" (aff ~idx:[ (i0, 4) ] (-1)) (Affine.add a b);
+  check affine_t "sub" (aff ~idx:[ (i0, -2) ] 3) (Affine.sub a b);
+  check affine_t "neg" (aff ~idx:[ (i0, -1) ] (-1)) (Affine.neg a);
+  check affine_t "scale" (aff ~idx:[ (i0, 3) ] 3) (Affine.scale 3 a);
+  check affine_t "scale 0" Affine.zero (Affine.scale 0 a);
+  check affine_t "cancellation" Affine.zero
+    (Affine.sub (av i0) (av i0))
+
+let test_subst () =
+  (* (2I + J + 1)[I := J - 1] = 2J - 2 + J + 1 = 3J - 1 *)
+  let a = aff ~idx:[ (i0, 2); (j1, 1) ] 1 in
+  let e = av ~c:(-1) j1 in
+  check affine_t "subst" (aff ~idx:[ (j1, 3) ] (-1)) (Affine.subst_index a i0 e);
+  check affine_t "subst absent" a (Affine.subst_index a k2 (Affine.const 9));
+  check affine_t "drop" (aff ~idx:[ (j1, 1) ] 1) (Affine.drop_index a i0);
+  check affine_t "set_coeff" (aff ~idx:[ (i0, 7); (j1, 1) ] 1)
+    (Affine.set_coeff a i0 7)
+
+let test_div_content () =
+  let a = aff ~idx:[ (i0, 4) ] ~sym:[ ("N", 6) ] 8 in
+  check Alcotest.int "content" 2 (Affine.content a);
+  check (Alcotest.option affine_t) "div_exact ok"
+    (Some (aff ~idx:[ (i0, 2) ] ~sym:[ ("N", 3) ] 4))
+    (Affine.div_exact a 2);
+  check (Alcotest.option affine_t) "div_exact fail" None (Affine.div_exact a 3);
+  check (Alcotest.option affine_t) "div by zero" None (Affine.div_exact a 0)
+
+let test_eval () =
+  let a = aff ~idx:[ (i0, 2); (j1, -1) ] ~sym:[ ("N", 3) ] 7 in
+  let v =
+    Affine.eval a
+      ~index_env:(fun i -> if Index.equal i i0 then 5 else 2)
+      ~sym_env:(fun _ -> 10)
+  in
+  check Alcotest.int "eval" ((2 * 5) - 2 + (3 * 10) + 7) v;
+  let partial = Affine.eval_syms a ~sym_env:(fun s -> if s = "N" then Some 4 else None) in
+  check affine_t "eval_syms" (aff ~idx:[ (i0, 2); (j1, -1) ] 19) partial
+
+let test_pp () =
+  check Alcotest.string "pp mix" "2*I - J + 3"
+    (Affine.to_string (aff ~idx:[ (i0, 2); (j1, -1) ] 3));
+  check Alcotest.string "pp const" "42" (Affine.to_string (Affine.const 42));
+  check Alcotest.string "pp neg lead" "-I + 1"
+    (Affine.to_string (aff ~idx:[ (i0, -1) ] 1))
+
+let gen_affine =
+  QCheck.map
+    (fun (ci, cj, cn, c) -> aff ~idx:[ (i0, ci); (j1, cj) ] ~sym:[ ("N", cn) ] c)
+    QCheck.(
+      quad (int_range (-9) 9) (int_range (-9) 9) (int_range (-9) 9)
+        (int_range (-20) 20))
+
+let prop_eval_hom =
+  qtest "eval is a homomorphism for add/sub/scale"
+    (QCheck.pair gen_affine gen_affine)
+    (fun (a, b) ->
+      let ie i = if Index.equal i i0 then 3 else -2 in
+      let se _ = 7 in
+      let ev x = Affine.eval x ~index_env:ie ~sym_env:se in
+      ev (Affine.add a b) = ev a + ev b
+      && ev (Affine.sub a b) = ev a - ev b
+      && ev (Affine.scale 5 a) = 5 * ev a
+      && ev (Affine.neg a) = -ev a)
+
+let prop_subst_eval =
+  qtest "substitution commutes with evaluation"
+    (QCheck.pair gen_affine gen_affine)
+    (fun (a, e) ->
+      (* e must not mention i0 for the direct substitution semantics *)
+      let e = Affine.drop_index e i0 in
+      let se _ = 5 in
+      let ie_with v i = if Index.equal i i0 then v else 4 in
+      let ev_e = Affine.eval e ~index_env:(ie_with 0) ~sym_env:se in
+      let lhs =
+        Affine.eval (Affine.subst_index a i0 e) ~index_env:(ie_with 999)
+          ~sym_env:se
+      in
+      let rhs = Affine.eval a ~index_env:(ie_with ev_e) ~sym_env:se in
+      lhs = rhs)
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    Alcotest.test_case "division/content" `Quick test_div_content;
+    Alcotest.test_case "evaluation" `Quick test_eval;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+    prop_eval_hom;
+    prop_subst_eval;
+  ]

@@ -1,0 +1,140 @@
+(* Tests for the sign oracle and the index-range algorithm (§4.3). *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let n = Affine.of_sym "N"
+let m = Affine.of_sym "M"
+
+let test_assume_basic () =
+  let a = Deptest.Assume.empty in
+  check bool "const nonneg" true (Deptest.Assume.prove_nonneg a (Affine.const 0));
+  check bool "const pos" true (Deptest.Assume.prove_pos a (Affine.const 1));
+  check bool "const neg rejected" false
+    (Deptest.Assume.prove_nonneg a (Affine.const (-1)));
+  check bool "unknown sym" false (Deptest.Assume.prove_nonneg a n);
+  (* with fact N - 1 >= 0 *)
+  let a = Deptest.Assume.add_nonneg a (Affine.add_const (-1) n) in
+  check bool "N >= 1 proves N - 1 >= 0" true
+    (Deptest.Assume.prove_nonneg a (Affine.add_const (-1) n));
+  check bool "N >= 1 proves N >= 0" true (Deptest.Assume.prove_nonneg a n);
+  check bool "N >= 1 proves N positive" true (Deptest.Assume.prove_pos a n);
+  check bool "N >= 1 proves 3N - 3 >= 0" true
+    (Deptest.Assume.prove_nonneg a (Affine.add_const (-3) (Affine.scale 3 n)));
+  check bool "cannot prove N - 2 >= 0" false
+    (Deptest.Assume.prove_nonneg a (Affine.add_const (-2) n));
+  check bool "nonpos of 1-N" true
+    (Deptest.Assume.prove_nonpos a (Affine.sub (Affine.const 1) n |> Affine.add_const (-1)))
+
+let test_assume_combination () =
+  let a =
+    Deptest.Assume.empty
+    |> Fun.flip Deptest.Assume.add_nonneg (Affine.sub n m) (* N >= M *)
+    |> Fun.flip Deptest.Assume.add_nonneg (Affine.add_const (-2) m)
+    (* M >= 2 *)
+  in
+  check bool "N >= 2 by chaining" true
+    (Deptest.Assume.prove_nonneg a (Affine.add_const (-2) n));
+  check bool "N + M >= 4" true
+    (Deptest.Assume.prove_nonneg a (Affine.add_const (-4) (Affine.add n m)));
+  check bool "M - N unknown" false
+    (Deptest.Assume.prove_nonneg a (Affine.sub m n));
+  check
+    (Alcotest.testable
+       (fun ppf s ->
+         Format.pp_print_string ppf
+           (match s with
+           | `Zero -> "zero" | `Pos -> "pos" | `Neg -> "neg"
+           | `Nonneg -> "nonneg" | `Nonpos -> "nonpos" | `Unknown -> "?"))
+       ( = ))
+    "sign of M - 1" `Pos
+    (Deptest.Assume.sign a (Affine.add_const (-1) m))
+
+let test_loop_facts () =
+  (* DO I = 1, N adds N - 1 >= 0 *)
+  let loops = [ loop_aff i0 ~lo:(Affine.const 1) ~hi:n ] in
+  let a = Deptest.Assume.add_loop_facts Deptest.Assume.empty loops in
+  check bool "loop nonempty fact" true
+    (Deptest.Assume.prove_nonneg a (Affine.add_const (-1) n));
+  (* triangular inner loops contribute no fact (bounds mention indices) *)
+  let tri = [ loop_aff j1 ~lo:(Affine.of_index i0) ~hi:n ] in
+  let a2 = Deptest.Assume.add_loop_facts Deptest.Assume.empty tri in
+  check Alcotest.int "no fact from triangular" 0
+    (List.length (Deptest.Assume.facts a2))
+
+let test_range_rect () =
+  let loops = [ loop ~lo:2 ~hi:10 i0; loop ~hi:5 j1 ] in
+  let r = range_of loops in
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "I range" (Some (2, 10)) (Deptest.Range.concrete r i0);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "J range" (Some (1, 5)) (Deptest.Range.concrete r j1);
+  check (Alcotest.option affine_t) "trip-1" (Some (Affine.const 8))
+    (Deptest.Range.trip_minus_one r i0)
+
+let test_range_triangular () =
+  (* DO I = 1, N; DO J = I+1, N: J's maximal range is [2, N] *)
+  let loops =
+    [
+      loop_aff i0 ~lo:(Affine.const 1) ~hi:n;
+      loop_aff j1 ~lo:(Affine.add_const 1 (Affine.of_index i0)) ~hi:n;
+    ]
+  in
+  let r = range_of loops in
+  let rj = Deptest.Range.find r j1 in
+  check (Alcotest.option affine_t) "J lo" (Some (Affine.const 2)) rj.Deptest.Range.lo;
+  check (Alcotest.option affine_t) "J hi" (Some n) rj.Deptest.Range.hi;
+  (* DO J = 1, I: hi resolves through I's hi *)
+  let loops2 =
+    [
+      loop_aff i0 ~lo:(Affine.const 1) ~hi:n;
+      loop_aff j1 ~lo:(Affine.const 1) ~hi:(Affine.of_index i0);
+    ]
+  in
+  let r2 = range_of loops2 in
+  let rj2 = Deptest.Range.find r2 j1 in
+  check (Alcotest.option affine_t) "J hi via I" (Some n) rj2.Deptest.Range.hi;
+  (* negative-coefficient bound: DO J = 1, N - I resolves with I's lo *)
+  let loops3 =
+    [
+      loop_aff i0 ~lo:(Affine.const 1) ~hi:n;
+      loop_aff j1 ~lo:(Affine.const 1)
+        ~hi:(Affine.sub n (Affine.of_index i0));
+    ]
+  in
+  let rj3 = Deptest.Range.find (range_of loops3) j1 in
+  check (Alcotest.option affine_t) "J hi = N - 1" (Some (Affine.add_const (-1) n))
+    rj3.Deptest.Range.hi
+
+let test_range_contains () =
+  let loops = [ loop_aff i0 ~lo:(Affine.const 1) ~hi:n ] in
+  let assume = assume_of loops in
+  let r = range_of loops in
+  check (Alcotest.option bool) "1 in [1,N]" (Some true)
+    (Deptest.Range.contains_int r assume i0 1);
+  check (Alcotest.option bool) "0 not in [1,N]" (Some false)
+    (Deptest.Range.contains_int r assume i0 0);
+  check (Alcotest.option bool) "N in [1,N]" (Some true)
+    (Deptest.Range.contains_affine r assume i0 n);
+  check (Alcotest.option bool) "N+1 not in [1,N]" (Some false)
+    (Deptest.Range.contains_affine r assume i0 (Affine.add_const 1 n));
+  check (Alcotest.option bool) "5 unknown vs N" None
+    (Deptest.Range.contains_int r assume i0 5);
+  (* 3/2 <= N needs N >= 2, not implied by N >= 1: undecided *)
+  check (Alcotest.option bool) "3/2 vs [1,N] undecided" None
+    (Deptest.Range.contains_ratio r assume i0 (Dt_support.Ratio.make 3 2));
+  check (Alcotest.option bool) "1/2 below [1,N]" (Some false)
+    (Deptest.Range.contains_ratio r assume i0 (Dt_support.Ratio.make 1 2))
+
+let suite =
+  [
+    Alcotest.test_case "sign oracle basics" `Quick test_assume_basic;
+    Alcotest.test_case "fact combination" `Quick test_assume_combination;
+    Alcotest.test_case "loop nonemptiness facts" `Quick test_loop_facts;
+    Alcotest.test_case "rectangular ranges" `Quick test_range_rect;
+    Alcotest.test_case "triangular ranges" `Quick test_range_triangular;
+    Alcotest.test_case "symbolic membership" `Quick test_range_contains;
+  ]

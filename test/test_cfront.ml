@@ -1,0 +1,104 @@
+(* The C-style frontend: same AST, same analysis. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+let cparse = Dt_frontend.Cfront.parse_and_lower
+
+let test_basic_for () =
+  let prog = cparse {|
+    for (i = 2; i <= 100; i++) {
+      a[i] = a[i-1] + b[i];
+    }
+  |} in
+  check Alcotest.int "one loop" 1 (List.length (Nest.all_loops prog));
+  let deps = Deptest.Analyze.deps_of prog in
+  check Alcotest.int "recurrence found" 1 (List.length deps);
+  check (Alcotest.option Alcotest.int) "carried level 1" (Some 1)
+    (List.hd deps).Deptest.Dep.level
+
+let test_strict_bound () =
+  (* i < n becomes i <= n-1 *)
+  let prog = cparse "for (i = 0; i < n; i++) { a[i] = 0; }" in
+  let l = List.hd (Nest.all_loops prog) in
+  check affine_t "hi = N - 1" (Affine.add_const (-1) (Affine.of_sym "N"))
+    l.Loop.hi
+
+let test_step_forms () =
+  let tripcount src =
+    let prog = cparse src in
+    Loop.trip_const (List.hd (Nest.all_loops prog))
+  in
+  check (Alcotest.option Alcotest.int) "i++" (Some 10)
+    (tripcount "for (i = 1; i <= 10; i++) { a[i] = 0; }");
+  check (Alcotest.option Alcotest.int) "++i" (Some 10)
+    (tripcount "for (i = 1; i <= 10; ++i) { a[i] = 0; }");
+  check (Alcotest.option Alcotest.int) "i += 2" (Some 5)
+    (tripcount "for (i = 1; i <= 10; i += 2) { a[i] = 0; }");
+  check (Alcotest.option Alcotest.int) "i = i + 2" (Some 5)
+    (tripcount "for (i = 1; i <= 10; i = i + 2) { a[i] = 0; }")
+
+let test_nested_and_2d () =
+  let prog = cparse {|
+    // the skewed Livermore kernel, C-style
+    for (i = 2; i <= n; i++)
+      for (j = 2; j <= m; j++)
+        a[i][j] = a[i-1][j] + a[i][j-1];
+  |} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let vecs =
+    List.map (fun d -> Deptest.Dirvec.to_string d.Deptest.Dep.dirvec) deps
+    |> List.sort_uniq compare
+  in
+  check (Alcotest.list Alcotest.string) "same vectors as Fortran"
+    [ "(<,=)"; "(=,<)" ] vecs
+
+let test_comments_and_calls () =
+  let prog = cparse {|
+    /* block comment
+       spanning lines */
+    for (i = 1; i <= 50; i++) {
+      s = s + x[i] * y[i];  // inner product
+      h[idx[i]] = h[idx[i]] + 1;
+    }
+  |} in
+  let stmts = Nest.all_stmts prog in
+  check Alcotest.int "two statements" 2 (List.length stmts);
+  (* indirection is nonlinear *)
+  let h_write =
+    List.concat_map (fun s -> s.Stmt.writes) stmts
+    |> List.find (fun (r : Aref.t) -> r.Aref.base = "H")
+  in
+  check Alcotest.bool "h[idx[i]] nonlinear" true (not (Aref.is_linear h_write))
+
+let test_c_errors () =
+  let bad s =
+    try
+      ignore (cparse s);
+      false
+    with Dt_frontend.Cfront.Error _ -> true
+  in
+  check Alcotest.bool "missing semicolon" true (bad "a[i] = 1");
+  check Alcotest.bool "weird increment" true
+    (bad "for (i = 0; i < 9; j++) { a[i] = 0; }");
+  check Alcotest.bool "missing brace" true
+    (bad "for (i = 0; i < 9; i++) { a[i] = 0;")
+
+let test_sniffer () =
+  check Alcotest.bool "c detected" true
+    (Dt_frontend.Cfront.looks_like_c "for (i = 0; i < 9; i++) { a[i] = 0; }");
+  check Alcotest.bool "fortran not c" false
+    (Dt_frontend.Cfront.looks_like_c "      DO 10 I = 1, 10\n   10 CONTINUE\n")
+
+let suite =
+  [
+    Alcotest.test_case "basic for" `Quick test_basic_for;
+    Alcotest.test_case "strict bounds" `Quick test_strict_bound;
+    Alcotest.test_case "step forms" `Quick test_step_forms;
+    Alcotest.test_case "nested 2-D" `Quick test_nested_and_2d;
+    Alcotest.test_case "comments and calls" `Quick test_comments_and_calls;
+    Alcotest.test_case "parse errors" `Quick test_c_errors;
+    Alcotest.test_case "dialect sniffing" `Quick test_sniffer;
+  ]

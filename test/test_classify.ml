@@ -1,0 +1,117 @@
+(* Subscript classification and coupled-group partitioning (§2, §3). *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+let relevant = Index.Set.of_list [ i0; j1; k2 ]
+let classify p = Deptest.Classify.classify ~relevant p
+
+let klass_t =
+  Alcotest.testable Deptest.Classify.pp (fun a b ->
+      Deptest.Classify.to_string a = Deptest.Classify.to_string b)
+
+let test_ziv () =
+  check klass_t "const pair" Deptest.Classify.Ziv
+    (classify (spair (Affine.const 1) (Affine.const 2)));
+  check klass_t "symbolic ZIV" Deptest.Classify.Ziv
+    (classify (spair (Affine.of_sym "N") (Affine.const 2)))
+
+let test_siv_kinds () =
+  let kind p =
+    match classify p with
+    | Deptest.Classify.Siv { kind; _ } -> kind
+    | _ -> Alcotest.fail "expected SIV"
+  in
+  Alcotest.(check bool)
+    "strong" true
+    (kind (spair (av ~c:1 i0) (av i0)) = Deptest.Classify.Strong);
+  Alcotest.(check bool)
+    "strong scaled" true
+    (kind (spair (av ~k:2 ~c:1 i0) (av ~k:2 i0)) = Deptest.Classify.Strong);
+  Alcotest.(check bool)
+    "weak-zero right" true
+    (kind (spair (av i0) (Affine.const 5)) = Deptest.Classify.Weak_zero);
+  Alcotest.(check bool)
+    "weak-zero left" true
+    (kind (spair (Affine.const 5) (av i0)) = Deptest.Classify.Weak_zero);
+  Alcotest.(check bool)
+    "weak-crossing" true
+    (kind (spair (av i0) (av ~k:(-1) ~c:6 i0)) = Deptest.Classify.Weak_crossing);
+  Alcotest.(check bool)
+    "general" true
+    (kind (spair (av ~k:2 i0) (av i0)) = Deptest.Classify.General)
+
+let test_rdiv_miv () =
+  check klass_t "RDIV"
+    (Deptest.Classify.Rdiv { src_index = i0; snk_index = j1 })
+    (classify (spair (av i0) (av j1)));
+  check klass_t "MIV same side"
+    (Deptest.Classify.Miv (Index.Set.of_list [ i0; j1 ]))
+    (classify (spair (Affine.add (av i0) (av j1)) (Affine.const 0)));
+  check klass_t "MIV both"
+    (Deptest.Classify.Miv (Index.Set.of_list [ i0; j1 ]))
+    (classify (spair (Affine.add (av i0) (av j1)) (av i0)));
+  check klass_t "MIV three"
+    (Deptest.Classify.Miv (Index.Set.of_list [ i0; j1; k2 ]))
+    (classify
+       (spair (Affine.add (av i0) (av j1)) (av k2)))
+
+let test_partition () =
+  (* A(I, J, J+K): dim0 separable, dims 1-2 coupled via J *)
+  let pairs =
+    [
+      spair (av i0) (av i0);
+      spair (av j1) (av j1);
+      spair (Affine.add (av j1) (av k2)) (av j1);
+    ]
+  in
+  let groups = Deptest.Classify.partition ~relevant pairs in
+  check Alcotest.int "two groups" 2 (List.length groups);
+  let g1 = List.nth groups 0 and g2 = List.nth groups 1 in
+  check (Alcotest.list Alcotest.int) "separable dim" [ 0 ]
+    g1.Deptest.Classify.positions;
+  check (Alcotest.list Alcotest.int) "coupled dims" [ 1; 2 ]
+    g2.Deptest.Classify.positions;
+  Alcotest.(check bool)
+    "coupled indices" true
+    (Index.Set.equal g2.Deptest.Classify.indices (Index.Set.of_list [ j1; k2 ]))
+
+let test_partition_transitive () =
+  (* A(I+J, J+K, K): all three transitively coupled *)
+  let pairs =
+    [
+      spair (Affine.add (av i0) (av j1)) (Affine.const 0);
+      spair (Affine.add (av j1) (av k2)) (Affine.const 0);
+      spair (av k2) (Affine.const 0);
+    ]
+  in
+  let groups = Deptest.Classify.partition ~relevant pairs in
+  check Alcotest.int "one group" 1 (List.length groups);
+  check (Alcotest.list Alcotest.int) "all dims" [ 0; 1; 2 ]
+    (List.hd groups).Deptest.Classify.positions
+
+let test_partition_ziv () =
+  (* ZIV dims are their own separable groups *)
+  let pairs = [ spair (Affine.const 1) (Affine.const 1); spair (av i0) (av i0) ] in
+  let groups = Deptest.Classify.partition ~relevant pairs in
+  check Alcotest.int "two singleton groups" 2 (List.length groups)
+
+let test_coupling_across_sides () =
+  (* A(I, J) vs A(J, I): dim0 has {I (src), J (snk)}, dim1 {J (src), I (snk)}:
+     all dims coupled through both indices *)
+  let pairs = [ spair (av i0) (av j1); spair (av j1) (av i0) ] in
+  let groups = Deptest.Classify.partition ~relevant pairs in
+  check Alcotest.int "transpose couples" 1 (List.length groups)
+
+let suite =
+  [
+    Alcotest.test_case "ZIV" `Quick test_ziv;
+    Alcotest.test_case "SIV kinds" `Quick test_siv_kinds;
+    Alcotest.test_case "RDIV and MIV" `Quick test_rdiv_miv;
+    Alcotest.test_case "partition separable/coupled" `Quick test_partition;
+    Alcotest.test_case "transitive coupling" `Quick test_partition_transitive;
+    Alcotest.test_case "ZIV singleton groups" `Quick test_partition_ziv;
+    Alcotest.test_case "cross-side coupling" `Quick test_coupling_across_sides;
+  ]

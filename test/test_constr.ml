@@ -1,0 +1,168 @@
+(* The Delta test's constraint lattice: construction, normalization,
+   intersection, and interpretation (§5.2). *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+let a0 = Deptest.Assume.empty
+let inter = Deptest.Constr.intersect a0
+
+let dist = Deptest.Constr.dist
+let line ~a ~b c = Deptest.Constr.line ~a ~b ~c:(Affine.const c)
+let point = Deptest.Constr.point
+
+let test_normalization () =
+  (* distance lines collapse to Dist *)
+  check constr_t "line (1,-1,c) is a distance" (dist 3)
+    (Deptest.Constr.line ~a:1 ~b:(-1) ~c:(Affine.const (-3)));
+  check constr_t "line (-2,2,c) normalizes" (dist 2)
+    (Deptest.Constr.line ~a:(-2) ~b:2 ~c:(Affine.const 4));
+  (* unsatisfiable divisibility *)
+  check constr_t "2a+2b=5 empty" Deptest.Constr.Empty (line ~a:2 ~b:2 5);
+  check constr_t "content divided" (line ~a:1 ~b:1 2) (line ~a:3 ~b:3 6);
+  (* degenerate *)
+  check constr_t "0=0 is Any" Deptest.Constr.Any
+    (Deptest.Constr.line ~a:0 ~b:0 ~c:Affine.zero);
+  check constr_t "0=3 is Empty" Deptest.Constr.Empty
+    (Deptest.Constr.line ~a:0 ~b:0 ~c:(Affine.const 3))
+
+let test_intersect_dist () =
+  check constr_t "any is identity" (dist 2) (inter Deptest.Constr.Any (dist 2));
+  check constr_t "equal dists" (dist 2) (inter (dist 2) (dist 2));
+  check constr_t "conflicting dists" Deptest.Constr.Empty
+    (inter (dist 2) (dist 3));
+  check constr_t "empty absorbs" Deptest.Constr.Empty
+    (inter Deptest.Constr.Empty (dist 2))
+
+let test_intersect_line () =
+  (* alpha = 4 and beta = alpha + 1: point (4,5) *)
+  check constr_t "line x dist = point" (point ~x:4 ~y:5)
+    (inter (line ~a:1 ~b:0 4) (dist 1));
+  (* alpha + beta = 10 and beta - alpha = 2: point (4,6) *)
+  check constr_t "two lines meet" (point ~x:4 ~y:6)
+    (inter (line ~a:1 ~b:1 10) (dist 2));
+  (* alpha + beta = 9 and beta - alpha = 2: rational solution only *)
+  check constr_t "non-integer meet" Deptest.Constr.Empty
+    (inter (line ~a:1 ~b:1 9) (dist 2));
+  (* parallel consistent / inconsistent *)
+  check constr_t "same line" (line ~a:1 ~b:1 9)
+    (inter (line ~a:1 ~b:1 9) (line ~a:2 ~b:2 18));
+  check constr_t "parallel distinct" Deptest.Constr.Empty
+    (inter (line ~a:1 ~b:1 9) (line ~a:1 ~b:1 8))
+
+let test_intersect_point () =
+  check constr_t "point on line" (point ~x:2 ~y:3)
+    (inter (point ~x:2 ~y:3) (dist 1));
+  check constr_t "point off line" Deptest.Constr.Empty
+    (inter (point ~x:2 ~y:3) (dist 2));
+  check constr_t "point vs point eq" (point ~x:2 ~y:3)
+    (inter (point ~x:2 ~y:3) (point ~x:2 ~y:3));
+  check constr_t "point vs point neq" Deptest.Constr.Empty
+    (inter (point ~x:2 ~y:3) (point ~x:3 ~y:2))
+
+let test_symbolic () =
+  let n = Affine.of_sym "N" in
+  check constr_t "sym dist collapse" (dist 4)
+    (Deptest.Constr.sym_dist (Affine.const 4));
+  check constr_t "conflicting sym dists" Deptest.Constr.Empty
+    (inter
+       (Deptest.Constr.sym_dist n)
+       (Deptest.Constr.sym_dist (Affine.add_const 1 n)));
+  check constr_t "equal sym dists"
+    (Deptest.Constr.sym_dist n)
+    (inter (Deptest.Constr.sym_dist n) (Deptest.Constr.sym_dist n))
+
+let test_to_outcome () =
+  let loops = loops1 ~hi:10 () in
+  let assume, range = siv_ctx loops in
+  let out c = Deptest.Constr.to_outcome assume range i0 c in
+  check outcome_t "empty -> independent" Deptest.Outcome.Independent
+    (out Deptest.Constr.Empty);
+  check Alcotest.bool "any -> star" true
+    (match out Deptest.Constr.Any with
+    | Deptest.Outcome.Dependent [ d ] ->
+        Deptest.Direction.is_full d.Deptest.Outcome.dirs
+    | _ -> false);
+  (* dist out of bounds *)
+  check outcome_t "dist 20 out of [1,10]" Deptest.Outcome.Independent
+    (out (dist 20));
+  (* point out of range *)
+  check outcome_t "point (12,13)" Deptest.Outcome.Independent
+    (out (point ~x:12 ~y:13));
+  check Alcotest.bool "point in range" true
+    (match out (point ~x:3 ~y:5) with
+    | Deptest.Outcome.Dependent [ d ] ->
+        d.Deptest.Outcome.dist = Deptest.Outcome.Const 2
+    | _ -> false)
+
+(* intersection is commutative and monotone on a pool of constraints *)
+let constr_pool =
+  [
+    Deptest.Constr.Any;
+    dist 0;
+    dist 1;
+    dist (-2);
+    line ~a:1 ~b:0 3;
+    line ~a:0 ~b:1 4;
+    line ~a:1 ~b:1 8;
+    line ~a:2 ~b:(-3) 1;
+    point ~x:2 ~y:2;
+    point ~x:3 ~y:5;
+    Deptest.Constr.Empty;
+  ]
+
+(* ground-truth satisfaction for constant constraints *)
+let sat c (x, y) =
+  match (c : Deptest.Constr.t) with
+  | Deptest.Constr.Any -> true
+  | Deptest.Constr.Empty -> false
+  | Deptest.Constr.Dist d -> y - x = d
+  | Deptest.Constr.Sym_dist _ -> true
+  | Deptest.Constr.Line { a; b; c } -> (
+      match Affine.as_const c with
+      | Some k -> (a * x) + (b * y) = k
+      | None -> true)
+  | Deptest.Constr.Point p -> x = p.x && y = p.y
+
+let test_intersection_sound_complete () =
+  let grid =
+    List.concat_map
+      (fun x -> List.map (fun y -> (x, y)) (Dt_support.Listx.range (-6) 10))
+      (Dt_support.Listx.range (-6) 10)
+  in
+  List.iter
+    (fun c1 ->
+      List.iter
+        (fun c2 ->
+          let c = inter c1 c2 in
+          (* soundness: any point satisfying both must satisfy the result *)
+          List.iter
+            (fun pt ->
+              if sat c1 pt && sat c2 pt && not (sat c pt) then
+                Alcotest.failf "intersection dropped %s /\\ %s at (%d,%d)"
+                  (Deptest.Constr.to_string c1) (Deptest.Constr.to_string c2)
+                  (fst pt) (snd pt))
+            grid;
+          (* commutativity up to satisfaction on the grid *)
+          let c' = inter c2 c1 in
+          List.iter
+            (fun pt ->
+              if sat c pt <> sat c' pt then
+                Alcotest.failf "intersection not commutative: %s vs %s"
+                  (Deptest.Constr.to_string c) (Deptest.Constr.to_string c'))
+            grid)
+        constr_pool)
+    constr_pool
+
+let suite =
+  [
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "distance intersection" `Quick test_intersect_dist;
+    Alcotest.test_case "line intersection" `Quick test_intersect_line;
+    Alcotest.test_case "point intersection" `Quick test_intersect_point;
+    Alcotest.test_case "symbolic constraints" `Quick test_symbolic;
+    Alcotest.test_case "interpretation" `Quick test_to_outcome;
+    Alcotest.test_case "intersection soundness grid" `Quick
+      test_intersection_sound_complete;
+  ]

@@ -1,0 +1,100 @@
+(* Corpus integrity: every embedded program parses, lowers, analyzes, and
+   its dependences are sound against the brute-force oracle on small
+   symbolic values. *)
+
+open Dt_ir
+
+
+let check = Alcotest.check
+
+let test_all_parse () =
+  List.iter
+    (fun (e : Dt_workloads.Corpus.entry) ->
+      match Dt_workloads.Corpus.programs e with
+      | ps ->
+          if List.exists (fun p -> Nest.all_stmts p = []) ps || ps = [] then
+            Alcotest.failf "%s/%s has no statements" e.Dt_workloads.Corpus.suite
+              e.Dt_workloads.Corpus.name
+      | exception ex ->
+          Alcotest.failf "%s/%s failed to lower: %s" e.Dt_workloads.Corpus.suite
+            e.Dt_workloads.Corpus.name (Printexc.to_string ex))
+    Dt_workloads.Corpus.all
+
+let test_all_analyze () =
+  List.iter
+    (fun (e : Dt_workloads.Corpus.entry) ->
+      List.iter (fun p ->
+      let r = Deptest.Analyze.program p in
+      (* dependence endpoints must be valid statement ids *)
+      List.iter
+        (fun d ->
+          if
+            Nest.find_stmt p d.Deptest.Dep.src_stmt = None
+            || Nest.find_stmt p d.Deptest.Dep.snk_stmt = None
+          then Alcotest.fail "dangling statement id")
+        r.Deptest.Analyze.deps)
+        (Dt_workloads.Corpus.programs e))
+    Dt_workloads.Corpus.all
+
+(* soundness of the full analyzer against brute force: for every array
+   reference pair of every corpus program, if the analyzer claims
+   independence, the oracle (with symbolic constants bound to a small
+   value) must find no collision. *)
+let test_corpus_sound_vs_brute () =
+  let sym_env _ = 8 in
+  let checked = ref 0 in
+  List.iter
+    (fun (e : Dt_workloads.Corpus.entry) ->
+      List.iter (fun p ->
+      let accesses =
+        List.concat_map
+          (fun (s, loops) -> List.map (fun a -> (a, loops)) (Stmt.accesses s))
+          (Nest.stmts_with_loops p)
+      in
+      let arr = Array.of_list accesses in
+      for i = 0 to Array.length arr - 1 do
+        for j = i to Array.length arr - 1 do
+          let (a1 : Stmt.access), l1 = arr.(i) and (a2 : Stmt.access), l2 = arr.(j) in
+          if
+            a1.Stmt.aref.Aref.base = a2.Stmt.aref.Aref.base
+            && Aref.rank a1.Stmt.aref > 0
+          then
+            match
+              Dt_exact.Brute.test ~sym_env ~max_pairs:400_000
+                ~src:(a1.Stmt.aref, l1) ~snk:(a2.Stmt.aref, l2) ()
+            with
+            | None -> ()
+            | Some rep ->
+                incr checked;
+                let t =
+                  Deptest.Pair_test.test ~src:(a1.Stmt.aref, l1)
+                    ~snk:(a2.Stmt.aref, l2) ()
+                in
+                if
+                  t.Deptest.Pair_test.result = `Independent
+                  && rep.Dt_exact.Brute.dependent
+                then
+                  Alcotest.failf "UNSOUND independence in %s/%s (%s vs %s)"
+                    e.Dt_workloads.Corpus.suite e.Dt_workloads.Corpus.name
+                    (Aref.to_string a1.Stmt.aref) (Aref.to_string a2.Stmt.aref)
+        done
+      done)
+        (Dt_workloads.Corpus.programs e))
+    Dt_workloads.Corpus.all;
+  check Alcotest.bool "pairs were actually checked" true (!checked > 100)
+
+let test_suites_nonempty () =
+  List.iter
+    (fun s ->
+      if Dt_workloads.Corpus.by_suite s = [] then
+        Alcotest.failf "suite %s is empty" s)
+    Dt_workloads.Corpus.suites;
+  check Alcotest.bool "total count" true (Dt_workloads.Corpus.total_programs >= 60)
+
+let suite =
+  [
+    Alcotest.test_case "all programs parse" `Quick test_all_parse;
+    Alcotest.test_case "all programs analyze" `Quick test_all_analyze;
+    Alcotest.test_case "corpus soundness vs oracle" `Slow test_corpus_sound_vs_brute;
+    Alcotest.test_case "suites nonempty" `Quick test_suites_nonempty;
+  ]

@@ -1,0 +1,141 @@
+(* The bounded two-variable Diophantine engine behind the exact SIV and
+   RDIV tests. Checked against exhaustive enumeration. *)
+
+open Dt_support
+open Helpers
+
+let check = Alcotest.check
+
+(* enumerate solutions of a x + b y = c with x, y in [lo, hi] *)
+let enum ~a ~b ~c ~lo ~hi =
+  let out = ref [] in
+  for x = lo to hi do
+    for y = lo to hi do
+      if (a * x) + (b * y) = c then out := (x, y) :: !out
+    done
+  done;
+  List.rev !out
+
+let test_solve_basic () =
+  (match Deptest.Dio.solve ~a:2 ~b:3 ~c:7 with
+  | Some fam ->
+      let x, y = Deptest.Dio.value_at fam 0 in
+      check Alcotest.int "particular solution" 7 ((2 * x) + (3 * y));
+      let x1, y1 = Deptest.Dio.value_at fam 5 in
+      check Alcotest.int "family stays on line" 7 ((2 * x1) + (3 * y1))
+  | None -> Alcotest.fail "2x+3y=7 solvable");
+  check Alcotest.bool "gcd fails" true (Deptest.Dio.solve ~a:2 ~b:4 ~c:7 = None);
+  check Alcotest.bool "degenerate no-sol" true (Deptest.Dio.solve ~a:0 ~b:0 ~c:3 = None);
+  Alcotest.check_raises "0=0 rejected" (Invalid_argument "Dio.solve: degenerate 0 = 0 equation")
+    (fun () -> ignore (Deptest.Dio.solve ~a:0 ~b:0 ~c:0))
+
+let test_feasible_matches_enum () =
+  let cases = ref 0 in
+  for a = -3 to 3 do
+    for b = -3 to 3 do
+      if a <> 0 || b <> 0 then
+        for c = -6 to 6 do
+          let box = Interval.of_ints 1 5 in
+          let expected = enum ~a ~b ~c ~lo:1 ~hi:5 <> [] in
+          let got = Deptest.Dio.feasible ~a ~b ~c ~x_range:box ~y_range:box in
+          incr cases;
+          if expected <> got then
+            Alcotest.failf "feasible mismatch a=%d b=%d c=%d: want %b" a b c
+              expected
+        done
+    done
+  done;
+  check Alcotest.bool "ran cases" true (!cases > 500)
+
+let test_direction_sets () =
+  (* x - y = -1 over [1,5]: all solutions have y = x + 1 > x: only Lt *)
+  (match Deptest.Dio.solve ~a:1 ~b:(-1) ~c:(-1) with
+  | Some fam ->
+      let tr =
+        Deptest.Dio.t_range fam ~x_range:(Interval.of_ints 1 5)
+          ~y_range:(Interval.of_ints 1 5)
+      in
+      check dirset_t "pure Lt" (Deptest.Direction.single Deptest.Direction.Lt)
+        (Deptest.Dio.direction_sets fam ~t_range:tr)
+  | None -> Alcotest.fail "solvable");
+  (* x = 2y - 1 over [1,9]: solutions (1,1) eq, (3,2) gt, ... *)
+  match Deptest.Dio.solve ~a:1 ~b:(-2) ~c:(-1) with
+  | Some fam ->
+      let tr =
+        Deptest.Dio.t_range fam ~x_range:(Interval.of_ints 1 9)
+          ~y_range:(Interval.of_ints 1 9)
+      in
+      check dirset_t "eq and gt"
+        (Deptest.Direction.of_list [ Deptest.Direction.Eq; Deptest.Direction.Gt ])
+        (Deptest.Dio.direction_sets fam ~t_range:tr)
+  | None -> Alcotest.fail "solvable"
+
+let test_direction_sets_exhaustive () =
+  for a = -2 to 2 do
+    for b = -2 to 2 do
+      if a <> 0 || b <> 0 then
+        for c = -4 to 4 do
+          let sols = enum ~a ~b ~c ~lo:1 ~hi:6 in
+          let expected = dirs_of_sols sols in
+          let got =
+            match Deptest.Dio.solve ~a ~b ~c with
+            | None -> Deptest.Direction.empty_set
+            | Some fam ->
+                let box = Interval.of_ints 1 6 in
+                Deptest.Dio.direction_sets fam
+                  ~t_range:(Deptest.Dio.t_range fam ~x_range:box ~y_range:box)
+          in
+          if not (Deptest.Direction.set_equal expected got) then
+            Alcotest.failf "direction mismatch a=%d b=%d c=%d" a b c
+        done
+    done
+  done
+
+let test_unique () =
+  (* x + y = 2 over [1,1]: unique (1,1) *)
+  match Deptest.Dio.solve ~a:1 ~b:1 ~c:2 with
+  | Some fam ->
+      let tr =
+        Deptest.Dio.t_range fam ~x_range:(Interval.of_ints 1 1)
+          ~y_range:(Interval.of_ints 1 1)
+      in
+      check
+        (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+        "unique" (Some (1, 1))
+        (Deptest.Dio.unique fam ~t_range:tr)
+  | None -> Alcotest.fail "solvable"
+
+let prop_family_covers =
+  qtest "t_range covers exactly the in-box solutions"
+    QCheck.(
+      quad (int_range (-4) 4) (int_range (-4) 4) (int_range (-10) 10)
+        (pair (int_range 1 4) (int_range 4 9)))
+    (fun (a, b, c, (lo, hi)) ->
+      QCheck.assume (a <> 0 || b <> 0);
+      let sols = enum ~a ~b ~c ~lo ~hi in
+      match Deptest.Dio.solve ~a ~b ~c with
+      | None -> sols = []
+      | Some fam ->
+          let box = Interval.of_ints lo hi in
+          let tr = Deptest.Dio.t_range fam ~x_range:box ~y_range:box in
+          let family_sols =
+            match Interval.finite tr with
+            | Some (t1, t2) ->
+                List.init (t2 - t1 + 1) (fun k -> Deptest.Dio.value_at fam (t1 + k))
+            | None ->
+                if Interval.is_empty tr then []
+                else
+                  (* unbounded t range: both deltas zero *)
+                  [ Deptest.Dio.value_at fam 0 ]
+          in
+          List.sort_uniq compare family_sols = List.sort_uniq compare sols)
+
+let suite =
+  [
+    Alcotest.test_case "solve basics" `Quick test_solve_basic;
+    Alcotest.test_case "feasibility vs enumeration" `Quick test_feasible_matches_enum;
+    Alcotest.test_case "direction sets" `Quick test_direction_sets;
+    Alcotest.test_case "direction sets exhaustive" `Quick test_direction_sets_exhaustive;
+    Alcotest.test_case "unique solutions" `Quick test_unique;
+    prop_family_covers;
+  ]

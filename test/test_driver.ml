@@ -1,0 +1,218 @@
+(* The per-pair driver (§3) and whole-program analysis: partitioning,
+   merging, orientation, dependence kinds, levels, and the baseline
+   strategy. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+let test_pair_separable () =
+  let loops = loops2 ~hi:10 () in
+  (* A(I, J+1) vs A(I, J): distances (0, 1) *)
+  let w = Aref.linear "A" [ av i0; av ~c:1 j1 ] in
+  let r = Aref.linear "A" [ av i0; av j1 ] in
+  let t = Deptest.Pair_test.test ~src:(w, loops) ~snk:(r, loops) () in
+  (match t.Deptest.Pair_test.result with
+  | `Dependent info ->
+      check Alcotest.int "one direction vector" 1
+        (List.length info.Deptest.Pair_test.dirvecs);
+      check Alcotest.string "(=,<)" "(=,<)"
+        (Deptest.Dirvec.to_string (List.hd info.Deptest.Pair_test.dirvecs))
+  | `Independent -> Alcotest.fail "dependent expected");
+  check Alcotest.int "two separable" 2 t.Deptest.Pair_test.meta.Deptest.Pair_test.separable;
+  check Alcotest.int "no coupled" 0
+    t.Deptest.Pair_test.meta.Deptest.Pair_test.coupled_groups
+
+let test_pair_coupled_indep () =
+  let loops = loops1 ~hi:100 () in
+  (* the paper's intersection example *)
+  let w = Aref.linear "A" [ av ~c:1 i0; av ~c:2 i0 ] in
+  let r = Aref.linear "A" [ av i0; av i0 ] in
+  let t = Deptest.Pair_test.test ~src:(w, loops) ~snk:(r, loops) () in
+  check Alcotest.bool "independent" true (t.Deptest.Pair_test.result = `Independent);
+  (* the baseline strategy misses it *)
+  let tb =
+    Deptest.Pair_test.test ~strategy:Deptest.Pair_test.Subscript_by_subscript
+      ~src:(w, loops) ~snk:(r, loops) ()
+  in
+  check Alcotest.bool "baseline dependent" true
+    (tb.Deptest.Pair_test.result <> `Independent)
+
+let test_pair_nonlinear () =
+  let loops = loops1 () in
+  let w = Aref.make "A" [ Aref.Nonlinear "IX(I)" ] in
+  let r = Aref.make "A" [ Aref.Nonlinear "IX(I)" ] in
+  let t = Deptest.Pair_test.test ~src:(w, loops) ~snk:(r, loops) () in
+  check Alcotest.bool "conservative dependence" true
+    (t.Deptest.Pair_test.result <> `Independent);
+  check Alcotest.int "nonlinear counted" 1
+    t.Deptest.Pair_test.meta.Deptest.Pair_test.nonlinear
+
+let test_pair_scalar () =
+  let loops = loops1 () in
+  let s = Aref.make "T" [] in
+  let t = Deptest.Pair_test.test ~src:(s, loops) ~snk:(s, loops) () in
+  check Alcotest.bool "scalar always dependent" true
+    (t.Deptest.Pair_test.result <> `Independent)
+
+let test_pair_rank_mismatch () =
+  let loops = loops1 () in
+  let a1 = Aref.linear "A" [ av i0 ] in
+  let a2 = Aref.linear "A" [ av i0; av i0 ] in
+  let t = Deptest.Pair_test.test ~src:(a1, loops) ~snk:(a2, loops) () in
+  check Alcotest.bool "conservative on rank mismatch" true
+    (t.Deptest.Pair_test.result <> `Independent)
+
+let test_sibling_loop_renaming () =
+  (* two sibling loops (distinct indices, as the frontend guarantees by
+     uniquification): the pair has no common loops, and the analysis must
+     use each side's own range *)
+  let iA = idx "I" and iB = idx "I_2" in
+  let loopsA = [ loop ~lo:1 ~hi:10 iA ] in
+  let loopsB = [ loop ~lo:11 ~hi:20 iB ] in
+  let w = Aref.linear "A" [ av iA ] in
+  let r = Aref.linear "A" [ av ~c:(-15) iB ] in
+  (* write A(1..10); read A(-4..5): overlap 1..5: dependent *)
+  let t = Deptest.Pair_test.test ~src:(w, loopsA) ~snk:(r, loopsB) () in
+  check Alcotest.bool "cross-nest dependence found" true
+    (t.Deptest.Pair_test.result <> `Independent);
+  (* read A(16..25): no overlap with 1..10 *)
+  let r2 = Aref.linear "A" [ av ~c:5 iB ] in
+  let t2 = Deptest.Pair_test.test ~src:(w, loopsA) ~snk:(r2, loopsB) () in
+  check Alcotest.bool "cross-nest independence" true
+    (t2.Deptest.Pair_test.result = `Independent)
+
+let test_decompose () =
+  let v =
+    [| Deptest.Direction.full_set; Deptest.Direction.single Deptest.Direction.Lt |]
+  in
+  let parts = Deptest.Analyze.decompose v in
+  (* level 1 forward (<, <-part), level1 backward, and =-prefix with
+     (=,<) at level 2 forward; no loop-independent since position 1 is Lt *)
+  let levels =
+    List.map (fun (l, _, o) -> (l, o)) parts |> List.sort compare
+  in
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.option Alcotest.int)
+                      (Alcotest.testable
+                         (fun ppf -> function
+                           | `Forward -> Format.pp_print_string ppf "fwd"
+                           | `Backward -> Format.pp_print_string ppf "bwd")
+                         ( = ))))
+    "decomposition"
+    [ (Some 1, `Backward); (Some 1, `Forward); (Some 2, `Forward) ]
+    levels
+
+let test_program_kinds () =
+  let deps =
+    deps_of
+      {|
+      DO 10 I = 2, 50
+        A(I) = B(I) + 1
+        B(I) = A(I-1) + A(I+1)
+   10 CONTINUE
+|}
+  in
+  let kinds =
+    List.map
+      (fun d -> (d.Deptest.Dep.src_stmt, d.Deptest.Dep.snk_stmt, d.Deptest.Dep.kind))
+      deps
+    |> List.sort_uniq compare
+  in
+  (* S0 writes A(I); S1 reads A(I-1) (flow, d=1) and A(I+1) (anti
+     backward: S1 reads A(I+1) before S0 writes it next iteration ->
+     anti S1 -> S0). S1 writes B(I), S0 reads B(I): anti S0->S1
+     loop-independent? S0 reads B(I) first (id 0 < 1): flow? S1 writes
+     B(I) AFTER S0 read it in the same iteration: anti S0 -> S1. *)
+  check Alcotest.bool "flow S0->S1" true
+    (List.mem (0, 1, Deptest.Dep.Flow) kinds);
+  check Alcotest.bool "anti S1->S0" true
+    (List.mem (1, 0, Deptest.Dep.Anti) kinds);
+  check Alcotest.bool "anti S0->S1 (B)" true
+    (List.mem (0, 1, Deptest.Dep.Anti) kinds)
+
+let test_levels () =
+  let deps =
+    deps_of
+      {|
+      DO 20 I = 2, 20
+      DO 10 J = 2, 20
+        A(I,J) = A(I,J-1) + A(I-1,J)
+   10 CONTINUE
+   20 CONTINUE
+|}
+  in
+  let levels = List.filter_map (fun d -> d.Deptest.Dep.level) deps in
+  check (Alcotest.list Alcotest.int) "levels 1 and 2" [ 1; 2 ]
+    (List.sort_uniq compare levels)
+
+let test_loop_independent () =
+  let deps =
+    deps_of
+      {|
+      DO 10 I = 1, 20
+        A(I) = B(I)
+        C(I) = A(I)
+   10 CONTINUE
+|}
+  in
+  match deps with
+  | [ d ] ->
+      check (Alcotest.option Alcotest.int) "loop independent" None
+        d.Deptest.Dep.level;
+      check Alcotest.bool "flow" true (d.Deptest.Dep.kind = Deptest.Dep.Flow)
+  | _ -> Alcotest.failf "expected exactly one dependence, got %d" (List.length deps)
+
+let test_input_deps () =
+  let prog = parse {|
+      DO 10 I = 1, 20
+        A(I) = B(I) + B(I-1)
+   10 CONTINUE
+|} in
+  let no_inputs = Deptest.Analyze.deps_of prog in
+  check Alcotest.bool "no input deps by default" true
+    (List.for_all (fun d -> d.Deptest.Dep.kind <> Deptest.Dep.Input) no_inputs);
+  let with_inputs =
+    Deptest.Analyze.deps_of
+      ~options:{ Deptest.Analyze.default_options with include_inputs = true }
+      prog
+  in
+  check Alcotest.bool "input deps on demand" true
+    (List.exists (fun d -> d.Deptest.Dep.kind = Deptest.Dep.Input) with_inputs)
+
+let test_depgraph () =
+  let deps =
+    deps_of
+      {|
+      DO 10 I = 2, 20
+        A(I) = A(I-1) + B(I)
+        C(I) = A(I)
+   10 CONTINUE
+|}
+  in
+  let g = Deptest.Depgraph.build deps in
+  check Alcotest.bool "has self flow" true
+    (List.exists
+       (fun d -> d.Deptest.Dep.snk_stmt = 0)
+       (Deptest.Depgraph.succs g 0));
+  check Alcotest.bool "edge 0->1" true
+    (Deptest.Depgraph.edges_between g ~src:0 ~snk:1 <> []);
+  check Alcotest.int "carried at 1" 1
+    (List.length (Deptest.Depgraph.carried_at g ~level:1))
+
+let suite =
+  [
+    Alcotest.test_case "separable merging" `Quick test_pair_separable;
+    Alcotest.test_case "coupled beats baseline" `Quick test_pair_coupled_indep;
+    Alcotest.test_case "nonlinear conservative" `Quick test_pair_nonlinear;
+    Alcotest.test_case "scalar references" `Quick test_pair_scalar;
+    Alcotest.test_case "rank mismatch" `Quick test_pair_rank_mismatch;
+    Alcotest.test_case "sibling loop renaming" `Quick test_sibling_loop_renaming;
+    Alcotest.test_case "vector decomposition" `Quick test_decompose;
+    Alcotest.test_case "dependence kinds" `Quick test_program_kinds;
+    Alcotest.test_case "carried levels" `Quick test_levels;
+    Alcotest.test_case "loop-independent deps" `Quick test_loop_independent;
+    Alcotest.test_case "input dependences" `Quick test_input_deps;
+    Alcotest.test_case "dependence graph" `Quick test_depgraph;
+  ]

@@ -1,0 +1,115 @@
+(* The source emitter and multi-routine units. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+let dep_signature (d : Deptest.Dep.t) =
+  Format.asprintf "%d>%d %s %a %s" d.Deptest.Dep.src_stmt d.Deptest.Dep.snk_stmt
+    (Deptest.Dep.kind_name d.Deptest.Dep.kind)
+    Deptest.Dirvec.pp d.Deptest.Dep.dirvec
+    (match d.Deptest.Dep.level with
+    | Some k -> string_of_int k
+    | None -> "li")
+
+let signatures prog =
+  List.map dep_signature (Deptest.Analyze.deps_of prog)
+  |> List.sort_uniq compare
+
+let test_emit_roundtrip_fixed () =
+  let src = {|
+      DO 20 I = 2, N
+        DO 10 J = 2, M
+          A(I,J) = A(I-1,J) + A(I,J-1)
+   10   CONTINUE
+   20 CONTINUE
+|} in
+  let prog = parse src in
+  let emitted = Dt_frontend.Emit.program prog in
+  let prog2 = parse emitted in
+  check (Alcotest.list Alcotest.string) "same dependences" (signatures prog)
+    (signatures prog2)
+
+let test_emit_distributed () =
+  let prog = parse {|
+      DO 10 I = 2, 100
+        A(I) = A(I-1) + B(I)
+        C(I) = B(I) + D(I)
+   10 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let dist = Dt_transform.Distribute.run prog deps in
+  let emitted = Dt_frontend.Emit.program dist in
+  (* the emitted distributed program must parse and expose the parallel
+     second loop *)
+  let prog2 = parse emitted in
+  let deps2 = Deptest.Analyze.deps_of prog2 in
+  let reports = Dt_transform.Parallel.analyze prog2 deps2 in
+  check Alcotest.int "two loops" 2 (List.length reports);
+  check Alcotest.int "one parallel" 1
+    (List.length (List.filter (fun r -> r.Dt_transform.Parallel.parallel) reports))
+
+let prop_emit_roundtrip =
+  qtest ~count:300 "parse(emit(p)) has the same dependences as p"
+    (QCheck.make
+       (QCheck.Gen.map
+          (fun seed ->
+            let st = Random.State.make [| seed |] in
+            Dt_workloads.Generator.program st
+              { Dt_workloads.Generator.default with max_bound = 8 }
+              ~stmts:3)
+          QCheck.Gen.int))
+    (fun prog ->
+      let emitted = Dt_frontend.Emit.program prog in
+      match Dt_frontend.Lower.parse emitted with
+      | prog2 -> signatures prog = signatures prog2
+      | exception _ -> false)
+
+let test_multi_routine () =
+  let unit = Dt_frontend.Lower.parse_unit {|
+      SUBROUTINE FIRST
+      DO 10 I = 1, N
+        A(I) = A(I-1)
+   10 CONTINUE
+      END
+      SUBROUTINE SECOND
+      DO 10 I = 1, N
+        B(I) = B(I+1)
+   10 CONTINUE
+      END
+|} in
+  check Alcotest.int "two routines" 2 (List.length unit);
+  check (Alcotest.list Alcotest.string) "names" [ "FIRST"; "SECOND" ]
+    (List.map (fun p -> p.Nest.name) unit);
+  (* each analyzes independently *)
+  List.iter
+    (fun p ->
+      check Alcotest.int "one dep each" 1
+        (List.length (Deptest.Analyze.deps_of p)))
+    unit
+
+let test_multi_routine_lines () =
+  let unit = Dt_frontend.Lower.parse_unit {|
+      SUBROUTINE A1
+      X(1) = 0
+      END
+      SUBROUTINE A2
+      X(1) = 0
+      X(2) = 0
+      END
+|} in
+  match unit with
+  | [ a1; a2 ] ->
+      check Alcotest.bool "line counts per routine" true
+        (a1.Nest.source_lines <= a2.Nest.source_lines)
+  | _ -> Alcotest.fail "two routines expected"
+
+let suite =
+  [
+    Alcotest.test_case "round-trip fixed program" `Quick test_emit_roundtrip_fixed;
+    Alcotest.test_case "emit distributed program" `Quick test_emit_distributed;
+    prop_emit_roundtrip;
+    Alcotest.test_case "multi-routine unit" `Quick test_multi_routine;
+    Alcotest.test_case "per-routine line counts" `Quick test_multi_routine_lines;
+  ]

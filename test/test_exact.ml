@@ -1,0 +1,223 @@
+(* The exact comparators: Fourier-Motzkin, multidimensional GCD, the Power
+   test, and the brute-force oracle itself. *)
+
+open Dt_ir
+open Dt_support
+open Helpers
+
+let check = Alcotest.check
+let r = Ratio.of_int
+
+let le coeffs bound =
+  Dt_exact.Fm.make ~coeffs:(Array.map r (Array.of_list coeffs)) ~cmp:Dt_exact.Fm.Le ~bound:(r bound)
+
+let eq coeffs bound =
+  Dt_exact.Fm.make ~coeffs:(Array.map r (Array.of_list coeffs)) ~cmp:Dt_exact.Fm.Eq ~bound:(r bound)
+
+let test_fm_feasible () =
+  (* x >= 1, x <= 5 *)
+  check Alcotest.bool "box" true
+    (Dt_exact.Fm.feasible ~nvars:1 [ le [ -1 ] (-1); le [ 1 ] 5 ]);
+  check Alcotest.bool "empty box" false
+    (Dt_exact.Fm.feasible ~nvars:1 [ le [ -1 ] (-6); le [ 1 ] 5 ]);
+  (* x + y <= 3, x >= 2, y >= 2 *)
+  check Alcotest.bool "triangle infeasible" false
+    (Dt_exact.Fm.feasible ~nvars:2 [ le [ 1; 1 ] 3; le [ -1; 0 ] (-2); le [ 0; -1 ] (-2) ]);
+  check Alcotest.bool "triangle feasible" true
+    (Dt_exact.Fm.feasible ~nvars:2 [ le [ 1; 1 ] 5; le [ -1; 0 ] (-2); le [ 0; -1 ] (-2) ]);
+  (* equality: x = y, x <= 1, y >= 3 *)
+  check Alcotest.bool "equality chain" false
+    (Dt_exact.Fm.feasible ~nvars:2 [ eq [ 1; -1 ] 0; le [ 1; 0 ] 1; le [ 0; -1 ] (-3) ]);
+  (* rational-only solutions are fine for FM: 2x = 1 *)
+  check Alcotest.bool "rational point" true
+    (Dt_exact.Fm.feasible ~nvars:1 [ eq [ 2 ] 1 ]);
+  (* no constraints *)
+  check Alcotest.bool "vacuous" true (Dt_exact.Fm.feasible ~nvars:3 [])
+
+let test_mdgcd () =
+  (* x + 2y = 5 solvable *)
+  (match Dt_exact.Mdgcd.solve ~a:[| [| 1; 2 |] |] ~b:[| 5 |] with
+  | Some s ->
+      let x = s.Dt_exact.Mdgcd.particular in
+      check Alcotest.int "solution" 5 (x.(0) + (2 * x.(1)));
+      check Alcotest.int "kernel rank" 1 (Array.length s.Dt_exact.Mdgcd.kernel);
+      let k = s.Dt_exact.Mdgcd.kernel.(0) in
+      check Alcotest.int "kernel in nullspace" 0 (k.(0) + (2 * k.(1)))
+  | None -> Alcotest.fail "solvable");
+  (* 2x + 4y = 5: no integer solution *)
+  check Alcotest.bool "gcd infeasible" true
+    (Dt_exact.Mdgcd.solve ~a:[| [| 2; 4 |] |] ~b:[| 5 |] = None);
+  (* system: x + y = 4, x - y = 2 -> (3,1) *)
+  (match Dt_exact.Mdgcd.solve ~a:[| [| 1; 1 |]; [| 1; -1 |] |] ~b:[| 4; 2 |] with
+  | Some s ->
+      check Alcotest.int "unique x" 3 s.Dt_exact.Mdgcd.particular.(0);
+      check Alcotest.int "unique y" 1 s.Dt_exact.Mdgcd.particular.(1);
+      check Alcotest.int "no kernel" 0 (Array.length s.Dt_exact.Mdgcd.kernel)
+  | None -> Alcotest.fail "solvable");
+  (* inconsistent: x + y = 1, x + y = 2 *)
+  check Alcotest.bool "inconsistent rows" true
+    (Dt_exact.Mdgcd.solve ~a:[| [| 1; 1 |]; [| 1; 1 |] |] ~b:[| 1; 2 |] = None);
+  (* redundant rows are fine *)
+  check Alcotest.bool "redundant rows" true
+    (Dt_exact.Mdgcd.solve ~a:[| [| 1; 1 |]; [| 2; 2 |] |] ~b:[| 3; 6 |] <> None)
+
+let prop_mdgcd_random =
+  qtest "mdgcd solutions satisfy the system; kernel spans the nullspace"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 3)
+           (list_of_size (Gen.return 4) (int_range (-5) 5)))
+        (list_of_size (Gen.int_range 1 3) (int_range (-10) 10)))
+    (fun (rows, b) ->
+      QCheck.assume (rows <> []);
+      let m = min (List.length rows) (List.length b) in
+      let a =
+        Array.of_list (Dt_support.Listx.take m (List.map Array.of_list rows))
+      in
+      let b = Array.of_list (Dt_support.Listx.take m b) in
+      match Dt_exact.Mdgcd.solve ~a ~b with
+      | None -> true (* checked against brute force elsewhere via Power *)
+      | Some s ->
+          let dot row x =
+            let acc = ref 0 in
+            Array.iteri (fun i c -> acc := !acc + (c * x.(i))) row;
+            !acc
+          in
+          Array.for_all
+            (fun (row, rhs) -> dot row s.Dt_exact.Mdgcd.particular = rhs)
+            (Array.mapi (fun i row -> (row, b.(i))) a)
+          && Array.for_all
+               (fun k -> Array.for_all (fun row -> dot row k = 0) a)
+               s.Dt_exact.Mdgcd.kernel)
+
+let test_power_basic () =
+  let loops = loops1 ~hi:10 () in
+  let mk f = Aref.linear "A" [ f ] in
+  (* A(2I) vs A(2I+1): independent *)
+  check Alcotest.bool "parity" true
+    (Dt_exact.Power.test
+       ~src:(mk (av ~k:2 i0), loops)
+       ~snk:(mk (av ~k:2 ~c:1 i0), loops)
+       ()
+    = `Independent);
+  (* A(I+20) vs A(I) over [1,10]: bounds exclude *)
+  check Alcotest.bool "bounds exclude" true
+    (Dt_exact.Power.test
+       ~src:(mk (av ~c:20 i0), loops)
+       ~snk:(mk (av i0), loops)
+       ()
+    = `Independent);
+  (* A(I+1) vs A(I): dependent, direction < only *)
+  match
+    Dt_exact.Power.vectors
+      ~src:(mk (av ~c:1 i0), loops)
+      ~snk:(mk (av i0), loops)
+      ()
+  with
+  | `Vectors [ [ Deptest.Direction.Lt ] ] -> ()
+  | `Vectors _ -> Alcotest.fail "expected exactly (<)"
+  | `Independent -> Alcotest.fail "dependent expected"
+
+let test_power_triangular () =
+  (* DO I = 1, 10; DO J = 1, I-1: A(I,J) vs A(J,I): within the strict
+     lower triangle a transposed write/read never collides *)
+  let loops =
+    [
+      loop ~hi:10 i0;
+      loop_aff j1 ~lo:(Affine.const 1)
+        ~hi:(Affine.add_const (-1) (Affine.of_index i0));
+    ]
+  in
+  let w = Aref.linear "A" [ av i0; av j1 ] in
+  let rd = Aref.linear "A" [ av j1; av i0 ] in
+  check Alcotest.bool "triangular transpose independent" true
+    (Dt_exact.Power.test ~src:(w, loops) ~snk:(rd, loops) () = `Independent)
+
+let test_power_symbolic () =
+  (* symbolic bound: A(I+N) vs A(I) over [1,N] — N is a free variable to
+     the Power test, which cannot exclude N <= 0... but bounds 1 <= alpha
+     <= N force N >= 1, so alpha + N >= beta + 1 always: independent. *)
+  let n = Affine.of_sym "N" in
+  let loops = [ loop_aff i0 ~lo:(Affine.const 1) ~hi:n ] in
+  let mk f = Aref.linear "A" [ f ] in
+  check Alcotest.bool "symbolic cancel" true
+    (Dt_exact.Power.test
+       ~src:(mk (Affine.add (av i0) n), loops)
+       ~snk:(mk (av i0), loops)
+       ()
+    = `Independent)
+
+let test_brute () =
+  let loops = loops1 ~hi:10 () in
+  let mk f = Aref.linear "A" [ f ] in
+  (match
+     Dt_exact.Brute.test ~src:(mk (av ~c:1 i0), loops) ~snk:(mk (av i0), loops) ()
+   with
+  | Some rep ->
+      check Alcotest.bool "dependent" true rep.Dt_exact.Brute.dependent;
+      check Alcotest.int "witnesses" 9 rep.Dt_exact.Brute.witnesses;
+      check
+        (Alcotest.array (Alcotest.option Alcotest.int))
+        "distance" [| Some 1 |] rep.Dt_exact.Brute.distances
+  | None -> Alcotest.fail "oracle should run");
+  (* nonlinear: no verdict *)
+  let nl = Aref.make "A" [ Aref.Nonlinear "IX(I)" ] in
+  check Alcotest.bool "nonlinear n/a" true
+    (Dt_exact.Brute.test ~src:(nl, loops) ~snk:(nl, loops) () = None)
+
+(* agreement: Power vs Brute on random concrete pairs *)
+let prop_power_vs_brute =
+  qtest ~count:200 "Power test agrees with the brute-force oracle"
+    (QCheck.make
+       ~print:(fun (a, b, _) -> Aref.to_string a ^ " vs " ^ Aref.to_string b)
+       (QCheck.Gen.map
+          (fun seed ->
+            let st = Random.State.make [| seed |] in
+            Dt_workloads.Generator.ref_pair st Dt_workloads.Generator.default)
+          QCheck.Gen.int))
+    (fun (src, snk, loops) ->
+      match Dt_exact.Brute.test ~src:(src, loops) ~snk:(snk, loops) () with
+      | None -> true
+      | Some rep -> (
+          match Dt_exact.Power.test ~src:(src, loops) ~snk:(snk, loops) () with
+          | `Independent ->
+              (* soundness: an Independent verdict must match the oracle *)
+              not rep.Dt_exact.Brute.dependent
+          | `Maybe ->
+              (* `Maybe` is always sound; FM's rational relaxation can
+                 rarely miss an integer gap, so exactness of `Maybe` is
+                 not required here (the superset property below pins the
+                 precision) *)
+              true))
+
+let prop_power_vectors_superset =
+  qtest ~count:150 "Power direction vectors cover all observed vectors"
+    (QCheck.make
+       (QCheck.Gen.map
+          (fun seed ->
+            let st = Random.State.make [| seed |] in
+            Dt_workloads.Generator.ref_pair st Dt_workloads.Generator.default)
+          QCheck.Gen.int))
+    (fun (src, snk, loops) ->
+      match Dt_exact.Brute.test ~src:(src, loops) ~snk:(snk, loops) () with
+      | None -> true
+      | Some rep -> (
+          match Dt_exact.Power.vectors ~src:(src, loops) ~snk:(snk, loops) () with
+          | `Independent -> rep.Dt_exact.Brute.dirvecs = []
+          | `Vectors vs ->
+              List.for_all
+                (fun observed -> List.mem observed vs)
+                rep.Dt_exact.Brute.dirvecs))
+
+let suite =
+  [
+    Alcotest.test_case "Fourier-Motzkin feasibility" `Quick test_fm_feasible;
+    Alcotest.test_case "multidimensional GCD" `Quick test_mdgcd;
+    prop_mdgcd_random;
+    Alcotest.test_case "Power test basics" `Quick test_power_basic;
+    Alcotest.test_case "Power triangular" `Quick test_power_triangular;
+    Alcotest.test_case "Power symbolic" `Quick test_power_symbolic;
+    Alcotest.test_case "brute oracle" `Quick test_brute;
+    prop_power_vs_brute;
+    prop_power_vectors_superset;
+  ]

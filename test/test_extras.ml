@@ -1,0 +1,253 @@
+(* Additional coverage: specialization, scalar replacement, iteration
+   spaces, outcome algebra, counters, and frontend expression corners. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+(* --- Specialize --------------------------------------------------------- *)
+
+let test_specialize_affine () =
+  let a =
+    Affine.add (av ~k:2 i0)
+      (Affine.add (Affine.of_sym ~coeff:3 "N") (Affine.of_sym "M"))
+  in
+  let s = Specialize.affine a ~bindings:[ ("N", 10) ] in
+  check affine_t "N bound, M kept"
+    (Affine.add (av ~k:2 ~c:30 i0) (Affine.of_sym "M"))
+    s
+
+let test_specialize_program () =
+  let prog = parse {|
+      DO 10 I = 1, N
+        A(I+N) = A(I) + B(I)
+   10 CONTINUE
+|} in
+  let spec = Specialize.program prog ~bindings:[ ("N", 20) ] in
+  let l = List.hd (Nest.all_loops spec) in
+  check (Alcotest.option Alcotest.int) "bound concrete" (Some 20)
+    (Affine.as_const l.Loop.hi);
+  (* the specialized program is oracle-checkable and still independent *)
+  let deps = Deptest.Analyze.deps_of spec in
+  check Alcotest.int "still independent" 0
+    (List.length (List.filter (fun d -> d.Deptest.Dep.array = "A") deps));
+  check (Alcotest.list Alcotest.string) "no symbols left" []
+    (Nest.symbolics spec)
+
+(* --- Scalar replacement -------------------------------------------------- *)
+
+let test_scalar_replace () =
+  let prog = parse {|
+      DO 10 I = 3, 100
+        A(I) = A(I-2) + B(I)
+   10 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  match Dt_transform.Scalar_replace.suggest prog deps with
+  | [ c ] ->
+      check Alcotest.int "distance 2" 2 c.Dt_transform.Scalar_replace.distance;
+      check Alcotest.int "3 registers" 3 c.Dt_transform.Scalar_replace.registers
+  | l -> Alcotest.failf "expected one candidate, got %d" (List.length l)
+
+let test_scalar_replace_limits () =
+  (* far distances are not candidates *)
+  let prog = parse {|
+      DO 10 I = 30, 100
+        A(I) = A(I-25) + B(I)
+   10 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  check Alcotest.int "too far" 0
+    (List.length (Dt_transform.Scalar_replace.suggest prog deps));
+  (* outer-carried dependences are not innermost reuse *)
+  let prog2 = parse {|
+      DO 20 I = 2, 50
+      DO 10 J = 1, 50
+        A(I,J) = A(I-1,J) + B(I,J)
+   10 CONTINUE
+   20 CONTINUE
+|} in
+  let deps2 = Deptest.Analyze.deps_of prog2 in
+  check Alcotest.int "outer carry excluded" 0
+    (List.length (Dt_transform.Scalar_replace.suggest prog2 deps2))
+
+(* --- Iter_space ----------------------------------------------------------- *)
+
+let test_iter_space () =
+  let loops = [ loop ~hi:3 i0; loop ~hi:2 j1 ] in
+  let sym_env _ = 0 in
+  (match Iter_space.enumerate ~loops ~sym_env ~max_points:100 with
+  | Some pts ->
+      check Alcotest.int "6 points" 6 (List.length pts);
+      let first = List.hd pts in
+      check Alcotest.int "lex order first I" 1 (Iter_space.lookup first i0);
+      check Alcotest.int "lex order first J" 1 (Iter_space.lookup first j1)
+  | None -> Alcotest.fail "enumerable");
+  check (Alcotest.option Alcotest.int) "size" (Some 6)
+    (Iter_space.size ~loops ~sym_env);
+  (* budget exceeded *)
+  check Alcotest.bool "budget" true
+    (Iter_space.enumerate ~loops ~sym_env ~max_points:5 = None);
+  (* triangular *)
+  let tri =
+    [
+      loop ~hi:4 i0;
+      loop_aff j1 ~lo:(Affine.const 1) ~hi:(Affine.of_index i0);
+    ]
+  in
+  check (Alcotest.option Alcotest.int) "triangular size 1+2+3+4" (Some 10)
+    (Iter_space.size ~loops:tri ~sym_env);
+  (* empty loop *)
+  let empty = [ loop ~lo:5 ~hi:2 i0 ] in
+  check (Alcotest.option Alcotest.int) "empty" (Some 0)
+    (Iter_space.size ~loops:empty ~sym_env)
+
+(* --- Outcome algebra ------------------------------------------------------ *)
+
+let test_outcome_and () =
+  let d1 =
+    Deptest.Outcome.dep1 i0
+      (Deptest.Direction.of_list [ Deptest.Direction.Lt; Deptest.Direction.Eq ])
+      (Deptest.Outcome.Const 1)
+  in
+  let d2 =
+    Deptest.Outcome.dep1 i0
+      (Deptest.Direction.of_list [ Deptest.Direction.Eq; Deptest.Direction.Gt ])
+      Deptest.Outcome.Unknown
+  in
+  (match Deptest.Outcome.and_outcomes d1 d2 with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check dirset_t "intersected" (Deptest.Direction.single Deptest.Direction.Eq)
+        d.Deptest.Outcome.dirs;
+      check Alcotest.bool "dist kept" true
+        (d.Deptest.Outcome.dist = Deptest.Outcome.Const 1)
+  | _ -> Alcotest.fail "dependent expected");
+  (* empty intersection becomes independence *)
+  let d3 =
+    Deptest.Outcome.dep1 i0
+      (Deptest.Direction.single Deptest.Direction.Gt)
+      Deptest.Outcome.Unknown
+  in
+  check outcome_t "conflict -> independent" Deptest.Outcome.Independent
+    (Deptest.Outcome.and_outcomes d1 d3);
+  check outcome_t "independent absorbs" Deptest.Outcome.Independent
+    (Deptest.Outcome.and_outcomes Deptest.Outcome.Independent d1)
+
+let test_dirs_of_dist () =
+  let a =
+    Deptest.Assume.add_nonneg Deptest.Assume.empty
+      (Affine.add_const (-1) (Affine.of_sym "N"))
+  in
+  check dirset_t "const pos" (Deptest.Direction.single Deptest.Direction.Lt)
+    (Deptest.Outcome.dirs_of_dist a (Deptest.Outcome.Const 3));
+  check dirset_t "sym pos" (Deptest.Direction.single Deptest.Direction.Lt)
+    (Deptest.Outcome.dirs_of_dist a (Deptest.Outcome.Sym (Affine.of_sym "N")));
+  check dirset_t "sym nonneg"
+    (Deptest.Direction.of_list [ Deptest.Direction.Lt; Deptest.Direction.Eq ])
+    (Deptest.Outcome.dirs_of_dist a
+       (Deptest.Outcome.Sym (Affine.add_const (-1) (Affine.of_sym "N"))));
+  check dirset_t "unknown" Deptest.Direction.full_set
+    (Deptest.Outcome.dirs_of_dist a (Deptest.Outcome.Sym (Affine.of_sym "M")))
+
+(* --- Counters ------------------------------------------------------------- *)
+
+let test_counters () =
+  let c = Deptest.Counters.create () in
+  Deptest.Counters.record c Deptest.Counters.Strong_siv ~indep:false;
+  Deptest.Counters.record c Deptest.Counters.Strong_siv ~indep:true;
+  Deptest.Counters.record c Deptest.Counters.Gcd_miv ~indep:true;
+  check Alcotest.int "applied" 2
+    (Deptest.Counters.applied c Deptest.Counters.Strong_siv);
+  check Alcotest.int "indep" 1
+    (Deptest.Counters.proved_indep c Deptest.Counters.Strong_siv);
+  let c2 = Deptest.Counters.create () in
+  Deptest.Counters.record c2 Deptest.Counters.Strong_siv ~indep:true;
+  Deptest.Counters.merge_into c c2;
+  check Alcotest.int "merged" 3
+    (Deptest.Counters.applied c Deptest.Counters.Strong_siv)
+
+(* --- Frontend expression corners ------------------------------------------ *)
+
+let test_expr_precedence () =
+  let prog = parse {|
+      DO 10 I = 1, 50
+        A(2*I+3-I) = B(I)
+   10 CONTINUE
+|} in
+  let s = List.hd (Nest.all_stmts prog) in
+  match (List.hd s.Stmt.writes).Aref.subs with
+  | [ Aref.Linear a ] ->
+      let l = List.hd (Nest.all_loops prog) in
+      check Alcotest.int "2I+3-I -> coeff 1" 1 (Affine.coeff a l.Loop.index);
+      check Alcotest.int "const 3" 3 (Affine.const_part a)
+  | _ -> Alcotest.fail "linear expected"
+
+let test_unary_and_parens () =
+  let prog = parse {|
+      DO 10 I = 1, 50
+        A(-(I-2)) = B(+I)
+   10 CONTINUE
+|} in
+  let s = List.hd (Nest.all_stmts prog) in
+  match (List.hd s.Stmt.writes).Aref.subs with
+  | [ Aref.Linear a ] ->
+      let l = List.hd (Nest.all_loops prog) in
+      check Alcotest.int "-(I-2) coeff" (-1) (Affine.coeff a l.Loop.index);
+      check Alcotest.int "-(I-2) const" 2 (Affine.const_part a)
+  | _ -> Alcotest.fail "linear expected"
+
+let test_intrinsic_args_are_reads () =
+  let prog = parse {|
+      DO 10 I = 1, 50
+        A(I) = MAX(B(I), C(I+1))
+   10 CONTINUE
+|} in
+  let s = List.hd (Nest.all_stmts prog) in
+  let bases =
+    List.map (fun (r : Aref.t) -> r.Aref.base) s.Stmt.reads
+    |> List.sort_uniq compare
+  in
+  check (Alcotest.list Alcotest.string) "B and C read, MAX not" [ "B"; "C" ]
+    bases
+
+let test_pair_common_prefix () =
+  (* imperfect nesting: statement at depth 1 vs depth 2 share one loop *)
+  let prog = parse {|
+      DO 20 I = 2, 30
+        A(I) = A(I-1) + 1
+        DO 10 J = 1, 30
+          B(I,J) = A(I) + B(I,J-1)
+   10   CONTINUE
+   20 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let a_deps =
+    List.filter
+      (fun d ->
+        d.Deptest.Dep.array = "A"
+        && d.Deptest.Dep.src_stmt <> d.Deptest.Dep.snk_stmt)
+      deps
+  in
+  check Alcotest.bool "cross-depth A dep exists" true (a_deps <> []);
+  List.iter
+    (fun d ->
+      check Alcotest.int "vector over 1 common loop" 1
+        (Array.length d.Deptest.Dep.dirvec))
+    a_deps
+
+let suite =
+  [
+    Alcotest.test_case "specialize affine" `Quick test_specialize_affine;
+    Alcotest.test_case "specialize program" `Quick test_specialize_program;
+    Alcotest.test_case "scalar replacement" `Quick test_scalar_replace;
+    Alcotest.test_case "scalar replacement limits" `Quick test_scalar_replace_limits;
+    Alcotest.test_case "iteration spaces" `Quick test_iter_space;
+    Alcotest.test_case "outcome conjunction" `Quick test_outcome_and;
+    Alcotest.test_case "directions from distances" `Quick test_dirs_of_dist;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "expression precedence" `Quick test_expr_precedence;
+    Alcotest.test_case "unary and parens" `Quick test_unary_and_parens;
+    Alcotest.test_case "intrinsic arguments" `Quick test_intrinsic_args_are_reads;
+    Alcotest.test_case "imperfect nesting" `Quick test_pair_common_prefix;
+  ]

@@ -1,0 +1,227 @@
+(* The mini-Fortran frontend: lexer, parser, loop nesting, lowering and
+   normalization. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+let test_lexer () =
+  let toks = Dt_frontend.Lexer.tokenize "DO 10 i = 1, n\n" in
+  let kinds = List.map (fun t -> t.Dt_frontend.Token.tok) toks in
+  check Alcotest.int "token count" 9 (List.length kinds);
+  check Alcotest.bool "uppercased" true
+    (List.mem (Dt_frontend.Token.IDENT "N") kinds);
+  (* comments and blank lines vanish *)
+  let toks2 = Dt_frontend.Lexer.tokenize "C comment line\n\n* another\nX = 1 ! tail\n" in
+  check Alcotest.bool "comment stripped" true
+    (not
+       (List.exists
+          (fun t -> t.Dt_frontend.Token.tok = Dt_frontend.Token.IDENT "COMMENT")
+          toks2));
+  check Alcotest.bool "inline comment stripped" true
+    (not
+       (List.exists
+          (fun t -> t.Dt_frontend.Token.tok = Dt_frontend.Token.IDENT "TAIL")
+          toks2))
+
+let test_lexer_continuation () =
+  let src = "      X = A(I) +\n     & B(I)\n" in
+  let toks = Dt_frontend.Lexer.tokenize src in
+  check Alcotest.int "one newline" 1
+    (List.length
+       (List.filter (fun t -> t.Dt_frontend.Token.tok = Dt_frontend.Token.NEWLINE) toks))
+
+let test_lexer_errors () =
+  check Alcotest.bool "illegal char" true
+    (try
+       ignore (Dt_frontend.Lexer.tokenize "X = @\n");
+       false
+     with Dt_frontend.Lexer.Error _ -> true)
+
+let test_parser_structure () =
+  let ast = Dt_frontend.Parser.parse {|
+      PROGRAM T
+      DO 10 I = 1, 10
+        A(I) = B(I)
+   10 CONTINUE
+      END
+|} in
+  check Alcotest.string "program name" "T" ast.Dt_frontend.Ast.name;
+  match ast.Dt_frontend.Ast.body with
+  | [ Dt_frontend.Ast.Do { var = "I"; body = [ _assign; _cont ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one DO with assignment + continue"
+
+let test_shared_terminal () =
+  (* DO 10 twice: the labelled CONTINUE closes both *)
+  let prog = parse {|
+      DO 10 I = 1, 5
+      DO 10 J = 1, 5
+        A(I,J) = 0
+   10 CONTINUE
+|} in
+  check Alcotest.int "depth 2" 2 (Nest.max_depth prog);
+  check Alcotest.int "one stmt" 1 (List.length (Nest.all_stmts prog))
+
+let test_terminal_assignment () =
+  (* the terminal statement may itself be the loop body *)
+  let prog = parse {|
+      DO 10 I = 1, 5
+   10 A(I) = A(I-1)
+|} in
+  check Alcotest.int "stmt inside loop" 1 (List.length (Nest.all_stmts prog));
+  check Alcotest.int "depth 1" 1 (Nest.max_depth prog)
+
+let test_enddo () =
+  let prog = parse {|
+      DO I = 1, 5
+        A(I) = 0
+      ENDDO
+|} in
+  check Alcotest.int "enddo form" 1 (List.length (Nest.all_stmts prog))
+
+let test_parser_errors () =
+  let bad s =
+    try
+      ignore (Dt_frontend.Parser.parse s);
+      false
+    with Dt_frontend.Parser.Error _ -> true
+  in
+  check Alcotest.bool "unterminated DO" true (bad "DO 10 I = 1, 5\nA(I) = 0\n");
+  check Alcotest.bool "ENDDO without DO" true (bad "ENDDO\n");
+  check Alcotest.bool "missing =" true (bad "A(I) 3\n")
+
+let test_lowering_subscripts () =
+  let prog = parse {|
+      DO 10 I = 1, 100
+        A(2*I+3) = A(I*2) + A(I/1) + A((I+1)*2)
+   10 CONTINUE
+|} in
+  let s = List.hd (Nest.all_stmts prog) in
+  let subs =
+    List.concat_map (fun (r : Aref.t) -> r.Aref.subs) (s.Stmt.writes @ s.Stmt.reads)
+  in
+  check Alcotest.int "four refs" 4 (List.length subs);
+  check Alcotest.bool "all linear" true
+    (List.for_all (function Aref.Linear _ -> true | _ -> false) subs)
+
+let test_lowering_nonlinear () =
+  let prog = parse {|
+      DO 10 I = 1, 100
+        A(I*I) = A(IX(I)) + A(I/2)
+   10 CONTINUE
+|} in
+  let s = List.hd (Nest.all_stmts prog) in
+  let count_nl (r : Aref.t) =
+    List.length
+      (List.filter (function Aref.Nonlinear _ -> true | _ -> false) r.Aref.subs)
+  in
+  check Alcotest.int "I*I nonlinear" 1 (count_nl (List.hd s.Stmt.writes));
+  (* reads: IX(I) is itself a linear read; A(IX(I)) has a nonlinear sub;
+     A(I/2) nonlinear *)
+  check Alcotest.bool "indirection nonlinear" true
+    (List.exists (fun r -> count_nl r > 0) s.Stmt.reads);
+  check Alcotest.bool "IX(I) collected as read" true
+    (List.exists (fun (r : Aref.t) -> r.Aref.base = "IX") s.Stmt.reads)
+
+let test_step_normalization () =
+  (* DO I = 1, 20, 2 becomes I' in [1, 10]; A(I) becomes A(2I'-1) *)
+  let prog = parse {|
+      DO 10 I = 1, 20, 2
+        A(I) = A(I+2)
+   10 CONTINUE
+|} in
+  let loops = Nest.all_loops prog in
+  check Alcotest.int "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  check (Alcotest.option Alcotest.int) "trip 10" (Some 10) (Loop.trip_const l);
+  let s = List.hd (Nest.all_stmts prog) in
+  (match (List.hd s.Stmt.writes).Aref.subs with
+  | [ Aref.Linear a ] ->
+      check Alcotest.int "coeff 2" 2 (Affine.coeff a l.Loop.index);
+      check Alcotest.int "const -1" (-1) (Affine.const_part a)
+  | _ -> Alcotest.fail "linear expected");
+  (* dependences survive normalization: A(I) vs A(I+2) with step 2 is a
+     distance-1 dependence on the normalized loop *)
+  let deps = Deptest.Analyze.deps_of prog in
+  check Alcotest.int "one dep" 1 (List.length deps);
+  check (Alcotest.option Alcotest.int) "carried level 1" (Some 1)
+    (List.hd deps).Deptest.Dep.level
+
+let test_negative_step () =
+  let prog = parse {|
+      DO 10 I = 10, 1, -1
+        A(I) = A(I+1)
+   10 CONTINUE
+|} in
+  let l = List.hd (Nest.all_loops prog) in
+  check (Alcotest.option Alcotest.int) "trip 10" (Some 10) (Loop.trip_const l);
+  let deps = Deptest.Analyze.deps_of prog in
+  (* reversed iteration turns the read-ahead into a loop-carried flow *)
+  check Alcotest.bool "dependence exists" true (deps <> [])
+
+let test_index_uniquification () =
+  let prog = parse {|
+      DO 10 I = 1, 5
+        A(I) = 0
+   10 CONTINUE
+      DO 20 I = 6, 9
+        B(I) = A(I)
+   20 CONTINUE
+|} in
+  let loops = Nest.all_loops prog in
+  check Alcotest.int "two loops" 2 (List.length loops);
+  let i1 = (List.nth loops 0).Loop.index and i2 = (List.nth loops 1).Loop.index in
+  check Alcotest.bool "distinct indices" false (Index.equal i1 i2);
+  (* A written over [1,5], read over [6,9]: independent *)
+  let deps = Deptest.Analyze.deps_of prog in
+  check (Alcotest.list Alcotest.int) "no cross dependence" []
+    (List.filter_map
+       (fun d -> if d.Deptest.Dep.array = "A" then Some 1 else None)
+       deps)
+
+let test_written_scalar_in_subscript () =
+  (* K is written in the loop: subscripts using K must be nonlinear *)
+  let prog = parse {|
+      DO 10 I = 1, 5
+        K = K + 1
+        A(K) = 0
+   10 CONTINUE
+|} in
+  let stmts = Nest.all_stmts prog in
+  let a_write =
+    List.concat_map (fun s -> s.Stmt.writes) stmts
+    |> List.find (fun (r : Aref.t) -> r.Aref.base = "A")
+  in
+  check Alcotest.bool "K subscript nonlinear" true (not (Aref.is_linear a_write))
+
+let test_symbolic_bounds () =
+  let prog = parse {|
+      DO 10 I = 1, N
+        A(I) = A(I-1)
+   10 CONTINUE
+|} in
+  let l = List.hd (Nest.all_loops prog) in
+  check (Alcotest.list Alcotest.string) "symbolics" [ "N" ]
+    (Nest.symbolics prog);
+  check Alcotest.bool "upper bound symbolic" true
+    (not (Affine.is_const l.Loop.hi))
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer;
+    Alcotest.test_case "continuation lines" `Quick test_lexer_continuation;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parser structure" `Quick test_parser_structure;
+    Alcotest.test_case "shared DO terminals" `Quick test_shared_terminal;
+    Alcotest.test_case "terminal assignment" `Quick test_terminal_assignment;
+    Alcotest.test_case "ENDDO form" `Quick test_enddo;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "subscript lowering" `Quick test_lowering_subscripts;
+    Alcotest.test_case "nonlinear detection" `Quick test_lowering_nonlinear;
+    Alcotest.test_case "step normalization" `Quick test_step_normalization;
+    Alcotest.test_case "negative step" `Quick test_negative_step;
+    Alcotest.test_case "index uniquification" `Quick test_index_uniquification;
+    Alcotest.test_case "written scalars" `Quick test_written_scalar_in_subscript;
+    Alcotest.test_case "symbolic bounds" `Quick test_symbolic_bounds;
+  ]

@@ -1,0 +1,179 @@
+(* The MIV tests: GCD and Banerjee's inequalities with the direction
+   vector hierarchy (§4.4), including triangular nests via index ranges. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+let test_gcd () =
+  let t ?eq_indices src snk = Deptest.Gcd_test.test ?eq_indices (spair src snk) in
+  (* 2I - 2J' = 5: gcd 2 does not divide 5 *)
+  check Alcotest.bool "gcd disproves" true
+    (t (av ~k:2 i0) (av ~k:2 ~c:5 j1) = `Independent);
+  check Alcotest.bool "gcd allows" true
+    (t (av ~k:2 i0) (av ~k:2 ~c:4 j1) = `Maybe);
+  (* symbolic constant: 2I = 2J' + 2N + 1 is always odd-vs-even *)
+  check Alcotest.bool "gcd symbolic disproves" true
+    (t (av ~k:2 i0)
+       (Affine.add (av ~k:2 ~c:1 j1) (Affine.of_sym ~coeff:2 "N"))
+    = `Independent);
+  (* symbolic coefficient not divisible: can't disprove *)
+  check Alcotest.bool "gcd symbolic odd coeff" true
+    (t (av ~k:2 i0) (Affine.add (av ~k:2 ~c:1 j1) (Affine.of_sym "N")) = `Maybe);
+  (* '=' merge: <2I+1, 4I'> under = has coefficient 2-4=-2; c=-1: indep *)
+  check Alcotest.bool "directed gcd" true
+    (t
+       ~eq_indices:(Index.Set.singleton i0)
+       (av ~k:2 ~c:1 i0) (av ~k:4 i0)
+    = `Independent)
+
+let feasible ?(hi = 10) pair dirs =
+  let loops = [ loop ~hi i0; loop ~hi j1 ] in
+  let assume, range = siv_ctx loops in
+  Deptest.Banerjee.feasible assume range pair ~dirs
+
+let test_banerjee_bounds () =
+  (* I + J' = 25 over [1,10]^2: max is 20: infeasible *)
+  let p = spair (av i0) (av ~k:(-1) ~c:25 j1) in
+  check Alcotest.bool "sum too large" false
+    (feasible p [ (i0, None); (j1, None) ]);
+  (* I + J' = 15 feasible *)
+  let p2 = spair (av i0) (av ~k:(-1) ~c:15 j1) in
+  check Alcotest.bool "sum reachable" true
+    (feasible p2 [ (i0, None); (j1, None) ]);
+  (* direction refinement: I - I' = 0 under '<' (alpha < beta) infeasible
+     with coefficient 1/-1? I vs I': alpha_i = beta_i impossible if alpha < beta *)
+  let p3 = spair (av i0) (av i0) in
+  check Alcotest.bool "eq equation under <" false
+    (feasible p3 [ (i0, Some Deptest.Direction.Lt) ]);
+  check Alcotest.bool "eq equation under =" true
+    (feasible p3 [ (i0, Some Deptest.Direction.Eq) ]);
+  (* A(I+1) vs A(I): only '<'? beta = alpha + 1 > alpha *)
+  let p4 = spair (av ~c:1 i0) (av i0) in
+  check Alcotest.bool "dist 1 under >" false
+    (feasible p4 [ (i0, Some Deptest.Direction.Gt) ]);
+  check Alcotest.bool "dist 1 under <" true
+    (feasible p4 [ (i0, Some Deptest.Direction.Lt) ])
+
+let test_banerjee_vectors () =
+  let loops = [ loop ~hi:10 i0; loop ~hi:10 j1 ] in
+  let assume, range = siv_ctx loops in
+  (* A(I+J) vs A(I+J-1): MIV; legal vectors include (=,Lt) and more. *)
+  let p =
+    spair
+      (Affine.add (av i0) (av j1))
+      (Affine.add_const (-1) (Affine.add (av i0) (av j1)))
+  in
+  match Deptest.Banerjee.vectors assume range [ p ] ~indices:[ i0; j1 ] with
+  | `Independent -> Alcotest.fail "dependent expected"
+  | `Vectors vecs ->
+      let has v = List.mem v vecs in
+      check Alcotest.bool "(=,<) legal" true
+        (has [ Deptest.Direction.Eq; Deptest.Direction.Lt ]);
+      check Alcotest.bool "(=,=) illegal" false
+        (has [ Deptest.Direction.Eq; Deptest.Direction.Eq ]);
+      check Alcotest.bool "(<,>) legal" true
+        (has [ Deptest.Direction.Lt; Deptest.Direction.Gt ])
+
+let test_banerjee_single_trip () =
+  (* single-iteration loop: '<' direction impossible *)
+  let loops = [ loop ~lo:3 ~hi:3 i0 ] in
+  let assume, range = siv_ctx loops in
+  check Alcotest.bool "region empty" false
+    (Deptest.Banerjee.region_nonempty assume range i0 (Some Deptest.Direction.Lt));
+  check Alcotest.bool "eq fine" true
+    (Deptest.Banerjee.region_nonempty assume range i0 (Some Deptest.Direction.Eq))
+
+let test_banerjee_triangular () =
+  (* DO I = 1,10; DO J = 1, I-1: A(I) vs A(J'): J' <= I-1 <= 9, so
+     A(I+?)... test <I, J' + 9>: alpha_i = beta_j + 9 needs alpha_i >= 10
+     and beta_j <= 1... feasible only at i=10, j=1 *)
+  let loops =
+    [
+      loop ~hi:10 i0;
+      loop_aff j1 ~lo:(Affine.const 1)
+        ~hi:(Affine.add_const (-1) (Affine.of_index i0));
+    ]
+  in
+  let assume, range = siv_ctx loops in
+  let p = spair (av i0) (av ~c:9 j1) in
+  check Alcotest.bool "triangular feasible edge" true
+    (Deptest.Banerjee.feasible assume range p ~dirs:[ (i0, None); (j1, None) ]);
+  (* <I, J' + 10> infeasible: alpha <= 10 but beta_j + 10 >= 11 *)
+  let p2 = spair (av i0) (av ~c:10 j1) in
+  check Alcotest.bool "triangular infeasible" false
+    (Deptest.Banerjee.feasible assume range p2 ~dirs:[ (i0, None); (j1, None) ])
+
+let test_banerjee_symbolic () =
+  (* A(I) vs A(I' + N) over [1,N]: h = alpha - beta = N needs alpha >= N+1 *)
+  let n = Affine.of_sym "N" in
+  let loops = [ loop_aff i0 ~lo:(Affine.const 1) ~hi:n ] in
+  let assume, range = siv_ctx loops in
+  let p = spair (av i0) (Affine.add (av i0) n) in
+  check Alcotest.bool "symbolic Banerjee disproves" false
+    (Deptest.Banerjee.feasible assume range p ~dirs:[ (i0, None) ]);
+  (* A(I) vs A(I' + N - 1) is feasible (alpha = N, beta = 1) *)
+  let p2 = spair (av i0) (Affine.add (av ~c:(-1) i0) n) in
+  check Alcotest.bool "symbolic Banerjee allows" true
+    (Deptest.Banerjee.feasible assume range p2 ~dirs:[ (i0, None) ])
+
+(* soundness + exactness vs brute force over 2-index MIV subscripts *)
+let test_banerjee_exhaustive () =
+  let lo = 1 and hi = 5 in
+  let dirs_of a b =
+    if a < b then Deptest.Direction.Lt
+    else if a = b then Deptest.Direction.Eq
+    else Deptest.Direction.Gt
+  in
+  for a1 = -2 to 2 do
+    for b1 = -2 to 2 do
+      for c = -6 to 6 do
+        (* src = a1*I + J, snk = b1*I' + J' + c : both indices on both sides *)
+        let src = Affine.add (av ~k:a1 i0) (av j1) in
+        let snk = Affine.add (av ~k:b1 ~c i0) (av j1) in
+        let p = spair src snk in
+        (* brute: enumerate (ai, aj, bi, bj) *)
+        let observed = Hashtbl.create 16 in
+        for ai = lo to hi do
+          for aj = lo to hi do
+            for bi = lo to hi do
+              for bj = lo to hi do
+                let f = (a1 * ai) + aj and g = (b1 * bi) + bj + c in
+                if f = g then
+                  Hashtbl.replace observed (dirs_of ai bi, dirs_of aj bj) ()
+              done
+            done
+          done
+        done;
+        let loops = [ loop ~lo ~hi i0; loop ~lo ~hi j1 ] in
+        let assume, range = siv_ctx loops in
+        List.iter
+          (fun di ->
+            List.iter
+              (fun dj ->
+                let feas =
+                  Deptest.Banerjee.feasible assume range p
+                    ~dirs:[ (i0, Some di); (j1, Some dj) ]
+                in
+                let obs = Hashtbl.mem observed (di, dj) in
+                if obs && not feas then
+                  Alcotest.failf "UNSOUND: a1=%d b1=%d c=%d dir (%s,%s)" a1 b1 c
+                    (Deptest.Direction.to_string di)
+                    (Deptest.Direction.to_string dj))
+              Deptest.Direction.all)
+          Deptest.Direction.all
+      done
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "GCD test" `Quick test_gcd;
+    Alcotest.test_case "Banerjee bounds" `Quick test_banerjee_bounds;
+    Alcotest.test_case "Banerjee hierarchy vectors" `Quick test_banerjee_vectors;
+    Alcotest.test_case "single-trip regions" `Quick test_banerjee_single_trip;
+    Alcotest.test_case "triangular Banerjee" `Quick test_banerjee_triangular;
+    Alcotest.test_case "symbolic Banerjee" `Quick test_banerjee_symbolic;
+    Alcotest.test_case "Banerjee soundness exhaustive" `Slow test_banerjee_exhaustive;
+  ]

@@ -1,0 +1,161 @@
+(* Integration tests: every worked example in the paper's text must behave
+   exactly as the paper states. The sources live in the corpus's "paper"
+   suite. *)
+
+open Helpers
+
+let check = Alcotest.check
+
+let deps name =
+  (analyze_entry "paper" name).Deptest.Analyze.deps
+
+let dirvec_strings ds =
+  List.map (fun d -> Deptest.Dirvec.to_string d.Deptest.Dep.dirvec) ds
+  |> List.sort_uniq compare
+
+(* §2.2: the skewed Livermore kernel has distance vectors (1,0), (0,1) *)
+let test_livermore_skewed () =
+  let ds = deps "livermore_skewed" in
+  check Alcotest.int "two dependences" 2 (List.length ds);
+  check (Alcotest.list Alcotest.string) "direction vectors"
+    [ "(<,=)"; "(=,<)" ] (dirvec_strings ds);
+  let dists =
+    List.map
+      (fun d ->
+        List.map
+          (fun (_, x) ->
+            match x with Deptest.Outcome.Const c -> c | _ -> 99)
+          d.Deptest.Dep.distances)
+      ds
+    |> List.sort compare
+  in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "distance vectors (0,1) and (1,0)"
+    [ [ 0; 1 ]; [ 1; 0 ] ]
+    dists
+
+(* §4.2: the tomcatv weak-zero dependence runs from the first iteration to
+   all later ones, and loop peeling removes it *)
+let test_tomcatv_weakzero () =
+  let ds = deps "tomcatv_weakzero" in
+  check Alcotest.bool "has carried flow dep" true
+    (List.exists
+       (fun d ->
+         d.Deptest.Dep.kind = Deptest.Dep.Flow && d.Deptest.Dep.level = Some 1)
+       ds);
+  let prog =
+    Dt_workloads.Corpus.program (find_entry "paper" "tomcatv_weakzero")
+  in
+  let suggestions = Dt_transform.Restructure.suggest prog in
+  check Alcotest.bool "peel-first suggested" true
+    (List.exists
+       (function
+         | Dt_transform.Restructure.Peel { at_boundary = `First; _ } -> true
+         | _ -> false)
+       suggestions)
+
+(* §4.2: the CDL weak-crossing example: all dependences cross iteration
+   (N+1)/2; loop splitting removes them *)
+let test_cdl_weakcrossing () =
+  let prog =
+    Dt_workloads.Corpus.program (find_entry "paper" "cdl_weakcrossing")
+  in
+  let ds = Deptest.Analyze.deps_of prog in
+  check Alcotest.bool "dependences exist" true (ds <> []);
+  let suggestions = Dt_transform.Restructure.suggest prog in
+  check Alcotest.bool "split suggested" true
+    (List.exists
+       (function
+         | Dt_transform.Restructure.Split _ -> true
+         | _ -> false)
+       suggestions)
+
+(* §5.2: constraint intersection proves independence where
+   subscript-by-subscript testing cannot *)
+let test_delta_intersect () =
+  let ds = deps "delta_intersect_indep" in
+  check Alcotest.int "no dependences" 0 (List.length ds);
+  (* and the baseline strategy keeps the false dependence *)
+  let prog =
+    Dt_workloads.Corpus.program (find_entry "paper" "delta_intersect_indep")
+  in
+  let baseline =
+    Deptest.Analyze.deps_of
+      ~options:
+        {
+          Deptest.Analyze.default_options with
+          strategy = Deptest.Pair_test.Subscript_by_subscript;
+        }
+      prog
+  in
+  check Alcotest.bool "baseline reports a (false) dependence" true
+    (baseline <> [])
+
+(* §5.3.1: propagation derives exact distances for the coupled pair *)
+let test_delta_propagate () =
+  let ds = deps "delta_propagate" in
+  check Alcotest.int "one dependence" 1 (List.length ds);
+  let d = List.hd ds in
+  check (Alcotest.option Alcotest.int) "carried outer" (Some 1)
+    d.Deptest.Dep.level;
+  let dist_of ix_name =
+    List.find_map
+      (fun (i, x) ->
+        if Dt_ir.Index.name i = ix_name then
+          match x with Deptest.Outcome.Const c -> Some c | _ -> None
+        else None)
+      d.Deptest.Dep.distances
+  in
+  check (Alcotest.option Alcotest.int) "d_I = 1" (Some 1) (dist_of "I");
+  check (Alcotest.option Alcotest.int) "d_J = 0" (Some 0) (dist_of "J")
+
+(* §5.3.2: the transposed reference admits only (<,>), (=,=), (>,<) *)
+let test_rdiv_transpose () =
+  let ds = deps "rdiv_transpose" in
+  let vecs = dirvec_strings ds in
+  check (Alcotest.list Alcotest.string) "legal vectors only"
+    [ "(<,>)"; "(=,=)" ] vecs;
+  (* (=,=) must be the loop-independent self anti-dependence *)
+  check Alcotest.bool "diagonal is loop-independent" true
+    (List.exists
+       (fun d ->
+         d.Deptest.Dep.level = None && d.Deptest.Dep.kind = Deptest.Dep.Anti)
+       ds)
+
+(* §4.4: GCD-based independence *)
+let test_gcd_indep () =
+  check Alcotest.int "no dependence" 0 (List.length (deps "gcd_indep"))
+
+(* §4.3: triangular nest analysis terminates with exact carried level *)
+let test_triangular () =
+  let ds = deps "triangular" in
+  check Alcotest.bool "carried on I only" true
+    (List.for_all
+       (fun d ->
+         match d.Deptest.Dep.level with Some 1 -> true | None -> true | _ -> false)
+       ds);
+  check Alcotest.bool "some dependence" true (ds <> [])
+
+(* §4.5: symbolic additive constants cancel: the K1 terms subtract away
+   and the exact distance-1 anti dependence (read one ahead) remains *)
+let test_symbolic_cancel () =
+  let ds = deps "symbolic_cancel" in
+  check Alcotest.int "one dependence" 1 (List.length ds);
+  let d = List.hd ds in
+  check Alcotest.bool "anti" true (d.Deptest.Dep.kind = Deptest.Dep.Anti);
+  check Alcotest.bool "distance 1 exact" true
+    (List.exists (fun (_, x) -> x = Deptest.Outcome.Const 1) d.Deptest.Dep.distances)
+
+let suite =
+  [
+    Alcotest.test_case "skewed Livermore kernel (§2.2)" `Quick test_livermore_skewed;
+    Alcotest.test_case "tomcatv weak-zero (§4.2)" `Quick test_tomcatv_weakzero;
+    Alcotest.test_case "CDL weak-crossing (§4.2)" `Quick test_cdl_weakcrossing;
+    Alcotest.test_case "Delta intersection (§5.2)" `Quick test_delta_intersect;
+    Alcotest.test_case "Delta propagation (§5.3.1)" `Quick test_delta_propagate;
+    Alcotest.test_case "RDIV transpose (§5.3.2)" `Quick test_rdiv_transpose;
+    Alcotest.test_case "GCD independence (§4.4)" `Quick test_gcd_indep;
+    Alcotest.test_case "triangular nest (§4.3)" `Quick test_triangular;
+    Alcotest.test_case "symbolic cancellation (§4.5)" `Quick test_symbolic_cancel;
+  ]

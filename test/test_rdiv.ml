@@ -1,0 +1,112 @@
+(* The RDIV test, exhaustively checked against enumeration with distinct
+   ranges for the two indices (§4.4: "by observing different loop bounds
+   for i and j, SIV tests may also be extended to exactly test RDIV"). *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+let test_rdiv_exhaustive () =
+  (* i in [1,5] (source side), j in [3,9] (sink side) *)
+  let loops = [ loop ~lo:1 ~hi:5 i0; loop ~lo:3 ~hi:9 j1 ] in
+  let assume, range = siv_ctx loops in
+  for a1 = -3 to 3 do
+    for a2 = -3 to 3 do
+      if a1 <> 0 && a2 <> 0 then
+        for c2 = -10 to 10 do
+          let src = av ~k:a1 i0 and snk = av ~k:a2 ~c:c2 j1 in
+          let expected =
+            let found = ref false in
+            for i = 1 to 5 do
+              for j = 3 to 9 do
+                if a1 * i = (a2 * j) + c2 then found := true
+              done
+            done;
+            !found
+          in
+          let r =
+            Deptest.Rdiv.test assume range (spair src snk) ~src:i0 ~snk:j1
+          in
+          let got = r.Deptest.Rdiv.outcome <> Deptest.Outcome.Independent in
+          if expected <> got then
+            Alcotest.failf "RDIV mismatch a1=%d a2=%d c2=%d: want %b" a1 a2 c2
+              expected
+        done
+    done
+  done
+
+let test_rdiv_relation_recorded () =
+  let loops = [ loop ~hi:10 i0; loop ~hi:10 j1 ] in
+  let assume, range = siv_ctx loops in
+  let r =
+    Deptest.Rdiv.test assume range (spair (av ~c:2 i0) (av j1)) ~src:i0 ~snk:j1
+  in
+  match r.Deptest.Rdiv.relation with
+  | Some rel ->
+      check Alcotest.int "a" 1 rel.Deptest.Rdiv.a;
+      check Alcotest.int "b" (-1) rel.Deptest.Rdiv.b;
+      check affine_t "c" (Affine.const (-2)) rel.Deptest.Rdiv.c
+  | None -> Alcotest.fail "relation expected"
+
+let test_rdiv_symbolic () =
+  (* symbolic additive constants: only the gcd disproof applies *)
+  let n = Affine.of_sym "N" in
+  let loops = [ loop_aff i0 ~lo:(Affine.const 1) ~hi:n; loop_aff j1 ~lo:(Affine.const 1) ~hi:n ] in
+  let assume, range = siv_ctx loops in
+  (* 2i = 2j + 2N + 1: parity disproof *)
+  let r =
+    Deptest.Rdiv.test assume range
+      (spair (av ~k:2 i0) (Affine.add (av ~k:2 ~c:1 j1) (Affine.scale 2 n)))
+      ~src:i0 ~snk:j1
+  in
+  check outcome_t "parity independence" Deptest.Outcome.Independent
+    r.Deptest.Rdiv.outcome;
+  (* 2i = 2j + N: depends on N's parity: conservative *)
+  let r2 =
+    Deptest.Rdiv.test assume range
+      (spair (av ~k:2 i0) (Affine.add (av ~k:2 j1) n))
+      ~src:i0 ~snk:j1
+  in
+  check Alcotest.bool "parity unknown conservative" false
+    (r2.Deptest.Rdiv.outcome = Deptest.Outcome.Independent)
+
+(* coupled strong-SIV groups: the delta test is exact (checked against
+   full enumeration of two-subscript groups) *)
+let test_delta_group_exhaustive () =
+  let lo = 1 and hi = 6 in
+  let loops = [ loop ~lo ~hi i0 ] in
+  let assume, range = siv_ctx loops in
+  let relevant = Index.Set.singleton i0 in
+  for c1 = -3 to 3 do
+    for c2 = -3 to 3 do
+      for c3 = -3 to 3 do
+        (* group: <i + c1, i>, <i + c2, i + c3> *)
+        let pairs =
+          [ spair (av ~c:c1 i0) (av i0); spair (av ~c:c2 i0) (av ~c:c3 i0) ]
+        in
+        let expected =
+          let found = ref false in
+          for a = lo to hi do
+            for b = lo to hi do
+              if a + c1 = b && a + c2 = b + c3 then found := true
+            done
+          done;
+          !found
+        in
+        let r = Deptest.Delta.test assume range pairs ~relevant in
+        let got = r.Deptest.Delta.verdict <> `Independent in
+        if expected <> got then
+          Alcotest.failf "delta group mismatch c1=%d c2=%d c3=%d: want %b" c1
+            c2 c3 expected
+      done
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "RDIV exhaustive" `Slow test_rdiv_exhaustive;
+    Alcotest.test_case "RDIV relations" `Quick test_rdiv_relation_recorded;
+    Alcotest.test_case "RDIV symbolic" `Quick test_rdiv_symbolic;
+    Alcotest.test_case "Delta group exhaustive" `Slow test_delta_group_exhaustive;
+  ]

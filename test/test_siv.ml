@@ -1,0 +1,257 @@
+(* The ZIV test and the SIV test suite (§4.1, §4.2), including symbolic
+   handling (§4.5). Exactness is checked against brute-force enumeration. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+let n = Affine.of_sym "N"
+
+let run_siv ?(lo = 1) ?(hi = 10) src snk =
+  let loops = loops1 ~lo ~hi () in
+  let assume, range = siv_ctx loops in
+  Deptest.Siv.test assume range (spair src snk) i0
+
+let outcome ?lo ?hi src snk = (run_siv ?lo ?hi src snk).Deptest.Siv.outcome
+
+(* --- ZIV ----------------------------------------------------------------- *)
+
+let test_ziv () =
+  let t e1 e2 = Deptest.Ziv.test Deptest.Assume.empty (spair e1 e2) in
+  check outcome_t "equal consts" (Deptest.Outcome.Dependent [])
+    (t (Affine.const 3) (Affine.const 3));
+  check outcome_t "distinct consts" Deptest.Outcome.Independent
+    (t (Affine.const 3) (Affine.const 4));
+  check outcome_t "same symbolic" (Deptest.Outcome.Dependent [])
+    (t n n);
+  check outcome_t "N vs N+1" Deptest.Outcome.Independent
+    (t n (Affine.add_const 1 n));
+  (* N vs M: unknown, must assume dependence *)
+  check outcome_t "N vs M unknown" (Deptest.Outcome.Dependent [])
+    (t n (Affine.of_sym "M"));
+  (* with a fact N >= M+1, N vs M proves independent *)
+  let a =
+    Deptest.Assume.add_nonneg Deptest.Assume.empty
+      (Affine.add_const (-1) (Affine.sub n (Affine.of_sym "M")))
+  in
+  check outcome_t "N vs M with N > M" Deptest.Outcome.Independent
+    (Deptest.Ziv.test a (spair n (Affine.of_sym "M")))
+
+(* --- strong SIV ---------------------------------------------------------- *)
+
+let test_strong_basic () =
+  (* A(I+1) vs A(I): d = 1 *)
+  (match outcome (av ~c:1 i0) (av i0) with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check dirset_t "dirs <" (Deptest.Direction.single Deptest.Direction.Lt)
+        d.Deptest.Outcome.dirs;
+      check Alcotest.bool "dist 1" true
+        (d.Deptest.Outcome.dist = Deptest.Outcome.Const 1)
+  | _ -> Alcotest.fail "expected single-index dependence");
+  (* distance 0 *)
+  (match outcome (av i0) (av i0) with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check dirset_t "dirs =" (Deptest.Direction.single Deptest.Direction.Eq)
+        d.Deptest.Outcome.dirs
+  | _ -> Alcotest.fail "dependence expected");
+  (* negative distance *)
+  match outcome (av i0) (av ~c:2 i0) with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check dirset_t "dirs >" (Deptest.Direction.single Deptest.Direction.Gt)
+        d.Deptest.Outcome.dirs;
+      check Alcotest.bool "dist -2" true
+        (d.Deptest.Outcome.dist = Deptest.Outcome.Const (-2))
+  | _ -> Alcotest.fail "dependence expected"
+
+let test_strong_bounds () =
+  (* distance beyond the trip count: A(I+20) vs A(I) over [1,10] *)
+  check outcome_t "out of bounds" Deptest.Outcome.Independent
+    (outcome (av ~c:20 i0) (av i0));
+  (* exactly the trip count: A(I+9) vs A(I) over [1,10] is dependent *)
+  check Alcotest.bool "at bound dependent" false
+    (is_independent (outcome (av ~c:9 i0) (av i0)));
+  (* non-integer distance: A(2I+1) vs A(2I) *)
+  check outcome_t "non-integer distance" Deptest.Outcome.Independent
+    (outcome (av ~k:2 ~c:1 i0) (av ~k:2 i0))
+
+let test_strong_symbolic () =
+  (* A(I+N) vs A(I) over [1,N]: d = N > N - 1 = trip - 1: independent *)
+  let loops = [ loop_aff i0 ~lo:(Affine.const 1) ~hi:n ] in
+  let assume, range = siv_ctx loops in
+  let r = Deptest.Siv.test assume range (spair (Affine.add (av i0) n) (av i0)) i0 in
+  check outcome_t "A(I+N) vs A(I) independent" Deptest.Outcome.Independent
+    r.Deptest.Siv.outcome;
+  (* symbolic distance that cancels: A(I+N) vs A(I+N+1): d = -1 *)
+  let r2 =
+    Deptest.Siv.test assume range
+      (spair (Affine.add (av i0) n) (Affine.add (av ~c:1 i0) n))
+      i0
+  in
+  (match r2.Deptest.Siv.outcome with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check Alcotest.bool "dist -1" true
+        (d.Deptest.Outcome.dist = Deptest.Outcome.Const (-1))
+  | _ -> Alcotest.fail "dependent with distance expected");
+  (* unresolvable symbolic distance: A(I+N) vs A(I+M): conservative *)
+  let r3 =
+    Deptest.Siv.test assume range
+      (spair (Affine.add (av i0) n) (Affine.add (av i0) (Affine.of_sym "M")))
+      i0
+  in
+  check Alcotest.bool "unknown symbolic distance conservative" false
+    (is_independent r3.Deptest.Siv.outcome)
+
+(* --- weak-zero SIV ------------------------------------------------------- *)
+
+let test_weak_zero () =
+  (* A(I) vs A(5) over [1,10]: dependence at iteration 5, interior: all
+     directions *)
+  (match outcome (av i0) (Affine.const 5) with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check dirset_t "interior *" Deptest.Direction.full_set d.Deptest.Outcome.dirs
+  | _ -> Alcotest.fail "dependent expected");
+  (* boundary hit: A(I) vs A(1): alpha fixed at first iteration: = or < *)
+  (match outcome (av i0) (Affine.const 1) with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check dirset_t "first iteration"
+        (Deptest.Direction.of_list [ Deptest.Direction.Lt; Deptest.Direction.Eq ])
+        d.Deptest.Outcome.dirs
+  | _ -> Alcotest.fail "dependent expected");
+  (* A(1) vs A(I): beta fixed at first iteration: = or > *)
+  (match outcome (Affine.const 1) (av i0) with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check dirset_t "first iteration snk"
+        (Deptest.Direction.of_list [ Deptest.Direction.Gt; Deptest.Direction.Eq ])
+        d.Deptest.Outcome.dirs
+  | _ -> Alcotest.fail "dependent expected");
+  (* out of bounds *)
+  check outcome_t "A(I) vs A(0)" Deptest.Outcome.Independent
+    (outcome (av i0) (Affine.const 0));
+  check outcome_t "A(I) vs A(11)" Deptest.Outcome.Independent
+    (outcome (av i0) (Affine.const 11));
+  (* divisibility: 2I = 7 has no integer solution *)
+  check outcome_t "2I vs 7" Deptest.Outcome.Independent
+    (outcome (av ~k:2 i0) (Affine.const 7));
+  (* 2I = 8: iteration 4 *)
+  check Alcotest.bool "2I vs 8" false
+    (is_independent (outcome (av ~k:2 i0) (Affine.const 8)))
+
+let test_weak_zero_symbolic () =
+  (* the tomcatv shape: A(I) vs A(N) over [1,N]: last iteration *)
+  let loops = [ loop_aff i0 ~lo:(Affine.const 1) ~hi:n ] in
+  let assume, range = siv_ctx loops in
+  let r = Deptest.Siv.test assume range (spair (av i0) n) i0 in
+  (match r.Deptest.Siv.outcome with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check dirset_t "last iteration"
+        (Deptest.Direction.of_list [ Deptest.Direction.Gt; Deptest.Direction.Eq ])
+        d.Deptest.Outcome.dirs
+  | _ -> Alcotest.fail "dependent expected");
+  (* A(I) vs A(N+1): outside *)
+  let r2 = Deptest.Siv.test assume range (spair (av i0) (Affine.add_const 1 n)) i0 in
+  check outcome_t "beyond upper bound" Deptest.Outcome.Independent
+    r2.Deptest.Siv.outcome
+
+(* --- weak-crossing SIV ---------------------------------------------------- *)
+
+let test_weak_crossing () =
+  (* A(I) vs A(-I+12) wait: use <I, -I + 11> over [1,10]: crossing at 5.5 *)
+  (match outcome (av i0) (av ~k:(-1) ~c:11 i0) with
+  | Deptest.Outcome.Dependent [ d ] ->
+      (* alpha + beta = 11 odd: alpha = beta impossible *)
+      check dirset_t "no eq"
+        (Deptest.Direction.of_list [ Deptest.Direction.Lt; Deptest.Direction.Gt ])
+        d.Deptest.Outcome.dirs
+  | _ -> Alcotest.fail "dependent expected");
+  (* crossing point outside bounds: <I, -I + 40> over [1,10] *)
+  check outcome_t "crossing outside" Deptest.Outcome.Independent
+    (outcome (av i0) (av ~k:(-1) ~c:40 i0));
+  (* even sum: eq possible *)
+  match outcome (av i0) (av ~k:(-1) ~c:10 i0) with
+  | Deptest.Outcome.Dependent [ d ] ->
+      check Alcotest.bool "eq possible" true
+        (Deptest.Direction.mem Deptest.Direction.Eq d.Deptest.Outcome.dirs)
+  | _ -> Alcotest.fail "dependent expected"
+
+let test_crossing_point () =
+  check
+    (Alcotest.option ratio_t)
+    "crossing of <I, -I+11>"
+    (Some (Dt_support.Ratio.make 11 2))
+    (Deptest.Siv.crossing_point (spair (av i0) (av ~k:(-1) ~c:11 i0)) i0);
+  check
+    (Alcotest.option affine_t)
+    "weak-zero iteration" (Some (Affine.const 5))
+    (Deptest.Siv.weak_zero_iteration Deptest.Assume.empty
+       (spair (av i0) (Affine.const 5))
+       i0)
+
+(* --- general exact SIV ---------------------------------------------------- *)
+
+let test_exact_siv () =
+  (* A(2I) vs A(I): solutions alpha = t, beta = 2t in [1,10]: t in 1..5 *)
+  (match outcome (av ~k:2 i0) (av i0) with
+  | Deptest.Outcome.Dependent [ d ] ->
+      (* beta = 2 alpha > alpha for alpha >= 1: strictly Lt *)
+      check dirset_t "2I vs I dirs"
+        (Deptest.Direction.single Deptest.Direction.Lt)
+        d.Deptest.Outcome.dirs
+  | _ -> Alcotest.fail "dependent expected");
+  (* A(2I) vs A(I) shifted out of range *)
+  check outcome_t "2I vs I+40" Deptest.Outcome.Independent
+    (outcome (av ~k:2 i0) (av ~c:40 i0));
+  (* gcd failure *)
+  check outcome_t "2I vs 2I'+1 via exact path" Deptest.Outcome.Independent
+    (outcome (av ~k:2 i0) (av ~k:(-2) ~c:1 i0) |> fun o ->
+     ignore o;
+     outcome (av ~k:4 i0) (av ~k:2 ~c:1 i0))
+
+(* exactness against brute force for every small coefficient combination *)
+let test_siv_exhaustive () =
+  for a1 = -3 to 3 do
+    for a2 = -3 to 3 do
+      if a1 <> 0 || a2 <> 0 then
+        for c2 = -8 to 8 do
+          let src = av ~k:a1 i0 and snk = av ~k:a2 ~c:c2 i0 in
+          let p = spair src snk in
+          let sols = brute_siv ~lo:1 ~hi:7 p i0 in
+          let got = outcome ~lo:1 ~hi:7 src snk in
+          (match (sols, got) with
+          | [], Deptest.Outcome.Independent -> ()
+          | _ :: _, Deptest.Outcome.Independent ->
+              Alcotest.failf "UNSOUND: a1=%d a2=%d c2=%d reported independent"
+                a1 a2 c2
+          | [], Deptest.Outcome.Dependent _ ->
+              Alcotest.failf "inexact: a1=%d a2=%d c2=%d missed independence"
+                a1 a2 c2
+          | sols, Deptest.Outcome.Dependent [ d ] ->
+              let expect = dirs_of_sols sols in
+              if not (Deptest.Direction.subset expect d.Deptest.Outcome.dirs)
+              then
+                Alcotest.failf "UNSOUND dirs: a1=%d a2=%d c2=%d" a1 a2 c2;
+              if not (Deptest.Direction.set_equal expect d.Deptest.Outcome.dirs)
+              then
+                Alcotest.failf "inexact dirs: a1=%d a2=%d c2=%d (want %s got %s)"
+                  a1 a2 c2
+                  (Format.asprintf "%a" Deptest.Direction.pp_set expect)
+                  (Format.asprintf "%a" Deptest.Direction.pp_set
+                     d.Deptest.Outcome.dirs)
+          | _, Deptest.Outcome.Dependent _ ->
+              Alcotest.fail "unexpected multi-index result")
+        done
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "ZIV" `Quick test_ziv;
+    Alcotest.test_case "strong SIV basics" `Quick test_strong_basic;
+    Alcotest.test_case "strong SIV bounds" `Quick test_strong_bounds;
+    Alcotest.test_case "strong SIV symbolic" `Quick test_strong_symbolic;
+    Alcotest.test_case "weak-zero SIV" `Quick test_weak_zero;
+    Alcotest.test_case "weak-zero symbolic (tomcatv)" `Quick test_weak_zero_symbolic;
+    Alcotest.test_case "weak-crossing SIV" `Quick test_weak_crossing;
+    Alcotest.test_case "crossing/peel points" `Quick test_crossing_point;
+    Alcotest.test_case "general exact SIV" `Quick test_exact_siv;
+    Alcotest.test_case "SIV exhaustive exactness" `Slow test_siv_exhaustive;
+  ]

@@ -1,0 +1,97 @@
+(* The empirical-study harness: profiles, tables, figures, comparison. *)
+
+open Helpers
+
+let check = Alcotest.check
+
+let test_profile_counts () =
+  let prog = parse {|
+      DO 10 I = 1, 50
+        A(I,I+1) = A(I,I) + B(5) + C(I,2*I)
+   10 CONTINUE
+|} in
+  let p = Dt_stats.Profile.of_program ~suite:"t" ~name:"t" prog in
+  (* pairs: A-A (coupled 2-dim), B-B?? B only read: no pair; C only read.
+     plus A write x A write (self), B and C never written *)
+  check Alcotest.bool "pairs found" true (p.Dt_stats.Profile.pairs_tested >= 1);
+  check Alcotest.bool "coupled detected" true (p.Dt_stats.Profile.coupled >= 2);
+  check Alcotest.int "2-dim histogram" p.Dt_stats.Profile.pairs_tested
+    p.Dt_stats.Profile.dims_hist.(1)
+
+let test_profile_classes () =
+  let prog = parse {|
+      DO 10 I = 1, 50
+        A(I) = A(I-1)
+        B(I) = B(1)
+        C(I) = C(51-I)
+        D(2*I) = D(I)
+        E(5) = E(6)
+   10 CONTINUE
+|} in
+  let p = Dt_stats.Profile.of_program ~suite:"t" ~name:"t" prog in
+  let c = p.Dt_stats.Profile.classes in
+  check Alcotest.bool "strong" true (c.Dt_stats.Profile.strong_siv > 0);
+  check Alcotest.bool "weak zero" true (c.Dt_stats.Profile.weak_zero > 0);
+  check Alcotest.bool "weak crossing" true (c.Dt_stats.Profile.weak_crossing > 0);
+  check Alcotest.bool "general" true (c.Dt_stats.Profile.general_siv > 0);
+  check Alcotest.bool "ziv" true (c.Dt_stats.Profile.ziv > 0)
+
+let test_aggregate () =
+  let e1 = find_entry "linpack" "daxpy" and e2 = find_entry "linpack" "dscal" in
+  let p1 = Dt_stats.Profile.measure ~suite:"linpack" e1 in
+  let p2 = Dt_stats.Profile.measure ~suite:"linpack" e2 in
+  let a = Dt_stats.Profile.aggregate ~name:"agg" ~suite:"linpack" [ p1; p2 ] in
+  check Alcotest.int "pairs add" (p1.Dt_stats.Profile.pairs_tested
+    + p2.Dt_stats.Profile.pairs_tested) a.Dt_stats.Profile.pairs_tested;
+  check Alcotest.int "lines add"
+    (p1.Dt_stats.Profile.lines + p2.Dt_stats.Profile.lines)
+    a.Dt_stats.Profile.lines
+
+let test_tables_render () =
+  let s1 = Dt_stats.Tables.table1 ~suites:[ "linpack" ] () in
+  check Alcotest.bool "t1 mentions daxpy" true
+    (Astring_contains.contains s1 "daxpy");
+  let s2 = Dt_stats.Tables.table2 ~suites:[ "linpack" ] () in
+  check Alcotest.bool "t2 has percents" true (Astring_contains.contains s2 "%");
+  let s3 = Dt_stats.Tables.table3 ~suites:[ "cdl" ] () in
+  check Alcotest.bool "t3 mentions strong SIV" true
+    (Astring_contains.contains s3 "strong SIV")
+
+let test_compare_row () =
+  let r =
+    Dt_stats.Compare.of_program ~label:"x"
+      (Dt_workloads.Corpus.program (find_entry "paper" "delta_intersect_indep"))
+  in
+  check Alcotest.bool "coupled pair found" true (r.Dt_stats.Compare.coupled_pairs >= 1);
+  check Alcotest.bool "delta proves independence" true
+    (r.Dt_stats.Compare.indep_delta >= 1);
+  check Alcotest.int "baseline proves none" 0 r.Dt_stats.Compare.indep_baseline;
+  check Alcotest.bool "power agrees with delta" true
+    (r.Dt_stats.Compare.indep_power >= r.Dt_stats.Compare.indep_delta)
+
+let test_figures () =
+  let s = Dt_stats.Figures.fig2_weak_siv ~a1:1 ~a2:2 ~c:(-9) ~lo:1 ~hi:10 in
+  check Alcotest.bool "has solutions plotted" true (Astring_contains.contains s "o");
+  let c =
+    {
+      Dt_stats.Profile.ziv = 5;
+      strong_siv = 20;
+      weak_zero = 2;
+      weak_crossing = 1;
+      general_siv = 1;
+      rdiv = 3;
+      miv = 2;
+    }
+  in
+  let h = Dt_stats.Figures.class_histogram c in
+  check Alcotest.bool "histogram bars" true (Astring_contains.contains h "#")
+
+let suite =
+  [
+    Alcotest.test_case "profile counts" `Quick test_profile_counts;
+    Alcotest.test_case "profile classes" `Quick test_profile_classes;
+    Alcotest.test_case "aggregation" `Quick test_aggregate;
+    Alcotest.test_case "table rendering" `Quick test_tables_render;
+    Alcotest.test_case "strategy comparison" `Quick test_compare_row;
+    Alcotest.test_case "figures" `Quick test_figures;
+  ]

@@ -1,0 +1,219 @@
+(* Unit and property tests for dt_support: integer helpers, rationals,
+   intervals, union-find, list utilities, table rendering. *)
+
+open Dt_support
+open Helpers
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* --- Int_ops ----------------------------------------------------------- *)
+
+let test_gcd () =
+  check int "gcd 12 18" 6 (Int_ops.gcd 12 18);
+  check int "gcd 0 0" 0 (Int_ops.gcd 0 0);
+  check int "gcd -12 18" 6 (Int_ops.gcd (-12) 18);
+  check int "gcd 7 0" 7 (Int_ops.gcd 7 0);
+  check int "gcd_list" 4 (Int_ops.gcd_list [ 8; 12; 20 ]);
+  check int "gcd_list empty" 0 (Int_ops.gcd_list []);
+  check int "lcm 4 6" 12 (Int_ops.lcm 4 6);
+  check int "lcm 0" 0 (Int_ops.lcm 0 5)
+
+let test_egcd () =
+  List.iter
+    (fun (a, b) ->
+      let g, x, y = Int_ops.egcd a b in
+      check int (Printf.sprintf "egcd %d %d identity" a b) g ((a * x) + (b * y));
+      check int (Printf.sprintf "egcd %d %d gcd" a b) (Int_ops.gcd a b) g)
+    [ (12, 18); (-5, 3); (7, 0); (0, 9); (-4, -6); (1, 1); (240, 46) ]
+
+let test_div () =
+  check int "floor_div 7 2" 3 (Int_ops.floor_div 7 2);
+  check int "floor_div -7 2" (-4) (Int_ops.floor_div (-7) 2);
+  check int "floor_div 7 -2" (-4) (Int_ops.floor_div 7 (-2));
+  check int "floor_div -7 -2" 3 (Int_ops.floor_div (-7) (-2));
+  check int "ceil_div 7 2" 4 (Int_ops.ceil_div 7 2);
+  check int "ceil_div -7 2" (-3) (Int_ops.ceil_div (-7) 2);
+  check int "ceil_div 6 3" 2 (Int_ops.ceil_div 6 3);
+  check bool "divides 3 12" true (Int_ops.divides 3 12);
+  check bool "divides 5 12" false (Int_ops.divides 5 12);
+  check bool "divides 0 0" true (Int_ops.divides 0 0);
+  check bool "divides 0 3" false (Int_ops.divides 0 3)
+
+let test_parts () =
+  check int "pos_part" 5 (Int_ops.pos_part 5);
+  check int "pos_part neg" 0 (Int_ops.pos_part (-5));
+  check int "neg_part" 5 (Int_ops.neg_part (-5));
+  check int "neg_part pos" 0 (Int_ops.neg_part 5);
+  check int "sign" (-1) (Int_ops.sign (-3));
+  check int "clamp" 4 (Int_ops.clamp ~lo:1 ~hi:4 9)
+
+let prop_floor_ceil =
+  qtest "floor_div/ceil_div agree with rational rounding"
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-50) 50))
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let f = Int_ops.floor_div a b and c = Int_ops.ceil_div a b in
+      let q = float_of_int a /. float_of_int b in
+      f = int_of_float (Float.floor q) && c = int_of_float (Float.ceil q))
+
+let prop_egcd =
+  qtest "egcd Bezout identity"
+    QCheck.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (a, b) ->
+      let g, x, y = Int_ops.egcd a b in
+      g = Int_ops.gcd a b && (a * x) + (b * y) = g)
+
+(* --- Ratio ------------------------------------------------------------- *)
+
+let r = Ratio.make
+
+let test_ratio_norm () =
+  check ratio_t "2/4 = 1/2" (r 1 2) (r 2 4);
+  check ratio_t "neg den" (r (-1) 2) (r 1 (-2));
+  check int "den positive" 3 (Ratio.den (r 5 (-3)) * -1 |> fun x -> -x);
+  check bool "is_int" true (Ratio.is_int (r 8 4));
+  check bool "is_half" true (Ratio.is_half_int (r 3 2));
+  check bool "not half" false (Ratio.is_half_int (r 1 3));
+  check int "to_int_exn" 2 (Ratio.to_int_exn (r 8 4));
+  check int "floor 7/2" 3 (Ratio.floor (r 7 2));
+  check int "floor -7/2" (-4) (Ratio.floor (r (-7) 2));
+  check int "ceil 7/2" 4 (Ratio.ceil (r 7 2))
+
+let test_ratio_arith () =
+  check ratio_t "add" (r 5 6) (Ratio.add (r 1 2) (r 1 3));
+  check ratio_t "sub" (r 1 6) (Ratio.sub (r 1 2) (r 1 3));
+  check ratio_t "mul" (r 1 6) (Ratio.mul (r 1 2) (r 1 3));
+  check ratio_t "div" (r 3 2) (Ratio.div (r 1 2) (r 1 3));
+  check ratio_t "neg" (r (-1) 2) (Ratio.neg (r 1 2));
+  check ratio_t "inv" (r 2 1) (Ratio.inv (r 1 2));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Ratio.div Ratio.one Ratio.zero));
+  check bool "compare" true Ratio.(r 1 3 < r 1 2)
+
+let ratio_gen =
+  QCheck.map
+    (fun (n, d) -> r n (if d = 0 then 1 else d))
+    QCheck.(pair (int_range (-100) 100) (int_range (-30) 30))
+
+let prop_ratio_field =
+  qtest "rational arithmetic laws" (QCheck.triple ratio_gen ratio_gen ratio_gen)
+    (fun (a, b, c) ->
+      let open Ratio in
+      equal (add a b) (add b a)
+      && equal (add (add a b) c) (add a (add b c))
+      && equal (mul a (add b c)) (add (mul a b) (mul a c))
+      && equal (sub a a) zero)
+
+(* --- Interval ----------------------------------------------------------- *)
+
+let test_interval_basic () =
+  let open Interval in
+  check bool "contains" true (contains (of_ints 1 5) 3);
+  check bool "not contains" false (contains (of_ints 1 5) 6);
+  check bool "empty" true (is_empty empty);
+  check bool "full contains" true (contains full 12345);
+  check interval_t "inter" (of_ints 3 5) (inter (of_ints 1 5) (of_ints 3 9));
+  check bool "inter disjoint empty" true (is_empty (inter (of_ints 1 2) (of_ints 5 6)));
+  check interval_t "hull" (of_ints 1 9) (hull (of_ints 1 2) (of_ints 5 9));
+  check interval_t "add" (of_ints 4 12) (add (of_ints 1 5) (of_ints 3 7));
+  check interval_t "neg" (of_ints (-5) (-1)) (neg (of_ints 1 5));
+  check interval_t "scale -2" (of_ints (-10) (-2)) (scale (-2) (of_ints 1 5));
+  check interval_t "shift" (of_ints 4 8) (shift 3 (of_ints 1 5))
+
+let test_interval_inf () =
+  let open Interval in
+  let up = make (Fin 3) Pos_inf in
+  check bool "inf contains" true (contains up 1000000);
+  check bool "inf lower" false (contains up 2);
+  check interval_t "inf inter" (of_ints 3 7) (inter up (of_ints 0 7));
+  check bool "scale 0 inf" true (contains (scale 0 up) 0);
+  check bool "ratio member" true (contains_ratio up (Ratio.make 7 2));
+  check bool "ratio not member" false (contains_ratio up (Ratio.make 5 2))
+
+let prop_interval_inter =
+  qtest "intersection is exact on membership"
+    QCheck.(
+      pair
+        (pair (int_range (-20) 20) (int_range (-20) 20))
+        (pair (int_range (-20) 20) (int_range (-20) 20)))
+    (fun ((a, b), (c, d)) ->
+      let i1 = Interval.of_ints a b and i2 = Interval.of_ints c d in
+      let i = Interval.inter i1 i2 in
+      List.for_all
+        (fun x ->
+          Interval.contains i x = (Interval.contains i1 x && Interval.contains i2 x))
+        (List.init 45 (fun k -> k - 22)))
+
+(* --- Union_find --------------------------------------------------------- *)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 0 2;
+  Union_find.union uf 2 4;
+  Union_find.union uf 1 3;
+  check bool "same 0 4" true (Union_find.same uf 0 4);
+  check bool "not same 0 1" false (Union_find.same uf 0 1);
+  check
+    (Alcotest.list (Alcotest.list int))
+    "groups" [ [ 0; 2; 4 ]; [ 1; 3 ]; [ 5 ] ]
+    (Union_find.groups uf)
+
+(* --- Listx / Tablefmt ---------------------------------------------------- *)
+
+let test_listx () =
+  check
+    (Alcotest.list (Alcotest.list int))
+    "cartesian"
+    [ [ 1; 3 ]; [ 1; 4 ]; [ 2; 3 ]; [ 2; 4 ] ]
+    (Listx.cartesian [ [ 1; 2 ]; [ 3; 4 ] ]);
+  check
+    (Alcotest.list (Alcotest.list int))
+    "cartesian empty" [ [] ] (Listx.cartesian []);
+  check (Alcotest.list int) "dedup" [ 1; 2; 3 ]
+    (Listx.dedup ~compare [ 3; 1; 2; 1; 3 ]);
+  check (Alcotest.list int) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  check int "sum_by" 6 (Listx.sum_by Fun.id [ 1; 2; 3 ]);
+  check int "max_by" 3 (Listx.max_by Fun.id [ 1; 3; 2 ]);
+  check (Alcotest.list int) "range" [ 2; 3; 4 ] (Listx.range 2 4);
+  check (Alcotest.list int) "range empty" [] (Listx.range 3 2);
+  check
+    (Alcotest.list (Alcotest.list int))
+    "transpose"
+    [ [ 1; 3 ]; [ 2; 4 ] ]
+    (Listx.transpose [ [ 1; 2 ]; [ 3; 4 ] ])
+
+let test_tablefmt () =
+  let s =
+    Tablefmt.render
+      ~columns:[ ("a", Tablefmt.L); ("b", Tablefmt.R) ]
+      ~rows:[ [ "x"; "1" ]; [ "--" ]; [ "yy"; "22" ] ]
+      ()
+  in
+  check bool "contains header" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  check bool "right aligned" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> l = "x    1") lines);
+  check (Alcotest.string) "percent" "25.0%" (Tablefmt.percent ~num:1 ~den:4);
+  check (Alcotest.string) "percent zero den" "-" (Tablefmt.percent ~num:1 ~den:0)
+
+let suite =
+  [
+    Alcotest.test_case "gcd/lcm" `Quick test_gcd;
+    Alcotest.test_case "egcd" `Quick test_egcd;
+    Alcotest.test_case "floor/ceil division" `Quick test_div;
+    Alcotest.test_case "pos/neg parts" `Quick test_parts;
+    prop_floor_ceil;
+    prop_egcd;
+    Alcotest.test_case "ratio normalization" `Quick test_ratio_norm;
+    Alcotest.test_case "ratio arithmetic" `Quick test_ratio_arith;
+    prop_ratio_field;
+    Alcotest.test_case "interval basics" `Quick test_interval_basic;
+    Alcotest.test_case "interval infinities" `Quick test_interval_inf;
+    prop_interval_inter;
+    Alcotest.test_case "union-find" `Quick test_union_find;
+    Alcotest.test_case "listx" `Quick test_listx;
+    Alcotest.test_case "tablefmt" `Quick test_tablefmt;
+  ]

@@ -1,0 +1,281 @@
+(* The transformation consumers: SCC, vectorization, parallelization,
+   interchange, restructuring. *)
+
+open Helpers
+
+let check = Alcotest.check
+
+let test_scc () =
+  (* 0 -> 1 -> 2 -> 1, 0 -> 3 *)
+  let succs = function 0 -> [ 1; 3 ] | 1 -> [ 2 ] | 2 -> [ 1 ] | _ -> [] in
+  let sccs = Dt_transform.Scc.topo_order ~nodes:[ 0; 1; 2; 3 ] ~succs in
+  let sorted = List.map (List.sort compare) sccs in
+  check Alcotest.bool "cycle grouped" true (List.mem [ 1; 2 ] sorted);
+  check Alcotest.int "three components" 3 (List.length sccs);
+  (* topological: 0's component before 1-2's *)
+  let pos x = Option.get (List.find_index (fun c -> List.mem x c) sccs) in
+  check Alcotest.bool "0 before cycle" true (pos 0 < pos 1);
+  check Alcotest.bool "0 before 3" true (pos 0 < pos 3)
+
+let test_parallel_reports () =
+  let prog = parse {|
+      DO 20 I = 1, 100
+      DO 10 J = 2, 100
+        A(I,J) = A(I,J-1) + B(I,J)
+   10 CONTINUE
+   20 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let reports = Dt_transform.Parallel.analyze prog deps in
+  let find name =
+    List.find
+      (fun r -> Dt_ir.Index.name r.Dt_transform.Parallel.loop.Dt_ir.Loop.index = name)
+      reports
+  in
+  check Alcotest.bool "I parallel" true (find "I").Dt_transform.Parallel.parallel;
+  check Alcotest.bool "J sequential" false (find "J").Dt_transform.Parallel.parallel;
+  check Alcotest.int "J blockers" 1
+    (List.length (find "J").Dt_transform.Parallel.blockers)
+
+let test_vectorize_simple () =
+  (* fully parallel statement vectorizes *)
+  let prog = parse {|
+      DO 10 I = 1, 100
+        A(I) = B(I) + C(I)
+   10 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let plan = Dt_transform.Vectorize.codegen prog deps in
+  check Alcotest.int "one vector stmt" 1
+    (List.length (Dt_transform.Vectorize.vector_statements plan));
+  check Alcotest.int "nothing sequential" 0
+    (List.length (Dt_transform.Vectorize.fully_sequential plan))
+
+let test_vectorize_recurrence () =
+  let prog = parse {|
+      DO 10 I = 2, 100
+        A(I) = A(I-1) + B(I)
+   10 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let plan = Dt_transform.Vectorize.codegen prog deps in
+  check Alcotest.int "no vector stmts" 0
+    (List.length (Dt_transform.Vectorize.vector_statements plan));
+  match plan with
+  | [ Dt_transform.Vectorize.Seq_loop (_, _) ] -> ()
+  | _ -> Alcotest.fail "expected a sequential loop"
+
+let test_vectorize_partial () =
+  (* classic Allen-Kennedy: the recurrence stays sequential at level 1,
+     the independent statement vectorizes after distribution *)
+  let prog = parse {|
+      DO 10 I = 2, 100
+        A(I) = A(I-1) + B(I)
+        C(I) = B(I) + D(I)
+   10 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let plan = Dt_transform.Vectorize.codegen prog deps in
+  let vec = Dt_transform.Vectorize.vector_statements plan in
+  check Alcotest.int "one vectorized" 1 (List.length vec);
+  check Alcotest.int "vectorized is S1" 1 (List.hd vec).Dt_ir.Stmt.id
+
+let test_vectorize_inner () =
+  (* outer recurrence, inner parallel: S inside Seq_loop(I) vectorizes
+     over J *)
+  let prog = parse {|
+      DO 20 I = 2, 50
+      DO 10 J = 1, 50
+        A(I,J) = A(I-1,J) + B(I,J)
+   10 CONTINUE
+   20 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let plan = Dt_transform.Vectorize.codegen prog deps in
+  match plan with
+  | [ Dt_transform.Vectorize.Seq_loop (l, [ Dt_transform.Vectorize.Vector_stmt _ ]) ] ->
+      check Alcotest.string "sequential loop is I" "I"
+        (Dt_ir.Index.name l.Dt_ir.Loop.index)
+  | _ -> Alcotest.fail "expected Seq_loop(I, [vector stmt])"
+
+let test_vectorize_self_anti () =
+  (* a loop-independent self anti-dependence must not block vectorization *)
+  let prog = parse {|
+      DO 10 I = 1, 100
+        A(I) = A(I) + 1
+   10 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let plan = Dt_transform.Vectorize.codegen prog deps in
+  check Alcotest.int "vectorizes" 1
+    (List.length (Dt_transform.Vectorize.vector_statements plan))
+
+let test_interchange () =
+  (* A(I,J) = A(I-1,J+1): direction (<,>): interchange illegal *)
+  let deps1 =
+    deps_of
+      {|
+      DO 20 I = 2, 50
+      DO 10 J = 1, 49
+        A(I,J) = A(I-1,J+1)
+   10 CONTINUE
+   20 CONTINUE
+|}
+  in
+  check Alcotest.bool "(<,>) blocks interchange" false
+    (Dt_transform.Interchange.interchange_legal deps1 ~depth:2 ~level:1);
+  (* A(I,J) = A(I-1,J-1): direction (<,<): interchange legal *)
+  let deps2 =
+    deps_of
+      {|
+      DO 20 I = 2, 50
+      DO 10 J = 2, 50
+        A(I,J) = A(I-1,J-1)
+   10 CONTINUE
+   20 CONTINUE
+|}
+  in
+  check Alcotest.bool "(<,<) allows interchange" true
+    (Dt_transform.Interchange.interchange_legal deps2 ~depth:2 ~level:1);
+  check Alcotest.bool "identity permutation legal" true
+    (Dt_transform.Interchange.permutation_legal deps1 ~perm:[| 0; 1 |])
+
+let test_permutation_search () =
+  (* A(I,J) = A(I-1,J): carried on I; moving J innermost... J is already
+     parallel; interchange puts the sequential I loop outside either way.
+     The (<,=) vector allows both orders; best keeps J innermost giving 1
+     parallel innermost loop. *)
+  let deps =
+    deps_of
+      {|
+      DO 20 I = 2, 30
+      DO 10 J = 1, 30
+        A(I,J) = A(I-1,J)
+   10 CONTINUE
+   20 CONTINUE
+|}
+  in
+  check Alcotest.int "both orders legal" 2
+    (List.length (Dt_transform.Interchange.legal_permutations deps ~depth:2));
+  (match Dt_transform.Interchange.best_permutation deps ~depth:2 with
+  | Some (perm, score) ->
+      check Alcotest.int "one parallel innermost" 1 score;
+      check (Alcotest.array Alcotest.int) "identity wins" [| 0; 1 |] perm
+  | None -> Alcotest.fail "expected a permutation");
+  (* A(I,J) = A(I-1,J-1): (<,<) — after interchange still legal; inner
+     carries nothing in either order at position 2 *)
+  let deps2 =
+    deps_of
+      {|
+      DO 20 I = 2, 30
+      DO 10 J = 2, 30
+        A(I,J) = A(I-1,J-1)
+   10 CONTINUE
+   20 CONTINUE
+|}
+  in
+  match Dt_transform.Interchange.best_permutation deps2 ~depth:2 with
+  | Some (_, score) -> check Alcotest.int "inner parallel" 1 score
+  | None -> Alcotest.fail "legal permutation must exist"
+
+let test_distribute () =
+  let prog = parse {|
+      DO 10 I = 2, 100
+        A(I) = A(I-1) + B(I)
+        C(I) = B(I) + D(I)
+   10 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let prog' = Dt_transform.Distribute.run prog deps in
+  (* distribution splits the loop: the recurrence stays in its own loop,
+     the independent statement becomes a parallel loop *)
+  check Alcotest.int "two top-level loops" 2
+    (List.length prog'.Dt_ir.Nest.body);
+  check Alcotest.int "same statements" 2
+    (List.length (Dt_ir.Nest.all_stmts prog'));
+  let _, reports = Dt_transform.Distribute.run_and_report prog in
+  check Alcotest.int "one parallel loop after fission" 1
+    (List.length
+       (List.filter (fun r -> r.Dt_transform.Parallel.parallel) reports))
+
+let test_distribute_preserves_order () =
+  (* flow S0 -> S1 forces S0's loop before S1's *)
+  let prog = parse {|
+      DO 10 I = 2, 100
+        X(I) = X(I-1) + 1
+        Y(I) = X(I-1) * 2
+   10 CONTINUE
+|} in
+  let deps = Deptest.Analyze.deps_of prog in
+  let prog' = Dt_transform.Distribute.run prog deps in
+  let ids = List.map (fun s -> s.Dt_ir.Stmt.id) (Dt_ir.Nest.all_stmts prog') in
+  check (Alcotest.list Alcotest.int) "topological order kept" [ 0; 1 ] ids
+
+let test_reversal () =
+  let carried =
+    deps_of
+      {|
+      DO 10 I = 2, 50
+        A(I) = A(I-1)
+   10 CONTINUE
+|}
+  in
+  check Alcotest.bool "recurrence blocks reversal" false
+    (Dt_transform.Interchange.reversal_legal carried ~level:1);
+  let indep =
+    deps_of {|
+      DO 10 I = 1, 50
+        A(I) = B(I)
+        C(I) = A(I)
+   10 CONTINUE
+|}
+  in
+  check Alcotest.bool "loop-independent deps allow reversal" true
+    (Dt_transform.Interchange.reversal_legal indep ~level:1)
+
+let test_dot_output () =
+  let deps =
+    deps_of
+      {|
+      DO 10 I = 2, 50
+        A(I) = A(I-1) + B(I)
+   10 CONTINUE
+|}
+  in
+  let dot = Deptest.Depgraph.to_dot (Deptest.Depgraph.build deps) in
+  check Alcotest.bool "digraph" true (Astring_contains.contains dot "digraph");
+  check Alcotest.bool "edge" true (Astring_contains.contains dot "n0 -> n0");
+  check Alcotest.bool "flow label" true (Astring_contains.contains dot "flow")
+
+let test_restructure_interior () =
+  (* weak-zero in the middle of the range: peel suggestion with Interior *)
+  let prog = parse {|
+      DO 10 I = 1, 100
+        A(I) = A(50) + 1
+   10 CONTINUE
+|} in
+  let s = Dt_transform.Restructure.suggest prog in
+  check Alcotest.bool "interior peel" true
+    (List.exists
+       (function
+         | Dt_transform.Restructure.Peel { at_boundary = `Interior; _ } -> true
+         | _ -> false)
+       s)
+
+let suite =
+  [
+    Alcotest.test_case "Tarjan SCC" `Quick test_scc;
+    Alcotest.test_case "parallel loop reports" `Quick test_parallel_reports;
+    Alcotest.test_case "vectorize: parallel stmt" `Quick test_vectorize_simple;
+    Alcotest.test_case "vectorize: recurrence" `Quick test_vectorize_recurrence;
+    Alcotest.test_case "vectorize: distribution" `Quick test_vectorize_partial;
+    Alcotest.test_case "vectorize: inner loop" `Quick test_vectorize_inner;
+    Alcotest.test_case "vectorize: self anti-dep" `Quick test_vectorize_self_anti;
+    Alcotest.test_case "interchange legality" `Quick test_interchange;
+    Alcotest.test_case "permutation search" `Quick test_permutation_search;
+    Alcotest.test_case "loop distribution" `Quick test_distribute;
+    Alcotest.test_case "distribution order" `Quick test_distribute_preserves_order;
+    Alcotest.test_case "loop reversal" `Quick test_reversal;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "peel suggestions" `Quick test_restructure_interior;
+  ]
