@@ -203,7 +203,16 @@ let print_tables () =
   in
   let agg = Dt_stats.Profile.aggregate ~name:"all" ~suite:"all" profs in
   print_endline "Figure: subscript class distribution over the corpus";
-  print_string (Dt_stats.Figures.class_histogram agg.Dt_stats.Profile.classes)
+  print_string (Dt_stats.Figures.class_histogram agg.Dt_stats.Profile.classes);
+  (* metrics snapshot for the whole-corpus run: per-test-kind counts and
+     wall-clock timings, phase spans, per-pair latency histogram *)
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc
+    (Dt_obs.Json.to_string
+       (Dt_obs.Metrics.to_json agg.Dt_stats.Profile.metrics));
+  output_char oc '\n';
+  close_out oc;
+  print_endline "\nwhole-corpus metrics snapshot written to BENCH_obs.json"
 
 let is_infix ~affix s =
   let na = String.length affix and ns = String.length s in

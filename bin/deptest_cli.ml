@@ -16,6 +16,14 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Exit code 2 for load (lexical/syntax/lowering) errors, distinct from
+   exit 1 for analysis failures such as an unsound [check] run. *)
+let load_error path ?line what msg =
+  (match line with
+  | Some l -> Printf.eprintf "%s:%d: %s%s\n" path l what msg
+  | None -> Printf.eprintf "%s: %s%s\n" path what msg);
+  exit 2
+
 let load_unit path =
   let src = read_file path in
   let is_c =
@@ -27,22 +35,16 @@ let load_unit path =
     if is_c then [ Dt_frontend.Cfront.parse_and_lower src ]
     else Dt_frontend.Lower.parse_unit src
   with
-  | [] ->
-      Printf.eprintf "%s: empty compilation unit\n" path;
-      exit 1
+  | [] -> load_error path "" "empty compilation unit"
   | progs -> progs
   | exception Dt_frontend.Cfront.Error (msg, line) ->
-      Printf.eprintf "%s:%d: syntax error: %s\n" path line msg;
-      exit 1
+      load_error path ~line "syntax error: " msg
   | exception Dt_frontend.Lexer.Error (msg, line) ->
-      Printf.eprintf "%s:%d: lexical error: %s\n" path line msg;
-      exit 1
+      load_error path ~line "lexical error: " msg
   | exception Dt_frontend.Parser.Error (msg, line) ->
-      Printf.eprintf "%s:%d: syntax error: %s\n" path line msg;
-      exit 1
+      load_error path ~line "syntax error: " msg
   | exception Dt_frontend.Lower.Error (msg, line) ->
-      Printf.eprintf "%s:%d: %s\n" path line msg;
-      exit 1
+      load_error path ~line "" msg
 
 (* run a per-program command over every routine of the file *)
 let each path f =
@@ -87,8 +89,36 @@ let bind_arg =
           "Bind symbolic constants to values before analysis \
            (specialization makes every exact test fully precise).")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the reasoning trace: every test applied to every \
+           reference pair, with the reason for each verdict.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.jsonl"
+        ~doc:"Write the trace as JSON Lines (one event per line) to $(docv).")
+
 let analyze_cmd =
-  let run file strategy inputs bindings =
+  let run file strategy inputs bindings explain trace_file =
+    let trace_oc =
+      match trace_file with
+      | None -> None
+      | Some f -> (
+          try Some (open_out f)
+          with Sys_error e ->
+            Printf.eprintf "cannot write trace: %s\n" e;
+            exit 2)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match trace_oc with Some oc -> close_out_noerr oc | None -> ())
+    @@ fun () ->
     each file @@ fun prog ->
     let prog =
       if bindings = [] then prog
@@ -97,18 +127,32 @@ let analyze_cmd =
     let options =
       { Deptest.Analyze.default_options with strategy; include_inputs = inputs }
     in
-    let r = Deptest.Analyze.program ~options prog in
+    let sink =
+      if explain || trace_oc <> None then Some (Dt_obs.Trace.make ())
+      else None
+    in
+    let r = Deptest.Analyze.program ~options ?sink prog in
     Format.printf "%a@." Dt_ir.Nest.pp prog;
     if r.Deptest.Analyze.deps = [] then print_endline "no dependences"
     else
       List.iter (fun d -> Format.printf "%a@." Deptest.Dep.pp d)
         r.Deptest.Analyze.deps;
+    (match sink with
+    | Some sk ->
+        if explain then
+          Format.printf "@.-- explain --@.%a" Dt_obs.Trace.pp_tree sk;
+        (match trace_oc with
+        | Some oc -> output_string oc (Dt_obs.Trace.to_jsonl sk)
+        | None -> ())
+    | None -> ());
     Format.printf "@.-- tests applied --@.%a" Deptest.Counters.pp
       r.Deptest.Analyze.counters
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Print all data dependences of a program")
-    Term.(const run $ file_arg $ strategy_arg $ inputs_arg $ bind_arg)
+    Term.(
+      const run $ file_arg $ strategy_arg $ inputs_arg $ bind_arg
+      $ explain_arg $ trace_arg)
 
 let parallel_cmd =
   let run file =
@@ -282,6 +326,35 @@ let tables_cmd =
        ~doc:"Regenerate the paper's evaluation tables over the corpus")
     Term.(const run $ suites_arg $ which)
 
+let profile_cmd =
+  let run file strategy json =
+    let metrics = Dt_obs.Metrics.create () in
+    let options = { Deptest.Analyze.default_options with strategy } in
+    let progs =
+      Dt_obs.Metrics.timed (Some metrics) Dt_obs.Metrics.Parse (fun () ->
+          load_unit file)
+    in
+    List.iter
+      (fun (prog : Dt_ir.Nest.program) ->
+        ignore (Deptest.Analyze.program ~options ~metrics prog))
+      progs;
+    if json then
+      print_endline (Dt_obs.Json.to_string (Dt_obs.Metrics.to_json metrics))
+    else Format.printf "%a" Dt_obs.Metrics.pp metrics
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the metrics snapshot as JSON instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Analyze a file and print per-test-kind counts and wall-clock \
+          timings (the paper's Table-3 shape with time columns)")
+    Term.(const run $ file_arg $ strategy_arg $ json_arg)
+
 let corpus_cmd =
   let run () =
     List.iter
@@ -306,6 +379,7 @@ let main =
       graph_cmd;
       suggest_cmd;
       check_cmd;
+      profile_cmd;
       tables_cmd;
       corpus_cmd;
     ]

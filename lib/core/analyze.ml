@@ -65,8 +65,14 @@ let neg_dist = function
   | Outcome.Sym e -> Outcome.Sym (Affine.neg e)
   | Outcome.Unknown -> Outcome.Unknown
 
-let program ?(options = default_options) prog =
+let program ?(options = default_options) ?metrics ?sink prog =
   let counters = Counters.create () in
+  let emit ev =
+    match sink with Some sk -> Dt_obs.Trace.emit sk ev | None -> ()
+  in
+  let scoped f =
+    match sink with Some sk -> Dt_obs.Trace.scope sk f | None -> f ()
+  in
   let accesses =
     List.concat_map
       (fun (s, loops) ->
@@ -100,13 +106,50 @@ let program ?(options = default_options) prog =
     then ()
     else begin
       let array = a1.Stmt.aref.Aref.base in
-      let r =
-        Pair_test.test ~counters ~strategy:options.strategy
-          ~assume:options.assume
-          ~src:(a1.Stmt.aref, loops1)
-          ~snk:(a2.Stmt.aref, loops2)
-          ()
+      emit
+        (Dt_obs.Trace.Pair_start
+           {
+             array;
+             src_stmt = a1.Stmt.stmt.Stmt.id;
+             snk_stmt = a2.Stmt.stmt.Stmt.id;
+           });
+      let t0 =
+        match metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
       in
+      let r =
+        scoped (fun () ->
+            let r =
+              Pair_test.test ~counters ?metrics ?sink
+                ~strategy:options.strategy ~assume:options.assume
+                ~src:(a1.Stmt.aref, loops1)
+                ~snk:(a2.Stmt.aref, loops2)
+                ()
+            in
+            (if sink <> None then
+               let independent = r.Pair_test.result = `Independent in
+               let reason =
+                 match
+                   (r.Pair_test.result, r.Pair_test.meta.Pair_test.proved_by)
+                 with
+                 | `Independent, Some k -> "proved by " ^ Counters.kind_name k
+                 | `Independent, None ->
+                     "no consistent direction vector across subscript \
+                      partitions"
+                 | `Dependent { Pair_test.dirvecs; _ }, _ ->
+                     Format.asprintf "%d direction vector(s):%t"
+                       (List.length dirvecs) (fun ppf ->
+                         List.iter
+                           (fun v -> Format.fprintf ppf " %a" Dirvec.pp v)
+                           dirvecs)
+               in
+               emit (Dt_obs.Trace.Verdict { independent; reason }));
+            r)
+      in
+      (match metrics with
+      | Some m ->
+          Dt_obs.Metrics.observe_pair m
+            ~ns:(Int64.sub (Dt_obs.Metrics.now_ns ()) t0)
+      | None -> ());
       pairs :=
         {
           array;

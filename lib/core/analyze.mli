@@ -26,7 +26,15 @@ type result = {
   counters : Counters.t;
 }
 
-val program : ?options:options -> Nest.program -> result
+val program :
+  ?options:options ->
+  ?metrics:Dt_obs.Metrics.t ->
+  ?sink:Dt_obs.Trace.sink ->
+  Nest.program ->
+  result
+(** [metrics] and [sink] feed the observability layer: per-test-kind
+    counts/timings, per-pair latency, and a typed trace tree with one
+    [Pair_start] .. [Verdict] span per reference pair (see {!Dt_obs}). *)
 
 val deps_of : ?options:options -> Nest.program -> Dep.t list
 

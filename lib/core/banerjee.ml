@@ -112,3 +112,11 @@ let vectors assume range pairs ~indices =
       !results
   in
   if vecs = [] then `Independent else `Vectors vecs
+
+let explain = function
+  | `Independent ->
+      "no direction vector satisfies the Banerjee bounds (with directed GCD)"
+  | `Vectors vecs ->
+      Format.asprintf "%d direction vector(s) feasible:%t" (List.length vecs)
+        (fun ppf ->
+          List.iter (fun v -> Format.fprintf ppf " %a" Dirvec.pp_concrete v) vecs)

@@ -43,3 +43,7 @@ val vectors :
     keeping assignments under which *every* subscript pair is feasible.
     Returns the concrete legal vectors over [indices] (in the given
     order), or [`Independent] when none survive. *)
+
+val explain :
+  [ `Independent | `Vectors of Direction.t list list ] -> string
+(** One-line reason for a {!vectors} verdict, for the trace layer. *)

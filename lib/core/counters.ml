@@ -1,4 +1,7 @@
-type kind =
+(* The kind enumeration lives in Dt_obs.Test_kind so the trace/metrics
+   layer and this module share one type; the equation below re-exports the
+   constructors under their historical names. *)
+type kind = Dt_obs.Test_kind.t =
   | Ziv_test
   | Strong_siv
   | Weak_zero_siv
@@ -10,40 +13,13 @@ type kind =
   | Delta_test
   | Symbolic_ziv
 
-let all_kinds =
-  [
-    Ziv_test;
-    Strong_siv;
-    Weak_zero_siv;
-    Weak_crossing_siv;
-    Exact_siv;
-    Rdiv_test;
-    Gcd_miv;
-    Banerjee_miv;
-    Delta_test;
-    Symbolic_ziv;
-  ]
+let all_kinds = Dt_obs.Test_kind.all
+let kind_name = Dt_obs.Test_kind.name
+let n_kinds = Dt_obs.Test_kind.count
 
-let kind_name = function
-  | Ziv_test -> "ZIV"
-  | Strong_siv -> "strong SIV"
-  | Weak_zero_siv -> "weak-zero SIV"
-  | Weak_crossing_siv -> "weak-crossing SIV"
-  | Exact_siv -> "exact SIV"
-  | Rdiv_test -> "RDIV"
-  | Gcd_miv -> "GCD"
-  | Banerjee_miv -> "Banerjee"
-  | Delta_test -> "Delta"
-  | Symbolic_ziv -> "symbolic ZIV"
-
-let n_kinds = List.length all_kinds
-
-let kind_id k =
-  let rec go i = function
-    | [] -> assert false
-    | x :: rest -> if x = k then i else go (i + 1) rest
-  in
-  go 0 all_kinds
+(* direct pattern match (Dt_obs.Test_kind.id): this runs on every recorded
+   event, so no list scan *)
+let kind_id = Dt_obs.Test_kind.id
 
 type t = { applied : int array; indep : int array }
 

@@ -4,7 +4,7 @@
     test was applied and how often it proved independence — the exact
     measurements PFC was instrumented for in the paper. *)
 
-type kind =
+type kind = Dt_obs.Test_kind.t =
   | Ziv_test
   | Strong_siv
   | Weak_zero_siv
@@ -15,9 +15,15 @@ type kind =
   | Banerjee_miv
   | Delta_test
   | Symbolic_ziv  (** ZIV decided only via symbolic reasoning *)
+(** Shared with the observability layer: [kind] is an equation over
+    {!Dt_obs.Test_kind.t}, so counters, metrics, and trace events agree on
+    the enumeration. *)
 
 val all_kinds : kind list
 val kind_name : kind -> string
+
+val kind_id : kind -> int
+(** Dense index in [0, length all_kinds): a direct pattern match, O(1). *)
 
 type t
 

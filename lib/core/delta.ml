@@ -161,10 +161,43 @@ let relation_infeasible loops assume ~ivar ~jvar ~e =
       else false)
     loops
 
-let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
-    pairs ~relevant =
-  let record k ~indep =
-    match counters with Some c -> Counters.record c k ~indep | None -> ()
+let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
+    ~relevant =
+  let t_start =
+    match metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
+  in
+  let record ?(ns = 0L) k ~indep =
+    (match counters with Some c -> Counters.record c k ~indep | None -> ());
+    match metrics with
+    | Some m -> Dt_obs.Metrics.record m k ~indep ~ns
+    | None -> ()
+  in
+  let tick () =
+    match metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
+  in
+  let tock t0 =
+    match metrics with
+    | Some _ -> Int64.sub (Dt_obs.Metrics.now_ns ()) t0
+    | None -> 0L
+  in
+  (* [tracing] is checked before any trace string is built, so a run
+     without observers allocates nothing for tracing *)
+  let tracing = trace <> None || sink <> None in
+  let legacy s = match trace with Some f -> f s | None -> () in
+  let emit ev =
+    match sink with Some sk -> Dt_obs.Trace.emit sk ev | None -> ()
+  in
+  let note s =
+    legacy s;
+    emit (Dt_obs.Trace.Note s)
+  in
+  let emit_test kind p verdict reason =
+    match sink with
+    | Some sk ->
+        Dt_obs.Trace.emit sk
+          (Dt_obs.Trace.Test
+             { kind; subscript = Spair.to_string p; verdict; reason })
+    | None -> ()
   in
   let pairs = Array.of_list pairs in
   let n = Array.length pairs in
@@ -180,11 +213,20 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
   let add_constr i c =
     let old = get_constr i in
     let c' = Constr.intersect assume old c in
-    trace
-      (Format.asprintf "  constraint on %a: %a /\\ %a = %a" Index.pp i
-         Constr.pp old Constr.pp c Constr.pp c');
+    if tracing then begin
+      legacy
+        (Format.asprintf "  constraint on %a: %a /\\ %a = %a" Index.pp i
+           Constr.pp old Constr.pp c Constr.pp c');
+      emit
+        (Dt_obs.Trace.Constraint
+           {
+             index = Format.asprintf "%a" Index.pp i;
+             constr = Constr.to_string c';
+             note = Format.asprintf "%a /\\ %a" Constr.pp old Constr.pp c;
+           })
+    end;
     if Constr.is_empty c' then begin
-      trace "  -> contradiction: independent";
+      if tracing then note "  -> contradiction: independent";
       raise Proved_independent
     end;
     if not (Constr.equal old c') then begin
@@ -196,15 +238,28 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
     let p = pairs.(k) in
     match Classify.classify ~relevant p with
     | Classify.Ziv -> (
+        let t0 = tick () in
         let o = Ziv.test assume p in
-        record Counters.Ziv_test ~indep:(o = Outcome.Independent);
-        trace
-          (Format.asprintf "  ZIV test %a: %a" Spair.pp p Outcome.pp o);
+        let indep = o = Outcome.Independent in
+        record ~ns:(tock t0) Counters.Ziv_test ~indep;
+        if tracing then begin
+          legacy (Format.asprintf "  ZIV test %a: %a" Spair.pp p Outcome.pp o);
+          let d = Affine.sub p.Spair.snk p.Spair.src in
+          emit_test Counters.Ziv_test p
+            (if indep then Dt_obs.Trace.Independent
+             else Dt_obs.Trace.Inconclusive)
+            (if indep then
+               Format.asprintf "subscript difference %a is never zero"
+                 Affine.pp d
+             else
+               Format.asprintf "subscript difference %a may vanish" Affine.pp d)
+        end;
         pending.(k) <- false;
         match o with
         | Outcome.Independent -> raise Proved_independent
         | _ -> ())
     | Classify.Siv { index; kind } -> (
+        let t0 = tick () in
         let r = Siv.test assume range p index in
         let ckind =
           match kind with
@@ -213,21 +268,34 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
           | Classify.Weak_crossing -> Counters.Weak_crossing_siv
           | Classify.General -> Counters.Exact_siv
         in
-        record ckind ~indep:(r.Siv.outcome = Outcome.Independent);
-        trace
-          (Format.asprintf "  %s test %a: %a"
-             (Classify.to_string (Classify.Siv { index; kind }))
-             Spair.pp p Outcome.pp r.Siv.outcome);
+        let indep = r.Siv.outcome = Outcome.Independent in
+        record ~ns:(tock t0) ckind ~indep;
+        if tracing then begin
+          legacy
+            (Format.asprintf "  %s test %a: %a"
+               (Classify.to_string (Classify.Siv { index; kind }))
+               Spair.pp p Outcome.pp r.Siv.outcome);
+          emit_test ckind p
+            (if indep then Dt_obs.Trace.Independent else Dt_obs.Trace.Dependent)
+            (Siv.explain range p index r)
+        end;
         pending.(k) <- false;
         match r.Siv.outcome with
         | Outcome.Independent -> raise Proved_independent
         | _ -> add_constr index r.Siv.constr)
     | Classify.Rdiv { src_index; snk_index } -> (
+        let t0 = tick () in
         let r = Rdiv.test assume range p ~src:src_index ~snk:snk_index in
-        record Counters.Rdiv_test ~indep:(r.Rdiv.outcome = Outcome.Independent);
-        trace
-          (Format.asprintf "  RDIV test %a: %a" Spair.pp p Outcome.pp
-             r.Rdiv.outcome);
+        let indep = r.Rdiv.outcome = Outcome.Independent in
+        record ~ns:(tock t0) Counters.Rdiv_test ~indep;
+        if tracing then begin
+          legacy
+            (Format.asprintf "  RDIV test %a: %a" Spair.pp p Outcome.pp
+               r.Rdiv.outcome);
+          emit_test Counters.Rdiv_test p
+            (if indep then Dt_obs.Trace.Independent else Dt_obs.Trace.Dependent)
+            (Rdiv.explain r)
+        end;
         pending.(k) <- false;
         match r.Rdiv.outcome with
         | Outcome.Independent -> raise Proved_independent
@@ -248,9 +316,10 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
           (fun i ->
             match apply_constraint !p i (get_constr i) with
             | Some p' ->
-                trace
-                  (Format.asprintf "  propagate %a into %a -> %a" Constr.pp
-                     (get_constr i) Spair.pp !p Spair.pp p');
+                if tracing then
+                  note
+                    (Format.asprintf "  propagate %a into %a -> %a" Constr.pp
+                       (get_constr i) Spair.pp !p Spair.pp p');
                 p := p';
                 changed := true
             | None -> ())
@@ -363,7 +432,7 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
             handle var_b)
           loops;
         if Symfm.infeasible assume ~nvars !base then begin
-          trace "  relational system infeasible: independent";
+          if tracing then note "  relational system infeasible: independent";
           raise Proved_independent
         end;
         (* per-index direction refinement *)
@@ -384,7 +453,8 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
                 in
                 let dirs = Direction.of_list (List.filter dir_ok Direction.all) in
                 if Direction.is_empty dirs then begin
-                  trace "  relational direction refinement: independent";
+                  if tracing then
+                    note "  relational direction refinement: independent";
                   raise Proved_independent
                 end
                 else if not (Direction.is_full dirs) then
@@ -420,17 +490,19 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
         | Constr.Dist d ->
             let e = Affine.add_const d c in
             if relation_infeasible loops assume ~ivar:i ~jvar:j ~e then begin
-              trace
-                (Format.asprintf
-                   "  RDIV relation beta_%a = beta_%a + %a violates bounds: \
-                    independent"
-                   Index.pp i Index.pp j Affine.pp e);
+              if tracing then
+                note
+                  (Format.asprintf
+                     "  RDIV relation beta_%a = beta_%a + %a violates bounds: \
+                      independent"
+                     Index.pp i Index.pp j Affine.pp e);
               raise Proved_independent
             end
         | Constr.Sym_dist ds ->
             let e = Affine.add ds c in
             if relation_infeasible loops assume ~ivar:i ~jvar:j ~e then begin
-              trace "  symbolic RDIV relation violates bounds: independent";
+              if tracing then
+                note "  symbolic RDIV relation violates bounds: independent";
               raise Proved_independent
             end
         | Constr.Point { x; _ } ->
@@ -444,11 +516,12 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
         | Constr.Dist d ->
             let e = Affine.add_const d c in
             if relation_infeasible loops assume ~ivar:i ~jvar:j ~e then begin
-              trace
-                (Format.asprintf
-                   "  RDIV relation alpha_%a = alpha_%a + %a violates bounds: \
-                    independent"
-                   Index.pp i Index.pp j Affine.pp e);
+              if tracing then
+                note
+                  (Format.asprintf
+                     "  RDIV relation alpha_%a = alpha_%a + %a violates \
+                      bounds: independent"
+                     Index.pp i Index.pp j Affine.pp e);
               raise Proved_independent
             end
         | Constr.Sym_dist ds ->
@@ -481,10 +554,11 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
                   match Affine.as_const (Affine.add c1 c2) with
                   | Some sum ->
                       let s = -sum in
-                      trace
-                        (Format.asprintf
-                           "  RDIV coupling on (%a,%a): d_%a + d_%a = %d"
-                           Index.pp i1 Index.pp j1 Index.pp i1 Index.pp j1 s);
+                      if tracing then
+                        note
+                          (Format.asprintf
+                             "  RDIV coupling on (%a,%a): d_%a + d_%a = %d"
+                             Index.pp i1 Index.pp j1 Index.pp i1 Index.pp j1 s);
                       crossed_vectors s
                   | None ->
                       List.concat_map
@@ -502,8 +576,8 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
                       | _ -> assert false)
                     arith
                 in
-                if List.length vecs < List.length arith then
-                  trace
+                if tracing && List.length vecs < List.length arith then
+                  note
                     (Format.asprintf
                        "  relational RDIV filter kept %d of %d vectors"
                        (List.length vecs) (List.length arith));
@@ -516,7 +590,8 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
                 (* same orientation: alpha_i = beta_j + c1 = beta_j + c2 *)
                 match Assume.sign assume (Affine.sub c1 c2) with
                 | `Pos | `Neg ->
-                    trace "  inconsistent RDIV relations: independent";
+                    if tracing then
+                      note "  inconsistent RDIV relations: independent";
                     raise Proved_independent
                 | _ -> ()
               end)
@@ -528,6 +603,7 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
     let continue = ref true in
     while !continue && !passes < (3 * n) + 3 do
       incr passes;
+      emit (Dt_obs.Trace.Pass !passes);
       changed := false;
       for k = 0 to n - 1 do
         if pending.(k) then test_one k
@@ -543,10 +619,11 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
         (fun i c acc ->
           match Constr.to_outcome assume range i c with
           | Outcome.Independent ->
-              trace
-                (Format.asprintf
-                   "  final constraint on %a out of bounds: independent"
-                   Index.pp i);
+              if tracing then
+                note
+                  (Format.asprintf
+                     "  final constraint on %a out of bounds: independent"
+                     Index.pp i);
               raise Proved_independent
           | Outcome.Dependent deps -> deps @ acc)
         !constraints []
@@ -559,23 +636,40 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
         let occurring = Index.Set.inter (Spair.indices p) relevant in
         if not (Index.Set.is_empty occurring) then begin
           incr leftovers;
+          let t0 = tick () in
           (match Gcd_test.test p with
           | `Independent ->
-              record Counters.Gcd_miv ~indep:true;
-              trace "  GCD on leftover MIV: independent";
+              record ~ns:(tock t0) Counters.Gcd_miv ~indep:true;
+              if tracing then begin
+                legacy "  GCD on leftover MIV: independent";
+                emit_test Counters.Gcd_miv p Dt_obs.Trace.Independent
+                  "coefficient gcd does not divide the constant difference"
+              end;
               raise Proved_independent
-          | `Maybe -> record Counters.Gcd_miv ~indep:false);
+          | `Maybe ->
+              record ~ns:(tock t0) Counters.Gcd_miv ~indep:false;
+              if tracing then
+                emit_test Counters.Gcd_miv p Dt_obs.Trace.Inconclusive
+                  "coefficient gcd divides the constant difference");
           let indices =
             Index.Set.elements occurring
             |> List.sort (fun a b -> compare (Index.depth a) (Index.depth b))
           in
+          let t1 = tick () in
           match Banerjee.vectors assume range [ p ] ~indices with
-          | `Independent ->
-              record Counters.Banerjee_miv ~indep:true;
-              trace "  Banerjee on leftover MIV: independent";
+          | `Independent as v ->
+              record ~ns:(tock t1) Counters.Banerjee_miv ~indep:true;
+              if tracing then begin
+                legacy "  Banerjee on leftover MIV: independent";
+                emit_test Counters.Banerjee_miv p Dt_obs.Trace.Independent
+                  (Banerjee.explain v)
+              end;
               raise Proved_independent
-          | `Vectors vecs ->
-              record Counters.Banerjee_miv ~indep:false;
+          | `Vectors vecs as v ->
+              record ~ns:(tock t1) Counters.Banerjee_miv ~indep:false;
+              if tracing then
+                emit_test Counters.Banerjee_miv p Dt_obs.Trace.Dependent
+                  (Banerjee.explain v);
               miv_results := Presult.Vectors (indices, vecs) :: !miv_results
         end
       end
@@ -592,5 +686,6 @@ let test ?counters ?(trace = fun (_ : string) -> ()) ?(loops = []) assume range
     with Proved_independent ->
       { verdict = `Independent; passes = !passes; leftover_miv = 0 }
   in
-  record Counters.Delta_test ~indep:(res.verdict = `Independent);
+  record ~ns:(tock t_start) Counters.Delta_test
+    ~indep:(res.verdict = `Independent);
   res

@@ -28,6 +28,8 @@ type result = {
 
 val test :
   ?counters:Counters.t ->
+  ?metrics:Dt_obs.Metrics.t ->
+  ?sink:Dt_obs.Trace.sink ->
   ?trace:(string -> unit) ->
   ?loops:Loop.t list ->
   Assume.t ->
@@ -37,7 +39,9 @@ val test :
   result
 (** Test one minimal coupled group. [relevant] is the set of common-loop
     indices. [trace] receives a human-readable account of every step (used
-    by the Figure-3 walkthrough example).
+    by the Figure-3 walkthrough example); [sink] receives the same account
+    as typed {!Dt_obs.Trace} events and [metrics] accumulates per-kind
+    timings. When neither is supplied no trace strings are built.
 
     [loops] (the enclosing loops, outermost first) enables the *relational*
     RDIV refinement: combining an RDIV relation [alpha_i = beta_j + c]

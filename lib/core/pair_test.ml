@@ -11,6 +11,7 @@ type meta = {
   classes : Classify.t list;
   delta_passes : int;
   delta_leftover_miv : int;
+  proved_by : Counters.kind option;
 }
 
 type dependence_info = {
@@ -73,8 +74,9 @@ let rename_snk ~src_loops ~common (snk_loops : Loop.t list)
   in
   (suffix', subs')
 
-let test ?counters ?(strategy = Partition_based) ?(assume = Assume.empty)
-    ~src:(src_ref, src_loops) ~snk:(snk_ref, snk_loops) () =
+let test ?counters ?metrics ?sink ?(strategy = Partition_based)
+    ?(assume = Assume.empty) ~src:(src_ref, src_loops)
+    ~snk:(snk_ref, snk_loops) () =
   if src_ref.Aref.base <> snk_ref.Aref.base then
     invalid_arg "Pair_test.test: references to different arrays";
   let common = common_loops src_loops snk_loops in
@@ -104,25 +106,63 @@ let test ?counters ?(strategy = Partition_based) ?(assume = Assume.empty)
           | _ -> (ps, nl + 1))
         src_subs snk_subs ([], 0)
   in
-  let classes =
-    List.map (fun p -> Classify.classify ~relevant p) spairs
+  let classes, groups =
+    Dt_obs.Metrics.timed metrics Dt_obs.Metrics.Partition (fun () ->
+        ( List.map (fun p -> Classify.classify ~relevant p) spairs,
+          Classify.partition ~relevant spairs ))
   in
   let delta_passes = ref 0 and delta_leftover = ref 0 in
-  let record k ~indep =
-    match counters with Some c -> Counters.record c k ~indep | None -> ()
+  let record ?(ns = 0L) k ~indep =
+    (match counters with Some c -> Counters.record c k ~indep | None -> ());
+    match metrics with
+    | Some m -> Dt_obs.Metrics.record m k ~indep ~ns
+    | None -> ()
   in
-  let exception Indep in
+  let tick () =
+    match metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
+  in
+  let tock t0 =
+    match metrics with
+    | Some _ -> Int64.sub (Dt_obs.Metrics.now_ns ()) t0
+    | None -> 0L
+  in
+  let emit ev =
+    match sink with Some sk -> Dt_obs.Trace.emit sk ev | None -> ()
+  in
+  let scoped f =
+    match sink with Some sk -> Dt_obs.Trace.scope sk f | None -> f ()
+  in
+  let emit_test kind p verdict reason =
+    match sink with
+    | Some sk ->
+        Dt_obs.Trace.emit sk
+          (Dt_obs.Trace.Test
+             { kind; subscript = Spair.to_string p; verdict; reason })
+    | None -> ()
+  in
+  let exception Indep of Counters.kind option in
   let test_separable p =
     match Classify.classify ~relevant p with
     | Classify.Ziv ->
+        let t0 = tick () in
         let o = Ziv.test assume p in
         let symbolic = not (Affine.is_const (Affine.sub p.Spair.snk p.Spair.src)) in
-        record
-          (if symbolic then Counters.Symbolic_ziv else Counters.Ziv_test)
-          ~indep:(o = Outcome.Independent);
-        if o = Outcome.Independent then raise Indep;
+        let ck = if symbolic then Counters.Symbolic_ziv else Counters.Ziv_test in
+        let indep = o = Outcome.Independent in
+        record ~ns:(tock t0) ck ~indep;
+        if sink <> None then
+          emit_test ck p
+            (if indep then Dt_obs.Trace.Independent
+             else Dt_obs.Trace.Inconclusive)
+            (Format.asprintf
+               (if indep then "subscript difference %a is never zero"
+                else "subscript difference %a may vanish")
+               Affine.pp
+               (Affine.sub p.Spair.snk p.Spair.src));
+        if indep then raise (Indep (Some ck));
         Presult.of_outcome o
     | Classify.Siv { index; kind } ->
+        let t0 = tick () in
         let r = Siv.test assume range p index in
         let ck =
           match kind with
@@ -131,89 +171,129 @@ let test ?counters ?(strategy = Partition_based) ?(assume = Assume.empty)
           | Classify.Weak_crossing -> Counters.Weak_crossing_siv
           | Classify.General -> Counters.Exact_siv
         in
-        record ck ~indep:(r.Siv.outcome = Outcome.Independent);
-        if r.Siv.outcome = Outcome.Independent then raise Indep;
+        let indep = r.Siv.outcome = Outcome.Independent in
+        record ~ns:(tock t0) ck ~indep;
+        if sink <> None then
+          emit_test ck p
+            (if indep then Dt_obs.Trace.Independent else Dt_obs.Trace.Dependent)
+            (Siv.explain range p index r);
+        if indep then raise (Indep (Some ck));
         Presult.of_outcome r.Siv.outcome
     | Classify.Rdiv { src_index; snk_index } ->
+        let t0 = tick () in
         let r = Rdiv.test assume range p ~src:src_index ~snk:snk_index in
-        record Counters.Rdiv_test ~indep:(r.Rdiv.outcome = Outcome.Independent);
-        if r.Rdiv.outcome = Outcome.Independent then raise Indep;
+        let indep = r.Rdiv.outcome = Outcome.Independent in
+        record ~ns:(tock t0) Counters.Rdiv_test ~indep;
+        if sink <> None then
+          emit_test Counters.Rdiv_test p
+            (if indep then Dt_obs.Trace.Independent else Dt_obs.Trace.Dependent)
+            (Rdiv.explain r);
+        if indep then raise (Indep (Some Counters.Rdiv_test));
         Presult.of_outcome r.Rdiv.outcome
     | Classify.Miv _ -> (
+        let t0 = tick () in
         (match Gcd_test.test p with
         | `Independent ->
-            record Counters.Gcd_miv ~indep:true;
-            raise Indep
-        | `Maybe -> record Counters.Gcd_miv ~indep:false);
+            record ~ns:(tock t0) Counters.Gcd_miv ~indep:true;
+            emit_test Counters.Gcd_miv p Dt_obs.Trace.Independent
+              "coefficient gcd does not divide the constant difference";
+            raise (Indep (Some Counters.Gcd_miv))
+        | `Maybe -> record ~ns:(tock t0) Counters.Gcd_miv ~indep:false);
         let occurring = Spair.indices p in
         let indices =
           List.filter (fun i -> Index.Set.mem i occurring) common_indices
         in
+        let t1 = tick () in
         match Banerjee.vectors assume range [ p ] ~indices with
-        | `Independent ->
-            record Counters.Banerjee_miv ~indep:true;
-            raise Indep
-        | `Vectors vecs ->
-            record Counters.Banerjee_miv ~indep:false;
+        | `Independent as v ->
+            record ~ns:(tock t1) Counters.Banerjee_miv ~indep:true;
+            if sink <> None then
+              emit_test Counters.Banerjee_miv p Dt_obs.Trace.Independent
+                (Banerjee.explain v);
+            raise (Indep (Some Counters.Banerjee_miv))
+        | `Vectors vecs as v ->
+            record ~ns:(tock t1) Counters.Banerjee_miv ~indep:false;
+            if sink <> None then
+              emit_test Counters.Banerjee_miv p Dt_obs.Trace.Dependent
+                (Banerjee.explain v);
             Presult.Vectors (indices, vecs))
   in
-  let groups = Classify.partition ~relevant spairs in
   let spairs_arr = Array.of_list spairs in
   let separable, coupled =
     List.partition (fun g -> List.length g.Classify.positions = 1) groups
   in
+  emit
+    (Dt_obs.Trace.Partitioned
+       {
+         dims = List.length spairs + nonlinear;
+         nonlinear;
+         separable = List.length separable;
+         coupled_groups = List.length coupled;
+       });
   let run () =
     let parts =
-      match strategy with
-      | Subscript_by_subscript -> (
-          match
-            Subscript_wise.test ?counters assume range spairs
-              ~common:common_indices
-          with
-          | `Independent -> raise Indep
-          | `Dependent parts -> parts)
-      | Partition_based ->
-          let sep_parts =
-            List.map
-              (fun g ->
-                test_separable spairs_arr.(List.hd g.Classify.positions))
-              separable
-          in
-          let coup_parts =
-            List.concat_map
-              (fun g ->
-                let group_pairs =
-                  List.map (fun k -> spairs_arr.(k)) g.Classify.positions
-                in
-                let r =
-                  Delta.test ?counters ~loops:all_loops assume range
-                    group_pairs ~relevant
-                in
-                delta_passes := max !delta_passes r.Delta.passes;
-                delta_leftover := !delta_leftover + r.Delta.leftover_miv;
-                match r.Delta.verdict with
-                | `Independent -> raise Indep
-                | `Dependent parts -> parts)
-              coupled
-          in
-          sep_parts @ coup_parts
+      Dt_obs.Metrics.timed metrics Dt_obs.Metrics.Test (fun () ->
+          match strategy with
+          | Subscript_by_subscript -> (
+              match
+                Subscript_wise.test ?counters ?metrics ?sink assume range
+                  spairs ~common:common_indices
+              with
+              | `Independent k -> raise (Indep (Some k))
+              | `Dependent parts -> parts)
+          | Partition_based ->
+              let sep_parts =
+                List.map
+                  (fun g ->
+                    test_separable spairs_arr.(List.hd g.Classify.positions))
+                  separable
+              in
+              let coup_parts =
+                List.concat_map
+                  (fun g ->
+                    let group_pairs =
+                      List.map (fun k -> spairs_arr.(k)) g.Classify.positions
+                    in
+                    emit
+                      (Dt_obs.Trace.Group_start
+                         { positions = g.Classify.positions });
+                    let r =
+                      scoped (fun () ->
+                          Delta.test ?counters ?metrics ?sink
+                            ~loops:all_loops assume range group_pairs
+                            ~relevant)
+                    in
+                    delta_passes := max !delta_passes r.Delta.passes;
+                    delta_leftover := !delta_leftover + r.Delta.leftover_miv;
+                    match r.Delta.verdict with
+                    | `Independent -> raise (Indep (Some Counters.Delta_test))
+                    | `Dependent parts -> parts)
+                  coupled
+              in
+              sep_parts @ coup_parts)
     in
-    if List.exists Presult.is_independent parts then raise Indep;
-    let vec_sets =
-      List.map (Presult.to_dirvecs ~loop_indices:common_indices) parts
-    in
-    if List.exists (fun s -> s = []) vec_sets then raise Indep;
-    let dirvecs =
-      match vec_sets with [] -> [ Dirvec.full n ] | _ -> Dirvec.merge vec_sets
-    in
-    if dirvecs = [] then raise Indep;
-    let distances =
-      List.concat_map Presult.distances parts
-      |> List.filter (fun (i, _) -> List.exists (Index.equal i) common_indices)
-    in
-    `Dependent { dirvecs; distances }
+    Dt_obs.Metrics.timed metrics Dt_obs.Metrics.Merge (fun () ->
+        if List.exists Presult.is_independent parts then raise (Indep None);
+        let vec_sets =
+          List.map (Presult.to_dirvecs ~loop_indices:common_indices) parts
+        in
+        if List.exists (fun s -> s = []) vec_sets then raise (Indep None);
+        let dirvecs =
+          match vec_sets with
+          | [] -> [ Dirvec.full n ]
+          | _ -> Dirvec.merge vec_sets
+        in
+        if dirvecs = [] then raise (Indep None);
+        let distances =
+          List.concat_map Presult.distances parts
+          |> List.filter (fun (i, _) ->
+                 List.exists (Index.equal i) common_indices)
+        in
+        `Dependent { dirvecs; distances })
   in
-  let result = try run () with Indep -> `Independent in
+  let result, proved_by =
+    try (run (), None) with Indep k -> (`Independent, k)
+  in
   let meta =
     {
       dims = List.length spairs + nonlinear;
@@ -227,6 +307,7 @@ let test ?counters ?(strategy = Partition_based) ?(assume = Assume.empty)
       classes;
       delta_passes = !delta_passes;
       delta_leftover_miv = !delta_leftover;
+      proved_by;
     }
   in
   { result; meta }

@@ -30,6 +30,10 @@ type meta = {
   classes : Classify.t list;  (** classification per linear position *)
   delta_passes : int;
   delta_leftover_miv : int;
+  proved_by : Counters.kind option;
+      (** when the result is [`Independent], the test that proved it;
+          [None] means independence emerged from the direction-vector
+          merge (no single test). Meaningless for dependent results. *)
 }
 
 type dependence_info = {
@@ -43,6 +47,8 @@ val common_loops : Loop.t list -> Loop.t list -> Loop.t list
 
 val test :
   ?counters:Counters.t ->
+  ?metrics:Dt_obs.Metrics.t ->
+  ?sink:Dt_obs.Trace.sink ->
   ?strategy:strategy ->
   ?assume:Assume.t ->
   src:Aref.t * Loop.t list ->
@@ -51,4 +57,8 @@ val test :
   t
 (** Loop lists are the statements' enclosing loops, outermost first. The
     two references must name the same array. Loop-nonemptiness facts are
-    added to [assume] automatically. *)
+    added to [assume] automatically.
+
+    [metrics] accumulates per-test-kind counts/timings and partition /
+    test / merge phase spans; [sink] receives the typed trace of every
+    step (see {!Dt_obs.Trace}). Neither costs anything when omitted. *)

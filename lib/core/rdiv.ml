@@ -40,3 +40,16 @@ let test assume range (p : Spair.t) ~src ~snk =
       if not (Int_ops.divides g' (Affine.const_part c)) then
         { outcome = Outcome.Independent; relation = None }
       else { outcome = Outcome.dependent_star indices; relation }
+
+let pp_relation ppf (r : relation) =
+  Format.fprintf ppf "%d*alpha_%a %+d*beta_%a = %a" r.a Index.pp r.src_index
+    r.b Index.pp r.snk_index Affine.pp r.c
+
+let explain (r : result) =
+  match (r.outcome, r.relation) with
+  | Outcome.Independent, _ ->
+      "no (alpha, beta) solution within the two loops' ranges"
+  | _, Some rel ->
+      Format.asprintf "relation %a recorded for constraint propagation"
+        pp_relation rel
+  | _, None -> "dependence possible"

@@ -19,3 +19,8 @@ type relation = {
 type result = { outcome : Outcome.t; relation : relation option }
 
 val test : Assume.t -> Range.t -> Spair.t -> src:Index.t -> snk:Index.t -> result
+
+val pp_relation : Format.formatter -> relation -> unit
+
+val explain : result -> string
+(** One-line reason for the verdict, for the trace layer. *)

@@ -63,6 +63,37 @@ let crossing_point2 (p : Spair.t) i =
   let a1, a2, e = parts p i in
   if a1 = -a2 && a1 <> 0 then Affine.div_exact e a1 else None
 
+(* One-line account of a finished SIV test, for the trace/explain layer:
+   the constraint says what the test derived, the outcome says how the
+   bound check went, and the range supplies the paper's U-L span. *)
+let explain range (p : Spair.t) i (r : result) =
+  ignore p;
+  let span ppf =
+    match Range.trip_minus_one range i with
+    | Some e when Affine.is_const e ->
+        Format.fprintf ppf " = %d" (Affine.const_part e)
+    | Some e -> Format.fprintf ppf " = %a" Affine.pp e
+    | None -> ()
+  in
+  match (r.outcome, r.constr) with
+  | Outcome.Independent, Constr.Dist d ->
+      Format.asprintf "distance %d > U-L%t" (abs d) span
+  | Outcome.Independent, Constr.Sym_dist e ->
+      Format.asprintf "symbolic distance %a provably outside U-L%t" Affine.pp e
+        span
+  | Outcome.Independent, Constr.Point { x; y } ->
+      Format.asprintf "solution (alpha, beta) = (%d, %d) outside the loop bounds"
+        x y
+  | Outcome.Independent, Constr.Line { a; b; c } ->
+      Format.asprintf
+        "line %d*alpha + %d*beta = %a has no integer solution in bounds" a b
+        Affine.pp c
+  | Outcome.Independent, Constr.Empty -> "contradictory constraint"
+  | Outcome.Independent, Constr.Any -> "no constraint, yet independent"
+  | Outcome.Dependent _, _ ->
+      Format.asprintf "%a within bounds; %a" Constr.pp r.constr Outcome.pp
+        r.outcome
+
 let weak_zero_iteration _assume (p : Spair.t) i =
   let a1, a2, e = parts p i in
   if a1 <> 0 && a2 = 0 then Affine.div_exact e a1

@@ -43,6 +43,11 @@ val crossing_point2 : Spair.t -> Index.t -> Affine.t option
     with symbolic additive constants, e.g. [N + 1] for the pair
     <i, N - i' + 1> (the paper's CDL example crosses at (N+1)/2). *)
 
+val explain : Range.t -> Spair.t -> Index.t -> result -> string
+(** One-line reason for the test's verdict, e.g. ["distance 4 > U-L = 2"]
+    for a strong SIV independence proof — consumed by the trace layer's
+    explain output. *)
+
 val weak_zero_iteration : Assume.t -> Spair.t -> Index.t -> Affine.t option
 (** The single source/sink iteration of a weak-zero pair (symbol-only
     affine), for the loop-peeling suggestion. *)

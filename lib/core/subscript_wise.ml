@@ -1,31 +1,58 @@
 open Dt_ir
 
-let test ?counters assume range pairs ~common =
-  let record k ~indep =
-    match counters with Some c -> Counters.record c k ~indep | None -> ()
+let test ?counters ?metrics ?sink assume range pairs ~common =
+  let record k ~indep ~ns =
+    (match counters with Some c -> Counters.record c k ~indep | None -> ());
+    match metrics with
+    | Some m -> Dt_obs.Metrics.record m k ~indep ~ns
+    | None -> ()
   in
-  let exception Indep in
+  let tick () =
+    match metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
+  in
+  let tock t0 =
+    match metrics with
+    | Some _ -> Int64.sub (Dt_obs.Metrics.now_ns ()) t0
+    | None -> 0L
+  in
+  let emit_test kind p verdict reason =
+    match sink with
+    | Some s ->
+        Dt_obs.Trace.emit s
+          (Dt_obs.Trace.Test
+             { kind; subscript = Spair.to_string p; verdict; reason })
+    | None -> ()
+  in
+  let exception Indep of Counters.kind in
   try
     let parts =
       List.map
         (fun p ->
+          let t0 = tick () in
           (match Gcd_test.test p with
           | `Independent ->
-              record Counters.Gcd_miv ~indep:true;
-              raise Indep
-          | `Maybe -> record Counters.Gcd_miv ~indep:false);
+              record Counters.Gcd_miv ~indep:true ~ns:(tock t0);
+              emit_test Counters.Gcd_miv p Dt_obs.Trace.Independent
+                "coefficient gcd does not divide the constant difference";
+              raise (Indep Counters.Gcd_miv)
+          | `Maybe -> record Counters.Gcd_miv ~indep:false ~ns:(tock t0));
           let occurring = Spair.indices p in
           let indices =
             List.filter (fun i -> Index.Set.mem i occurring) common
           in
+          let t1 = tick () in
           match Banerjee.vectors assume range [ p ] ~indices with
-          | `Independent ->
-              record Counters.Banerjee_miv ~indep:true;
-              raise Indep
-          | `Vectors vecs ->
-              record Counters.Banerjee_miv ~indep:false;
+          | `Independent as v ->
+              record Counters.Banerjee_miv ~indep:true ~ns:(tock t1);
+              emit_test Counters.Banerjee_miv p Dt_obs.Trace.Independent
+                (Banerjee.explain v);
+              raise (Indep Counters.Banerjee_miv)
+          | `Vectors vecs as v ->
+              record Counters.Banerjee_miv ~indep:false ~ns:(tock t1);
+              emit_test Counters.Banerjee_miv p Dt_obs.Trace.Dependent
+                (Banerjee.explain v);
               Presult.Vectors (indices, vecs))
         pairs
     in
     `Dependent parts
-  with Indep -> `Independent
+  with Indep k -> `Independent k

@@ -10,9 +10,13 @@ open Dt_ir
 
 val test :
   ?counters:Counters.t ->
+  ?metrics:Dt_obs.Metrics.t ->
+  ?sink:Dt_obs.Trace.sink ->
   Assume.t ->
   Range.t ->
   Spair.t list ->
   common:Index.t list ->
-  [ `Independent | `Dependent of Presult.t list ]
-(** One [Presult] per subscript position. *)
+  [ `Independent of Counters.kind | `Dependent of Presult.t list ]
+(** One [Presult] per subscript position; on independence, the kind of the
+    test that proved it. [metrics] and [sink] feed the observability
+    layer (see {!Dt_obs}). *)

@@ -1,0 +1,37 @@
+(** A minimal JSON value type with printer and parser.
+
+    The container ships no JSON library, and the observability exports
+    (metrics snapshots, JSONL traces) plus their round-trip tests only
+    need this small subset: UTF-8 strings with the standard escapes,
+    62-bit ints kept distinct from floats, and order-preserving objects.
+    Values printed by {!to_string} parse back to equal values with
+    {!of_string}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same compact rendering, onto a formatter. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. The error
+    string includes the byte offset. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object field order is significant. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+val to_list : t -> t list option
+val to_str : t -> string option

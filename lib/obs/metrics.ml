@@ -1,0 +1,175 @@
+type phase = Parse | Partition | Test | Merge
+
+let phases = [ Parse; Partition; Test; Merge ]
+let phase_id = function Parse -> 0 | Partition -> 1 | Test -> 2 | Merge -> 3
+
+let phase_name = function
+  | Parse -> "parse"
+  | Partition -> "partition"
+  | Test -> "test"
+  | Merge -> "merge"
+
+let n_phases = 4
+
+let bucket_bounds_ns =
+  [| 1_000L; 10_000L; 100_000L; 1_000_000L; 10_000_000L |]
+
+let n_buckets = Array.length bucket_bounds_ns + 1
+
+type t = {
+  applied : int array;  (* per Test_kind.id *)
+  indep : int array;
+  kind_ns : int64 array;
+  phase_ns : int64 array;  (* per phase_id *)
+  hist : int array;  (* per-pair latency buckets *)
+  mutable pairs : int;
+  mutable pair_ns : int64;
+}
+
+let create () =
+  {
+    applied = Array.make Test_kind.count 0;
+    indep = Array.make Test_kind.count 0;
+    kind_ns = Array.make Test_kind.count 0L;
+    phase_ns = Array.make n_phases 0L;
+    hist = Array.make n_buckets 0;
+    pairs = 0;
+    pair_ns = 0L;
+  }
+
+let now_ns () = Monotonic_clock.now ()
+
+let record t k ~indep ~ns =
+  let i = Test_kind.id k in
+  t.applied.(i) <- t.applied.(i) + 1;
+  if indep then t.indep.(i) <- t.indep.(i) + 1;
+  t.kind_ns.(i) <- Int64.add t.kind_ns.(i) ns
+
+let add_phase_ns t p ns =
+  let i = phase_id p in
+  t.phase_ns.(i) <- Int64.add t.phase_ns.(i) ns
+
+let timed m p f =
+  match m with
+  | None -> f ()
+  | Some t ->
+      let t0 = now_ns () in
+      Fun.protect ~finally:(fun () -> add_phase_ns t p (Int64.sub (now_ns ()) t0)) f
+
+let bucket_of ns =
+  let rec go i =
+    if i >= Array.length bucket_bounds_ns then i
+    else if Int64.compare ns bucket_bounds_ns.(i) <= 0 then i
+    else go (i + 1)
+  in
+  go 0
+
+let observe_pair t ~ns =
+  t.pairs <- t.pairs + 1;
+  t.pair_ns <- Int64.add t.pair_ns ns;
+  let b = bucket_of ns in
+  t.hist.(b) <- t.hist.(b) + 1
+
+let applied t k = t.applied.(Test_kind.id k)
+let proved_indep t k = t.indep.(Test_kind.id k)
+let kind_ns t k = t.kind_ns.(Test_kind.id k)
+let phase_ns t p = t.phase_ns.(phase_id p)
+let pairs t = t.pairs
+let pair_ns_total t = t.pair_ns
+let latency_hist t = Array.copy t.hist
+
+let merge_into acc extra =
+  Array.iteri (fun i v -> acc.applied.(i) <- acc.applied.(i) + v) extra.applied;
+  Array.iteri (fun i v -> acc.indep.(i) <- acc.indep.(i) + v) extra.indep;
+  Array.iteri
+    (fun i v -> acc.kind_ns.(i) <- Int64.add acc.kind_ns.(i) v)
+    extra.kind_ns;
+  Array.iteri
+    (fun i v -> acc.phase_ns.(i) <- Int64.add acc.phase_ns.(i) v)
+    extra.phase_ns;
+  Array.iteri (fun i v -> acc.hist.(i) <- acc.hist.(i) + v) extra.hist;
+  acc.pairs <- acc.pairs + extra.pairs;
+  acc.pair_ns <- Int64.add acc.pair_ns extra.pair_ns
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+
+let bucket_label i =
+  if i < Array.length bucket_bounds_ns then
+    let b = bucket_bounds_ns.(i) in
+    if Int64.compare b 1_000_000L < 0 then
+      Printf.sprintf "<=%Ldus" (Int64.div b 1_000L)
+    else Printf.sprintf "<=%Ldms" (Int64.div b 1_000_000L)
+  else ">10ms"
+
+let to_json t =
+  let tests =
+    List.map
+      (fun k ->
+        let i = Test_kind.id k in
+        Json.Obj
+          [
+            ("kind", Json.String (Test_kind.slug k));
+            ("name", Json.String (Test_kind.name k));
+            ("applied", Json.Int t.applied.(i));
+            ("independent", Json.Int t.indep.(i));
+            ("total_ns", Json.Int (Int64.to_int t.kind_ns.(i)));
+          ])
+      Test_kind.all
+  in
+  let phases_json =
+    List.map
+      (fun p -> (phase_name p ^ "_ns", Json.Int (Int64.to_int (phase_ns t p))))
+      phases
+  in
+  let hist =
+    List.init n_buckets (fun i ->
+        Json.Obj
+          [
+            ( "le_ns",
+              if i < Array.length bucket_bounds_ns then
+                Json.Int (Int64.to_int bucket_bounds_ns.(i))
+              else Json.Null );
+            ("label", Json.String (bucket_label i));
+            ("count", Json.Int t.hist.(i));
+          ])
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "deptest-metrics/1");
+      ("tests", Json.List tests);
+      ("phases", Json.Obj phases_json);
+      ( "pairs",
+        Json.Obj
+          [
+            ("tested", Json.Int t.pairs);
+            ("total_ns", Json.Int (Int64.to_int t.pair_ns));
+            ("latency_hist", Json.List hist);
+          ] );
+    ]
+
+let us ns = Int64.to_float ns /. 1_000.0
+
+let pp ppf t =
+  Format.fprintf ppf "%-18s %9s %9s %12s %10s@." "test" "applied" "indep"
+    "total(us)" "avg(ns)";
+  List.iter
+    (fun k ->
+      let i = Test_kind.id k in
+      let a = t.applied.(i) in
+      if a > 0 then
+        Format.fprintf ppf "%-18s %9d %9d %12.1f %10.0f@." (Test_kind.name k)
+          a t.indep.(i)
+          (us t.kind_ns.(i))
+          (Int64.to_float t.kind_ns.(i) /. float_of_int a))
+    Test_kind.all;
+  Format.fprintf ppf "@.%-18s %12s@." "phase" "wall(us)";
+  List.iter
+    (fun p -> Format.fprintf ppf "%-18s %12.1f@." (phase_name p) (us (phase_ns t p)))
+    phases;
+  Format.fprintf ppf "@.pairs tested %d, total %.1f us@." t.pairs (us t.pair_ns);
+  Format.fprintf ppf "pair latency:";
+  Array.iteri
+    (fun i c -> if c > 0 then Format.fprintf ppf " %s:%d" (bucket_label i) c)
+    t.hist;
+  Format.fprintf ppf "@."

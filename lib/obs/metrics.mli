@@ -1,0 +1,62 @@
+(** The metrics registry: counters, monotonic-clock timing spans, and
+    latency histograms for the dependence-test driver.
+
+    Generalizes the core [Counters] module (which the paper's §6 tables
+    keep using) with wall-clock time per test kind, per analysis phase
+    (parse / partition / test / merge), and a log-scale histogram of
+    per-reference-pair latency. All times are nanoseconds from the
+    monotonic clock. A registry accumulates across pairs, routines, and
+    files; [merge_into] combines registries. *)
+
+type phase = Parse | Partition | Test | Merge
+
+val phases : phase list
+val phase_name : phase -> string
+
+type t
+
+val create : unit -> t
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. *)
+
+val record : t -> Test_kind.t -> indep:bool -> ns:int64 -> unit
+(** One application of a dependence test: bump applied (and independent
+    when proven), add [ns] to the kind's total. *)
+
+val timed : t option -> phase -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its wall-clock time to the phase total.
+    With [None] the thunk runs untimed (no clock call). Exception-safe:
+    time is accounted even when the thunk raises. *)
+
+val add_phase_ns : t -> phase -> int64 -> unit
+
+val observe_pair : t -> ns:int64 -> unit
+(** One reference pair completed in [ns]: bump the pair count, total, and
+    the latency histogram bucket. *)
+
+val applied : t -> Test_kind.t -> int
+val proved_indep : t -> Test_kind.t -> int
+val kind_ns : t -> Test_kind.t -> int64
+val phase_ns : t -> phase -> int64
+val pairs : t -> int
+val pair_ns_total : t -> int64
+
+val bucket_bounds_ns : int64 array
+(** Upper bounds (inclusive) of the latency buckets; one extra overflow
+    bucket follows the last bound. *)
+
+val latency_hist : t -> int array
+(** Bucket counts; length [Array.length bucket_bounds_ns + 1]. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into acc extra] adds [extra]'s counts and times into [acc]. *)
+
+val to_json : t -> Json.t
+(** The metrics snapshot: schema ["deptest-metrics/1"], per-kind
+    [tests] rows (kind, name, applied, independent, total_ns), [phases]
+    totals, and [pairs] with the latency histogram (see README). *)
+
+val pp : Format.formatter -> t -> unit
+(** The per-kind time/count table — the §6 Table-3 shape with wall-clock
+    columns — followed by phase totals and the latency histogram. *)

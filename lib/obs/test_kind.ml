@@ -1,0 +1,65 @@
+type t =
+  | Ziv_test
+  | Strong_siv
+  | Weak_zero_siv
+  | Weak_crossing_siv
+  | Exact_siv
+  | Rdiv_test
+  | Gcd_miv
+  | Banerjee_miv
+  | Delta_test
+  | Symbolic_ziv
+
+let all =
+  [
+    Ziv_test;
+    Strong_siv;
+    Weak_zero_siv;
+    Weak_crossing_siv;
+    Exact_siv;
+    Rdiv_test;
+    Gcd_miv;
+    Banerjee_miv;
+    Delta_test;
+    Symbolic_ziv;
+  ]
+
+let count = 10
+
+let id = function
+  | Ziv_test -> 0
+  | Strong_siv -> 1
+  | Weak_zero_siv -> 2
+  | Weak_crossing_siv -> 3
+  | Exact_siv -> 4
+  | Rdiv_test -> 5
+  | Gcd_miv -> 6
+  | Banerjee_miv -> 7
+  | Delta_test -> 8
+  | Symbolic_ziv -> 9
+
+let name = function
+  | Ziv_test -> "ZIV"
+  | Strong_siv -> "strong SIV"
+  | Weak_zero_siv -> "weak-zero SIV"
+  | Weak_crossing_siv -> "weak-crossing SIV"
+  | Exact_siv -> "exact SIV"
+  | Rdiv_test -> "RDIV"
+  | Gcd_miv -> "GCD"
+  | Banerjee_miv -> "Banerjee"
+  | Delta_test -> "Delta"
+  | Symbolic_ziv -> "symbolic ZIV"
+
+let slug = function
+  | Ziv_test -> "ziv"
+  | Strong_siv -> "strong_siv"
+  | Weak_zero_siv -> "weak_zero_siv"
+  | Weak_crossing_siv -> "weak_crossing_siv"
+  | Exact_siv -> "exact_siv"
+  | Rdiv_test -> "rdiv"
+  | Gcd_miv -> "gcd_miv"
+  | Banerjee_miv -> "banerjee_miv"
+  | Delta_test -> "delta"
+  | Symbolic_ziv -> "symbolic_ziv"
+
+let of_slug s = List.find_opt (fun k -> slug k = s) all

@@ -1,0 +1,32 @@
+(** The dependence-test kinds observed by the driver (paper §6).
+
+    This is the single source of truth for the test-kind enumeration: the
+    [Counters] module of the core library re-exports it, the metrics
+    registry indexes its arrays by {!id}, and trace events carry it. *)
+
+type t =
+  | Ziv_test
+  | Strong_siv
+  | Weak_zero_siv
+  | Weak_crossing_siv
+  | Exact_siv
+  | Rdiv_test
+  | Gcd_miv
+  | Banerjee_miv
+  | Delta_test
+  | Symbolic_ziv  (** ZIV decided only via symbolic reasoning *)
+
+val all : t list
+val count : int
+
+val id : t -> int
+(** Dense index in [0, count): a direct pattern match, O(1) — this runs on
+    every recorded event. *)
+
+val name : t -> string
+(** Human-readable name, e.g. ["strong SIV"]. *)
+
+val slug : t -> string
+(** Machine-readable identifier, e.g. ["strong_siv"] (JSON exports). *)
+
+val of_slug : string -> t option

@@ -1,0 +1,161 @@
+type verdict = Independent | Dependent | Inconclusive
+
+type event =
+  | Pair_start of { array : string; src_stmt : int; snk_stmt : int }
+  | Partitioned of {
+      dims : int;
+      nonlinear : int;
+      separable : int;
+      coupled_groups : int;
+    }
+  | Group_start of { positions : int list }
+  | Pass of int
+  | Test of {
+      kind : Test_kind.t;
+      subscript : string;
+      verdict : verdict;
+      reason : string;
+    }
+  | Constraint of { index : string; constr : string; note : string }
+  | Verdict of { independent : bool; reason : string }
+  | Note of string
+
+type sink = {
+  mutable rev_events : (int * event) list;  (* (depth, event), newest first *)
+  mutable depth : int;
+  mutable count : int;
+}
+
+let make () = { rev_events = []; depth = 0; count = 0 }
+
+let emit s ev =
+  s.rev_events <- (s.depth, ev) :: s.rev_events;
+  s.count <- s.count + 1
+
+let scope s f =
+  s.depth <- s.depth + 1;
+  Fun.protect ~finally:(fun () -> s.depth <- s.depth - 1) f
+
+let events_with_depth s = List.rev s.rev_events
+let events s = List.rev_map snd s.rev_events
+
+type node = { event : event; children : node list }
+
+let tree s =
+  (* events are depth-tagged and ordered; a node's children are the
+     following events one level deeper, up to the next event at its own
+     depth or shallower *)
+  let rec build depth evs =
+    match evs with
+    | (d, ev) :: rest when d = depth ->
+        let children, rest = build (depth + 1) rest in
+        let siblings, rest = build depth rest in
+        ({ event = ev; children } :: siblings, rest)
+    | (d, _) :: _ when d > depth ->
+        (* nested events with no parent at this depth (sub-driver entry
+           points): adopt them one level down *)
+        let children, rest = build (depth + 1) evs in
+        let siblings, rest = build depth rest in
+        (children @ siblings, rest)
+    | _ -> ([], evs)
+  in
+  fst (build 0 (events_with_depth s))
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                           *)
+
+let verdict_name = function
+  | Independent -> "independent"
+  | Dependent -> "dependent"
+  | Inconclusive -> "inconclusive"
+
+let pp_event ppf = function
+  | Pair_start { array; src_stmt; snk_stmt } ->
+      Format.fprintf ppf "pair %s S%d -> S%d" array src_stmt snk_stmt
+  | Partitioned { dims; nonlinear; separable; coupled_groups } ->
+      Format.fprintf ppf
+        "partition: %d subscript position(s), %d nonlinear, %d separable, %d \
+         coupled group(s)"
+        dims nonlinear separable coupled_groups
+  | Group_start { positions } ->
+      Format.fprintf ppf "coupled group at position(s) [%s]"
+        (String.concat " " (List.map string_of_int positions))
+  | Pass n -> Format.fprintf ppf "delta pass %d" n
+  | Test { kind; subscript; verdict; reason } ->
+      Format.fprintf ppf "%s %s: %s — %s" (Test_kind.name kind) subscript
+        (verdict_name verdict) reason
+  | Constraint { index; constr; note } ->
+      Format.fprintf ppf "constraint on %s: %s%s" index constr
+        (if note = "" then "" else " (" ^ note ^ ")")
+  | Verdict { independent; reason } ->
+      Format.fprintf ppf "verdict: %s — %s"
+        (if independent then "INDEPENDENT" else "dependent")
+        reason
+  | Note s -> Format.pp_print_string ppf s
+
+let pp_tree ppf s =
+  List.iter
+    (fun (depth, ev) ->
+      Format.fprintf ppf "%s%a@." (String.make (2 * depth) ' ') pp_event ev)
+    (events_with_depth s)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export                                                        *)
+
+let event_to_json ~seq ~depth ev =
+  let base ty fields =
+    Json.Obj
+      ((("seq", Json.Int seq) :: ("depth", Json.Int depth)
+       :: ("type", Json.String ty) :: fields))
+  in
+  match ev with
+  | Pair_start { array; src_stmt; snk_stmt } ->
+      base "pair_start"
+        [
+          ("array", Json.String array);
+          ("src_stmt", Json.Int src_stmt);
+          ("snk_stmt", Json.Int snk_stmt);
+        ]
+  | Partitioned { dims; nonlinear; separable; coupled_groups } ->
+      base "partitioned"
+        [
+          ("dims", Json.Int dims);
+          ("nonlinear", Json.Int nonlinear);
+          ("separable", Json.Int separable);
+          ("coupled_groups", Json.Int coupled_groups);
+        ]
+  | Group_start { positions } ->
+      base "group_start"
+        [ ("positions", Json.List (List.map (fun p -> Json.Int p) positions)) ]
+  | Pass n -> base "pass" [ ("n", Json.Int n) ]
+  | Test { kind; subscript; verdict; reason } ->
+      base "test"
+        [
+          ("kind", Json.String (Test_kind.slug kind));
+          ("subscript", Json.String subscript);
+          ("verdict", Json.String (verdict_name verdict));
+          ("reason", Json.String reason);
+        ]
+  | Constraint { index; constr; note } ->
+      base "constraint"
+        [
+          ("index", Json.String index);
+          ("constr", Json.String constr);
+          ("note", Json.String note);
+        ]
+  | Verdict { independent; reason } ->
+      base "verdict"
+        [
+          ("independent", Json.Bool independent);
+          ("reason", Json.String reason);
+        ]
+  | Note s -> base "note" [ ("text", Json.String s) ]
+
+let to_jsonl s =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun seq (depth, ev) ->
+      Buffer.add_string buf (Json.to_string (event_to_json ~seq ~depth ev));
+      Buffer.add_char buf '\n')
+    (events_with_depth s);
+  Buffer.contents buf

@@ -1,0 +1,83 @@
+(** Structured tracing for the dependence-test driver.
+
+    The driver ([Analyze] / [Pair_test] / [Delta] in the core library)
+    threads an optional {!sink} through every reference-pair test. Each
+    step emits one typed {!event}; nesting is tracked by {!scope}, so the
+    flat event sequence reconstructs into a {!node} tree:
+
+    {v
+    pair A S1 -> S2                         (Pair_start, from Analyze)
+      partition: ...                        (Partitioned, from Pair_test)
+      strong SIV <I+1, I>: dependent — ...  (Test)
+      coupled group at positions [1 2]      (Group_start)
+        delta pass 1                        (Pass, from Delta)
+        ZIV test <N, N>: inconclusive — ... (Test)
+        constraint on I: ...                (Constraint)
+      verdict: dependent — ...              (Verdict, from Analyze)
+    v}
+
+    Tracing disabled means the sink is [None] end to end: the driver
+    checks the option once per pair and builds no event (and allocates
+    nothing) when absent. *)
+
+type verdict = Independent | Dependent | Inconclusive
+(** Per-test outcome: [Inconclusive] is a test that neither proved
+    independence nor produced final dependence information on its own
+    (e.g. a GCD test that "may" depend). *)
+
+type event =
+  | Pair_start of { array : string; src_stmt : int; snk_stmt : int }
+      (** one reference pair enters the driver *)
+  | Partitioned of {
+      dims : int;
+      nonlinear : int;
+      separable : int;
+      coupled_groups : int;
+    }  (** subscript positions partitioned (driver step 2-3, paper §3) *)
+  | Group_start of { positions : int list }
+      (** a minimal coupled group enters the Delta test *)
+  | Pass of int  (** Delta constraint-propagation pass *)
+  | Test of {
+      kind : Test_kind.t;
+      subscript : string;
+      verdict : verdict;
+      reason : string;
+    }  (** one dependence test applied to one subscript pair *)
+  | Constraint of { index : string; constr : string; note : string }
+      (** Delta constraint intersection on one index *)
+  | Verdict of { independent : bool; reason : string }
+      (** final per-pair verdict *)
+  | Note of string  (** free-form step (propagation, refinements) *)
+
+type sink
+
+val make : unit -> sink
+val emit : sink -> event -> unit
+
+val scope : sink -> (unit -> 'a) -> 'a
+(** Run the thunk one nesting level deeper: events it emits become
+    children of the most recent event. Exception-safe. *)
+
+val events : sink -> event list
+(** All events in emission order. *)
+
+val events_with_depth : sink -> (int * event) list
+
+type node = { event : event; children : node list }
+
+val tree : sink -> node list
+(** Reconstruct the trace forest (one root per [Pair_start] — or per
+    top-level event when the driver is called below [Analyze]). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_tree : Format.formatter -> sink -> unit
+(** The human-readable explain rendering: one line per event, indented
+    two spaces per nesting level. *)
+
+val event_to_json : seq:int -> depth:int -> event -> Json.t
+
+val to_jsonl : sink -> string
+(** One JSON object per line per event, in emission order. Schema:
+    every line has ["seq"], ["depth"], ["type"]; the remaining fields
+    mirror the event payload (see README). *)

@@ -24,6 +24,7 @@ type t = {
   nonlinear : int;
   classes : class_counts;
   counters : Counters.t;
+  metrics : Dt_obs.Metrics.t;
 }
 
 let zero_classes =
@@ -52,7 +53,8 @@ let add_class acc (c : Classify.t) =
   | Classify.Miv _ -> { acc with miv = acc.miv + 1 }
 
 let of_program ~suite ~name prog =
-  let r = Analyze.program prog in
+  let metrics = Dt_obs.Metrics.create () in
+  let r = Analyze.program ~metrics prog in
   (* only subscripted (rank > 0) reference pairs enter the study, as in
      the paper *)
   let array_pairs =
@@ -97,6 +99,7 @@ let of_program ~suite ~name prog =
         array_pairs;
     classes;
     counters = r.Analyze.counters;
+    metrics;
   }
 
 let rec measure ~suite (e : Dt_workloads.Corpus.entry) =
@@ -113,6 +116,8 @@ and aggregate ~name ~suite profiles =
 
   let counters = Counters.create () in
   List.iter (fun p -> Counters.merge_into counters p.counters) profiles;
+  let metrics = Dt_obs.Metrics.create () in
+  List.iter (fun p -> Dt_obs.Metrics.merge_into metrics p.metrics) profiles;
   let sum f = Dt_support.Listx.sum_by f profiles in
   let dims_hist = Array.make 3 0 in
   List.iter
@@ -146,6 +151,7 @@ and aggregate ~name ~suite profiles =
     nonlinear = sum (fun p -> p.nonlinear);
     classes;
     counters;
+    metrics;
   }
 
 let total_positions t = t.separable + t.coupled + t.nonlinear

@@ -31,6 +31,9 @@ type t = {
   nonlinear : int;  (** nonlinear subscript positions *)
   classes : class_counts;
   counters : Counters.t;
+  metrics : Dt_obs.Metrics.t;
+      (** per-test-kind wall-clock timings and per-pair latency for the
+          same run that produced [counters] *)
 }
 
 val measure : suite:string -> Dt_workloads.Corpus.entry -> t
