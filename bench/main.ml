@@ -172,6 +172,9 @@ let delta_scaling_tests =
 
 let corpus_tests =
   let suites = [ "linpack"; "eispack"; "livermore" ] in
+  (* sequential, cache off: this benchmark measures the raw test
+     cascade, the engine axes are covered by the BENCH_engine run *)
+  let seq = Deptest.Analyze.Config.make ~jobs:1 ~cache:false () in
   List.map
     (fun suite ->
       let progs =
@@ -180,7 +183,7 @@ let corpus_tests =
       Test.make
         ~name:("analyze-" ^ suite)
         (stage (fun () ->
-             List.iter (fun p -> ignore (Deptest.Analyze.program p)) progs)))
+             List.iter (fun p -> ignore (Deptest.Analyze.run seq p)) progs)))
     suites
 
 let frontend_tests =
@@ -214,6 +217,257 @@ let print_tables () =
   close_out oc;
   print_endline "\nwhole-corpus metrics snapshot written to BENCH_obs.json"
 
+(* ------------------------------------------------------------------ *)
+(* engine benchmark: the parallel pair-testing engine and the
+   structural memo cache over the whole corpus. Always runs (the CI
+   smoke exercises it under --tables-only); writes BENCH_engine.json.
+
+     --jobs 1,2,4   worker-domain counts to measure (default 1,2,4)
+     --no-cache     measure only the cache-off axis
+     --repeat N     timing repetitions per setting, min taken (default 3) *)
+
+let opt_value flag =
+  let rec go = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: tl -> go tl
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
+let engine_jobs () =
+  match opt_value "--jobs" with
+  | None -> [ 1; 2; 4 ]
+  | Some v -> (
+      try
+        let js =
+          List.map int_of_string (String.split_on_char ',' (String.trim v))
+        in
+        if js = [] then [ 1; 2; 4 ] else js
+      with _ ->
+        prerr_endline "bench: bad --jobs value, expected e.g. --jobs 1,2,4";
+        exit 2)
+
+let engine_repeat () =
+  match opt_value "--repeat" with
+  | None -> 3
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> 3)
+
+(* render the full analysis result (dependences + paper counters) so the
+   cross-setting identity check covers everything a user can observe *)
+let render_deps cfg progs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (p : Nest.program) ->
+      let r = Deptest.Analyze.run cfg p in
+      Buffer.add_string buf p.Nest.name;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun d ->
+          Buffer.add_string buf (Format.asprintf "%a@." Deptest.Dep.pp d))
+        r.Deptest.Analyze.deps;
+      Buffer.add_string buf
+        (Format.asprintf "%a@." Deptest.Counters.pp r.Deptest.Analyze.counters))
+    progs;
+  Buffer.contents buf
+
+(* The corpus routines are tiny — ~5 reference pairs each, far below the
+   engine's sequential-fallback grain — so corpus timings cannot show
+   parallel speedup. This synthetic nest (s statements over one array,
+   ~1.5*s^2 coupled reference pairs) is the parallel showcase. *)
+let synthetic_nest s =
+  let li = loop ~hi:100 i0 and lj = loop ~hi:100 j1 in
+  let stmts =
+    List.init s (fun k ->
+        let sub c d =
+          [ av ~c i0; Affine.add_const d (Affine.add (av i0) (av ~c:(-k) j1)) ]
+        in
+        Stmt.make ~id:k
+          ~writes:[ Aref.linear "A" (sub (k mod 5) 0) ]
+          ~reads:[ Aref.linear "A" (sub ((k + 2) mod 5) 1) ]
+          ~text:(Printf.sprintf "A(I+%d,I+J-%d) = A(I+%d,I+J-%d+1)"
+                   (k mod 5) k ((k + 2) mod 5) k)
+          ())
+  in
+  Nest.program ~name:(Printf.sprintf "synthetic-%d" s)
+    [ Nest.Loop (li, [ Nest.Loop (lj, List.map (fun st -> Nest.Stmt st) stmts) ]) ]
+
+type engine_run = {
+  e_jobs : int;
+  e_cache : bool;
+  e_ns : int64;
+  e_out : string;
+  e_hits : int;
+  e_misses : int;
+}
+
+let time_setting ~jobs ~cache ~repeat progs =
+  let best = ref Int64.max_int in
+  let out = ref "" and hits = ref 0 and misses = ref 0 in
+  for _ = 1 to repeat do
+    (* fresh config per repetition: every timed run starts cache-cold,
+       so the hit rate reflects one corpus pass, not the repetitions *)
+    let cfg = Deptest.Analyze.Config.make ~jobs ~cache () in
+    let t0 = Dt_obs.Metrics.now_ns () in
+    let s = render_deps cfg progs in
+    let t1 = Dt_obs.Metrics.now_ns () in
+    let dt = Int64.sub t1 t0 in
+    if Int64.compare dt !best < 0 then best := dt;
+    out := s;
+    match Deptest.Analyze.Config.cache_stats cfg with
+    | Some (h, m) ->
+        hits := h;
+        misses := m
+    | None -> ()
+  done;
+  { e_jobs = jobs; e_cache = cache; e_ns = !best; e_out = !out;
+    e_hits = !hits; e_misses = !misses }
+
+let engine_bench () =
+  let jobs = engine_jobs () and repeat = engine_repeat () in
+  let cache_axes =
+    if Array.mem "--no-cache" Sys.argv then [ false ] else [ false; true ]
+  in
+  let progs =
+    List.concat_map
+      (fun (e : Dt_workloads.Corpus.entry) -> Dt_workloads.Corpus.programs e)
+      Dt_workloads.Corpus.all
+  in
+  let runs =
+    List.concat_map
+      (fun j ->
+        List.map (fun c -> time_setting ~jobs:j ~cache:c ~repeat progs)
+          cache_axes)
+      jobs
+  in
+  let baseline =
+    match
+      List.find_opt (fun r -> r.e_jobs = 1 && not r.e_cache) runs
+    with
+    | Some r -> r
+    | None -> List.hd runs
+  in
+  let identical = List.for_all (fun r -> r.e_out = baseline.e_out) runs in
+  let speedup_vs base r =
+    if Int64.compare r.e_ns 0L > 0 then
+      Int64.to_float base.e_ns /. Int64.to_float r.e_ns
+    else 0.0
+  in
+  let speedup = speedup_vs baseline in
+  let hit_rate r =
+    let total = r.e_hits + r.e_misses in
+    if total = 0 then 0.0 else float_of_int r.e_hits /. float_of_int total
+  in
+  Printf.printf
+    "\n== engine: whole-corpus analysis (%d routines, min of %d) ==\n"
+    (List.length progs) repeat;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  jobs=%d cache=%-3s %10.2f ms   %5.2fx vs jobs=1/no-cache" r.e_jobs
+        (if r.e_cache then "on" else "off")
+        (Int64.to_float r.e_ns /. 1e6)
+        (speedup r);
+      if r.e_cache then
+        Printf.printf "   hit rate %.1f%% (%d/%d)" (100.0 *. hit_rate r)
+          r.e_hits (r.e_hits + r.e_misses);
+      print_newline ())
+    runs;
+  Printf.printf "  output identical across all settings: %b\n" identical;
+  let best_cached =
+    List.find_opt (fun r -> r.e_cache) (List.rev runs)
+  in
+  let overall_hit_rate =
+    match best_cached with Some r -> hit_rate r | None -> 0.0
+  in
+  (* parallel showcase on a nest large enough to cross the engine's
+     sequential-fallback grain *)
+  let synth = synthetic_nest 64 in
+  let synth_sites = Array.length (Deptest.Analyze.sites synth) in
+  let synth_runs =
+    List.map (fun j -> time_setting ~jobs:j ~cache:false ~repeat [ synth ]) jobs
+  in
+  let synth_base =
+    match List.find_opt (fun r -> r.e_jobs = 1) synth_runs with
+    | Some r -> r
+    | None -> List.hd synth_runs
+  in
+  let synth_identical =
+    List.for_all (fun r -> r.e_out = synth_base.e_out) synth_runs
+  in
+  Printf.printf
+    "\n== engine: synthetic nest (%d reference pairs, min of %d) ==\n"
+    synth_sites repeat;
+  List.iter
+    (fun r ->
+      Printf.printf "  jobs=%d            %10.2f ms   %5.2fx vs jobs=1\n"
+        r.e_jobs
+        (Int64.to_float r.e_ns /. 1e6)
+        (speedup_vs synth_base r))
+    synth_runs;
+  Printf.printf "  output identical across all settings: %b\n" synth_identical;
+  let cores = Dt_support.Pool.recommended_jobs () in
+  if cores = 1 then
+    print_endline
+      "  note: this environment exposes a single CPU, so wall-clock speedup\n\
+      \  is not observable here — jobs>1 measures engine overhead only\n\
+      \  (domains time-slice one core). The identity checks above still\n\
+      \  exercise the full multi-domain path.";
+  let json =
+    Dt_obs.Json.Obj
+      [
+        ("schema", Dt_obs.Json.String "deptest-engine/1");
+        ("cores", Dt_obs.Json.Int cores);
+        ("routines", Dt_obs.Json.Int (List.length progs));
+        ("repeat", Dt_obs.Json.Int repeat);
+        ( "jobs_tested",
+          Dt_obs.Json.List (List.map (fun j -> Dt_obs.Json.Int j) jobs) );
+        ("cache_hit_rate", Dt_obs.Json.Float overall_hit_rate);
+        ("identical_output", Dt_obs.Json.Bool (identical && synth_identical));
+        ( "synthetic",
+          Dt_obs.Json.Obj
+            [
+              ("pairs", Dt_obs.Json.Int synth_sites);
+              ( "runs",
+                Dt_obs.Json.List
+                  (List.map
+                     (fun r ->
+                       Dt_obs.Json.Obj
+                         [
+                           ("jobs", Dt_obs.Json.Int r.e_jobs);
+                           ("ns", Dt_obs.Json.Int (Int64.to_int r.e_ns));
+                           ( "speedup",
+                             Dt_obs.Json.Float (speedup_vs synth_base r) );
+                         ])
+                     synth_runs) );
+            ] );
+        ( "runs",
+          Dt_obs.Json.List
+            (List.map
+               (fun r ->
+                 Dt_obs.Json.Obj
+                   [
+                     ("jobs", Dt_obs.Json.Int r.e_jobs);
+                     ("cache", Dt_obs.Json.Bool r.e_cache);
+                     ("ns", Dt_obs.Json.Int (Int64.to_int r.e_ns));
+                     ("speedup", Dt_obs.Json.Float (speedup r));
+                     ("hits", Dt_obs.Json.Int r.e_hits);
+                     ("misses", Dt_obs.Json.Int r.e_misses);
+                     ("hit_rate", Dt_obs.Json.Float (hit_rate r));
+                   ])
+               runs) );
+      ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Dt_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "engine benchmark written to BENCH_engine.json";
+  if not (identical && synth_identical) then begin
+    prerr_endline
+      "bench: FATAL: analysis output differs across jobs/cache settings";
+    exit 1
+  end
+
 let is_infix ~affix s =
   let na = String.length affix and ns = String.length s in
   let rec go i = i + na <= ns && (String.sub s i na = affix || go (i + 1)) in
@@ -222,6 +476,7 @@ let is_infix ~affix s =
 let () =
   let tables_only = Array.mem "--tables-only" Sys.argv in
   print_tables ();
+  engine_bench ();
   if not tables_only then begin
     let micro = run_suite ~name:"per-test microbenchmarks (Tables 2-3 tests)" micro_tests in
     let strat = run_suite ~name:"strategy comparison (Table 4 / Triolet 22-28x)" strategy_tests in

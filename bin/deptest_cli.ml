@@ -59,6 +59,12 @@ let each path f =
 let load path = List.hd (load_unit path)
 let _ = load
 
+(* dependence summary for the transform subcommands: default engine
+   configuration (parallel pair testing, shared memo cache) *)
+let deps_of prog =
+  (Deptest.Analyze.run Deptest.Analyze.Config.default prog)
+    .Deptest.Analyze.deps
+
 let file_arg =
   Arg.(
     required
@@ -89,6 +95,23 @@ let bind_arg =
           "Bind symbolic constants to values before analysis \
            (specialization makes every exact test fully precise).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel pair-testing engine; 0 (the \
+           default) means one per available core. The analysis result is \
+           identical at every setting.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the structural memo cache (identical reference-pair \
+           shapes re-run the full test cascade).")
+
 let explain_arg =
   Arg.(
     value & flag
@@ -105,7 +128,7 @@ let trace_arg =
         ~doc:"Write the trace as JSON Lines (one event per line) to $(docv).")
 
 let analyze_cmd =
-  let run file strategy inputs bindings explain trace_file =
+  let run file strategy inputs bindings explain trace_file jobs no_cache =
     let trace_oc =
       match trace_file with
       | None -> None
@@ -124,14 +147,15 @@ let analyze_cmd =
       if bindings = [] then prog
       else Dt_ir.Specialize.program prog ~bindings
     in
-    let options =
-      { Deptest.Analyze.default_options with strategy; include_inputs = inputs }
-    in
     let sink =
       if explain || trace_oc <> None then Some (Dt_obs.Trace.make ())
       else None
     in
-    let r = Deptest.Analyze.program ~options ?sink prog in
+    let cfg =
+      Deptest.Analyze.Config.make ~strategy ~include_inputs:inputs ~jobs
+        ~cache:(not no_cache) ?sink ()
+    in
+    let r = Deptest.Analyze.run cfg prog in
     Format.printf "%a@." Dt_ir.Nest.pp prog;
     if r.Deptest.Analyze.deps = [] then print_endline "no dependences"
     else
@@ -152,12 +176,12 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Print all data dependences of a program")
     Term.(
       const run $ file_arg $ strategy_arg $ inputs_arg $ bind_arg
-      $ explain_arg $ trace_arg)
+      $ explain_arg $ trace_arg $ jobs_arg $ no_cache_arg)
 
 let parallel_cmd =
   let run file =
     each file @@ fun prog ->
-    let deps = Deptest.Analyze.deps_of prog in
+    let deps = deps_of prog in
     List.iter
       (fun rep -> Format.printf "%a@." Dt_transform.Parallel.pp_report rep)
       (Dt_transform.Parallel.analyze prog deps)
@@ -169,7 +193,7 @@ let parallel_cmd =
 let vectorize_cmd =
   let run file =
     each file @@ fun prog ->
-    let deps = Deptest.Analyze.deps_of prog in
+    let deps = deps_of prog in
     Format.printf "%a" Dt_transform.Vectorize.pp
       (Dt_transform.Vectorize.codegen prog deps)
   in
@@ -187,7 +211,7 @@ let suggest_cmd =
         List.iter
           (fun s -> Format.printf "%a@." Dt_transform.Restructure.pp s)
           sugg);
-    let deps = Deptest.Analyze.deps_of prog in
+    let deps = deps_of prog in
     match Dt_transform.Scalar_replace.suggest prog deps with
     | [] -> ()
     | cands ->
@@ -221,7 +245,7 @@ let distribute_cmd =
 let graph_cmd =
   let run file =
     each file @@ fun prog ->
-    let deps = Deptest.Analyze.deps_of prog in
+    let deps = deps_of prog in
     let g = Deptest.Depgraph.build deps in
     let label id =
       match Dt_ir.Nest.find_stmt prog id with
@@ -239,21 +263,14 @@ let check_cmd =
   let run file n =
     let failures = ref 0 and checked = ref 0 in
     each file @@ fun prog ->
-    let accesses =
-      List.concat_map
-        (fun (s, loops) ->
-          List.map (fun a -> (a, loops)) (Dt_ir.Stmt.accesses s))
-        (Dt_ir.Nest.stmts_with_loops prog)
-    in
-    let arr = Array.of_list accesses in
-    for i = 0 to Array.length arr - 1 do
-      for j = i to Array.length arr - 1 do
-        let (a1 : Dt_ir.Stmt.access), l1 = arr.(i)
-        and (a2 : Dt_ir.Stmt.access), l2 = arr.(j) in
-        if
-          a1.Dt_ir.Stmt.aref.Dt_ir.Aref.base = a2.Dt_ir.Stmt.aref.Dt_ir.Aref.base
-          && Dt_ir.Aref.rank a1.Dt_ir.Stmt.aref > 0
-        then
+    (* same pair enumeration as the analysis engine (read-read pairs
+       included: the oracle checks address collisions, not dep kinds) *)
+    let sites = Deptest.Analyze.sites ~include_inputs:true prog in
+    Array.iter
+      (fun (site : Deptest.Analyze.site) ->
+        let (a1 : Dt_ir.Stmt.access), l1 = site.Deptest.Analyze.left
+        and (a2 : Dt_ir.Stmt.access), l2 = site.Deptest.Analyze.right in
+        if Dt_ir.Aref.rank a1.Dt_ir.Stmt.aref > 0 then
           match
             Dt_exact.Brute.test ~sym_env:(fun _ -> n)
               ~src:(a1.Dt_ir.Stmt.aref, l1) ~snk:(a2.Dt_ir.Stmt.aref, l2) ()
@@ -276,9 +293,8 @@ let check_cmd =
               else if (not indep) && not rep.Dt_exact.Brute.dependent then
                 Format.printf "conservative: %a vs %a (no collision at N=%d)@."
                   Dt_ir.Aref.pp a1.Dt_ir.Stmt.aref Dt_ir.Aref.pp
-                  a2.Dt_ir.Stmt.aref n
-      done
-    done;
+                  a2.Dt_ir.Stmt.aref n)
+      sites;
     Printf.printf "%d reference pairs checked against the oracle, %d unsound\n"
       !checked !failures;
     if !failures > 0 then exit 1
@@ -329,14 +345,18 @@ let tables_cmd =
 let profile_cmd =
   let run file strategy json =
     let metrics = Dt_obs.Metrics.create () in
-    let options = { Deptest.Analyze.default_options with strategy } in
+    (* sequential, cache off: the per-kind time columns must reflect
+       real executions of every test *)
+    let cfg =
+      Deptest.Analyze.Config.make ~strategy ~jobs:1 ~cache:false ~metrics ()
+    in
     let progs =
       Dt_obs.Metrics.timed (Some metrics) Dt_obs.Metrics.Parse (fun () ->
           load_unit file)
     in
     List.iter
       (fun (prog : Dt_ir.Nest.program) ->
-        ignore (Deptest.Analyze.program ~options ~metrics prog))
+        ignore (Deptest.Analyze.run cfg prog))
       progs;
     if json then
       print_endline (Dt_obs.Json.to_string (Dt_obs.Metrics.to_json metrics))

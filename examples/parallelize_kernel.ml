@@ -9,7 +9,7 @@ let show (e : Dt_workloads.Corpus.entry) =
   Printf.printf "=== %s/%s ===\n" e.Dt_workloads.Corpus.suite
     e.Dt_workloads.Corpus.name;
   Format.printf "%a" Dt_ir.Nest.pp prog;
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = (Deptest.Analyze.run Deptest.Analyze.Config.default prog).Deptest.Analyze.deps in
   Printf.printf "-- dependences (%d) --\n" (List.length deps);
   List.iter (fun d -> Format.printf "  %a@." Deptest.Dep.pp d) deps;
   print_endline "-- loop parallelism --";

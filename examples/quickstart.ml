@@ -21,7 +21,8 @@ let () =
 |}
   in
   Format.printf "%a@." Nest.pp prog;
-  let result = Deptest.Analyze.program prog in
+  (* [Config.default] = parallel engine, shared structural memo cache *)
+  let result = Deptest.Analyze.run Deptest.Analyze.Config.default prog in
   List.iter
     (fun d -> Format.printf "  %a@." Deptest.Dep.pp d)
     result.Deptest.Analyze.deps;
@@ -51,7 +52,10 @@ let () =
           );
       ]
   in
-  let result2 = Deptest.Analyze.program prog2 in
+  (* a custom configuration: sequential, cache off — the result is the
+     same at every [jobs]/[cache] setting, only the wall clock changes *)
+  let cfg = Deptest.Analyze.Config.make ~jobs:1 ~cache:false () in
+  let result2 = Deptest.Analyze.run cfg prog2 in
   List.iter
     (fun d -> Format.printf "  %a@." Deptest.Dep.pp d)
     result2.Deptest.Analyze.deps;

@@ -25,7 +25,7 @@ let () =
   let prog = Dt_frontend.Cfront.parse_and_lower ~name:"validate" src in
   Format.printf "=== original ===@.%a@." Nest.pp prog;
 
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = (Deptest.Analyze.run Deptest.Analyze.Config.default prog).Deptest.Analyze.deps in
   Printf.printf "-- %d dependences --\n" (List.length deps);
   List.iter (fun d -> Format.printf "  %a@." Deptest.Dep.pp d) deps;
 
@@ -34,7 +34,7 @@ let () =
   print_string (Dt_frontend.Emit.program dist);
 
   let reports =
-    Dt_transform.Parallel.analyze dist (Deptest.Analyze.deps_of dist)
+    Dt_transform.Parallel.analyze dist ((Deptest.Analyze.run Deptest.Analyze.Config.default dist).Deptest.Analyze.deps)
   in
   print_endline "-- parallelism after distribution --";
   List.iter

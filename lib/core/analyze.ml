@@ -1,17 +1,53 @@
 open Dt_ir
 
-type options = {
-  strategy : Pair_test.strategy;
-  include_inputs : bool;
-  assume : Assume.t;
-}
+(* ------------------------------------------------------------------ *)
+(* configuration                                                       *)
 
-let default_options =
-  {
-    strategy = Pair_test.Partition_based;
-    include_inputs = false;
-    assume = Assume.empty;
+module Config = struct
+  type t = {
+    strategy : Pair_test.strategy;
+    include_inputs : bool;
+    assume : Assume.t;
+    jobs : int;  (* 0 = auto *)
+    cache : Pair_cache.t option;
+    metrics : Dt_obs.Metrics.t option;
+    sink : Dt_obs.Trace.sink option;
   }
+
+  let make ?(strategy = Pair_test.Partition_based) ?(include_inputs = false)
+      ?(assume = Assume.empty) ?(jobs = 0) ?(cache = true) ?metrics ?sink () =
+    {
+      strategy;
+      include_inputs;
+      assume;
+      jobs;
+      cache = (if cache then Some (Pair_cache.create ()) else None);
+      metrics;
+      sink;
+    }
+
+  let default = make ()
+  let with_strategy strategy t = { t with strategy }
+  let with_include_inputs include_inputs t = { t with include_inputs }
+  let with_assume assume t = { t with assume }
+  let with_jobs jobs t = { t with jobs }
+
+  let with_cache on t =
+    { t with cache = (if on then Some (Pair_cache.create ()) else None) }
+
+  let with_metrics metrics t = { t with metrics }
+  let with_sink sink t = { t with sink }
+  let strategy t = t.strategy
+  let include_inputs t = t.include_inputs
+  let assume t = t.assume
+  let jobs t = t.jobs
+  let cache_enabled t = t.cache <> None
+
+  let cache_stats t =
+    Option.map (fun c -> (Pair_cache.hits c, Pair_cache.misses c)) t.cache
+
+  let cache_hit_rate t = Option.map Pair_cache.hit_rate t.cache
+end
 
 type pair_record = {
   array : string;
@@ -26,6 +62,9 @@ type result = {
   pairs : pair_record list;
   counters : Counters.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* direction-vector decomposition and orientation helpers              *)
 
 let decompose (v : Dirvec.t) =
   let n = Array.length v in
@@ -65,14 +104,16 @@ let neg_dist = function
   | Outcome.Sym e -> Outcome.Sym (Affine.neg e)
   | Outcome.Unknown -> Outcome.Unknown
 
-let program ?(options = default_options) ?metrics ?sink prog =
-  let counters = Counters.create () in
-  let emit ev =
-    match sink with Some sk -> Dt_obs.Trace.emit sk ev | None -> ()
-  in
-  let scoped f =
-    match sink with Some sk -> Dt_obs.Trace.scope sk f | None -> f ()
-  in
+(* ------------------------------------------------------------------ *)
+(* pair enumeration, split from testing                                *)
+
+type site = {
+  left : Stmt.access * Loop.t list;
+  right : Stmt.access * Loop.t list;
+  same_ref : bool;
+}
+
+let sites ?(include_inputs = false) prog =
   let accesses =
     List.concat_map
       (fun (s, loops) ->
@@ -80,6 +121,179 @@ let program ?(options = default_options) ?metrics ?sink prog =
       (Nest.stmts_with_loops prog)
   in
   let accesses = Array.of_list accesses in
+  let n = Array.length accesses in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i do
+      let ((a1 : Stmt.access), _) = accesses.(i)
+      and ((a2 : Stmt.access), _) = accesses.(j) in
+      if
+        a1.Stmt.aref.Aref.base = a2.Stmt.aref.Aref.base
+        && (include_inputs
+           || not (a1.Stmt.kind = `Read && a2.Stmt.kind = `Read))
+      then
+        out :=
+          { left = accesses.(i); right = accesses.(j); same_ref = i = j }
+          :: !out
+    done
+  done;
+  Array.of_list !out
+
+(* ------------------------------------------------------------------ *)
+(* the engine: test every site (in parallel, through the cache), then
+   orient the per-pair direction vectors sequentially                  *)
+
+let strategy_tag = function
+  | Pair_test.Partition_based -> "P"
+  | Pair_test.Subscript_by_subscript -> "S"
+
+(* per-worker accumulators, merged deterministically (in worker-id
+   order) after the parallel loop *)
+type worker = { counters : Counters.t; metrics : Dt_obs.Metrics.t option }
+
+(* minimum number of reference pairs before [run] fans out to worker
+   domains; below this the spawn cost exceeds the testing work *)
+let min_parallel_sites = 256
+
+let run (cfg : Config.t) prog =
+  let { Config.strategy; include_inputs; assume; jobs; cache; metrics; sink } =
+    cfg
+  in
+  let sites = sites ~include_inputs prog in
+  let n = Array.length sites in
+  (* a trace is an ordered narrative: a sink forces the sequential path.
+     In auto mode (jobs = 0) the engine also stays sequential below the
+     grain threshold: a Domain spawn+join costs ~1ms while a typical
+     reference pair tests in ~10us, so small nests lose badly from
+     fanning out. An explicit jobs count is honored literally (tests
+     rely on that to drive the multi-domain path on small programs).
+     The result is identical either way — only the wall clock changes. *)
+  let jobs =
+    if sink <> None then 1
+    else if jobs = 0 && n < min_parallel_sites then 1
+    else jobs
+  in
+  let results = Array.make n None in
+  (* the assume facts are index-free and shared by every pair: render the
+     cache-key digest once (eagerly — it is read from every domain) *)
+  let facts =
+    match cache with
+    | Some _ -> Dt_engine.Key.facts_digest (Assume.facts assume)
+    | None -> ""
+  in
+  let tag = strategy_tag strategy in
+  let emit ev =
+    match sink with Some sk -> Dt_obs.Trace.emit sk ev | None -> ()
+  in
+  let scoped f =
+    match sink with Some sk -> Dt_obs.Trace.scope sk f | None -> f ()
+  in
+  let test_site (w : worker) i =
+    let { left = (a1 : Stmt.access), loops1; right = (a2 : Stmt.access), loops2; _ }
+        =
+      sites.(i)
+    in
+    emit
+      (Dt_obs.Trace.Pair_start
+         {
+           array = a1.Stmt.aref.Aref.base;
+           src_stmt = a1.Stmt.stmt.Stmt.id;
+           snk_stmt = a2.Stmt.stmt.Stmt.id;
+         });
+    let t0 =
+      match w.metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
+    in
+    let r =
+      scoped (fun () ->
+          let r =
+            match cache with
+            | None ->
+                Pair_test.test ~counters:w.counters ?metrics:w.metrics ?sink
+                  ~strategy ~assume
+                  ~src:(a1.Stmt.aref, loops1)
+                  ~snk:(a2.Stmt.aref, loops2)
+                  ()
+            | Some c -> (
+                let key =
+                  Dt_engine.Key.make
+                    ~src:(a1.Stmt.aref, loops1)
+                    ~snk:(a2.Stmt.aref, loops2)
+                    ~facts ~tag
+                in
+                match Pair_cache.find c key ~counters:w.counters with
+                | Some r ->
+                    (match w.metrics with
+                    | Some m -> Dt_obs.Metrics.cache_hit m
+                    | None -> ());
+                    emit
+                      (Dt_obs.Trace.Note
+                         "verdict from the structural memo cache (run with \
+                          the cache off for the full test trace)");
+                    r
+                | None ->
+                    (match w.metrics with
+                    | Some m -> Dt_obs.Metrics.cache_miss m
+                    | None -> ());
+                    (* run against a fresh accumulator so the increments
+                       can be stored and replayed on later hits *)
+                    let local = Counters.create () in
+                    let r =
+                      Pair_test.test ~counters:local ?metrics:w.metrics ?sink
+                        ~strategy ~assume
+                        ~src:(a1.Stmt.aref, loops1)
+                        ~snk:(a2.Stmt.aref, loops2)
+                        ()
+                    in
+                    Pair_cache.store c key ~counters:local r;
+                    Counters.merge_into w.counters local;
+                    r)
+          in
+          (if sink <> None then
+             let independent = r.Pair_test.result = `Independent in
+             let reason =
+               match
+                 (r.Pair_test.result, r.Pair_test.meta.Pair_test.proved_by)
+               with
+               | `Independent, Some k -> "proved by " ^ Counters.kind_name k
+               | `Independent, None ->
+                   "no consistent direction vector across subscript \
+                    partitions"
+               | `Dependent { Pair_test.dirvecs; _ }, _ ->
+                   Format.asprintf "%d direction vector(s):%t"
+                     (List.length dirvecs) (fun ppf ->
+                       List.iter
+                         (fun v -> Format.fprintf ppf " %a" Dirvec.pp v)
+                         dirvecs)
+             in
+             emit (Dt_obs.Trace.Verdict { independent; reason }));
+          r)
+    in
+    (match w.metrics with
+    | Some m ->
+        Dt_obs.Metrics.observe_pair m
+          ~ns:(Int64.sub (Dt_obs.Metrics.now_ns ()) t0)
+    | None -> ());
+    results.(i) <- Some r
+  in
+  let workers =
+    Dt_support.Pool.parallel_for ~jobs ~n
+      ~state:(fun _ ->
+        {
+          counters = Counters.create ();
+          metrics = Option.map (fun _ -> Dt_obs.Metrics.create ()) metrics;
+        })
+      ~body:test_site ()
+  in
+  let counters = Counters.create () in
+  List.iter
+    (fun w ->
+      Counters.merge_into counters w.counters;
+      match (metrics, w.metrics) with
+      | Some m, Some wm -> Dt_obs.Metrics.merge_into m wm
+      | _ -> ())
+    workers;
+  (* sequential orientation pass, in enumeration order: bit-identical to
+     the historical sequential driver at every jobs setting *)
   let deps = ref [] and pairs = ref [] in
   let emit_dep ~src ~snk ~array ~dirvec ~level ~distances =
     let (a1 : Stmt.access), _ = src and (a2 : Stmt.access), _ = snk in
@@ -95,61 +309,12 @@ let program ?(options = default_options) ?metrics ?sink prog =
       }
       :: !deps
   in
-  let test_pair i j =
-    let ((a1 : Stmt.access), loops1) = accesses.(i)
-    and ((a2 : Stmt.access), loops2) = accesses.(j) in
-    if a1.Stmt.aref.Aref.base <> a2.Stmt.aref.Aref.base then ()
-    else if
-      (not options.include_inputs)
-      && a1.Stmt.kind = `Read
-      && a2.Stmt.kind = `Read
-    then ()
-    else begin
+  Array.iteri
+    (fun i site ->
+      let ((a1 : Stmt.access), _) = site.left
+      and ((a2 : Stmt.access), _) = site.right in
       let array = a1.Stmt.aref.Aref.base in
-      emit
-        (Dt_obs.Trace.Pair_start
-           {
-             array;
-             src_stmt = a1.Stmt.stmt.Stmt.id;
-             snk_stmt = a2.Stmt.stmt.Stmt.id;
-           });
-      let t0 =
-        match metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
-      in
-      let r =
-        scoped (fun () ->
-            let r =
-              Pair_test.test ~counters ?metrics ?sink
-                ~strategy:options.strategy ~assume:options.assume
-                ~src:(a1.Stmt.aref, loops1)
-                ~snk:(a2.Stmt.aref, loops2)
-                ()
-            in
-            (if sink <> None then
-               let independent = r.Pair_test.result = `Independent in
-               let reason =
-                 match
-                   (r.Pair_test.result, r.Pair_test.meta.Pair_test.proved_by)
-                 with
-                 | `Independent, Some k -> "proved by " ^ Counters.kind_name k
-                 | `Independent, None ->
-                     "no consistent direction vector across subscript \
-                      partitions"
-                 | `Dependent { Pair_test.dirvecs; _ }, _ ->
-                     Format.asprintf "%d direction vector(s):%t"
-                       (List.length dirvecs) (fun ppf ->
-                         List.iter
-                           (fun v -> Format.fprintf ppf " %a" Dirvec.pp v)
-                           dirvecs)
-               in
-               emit (Dt_obs.Trace.Verdict { independent; reason }));
-            r)
-      in
-      (match metrics with
-      | Some m ->
-          Dt_obs.Metrics.observe_pair m
-            ~ns:(Int64.sub (Dt_obs.Metrics.now_ns ()) t0)
-      | None -> ());
+      let r = Option.get results.(i) in
       pairs :=
         {
           array;
@@ -162,7 +327,7 @@ let program ?(options = default_options) ?metrics ?sink prog =
       match r.Pair_test.result with
       | `Independent -> ()
       | `Dependent { Pair_test.dirvecs; distances } ->
-          let same_access = i = j in
+          let same_access = site.same_ref in
           let id1 = a1.Stmt.stmt.Stmt.id and id2 = a2.Stmt.stmt.Stmt.id in
           let parts =
             Dt_support.Listx.dedup ~compare:Stdlib.compare
@@ -177,42 +342,65 @@ let program ?(options = default_options) ?metrics ?sink prog =
                      write. *)
                   if same_access then ()
                   else if id1 < id2 then
-                    emit_dep ~src:accesses.(i) ~snk:accesses.(j) ~array
-                      ~dirvec:v ~level:None ~distances
+                    emit_dep ~src:site.left ~snk:site.right ~array ~dirvec:v
+                      ~level:None ~distances
                   else if id1 > id2 then
-                    emit_dep ~src:accesses.(j) ~snk:accesses.(i) ~array
-                      ~dirvec:v ~level:None
+                    emit_dep ~src:site.right ~snk:site.left ~array ~dirvec:v
+                      ~level:None
                       ~distances:(List.map (fun (ix, d) -> (ix, neg_dist d)) distances)
                   else begin
                     (* same statement: read executes before write *)
                     match (a1.Stmt.kind, a2.Stmt.kind) with
                     | `Read, `Write ->
-                        emit_dep ~src:accesses.(i) ~snk:accesses.(j) ~array
+                        emit_dep ~src:site.left ~snk:site.right ~array
                           ~dirvec:v ~level:None ~distances
                     | `Write, `Read ->
-                        emit_dep ~src:accesses.(j) ~snk:accesses.(i) ~array
+                        emit_dep ~src:site.right ~snk:site.left ~array
                           ~dirvec:v ~level:None
                           ~distances:
                             (List.map (fun (ix, d) -> (ix, neg_dist d)) distances)
                     | _ -> ()
                   end
               | Some k, `Forward ->
-                  emit_dep ~src:accesses.(i) ~snk:accesses.(j) ~array
-                    ~dirvec:v ~level:(Some k) ~distances
+                  emit_dep ~src:site.left ~snk:site.right ~array ~dirvec:v
+                    ~level:(Some k) ~distances
               | Some k, `Backward ->
-                  emit_dep ~src:accesses.(j) ~snk:accesses.(i) ~array
+                  emit_dep ~src:site.right ~snk:site.left ~array
                     ~dirvec:(Dirvec.negate v) ~level:(Some k)
                     ~distances:(List.map (fun (ix, d) -> (ix, neg_dist d)) distances)
               | None, `Backward -> assert false)
-            parts
-    end
-  in
-  let n = Array.length accesses in
-  for i = 0 to n - 1 do
-    for j = i to n - 1 do
-      test_pair i j
-    done
-  done;
+            parts)
+    sites;
   { deps = List.rev !deps; pairs = List.rev !pairs; counters }
+
+(* ------------------------------------------------------------------ *)
+(* deprecated pre-Config surface: thin wrappers, sequential, no cache  *)
+
+type options = {
+  strategy : Pair_test.strategy;
+  include_inputs : bool;
+  assume : Assume.t;
+}
+
+let default_options =
+  {
+    strategy = Pair_test.Partition_based;
+    include_inputs = false;
+    assume = Assume.empty;
+  }
+
+let config_of_options { strategy; include_inputs; assume } ?metrics ?sink () =
+  {
+    Config.strategy;
+    include_inputs;
+    assume;
+    jobs = 1;
+    cache = None;
+    metrics;
+    sink;
+  }
+
+let program ?(options = default_options) ?metrics ?sink prog =
+  run (config_of_options options ?metrics ?sink ()) prog
 
 let deps_of ?options prog = (program ?options prog).deps

@@ -1,16 +1,71 @@
 (** Whole-program dependence analysis: enumerate reference pairs, run the
-    per-pair driver, orient the resulting direction vectors into forward /
-    backward / loop-independent dependences, and collect statistics. *)
+    per-pair driver (paper §3) over them — in parallel and through the
+    structural memo cache when configured — orient the resulting
+    direction vectors into forward / backward / loop-independent
+    dependences, and collect statistics.
+
+    {!run} is the single entry point; {!Config} bundles every knob.
+    Parallelism and caching are engine concerns, never semantic ones: for
+    a fixed program and configuration semantics, [run] returns the same
+    {!result} (same [deps], same ordering) at every [jobs] setting and
+    with the cache on or off. *)
 
 open Dt_ir
 
-type options = {
-  strategy : Pair_test.strategy;
-  include_inputs : bool;  (** also compute input (read-read) dependences *)
-  assume : Assume.t;  (** extra symbolic facts, e.g. N >= 1 *)
-}
+(** Analysis configuration: the testing strategy and symbolic facts
+    (semantics), the engine knobs (worker count, memo cache), and the
+    observability outputs (metrics registry, trace sink) in one value.
 
-val default_options : options
+    A configuration [make ~cache:true] owns its memo cache: reusing the
+    same [Config.t] across several {!run} calls shares the cache, so a
+    corpus-wide run hits on shapes repeated across routines. The cache is
+    domain-safe and semantically transparent. *)
+module Config : sig
+  type t
+
+  val make :
+    ?strategy:Pair_test.strategy ->
+    ?include_inputs:bool ->
+    ?assume:Assume.t ->
+    ?jobs:int ->
+    ?cache:bool ->
+    ?metrics:Dt_obs.Metrics.t ->
+    ?sink:Dt_obs.Trace.sink ->
+    unit ->
+    t
+  (** Defaults: [Partition_based], no input dependences, empty assume,
+      [jobs = 0] (auto: one worker per recommended domain, but small
+      nests — fewer than ~256 reference pairs, where a Domain spawn
+      would cost more than the testing work — run sequentially), cache
+      on, no metrics, no sink. An explicit [jobs >= 1] is honored
+      literally. A trace sink forces sequential execution — a trace is
+      an ordered narrative. *)
+
+  val default : t
+  (** [make ()] evaluated once: note that every [run default] therefore
+      shares one process-wide memo cache. *)
+
+  (* builder-style updates (each returns a new value; [with_cache true]
+     attaches a fresh cache) *)
+  val with_strategy : Pair_test.strategy -> t -> t
+  val with_include_inputs : bool -> t -> t
+  val with_assume : Assume.t -> t -> t
+  val with_jobs : int -> t -> t
+  val with_cache : bool -> t -> t
+  val with_metrics : Dt_obs.Metrics.t option -> t -> t
+  val with_sink : Dt_obs.Trace.sink option -> t -> t
+
+  val strategy : t -> Pair_test.strategy
+  val include_inputs : t -> bool
+  val assume : t -> Assume.t
+  val jobs : t -> int
+  val cache_enabled : t -> bool
+
+  val cache_stats : t -> (int * int) option
+  (** [(hits, misses)] of this configuration's cache, if it has one. *)
+
+  val cache_hit_rate : t -> float option
+end
 
 type pair_record = {
   array : string;
@@ -24,19 +79,26 @@ type result = {
   deps : Dep.t list;
   pairs : pair_record list;  (** one per reference pair tested *)
   counters : Counters.t;
+      (** §6 test-application counts; cache-invariant (hits replay the
+          producing run's increments) *)
 }
 
-val program :
-  ?options:options ->
-  ?metrics:Dt_obs.Metrics.t ->
-  ?sink:Dt_obs.Trace.sink ->
-  Nest.program ->
-  result
-(** [metrics] and [sink] feed the observability layer: per-test-kind
-    counts/timings, per-pair latency, and a typed trace tree with one
-    [Pair_start] .. [Verdict] span per reference pair (see {!Dt_obs}). *)
+type site = {
+  left : Stmt.access * Loop.t list;
+  right : Stmt.access * Loop.t list;
+  same_ref : bool;  (** the pair of one access with itself *)
+}
+(** One reference pair to test, in textual enumeration order. [left] and
+    [right] are unoriented — orientation (who is source) is decided per
+    direction vector after testing. *)
 
-val deps_of : ?options:options -> Nest.program -> Dep.t list
+val sites : ?include_inputs:bool -> Nest.program -> site array
+(** Pair enumeration, split from testing: every pair of accesses to the
+    same array (read-read pairs only when [include_inputs]), in the
+    deterministic order the sequential driver has always used. *)
+
+val run : Config.t -> Nest.program -> result
+(** Analyze one program under the given configuration. *)
 
 val decompose :
   Dirvec.t -> (int option * Dirvec.t * [ `Forward | `Backward ]) list
@@ -44,3 +106,27 @@ val decompose :
     [(Some k, v, `Forward)] is the part carried forward at level k;
     backward parts denote reversed dependences (vector NOT yet negated);
     [(None, v, `Forward)] is the loop-independent (all '=') part. *)
+
+(** {2 Deprecated pre-[Config] surface}
+
+    Thin wrappers over {!run} with [jobs = 1] and no cache — bit-for-bit
+    the historical sequential behavior. Kept for one release. *)
+
+type options = {
+  strategy : Pair_test.strategy;
+  include_inputs : bool;  (** also compute input (read-read) dependences *)
+  assume : Assume.t;  (** extra symbolic facts, e.g. N >= 1 *)
+}
+
+val default_options : options
+
+val program :
+  ?options:options ->
+  ?metrics:Dt_obs.Metrics.t ->
+  ?sink:Dt_obs.Trace.sink ->
+  Nest.program ->
+  result
+[@@ocaml.deprecated "use Analyze.run with Analyze.Config"]
+
+val deps_of : ?options:options -> Nest.program -> Dep.t list
+[@@ocaml.deprecated "use Analyze.run with Analyze.Config"]

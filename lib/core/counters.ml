@@ -37,6 +37,14 @@ let merge_into acc extra =
   Array.iteri (fun i v -> acc.applied.(i) <- acc.applied.(i) + v) extra.applied;
   Array.iteri (fun i v -> acc.indep.(i) <- acc.indep.(i) + v) extra.indep
 
+let merge a b =
+  let t = create () in
+  merge_into t a;
+  merge_into t b;
+  t
+
+let equal a b = a.applied = b.applied && a.indep = b.indep
+
 let pp ppf t =
   List.iter
     (fun k ->

@@ -34,4 +34,12 @@ val proved_indep : t -> kind -> int
 val merge_into : t -> t -> unit
 (** [merge_into acc extra] adds [extra]'s counts into [acc]. *)
 
+val merge : t -> t -> t
+(** Fresh accumulator holding the sum. Commutative and associative (all
+    counts are sums), so the parallel engine may merge its per-domain
+    accumulators in any order and still equal the sequential run. *)
+
+val equal : t -> t -> bool
+(** Same applied and proved-independent count for every kind. *)
+
 val pp : Format.formatter -> t -> unit

@@ -24,6 +24,8 @@ type t = {
   hist : int array;  (* per-pair latency buckets *)
   mutable pairs : int;
   mutable pair_ns : int64;
+  mutable cache_hits : int;  (* pair verdicts served by the memo cache *)
+  mutable cache_misses : int;
 }
 
 let create () =
@@ -35,6 +37,8 @@ let create () =
     hist = Array.make n_buckets 0;
     pairs = 0;
     pair_ns = 0L;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let now_ns () = Monotonic_clock.now ()
@@ -70,6 +74,11 @@ let observe_pair t ~ns =
   let b = bucket_of ns in
   t.hist.(b) <- t.hist.(b) + 1
 
+let cache_hit t = t.cache_hits <- t.cache_hits + 1
+let cache_miss t = t.cache_misses <- t.cache_misses + 1
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+
 let applied t k = t.applied.(Test_kind.id k)
 let proved_indep t k = t.indep.(Test_kind.id k)
 let kind_ns t k = t.kind_ns.(Test_kind.id k)
@@ -89,7 +98,15 @@ let merge_into acc extra =
     extra.phase_ns;
   Array.iteri (fun i v -> acc.hist.(i) <- acc.hist.(i) + v) extra.hist;
   acc.pairs <- acc.pairs + extra.pairs;
-  acc.pair_ns <- Int64.add acc.pair_ns extra.pair_ns
+  acc.pair_ns <- Int64.add acc.pair_ns extra.pair_ns;
+  acc.cache_hits <- acc.cache_hits + extra.cache_hits;
+  acc.cache_misses <- acc.cache_misses + extra.cache_misses
+
+let merge a b =
+  let t = create () in
+  merge_into t a;
+  merge_into t b;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* export                                                              *)
@@ -146,6 +163,17 @@ let to_json t =
             ("total_ns", Json.Int (Int64.to_int t.pair_ns));
             ("latency_hist", Json.List hist);
           ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int t.cache_hits);
+            ("misses", Json.Int t.cache_misses);
+            ( "hit_rate",
+              let n = t.cache_hits + t.cache_misses in
+              Json.Float
+                (if n = 0 then 0.
+                 else float_of_int t.cache_hits /. float_of_int n) );
+          ] );
     ]
 
 let us ns = Int64.to_float ns /. 1_000.0
@@ -168,6 +196,11 @@ let pp ppf t =
     (fun p -> Format.fprintf ppf "%-18s %12.1f@." (phase_name p) (us (phase_ns t p)))
     phases;
   Format.fprintf ppf "@.pairs tested %d, total %.1f us@." t.pairs (us t.pair_ns);
+  (if t.cache_hits + t.cache_misses > 0 then
+     let n = t.cache_hits + t.cache_misses in
+     Format.fprintf ppf "memo cache: %d hits / %d lookups (%.1f%%)@."
+       t.cache_hits n
+       (100. *. float_of_int t.cache_hits /. float_of_int n));
   Format.fprintf ppf "pair latency:";
   Array.iteri
     (fun i c -> if c > 0 then Format.fprintf ppf " %s:%d" (bucket_label i) c)

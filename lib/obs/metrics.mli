@@ -35,6 +35,17 @@ val observe_pair : t -> ns:int64 -> unit
 (** One reference pair completed in [ns]: bump the pair count, total, and
     the latency histogram bucket. *)
 
+val cache_hit : t -> unit
+(** One pair verdict served by the structural memo cache. Unlike
+    {!Counters} (which the engine replays on hits so the paper's §6
+    tables stay cache-invariant), metrics report what actually executed:
+    a hit bumps this counter and the pair histogram, never the per-kind
+    test counts. *)
+
+val cache_miss : t -> unit
+val cache_hits : t -> int
+val cache_misses : t -> int
+
 val applied : t -> Test_kind.t -> int
 val proved_indep : t -> Test_kind.t -> int
 val kind_ns : t -> Test_kind.t -> int64
@@ -52,10 +63,15 @@ val latency_hist : t -> int array
 val merge_into : t -> t -> unit
 (** [merge_into acc extra] adds [extra]'s counts and times into [acc]. *)
 
+val merge : t -> t -> t
+(** Fresh registry holding the sum — commutative and associative, so the
+    parallel engine's per-domain registries merge deterministically. *)
+
 val to_json : t -> Json.t
 (** The metrics snapshot: schema ["deptest-metrics/1"], per-kind
     [tests] rows (kind, name, applied, independent, total_ns), [phases]
-    totals, and [pairs] with the latency histogram (see README). *)
+    totals, [pairs] with the latency histogram, and [cache]
+    hits/misses/hit_rate (see README). *)
 
 val pp : Format.formatter -> t -> unit
 (** The per-kind time/count table — the §6 Table-3 shape with wall-clock

@@ -54,7 +54,11 @@ let add_class acc (c : Classify.t) =
 
 let of_program ~suite ~name prog =
   let metrics = Dt_obs.Metrics.create () in
-  let r = Analyze.program ~metrics prog in
+  (* sequential, cache off: the profile's per-kind wall-clock columns
+     must reflect real executions of every test (paper §6) *)
+  let r =
+    Analyze.run (Analyze.Config.make ~jobs:1 ~cache:false ~metrics ()) prog
+  in
   (* only subscripted (rank > 0) reference pairs enter the study, as in
      the paper *)
   let array_pairs =

@@ -1,0 +1,67 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let sequential ~n ~state ~body =
+  let st = state 0 in
+  for i = 0 to n - 1 do
+    body st i
+  done;
+  [ st ]
+
+let default_chunk ~jobs ~n =
+  let c = n / (jobs * 8) in
+  if c < 1 then 1 else if c > 64 then 64 else c
+
+let parallel_for ?(jobs = 0) ?chunk ~n ~state ~body () =
+  if n <= 0 then []
+  else
+    let jobs = if jobs <= 0 then recommended_jobs () else jobs in
+    let jobs = min jobs n in
+    if jobs <= 1 || n <= 1 then sequential ~n ~state ~body
+    else begin
+      let chunk =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | _ -> default_chunk ~jobs ~n
+      in
+      let n_chunks = (n + chunk - 1) / chunk in
+      let next = Atomic.make 0 in
+      (* one slot per worker: the first exception it hit, if any *)
+      let failures = Array.make jobs None in
+      let fail w e =
+        failures.(w) <- Some (e, Printexc.get_raw_backtrace ());
+        (* drain the queue so the other workers stop promptly *)
+        Atomic.set next n_chunks
+      in
+      let run_worker w =
+        match state w with
+        | exception e ->
+            fail w e;
+            None
+        | st ->
+            (try
+               let continue = ref true in
+               while !continue do
+                 let k = Atomic.fetch_and_add next 1 in
+                 if k >= n_chunks then continue := false
+                 else
+                   let lo = k * chunk in
+                   let hi = min n (lo + chunk) - 1 in
+                   for i = lo to hi do
+                     body st i
+                   done
+               done
+             with e -> fail w e);
+            Some st
+      in
+      let domains =
+        List.init (jobs - 1) (fun w -> Domain.spawn (fun () -> run_worker (w + 1)))
+      in
+      let st0 = run_worker 0 in
+      let states = st0 :: List.map Domain.join domains in
+      Array.iter
+        (function
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+        failures;
+      List.filter_map Fun.id states
+    end

@@ -1,0 +1,42 @@
+(** A Domain-based worker pool for embarrassingly parallel index loops.
+
+    [parallel_for] distributes the indices [0 .. n-1] over a fixed set of
+    worker domains through a chunked shared work queue (dynamic
+    scheduling: a worker that finishes a chunk grabs the next one, so
+    uneven per-index cost balances out). Each worker owns a private state
+    value created by [state]; the states are returned in worker-id order
+    so the caller can merge per-worker accumulators deterministically.
+
+    Determinism contract: which worker processes which index is
+    scheduling-dependent, but every index is processed exactly once, and
+    writes to disjoint result slots made inside [body] are visible to the
+    caller after [parallel_for] returns (the domain joins establish the
+    happens-before edge). Any result that depends only on the index —
+    never on the executing worker — is therefore identical to a
+    sequential run. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val parallel_for :
+  ?jobs:int ->
+  ?chunk:int ->
+  n:int ->
+  state:(int -> 'w) ->
+  body:('w -> int -> unit) ->
+  unit ->
+  'w list
+(** [parallel_for ~jobs ~n ~state ~body ()] calls [body st i] exactly once
+    for every [i] in [0 .. n-1] and returns the per-worker states in
+    worker-id order.
+
+    [jobs] is the number of workers; [0] (the default) means
+    {!recommended_jobs}. With [jobs <= 1] (or [n <= 1]) everything runs in
+    the calling domain in index order — the sequential reference path.
+    Otherwise [min jobs n] domains run (the calling domain is one of
+    them), each pulling chunks of [chunk] consecutive indices (default:
+    a size that yields roughly 8 chunks per worker, clamped to [1, 64]).
+
+    If any [body] or [state] call raises, all remaining work is drained,
+    the workers are joined, and the first exception (by worker id) is
+    re-raised with its backtrace. *)

@@ -45,8 +45,13 @@ let run prog deps =
     ~name:(prog.Nest.name ^ "_distributed")
     body
 
+(* sequential (the programs here are single nests, too small to fan
+   out), but share one memo cache across calls: the distributed program
+   repeats most of the original's reference pairs *)
+let analyze_cfg = Analyze.Config.make ~jobs:1 ()
+
 let run_and_report prog =
-  let deps = Analyze.deps_of prog in
+  let deps = (Analyze.run analyze_cfg prog).Analyze.deps in
   let prog' = run prog deps in
-  let deps' = Analyze.deps_of prog' in
+  let deps' = (Analyze.run analyze_cfg prog').Analyze.deps in
   (prog', Parallel.analyze prog' deps')

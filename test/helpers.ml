@@ -86,12 +86,25 @@ let dirs_of_sols sols =
 
 let parse = Dt_frontend.Lower.parse
 
-let deps_of src = Deptest.Analyze.deps_of (parse src)
+(* the default engine configuration (parallel pair testing over a
+   process-wide structural memo cache) — the suite exercising it
+   end-to-end doubles as a cache/engine soak test. The CI matrix sets
+   DEPTEST_JOBS to re-run everything with a forced worker count (an
+   explicit count bypasses the engine's small-nest sequential
+   heuristic, so this really drives the multi-domain path). *)
+let default_cfg =
+  match Option.bind (Sys.getenv_opt "DEPTEST_JOBS") int_of_string_opt with
+  | Some j -> Deptest.Analyze.Config.make ~jobs:j ()
+  | None -> Deptest.Analyze.Config.default
+
+let run_default prog = Deptest.Analyze.run default_cfg prog
+let deps_of_prog prog = (run_default prog).Deptest.Analyze.deps
+let deps_of src = deps_of_prog (parse src)
 
 let find_entry suite name = Dt_workloads.Corpus.find_exn ~suite ~name
 
 let analyze_entry suite name =
-  Deptest.Analyze.program (Dt_workloads.Corpus.program (find_entry suite name))
+  run_default (Dt_workloads.Corpus.program (find_entry suite name))
 
 (* convert qcheck into alcotest cases *)
 let qtest ?(count = 300) name gen law =

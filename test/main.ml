@@ -22,6 +22,7 @@ let () =
       ("stats", Test_stats.suite);
       ("corpus", Test_corpus.suite);
       ("extras", Test_extras.suite);
+      ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("emit", Test_emit.suite);
       ("semantics", Test_semantics.suite);

@@ -14,7 +14,7 @@ let test_basic_for () =
     }
   |} in
   check Alcotest.int "one loop" 1 (List.length (Nest.all_loops prog));
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   check Alcotest.int "recurrence found" 1 (List.length deps);
   check (Alcotest.option Alcotest.int) "carried level 1" (Some 1)
     (List.hd deps).Deptest.Dep.level
@@ -47,7 +47,7 @@ let test_nested_and_2d () =
       for (j = 2; j <= m; j++)
         a[i][j] = a[i-1][j] + a[i][j-1];
   |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let vecs =
     List.map (fun d -> Deptest.Dirvec.to_string d.Deptest.Dep.dirvec) deps
     |> List.sort_uniq compare

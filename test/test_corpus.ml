@@ -24,7 +24,7 @@ let test_all_analyze () =
   List.iter
     (fun (e : Dt_workloads.Corpus.entry) ->
       List.iter (fun p ->
-      let r = Deptest.Analyze.program p in
+      let r = Helpers.run_default p in
       (* dependence endpoints must be valid statement ids *)
       List.iter
         (fun d ->

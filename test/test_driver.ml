@@ -170,13 +170,14 @@ let test_input_deps () =
         A(I) = B(I) + B(I-1)
    10 CONTINUE
 |} in
-  let no_inputs = Deptest.Analyze.deps_of prog in
+  let no_inputs = deps_of_prog prog in
   check Alcotest.bool "no input deps by default" true
     (List.for_all (fun d -> d.Deptest.Dep.kind <> Deptest.Dep.Input) no_inputs);
   let with_inputs =
-    Deptest.Analyze.deps_of
-      ~options:{ Deptest.Analyze.default_options with include_inputs = true }
-      prog
+    (Deptest.Analyze.run
+       (Deptest.Analyze.Config.make ~include_inputs:true ())
+       prog)
+      .Deptest.Analyze.deps
   in
   check Alcotest.bool "input deps on demand" true
     (List.exists (fun d -> d.Deptest.Dep.kind = Deptest.Dep.Input) with_inputs)

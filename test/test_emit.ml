@@ -14,7 +14,7 @@ let dep_signature (d : Deptest.Dep.t) =
     | None -> "li")
 
 let signatures prog =
-  List.map dep_signature (Deptest.Analyze.deps_of prog)
+  List.map dep_signature (deps_of_prog prog)
   |> List.sort_uniq compare
 
 let test_emit_roundtrip_fixed () =
@@ -38,13 +38,13 @@ let test_emit_distributed () =
         C(I) = B(I) + D(I)
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let dist = Dt_transform.Distribute.run prog deps in
   let emitted = Dt_frontend.Emit.program dist in
   (* the emitted distributed program must parse and expose the parallel
      second loop *)
   let prog2 = parse emitted in
-  let deps2 = Deptest.Analyze.deps_of prog2 in
+  let deps2 = deps_of_prog prog2 in
   let reports = Dt_transform.Parallel.analyze prog2 deps2 in
   check Alcotest.int "two loops" 2 (List.length reports);
   check Alcotest.int "one parallel" 1
@@ -86,7 +86,7 @@ let test_multi_routine () =
   List.iter
     (fun p ->
       check Alcotest.int "one dep each" 1
-        (List.length (Deptest.Analyze.deps_of p)))
+        (List.length (deps_of_prog p)))
     unit
 
 let test_multi_routine_lines () =

@@ -1,0 +1,382 @@
+(* Tests for the parallel pair-testing engine: the worker pool, the
+   generic memo table, structural canonicalization keys, the pair-result
+   cache (including cross-query rehydration and counter replay), and the
+   merge laws the deterministic accumulator merge relies on. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* --- Pool -------------------------------------------------------------- *)
+
+let test_pool_covers_all () =
+  let n = 1000 in
+  let out = Array.make n 0 in
+  let states =
+    Dt_support.Pool.parallel_for ~jobs:4 ~n
+      ~state:(fun w -> (w, ref 0))
+      ~body:(fun (_, acc) i ->
+        out.(i) <- (i * i) + 1;
+        acc := !acc + i)
+      ()
+  in
+  check bool "every cell written exactly once" true
+    (Array.for_all (fun v -> v > 0) (Array.mapi (fun i v -> Bool.to_int (v = (i * i) + 1)) out));
+  let total = List.fold_left (fun a (_, r) -> a + !r) 0 states in
+  check int "work partitioned without loss or overlap" (n * (n - 1) / 2) total;
+  let ids = List.map fst states in
+  check (Alcotest.list int) "states returned in worker-id order"
+    (List.sort compare ids) ids
+
+let test_pool_sequential () =
+  let order = ref [] in
+  let states =
+    Dt_support.Pool.parallel_for ~jobs:1 ~n:5
+      ~state:(fun w -> w)
+      ~body:(fun _ i -> order := i :: !order)
+      ()
+  in
+  check (Alcotest.list int) "jobs=1 runs in index order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order);
+  check (Alcotest.list int) "jobs=1 uses one worker" [ 0 ] states
+
+let test_pool_exception () =
+  match
+    Dt_support.Pool.parallel_for ~jobs:4 ~n:100
+      ~state:(fun _ -> ())
+      ~body:(fun () i -> if i = 57 then failwith "boom")
+      ()
+  with
+  | exception Failure m -> check string "body exception propagates" "boom" m
+  | _ -> Alcotest.fail "expected the body's exception to propagate"
+
+let test_pool_empty () =
+  check int "n=0 spawns nothing" 0
+    (List.length
+       (Dt_support.Pool.parallel_for ~jobs:4 ~n:0
+          ~state:(fun w -> w)
+          ~body:(fun _ _ -> ())
+          ()))
+
+(* --- Memo -------------------------------------------------------------- *)
+
+let test_memo_basics () =
+  let m = Dt_engine.Memo.create () in
+  check bool "miss on empty" true (Dt_engine.Memo.find_opt m "k" = None);
+  Dt_engine.Memo.add m "k" 42;
+  check bool "hit after add" true (Dt_engine.Memo.find_opt m "k" = Some 42);
+  check int "hits" 1 (Dt_engine.Memo.hits m);
+  check int "misses" 1 (Dt_engine.Memo.misses m);
+  check (Alcotest.float 1e-9) "hit rate" 0.5 (Dt_engine.Memo.hit_rate m);
+  check int "length" 1 (Dt_engine.Memo.length m);
+  Dt_engine.Memo.reset_stats m;
+  check int "stats reset, entries kept" 0
+    (Dt_engine.Memo.hits m + Dt_engine.Memo.misses m);
+  check int "entries kept" 1 (Dt_engine.Memo.length m)
+
+(* --- Key: structural canonicalization ---------------------------------- *)
+
+let key_of ?(hi = 100) ?(facts = "") ?(tag = "P") ~w ~r i =
+  let loops = [ loop ~hi i ] in
+  Dt_engine.Key.make ~src:(w, loops) ~snk:(r, loops) ~facts ~tag
+
+let test_key_isomorphic () =
+  let mk i =
+    key_of i
+      ~w:(Aref.linear "A" [ av ~c:1 i ])
+      ~r:(Aref.linear "A" [ av i ])
+  in
+  let ki = mk i0 and kk = mk (idx "K") in
+  check string "isomorphic queries share a key" ki.Dt_engine.Key.key
+    kk.Dt_engine.Key.key;
+  check bool "but keep their own index mapping" true
+    (List.map snd ki.Dt_engine.Key.actual_of_canon
+     <> List.map snd kk.Dt_engine.Key.actual_of_canon)
+
+let test_key_discriminates () =
+  let base =
+    key_of i0 ~w:(Aref.linear "A" [ av ~c:1 i0 ]) ~r:(Aref.linear "A" [ av i0 ])
+  in
+  let differs k = k.Dt_engine.Key.key <> base.Dt_engine.Key.key in
+  check bool "coefficient change changes the key" true
+    (differs
+       (key_of i0
+          ~w:(Aref.linear "A" [ av ~k:2 ~c:1 i0 ])
+          ~r:(Aref.linear "A" [ av i0 ])));
+  check bool "constant change changes the key" true
+    (differs
+       (key_of i0
+          ~w:(Aref.linear "A" [ av ~c:2 i0 ])
+          ~r:(Aref.linear "A" [ av i0 ])));
+  check bool "loop bound change changes the key" true
+    (differs
+       (key_of ~hi:99 i0
+          ~w:(Aref.linear "A" [ av ~c:1 i0 ])
+          ~r:(Aref.linear "A" [ av i0 ])));
+  check bool "assume facts change the key" true
+    (differs
+       (key_of ~facts:"N>=1" i0
+          ~w:(Aref.linear "A" [ av ~c:1 i0 ])
+          ~r:(Aref.linear "A" [ av i0 ])));
+  check bool "strategy tag changes the key" true
+    (differs
+       (key_of ~tag:"S" i0
+          ~w:(Aref.linear "A" [ av ~c:1 i0 ])
+          ~r:(Aref.linear "A" [ av i0 ])));
+  (* nesting depth participates in Index identity, so it must be kept *)
+  check bool "index depth changes the key" true
+    (differs
+       (key_of j1
+          ~w:(Aref.linear "A" [ av ~c:1 j1 ])
+          ~r:(Aref.linear "A" [ av j1 ])))
+
+let test_facts_digest_order_free () =
+  let n = Affine.of_sym "N" and m = Affine.of_sym "M" in
+  check string "facts digest is order-independent"
+    (Dt_engine.Key.facts_digest [ n; m ])
+    (Dt_engine.Key.facts_digest [ m; n ])
+
+(* --- Counters/Metrics merge laws --------------------------------------- *)
+
+let sample_counters spec =
+  let c = Deptest.Counters.create () in
+  List.iter
+    (fun (k, applied, indep) ->
+      for _ = 1 to applied do
+        Deptest.Counters.record c k ~indep:false
+      done;
+      for _ = 1 to indep do
+        Deptest.Counters.record c k ~indep:true
+      done)
+    spec;
+  c
+
+let test_counters_merge_laws () =
+  let a = sample_counters [ (Deptest.Counters.Ziv_test, 3, 1) ]
+  and b = sample_counters [ (Deptest.Counters.Strong_siv, 2, 2) ]
+  and c = sample_counters [ (Deptest.Counters.Ziv_test, 1, 0); (Deptest.Counters.Gcd_miv, 5, 1) ] in
+  let ( + ) = Deptest.Counters.merge in
+  check bool "commutative" true (Deptest.Counters.equal (a + b) (b + a));
+  check bool "associative" true
+    (Deptest.Counters.equal (a + (b + c)) (a + b + c));
+  let zero = Deptest.Counters.create () in
+  check bool "identity" true (Deptest.Counters.equal (a + zero) a)
+
+(* sequential accumulation equals any split of the same bumps across
+   workers merged in any order — the property the parallel driver's
+   deterministic merge rests on *)
+let prop_counters_split_merge =
+  qtest ~count:200 "sequential counting == split-and-merge"
+    (QCheck.make
+       (QCheck.Gen.list_size (QCheck.Gen.return 24)
+          (QCheck.Gen.pair (QCheck.Gen.int_bound 7) QCheck.Gen.bool)))
+    (fun events ->
+      let kinds =
+        [|
+          Deptest.Counters.Ziv_test; Deptest.Counters.Strong_siv;
+          Deptest.Counters.Weak_zero_siv; Deptest.Counters.Weak_crossing_siv;
+          Deptest.Counters.Exact_siv; Deptest.Counters.Rdiv_test;
+          Deptest.Counters.Gcd_miv; Deptest.Counters.Banerjee_miv;
+        |]
+      in
+      let seq = Deptest.Counters.create () in
+      List.iter (fun (k, i) -> Deptest.Counters.record seq kinds.(k) ~indep:i) events;
+      (* deal the same events round-robin onto 3 workers, merge 2,0,1 *)
+      let ws = Array.init 3 (fun _ -> Deptest.Counters.create ()) in
+      List.iteri
+        (fun n (k, i) -> Deptest.Counters.record ws.(n mod 3) kinds.(k) ~indep:i)
+        events;
+      let merged =
+        Deptest.Counters.merge ws.(2) (Deptest.Counters.merge ws.(0) ws.(1))
+      in
+      Deptest.Counters.equal seq merged)
+
+let test_metrics_merge () =
+  let a = Dt_obs.Metrics.create () and b = Dt_obs.Metrics.create () in
+  Dt_obs.Metrics.record a Deptest.Counters.Ziv_test ~indep:true ~ns:100L;
+  Dt_obs.Metrics.record b Deptest.Counters.Ziv_test ~indep:false ~ns:50L;
+  Dt_obs.Metrics.cache_hit a;
+  Dt_obs.Metrics.cache_miss b;
+  Dt_obs.Metrics.observe_pair a ~ns:10L;
+  let m = Dt_obs.Metrics.merge a b in
+  check int "applied summed" 2 (Dt_obs.Metrics.applied m Deptest.Counters.Ziv_test);
+  check int "indep summed" 1 (Dt_obs.Metrics.proved_indep m Deptest.Counters.Ziv_test);
+  check bool "kind time summed" true
+    (Dt_obs.Metrics.kind_ns m Deptest.Counters.Ziv_test = 150L);
+  check int "cache hits summed" 1 (Dt_obs.Metrics.cache_hits m);
+  check int "cache misses summed" 1 (Dt_obs.Metrics.cache_misses m);
+  check int "pairs summed" 1 (Dt_obs.Metrics.pairs m)
+
+(* --- Pair_cache: rehydration correctness ------------------------------- *)
+
+let render_pair (t : Deptest.Pair_test.t) =
+  match t.Deptest.Pair_test.result with
+  | `Independent -> "independent"
+  | `Dependent info ->
+      Format.asprintf "%a |%a"
+        (Format.pp_print_list Deptest.Dirvec.pp)
+        info.Deptest.Pair_test.dirvecs
+        (Format.pp_print_list (fun ppf (ix, d) ->
+             Format.fprintf ppf " %s@%d:%a" ix.Index.name ix.Index.depth
+               Deptest.Outcome.pp_dist d))
+        info.Deptest.Pair_test.distances
+
+(* a cache hit on an isomorphic (renamed-index) query must yield exactly
+   what a fresh computation on that query yields, counters included *)
+let test_cache_rehydration () =
+  let query i =
+    let loops = [ loop ~hi:100 i ] in
+    ( (Aref.linear "A" [ av ~c:2 i ], loops),
+      (Aref.linear "A" [ av i ], loops) )
+  in
+  let cache = Deptest.Pair_cache.create () in
+  (* producer: index I *)
+  let (src_i, snk_i) = query i0 in
+  let k_i = Dt_engine.Key.make ~src:src_i ~snk:snk_i ~facts:"" ~tag:"P" in
+  let prod_counters = Deptest.Counters.create () in
+  let t_i = Deptest.Pair_test.test ~counters:prod_counters ~src:src_i ~snk:snk_i () in
+  Deptest.Pair_cache.store cache k_i ~counters:prod_counters t_i;
+  (* consumer: same shape under index K *)
+  let (src_k, snk_k) = query (idx "K") in
+  let k_k = Dt_engine.Key.make ~src:src_k ~snk:snk_k ~facts:"" ~tag:"P" in
+  check string "isomorphic query hits the same slot" k_i.Dt_engine.Key.key
+    k_k.Dt_engine.Key.key;
+  let hit_counters = Deptest.Counters.create () in
+  (match Deptest.Pair_cache.find cache k_k ~counters:hit_counters with
+  | None -> Alcotest.fail "expected a cache hit"
+  | Some cached ->
+      let fresh_counters = Deptest.Counters.create () in
+      let fresh =
+        Deptest.Pair_test.test ~counters:fresh_counters ~src:src_k ~snk:snk_k ()
+      in
+      check string "hit equals fresh computation (indices rehydrated)"
+        (render_pair fresh) (render_pair cached);
+      check bool "replayed counters equal fresh counters" true
+        (Deptest.Counters.equal fresh_counters hit_counters));
+  check int "one hit recorded" 1 (Deptest.Pair_cache.hits cache)
+
+(* a run-level assume fact can change the verdict, so it must change the
+   key: A(I+N) vs A(I) with N bound large is independent, unknown N is not *)
+let test_cache_facts_invalidate () =
+  let loops = [ loop ~hi:10 i0 ] in
+  let w = Aref.linear "A" [ Affine.add (av i0) (Affine.of_sym "N") ] in
+  let r = Aref.linear "A" [ av i0 ] in
+  let digest_none = Dt_engine.Key.facts_digest [] in
+  let digest_n =
+    Dt_engine.Key.facts_digest [ Affine.add_const (-100) (Affine.of_sym "N") ]
+  in
+  check bool "fact digests differ" true (digest_none <> digest_n);
+  let k1 =
+    Dt_engine.Key.make ~src:(w, loops) ~snk:(r, loops) ~facts:digest_none
+      ~tag:"P"
+  and k2 =
+    Dt_engine.Key.make ~src:(w, loops) ~snk:(r, loops) ~facts:digest_n ~tag:"P"
+  in
+  check bool "assume facts partition the cache" true
+    (k1.Dt_engine.Key.key <> k2.Dt_engine.Key.key)
+
+(* --- Analyze: engine configuration ------------------------------------- *)
+
+let render_result cfg prog =
+  let r = Deptest.Analyze.run cfg prog in
+  Format.asprintf "%a|%a"
+    (Format.pp_print_list (fun ppf d -> Format.fprintf ppf "%a;" Deptest.Dep.pp d))
+    r.Deptest.Analyze.deps Deptest.Counters.pp r.Deptest.Analyze.counters
+
+let wavefront =
+  parse
+    {|
+      PROGRAM WAVE
+      DO 20 I = 2, 50
+        DO 10 J = 2, 50
+          A(I,J) = A(I-1,J) + A(I,J-1)
+          B(I,J) = B(I-1,J-1) + A(I,J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+|}
+
+let test_analyze_jobs_parity () =
+  let base = render_result (Deptest.Analyze.Config.make ~jobs:1 ~cache:false ()) wavefront in
+  List.iter
+    (fun (jobs, cache) ->
+      check string
+        (Printf.sprintf "jobs=%d cache=%b matches sequential" jobs cache)
+        base
+        (render_result (Deptest.Analyze.Config.make ~jobs ~cache ()) wavefront))
+    [ (2, false); (4, false); (1, true); (4, true); (0, true) ]
+
+let test_analyze_cache_hits () =
+  let cfg = Deptest.Analyze.Config.make ~jobs:1 () in
+  let first = render_result cfg wavefront in
+  let stats0 = Deptest.Analyze.Config.cache_stats cfg in
+  check bool "stats exposed when the cache is on" true (stats0 <> None);
+  let second = render_result cfg wavefront in
+  check string "warm-cache rerun identical" first second;
+  (match Deptest.Analyze.Config.cache_stats cfg with
+  | Some (hits, _) ->
+      check bool "second pass hit the cache" true (hits > 0);
+      (match Deptest.Analyze.Config.cache_hit_rate cfg with
+      | Some rate -> check bool "hit rate positive" true (rate > 0.0)
+      | None -> Alcotest.fail "hit rate should be available")
+  | None -> Alcotest.fail "cache stats should be available");
+  check bool "cache-off config exposes no stats" true
+    (Deptest.Analyze.Config.cache_stats
+       (Deptest.Analyze.Config.make ~cache:false ())
+    = None)
+
+let test_analyze_metrics_cache_counts () =
+  let metrics = Dt_obs.Metrics.create () in
+  let cfg = Deptest.Analyze.Config.make ~jobs:1 ~metrics () in
+  ignore (Deptest.Analyze.run cfg wavefront);
+  ignore (Deptest.Analyze.run cfg wavefront);
+  let total = Dt_obs.Metrics.cache_hits metrics + Dt_obs.Metrics.cache_misses metrics in
+  check bool "every lookup counted" true (total > 0);
+  check bool "warm pass counted as hits" true (Dt_obs.Metrics.cache_hits metrics > 0);
+  (* the JSON snapshot carries the cache block *)
+  match Dt_obs.Json.member "cache" (Dt_obs.Metrics.to_json metrics) with
+  | Some obj ->
+      check bool "cache.hits in JSON" true
+        (Option.bind (Dt_obs.Json.member "hits" obj) Dt_obs.Json.to_int
+        = Some (Dt_obs.Metrics.cache_hits metrics))
+  | None -> Alcotest.fail "metrics JSON should include the cache block"
+
+let test_deprecated_shim () =
+  (* the legacy entry points must keep working and agree with [run] *)
+  let legacy = (Deptest.Analyze.program [@alert "-deprecated"]) wavefront in
+  let fresh =
+    Deptest.Analyze.run (Deptest.Analyze.Config.make ~jobs:1 ~cache:false ())
+      wavefront
+  in
+  check int "same dependence count via the deprecated shim"
+    (List.length fresh.Deptest.Analyze.deps)
+    (List.length legacy.Deptest.Analyze.deps)
+
+let suite =
+  [
+    Alcotest.test_case "pool covers every index once" `Quick test_pool_covers_all;
+    Alcotest.test_case "pool sequential fallback" `Quick test_pool_sequential;
+    Alcotest.test_case "pool propagates body exceptions" `Quick test_pool_exception;
+    Alcotest.test_case "pool empty range" `Quick test_pool_empty;
+    Alcotest.test_case "memo table basics" `Quick test_memo_basics;
+    Alcotest.test_case "key: isomorphic queries coincide" `Quick test_key_isomorphic;
+    Alcotest.test_case "key: structural changes discriminate" `Quick test_key_discriminates;
+    Alcotest.test_case "key: facts digest order-free" `Quick test_facts_digest_order_free;
+    Alcotest.test_case "counters merge laws" `Quick test_counters_merge_laws;
+    prop_counters_split_merge;
+    Alcotest.test_case "metrics merge + cache counters" `Quick test_metrics_merge;
+    Alcotest.test_case "cache hit == fresh compute (rehydrated)" `Quick
+      test_cache_rehydration;
+    Alcotest.test_case "assume facts invalidate the key" `Quick
+      test_cache_facts_invalidate;
+    Alcotest.test_case "jobs/cache parity on a wavefront nest" `Quick
+      test_analyze_jobs_parity;
+    Alcotest.test_case "config cache statistics" `Quick test_analyze_cache_hits;
+    Alcotest.test_case "metrics count cache traffic" `Quick
+      test_analyze_metrics_cache_counts;
+    Alcotest.test_case "deprecated shim agrees" `Quick test_deprecated_shim;
+  ]

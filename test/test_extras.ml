@@ -29,7 +29,7 @@ let test_specialize_program () =
   check (Alcotest.option Alcotest.int) "bound concrete" (Some 20)
     (Affine.as_const l.Loop.hi);
   (* the specialized program is oracle-checkable and still independent *)
-  let deps = Deptest.Analyze.deps_of spec in
+  let deps = deps_of_prog spec in
   check Alcotest.int "still independent" 0
     (List.length (List.filter (fun d -> d.Deptest.Dep.array = "A") deps));
   check (Alcotest.list Alcotest.string) "no symbols left" []
@@ -43,7 +43,7 @@ let test_scalar_replace () =
         A(I) = A(I-2) + B(I)
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   match Dt_transform.Scalar_replace.suggest prog deps with
   | [ c ] ->
       check Alcotest.int "distance 2" 2 c.Dt_transform.Scalar_replace.distance;
@@ -57,7 +57,7 @@ let test_scalar_replace_limits () =
         A(I) = A(I-25) + B(I)
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   check Alcotest.int "too far" 0
     (List.length (Dt_transform.Scalar_replace.suggest prog deps));
   (* outer-carried dependences are not innermost reuse *)
@@ -68,7 +68,7 @@ let test_scalar_replace_limits () =
    10 CONTINUE
    20 CONTINUE
 |} in
-  let deps2 = Deptest.Analyze.deps_of prog2 in
+  let deps2 = deps_of_prog prog2 in
   check Alcotest.int "outer carry excluded" 0
     (List.length (Dt_transform.Scalar_replace.suggest prog2 deps2))
 
@@ -221,7 +221,7 @@ let test_pair_common_prefix () =
    10   CONTINUE
    20 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let a_deps =
     List.filter
       (fun d ->

@@ -143,7 +143,7 @@ let test_step_normalization () =
   | _ -> Alcotest.fail "linear expected");
   (* dependences survive normalization: A(I) vs A(I+2) with step 2 is a
      distance-1 dependence on the normalized loop *)
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   check Alcotest.int "one dep" 1 (List.length deps);
   check (Alcotest.option Alcotest.int) "carried level 1" (Some 1)
     (List.hd deps).Deptest.Dep.level
@@ -156,7 +156,7 @@ let test_negative_step () =
 |} in
   let l = List.hd (Nest.all_loops prog) in
   check (Alcotest.option Alcotest.int) "trip 10" (Some 10) (Loop.trip_const l);
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   (* reversed iteration turns the read-ahead into a loop-carried flow *)
   check Alcotest.bool "dependence exists" true (deps <> [])
 
@@ -174,7 +174,7 @@ let test_index_uniquification () =
   let i1 = (List.nth loops 0).Loop.index and i2 = (List.nth loops 1).Loop.index in
   check Alcotest.bool "distinct indices" false (Index.equal i1 i2);
   (* A written over [1,5], read over [6,9]: independent *)
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   check (Alcotest.list Alcotest.int) "no cross dependence" []
     (List.filter_map
        (fun d -> if d.Deptest.Dep.array = "A" then Some 1 else None)

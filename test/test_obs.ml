@@ -311,7 +311,13 @@ let test_trace_analyze_verdicts () =
   in
   let sink = Dt_obs.Trace.make () in
   let metrics = Dt_obs.Metrics.create () in
-  let r = Deptest.Analyze.program ~metrics ~sink prog in
+  (* cache off: the assertions below want the full test narrative, not
+     a memo-cache note *)
+  let r =
+    Deptest.Analyze.run
+      (Deptest.Analyze.Config.make ~metrics ~sink ~cache:false ())
+      prog
+  in
   let events = Dt_obs.Trace.events sink in
   let count f = List.length (List.filter f events) in
   let pairs = List.length r.Deptest.Analyze.pairs in

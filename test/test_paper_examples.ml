@@ -61,7 +61,7 @@ let test_cdl_weakcrossing () =
   let prog =
     Dt_workloads.Corpus.program (find_entry "paper" "cdl_weakcrossing")
   in
-  let ds = Deptest.Analyze.deps_of prog in
+  let ds = deps_of_prog prog in
   check Alcotest.bool "dependences exist" true (ds <> []);
   let suggestions = Dt_transform.Restructure.suggest prog in
   check Alcotest.bool "split suggested" true
@@ -81,13 +81,11 @@ let test_delta_intersect () =
     Dt_workloads.Corpus.program (find_entry "paper" "delta_intersect_indep")
   in
   let baseline =
-    Deptest.Analyze.deps_of
-      ~options:
-        {
-          Deptest.Analyze.default_options with
-          strategy = Deptest.Pair_test.Subscript_by_subscript;
-        }
-      prog
+    (Deptest.Analyze.run
+       (Deptest.Analyze.Config.make
+          ~strategy:Deptest.Pair_test.Subscript_by_subscript ())
+       prog)
+      .Deptest.Analyze.deps
   in
   check Alcotest.bool "baseline reports a (false) dependence" true
     (baseline <> [])

@@ -129,7 +129,7 @@ let gen_program =
 let prop_levels_valid =
   qtest ~count:400 "dependence levels stay within the common nest"
     gen_program (fun prog ->
-      let r = Deptest.Analyze.program prog in
+      let r = run_default prog in
       List.for_all
         (fun d ->
           match d.Deptest.Dep.level with
@@ -140,7 +140,7 @@ let prop_levels_valid =
 let prop_parallel_sound =
   qtest ~count:250 "loops reported parallel carry no real dependence"
     gen_program (fun prog ->
-      let deps = Deptest.Analyze.deps_of prog in
+      let deps = deps_of_prog prog in
       let reports = Dt_transform.Parallel.analyze prog deps in
       (* oracle check: for each parallel loop, no reference pair of
          statements under it may have a collision with differing values of
@@ -204,6 +204,33 @@ let prop_parallel_sound =
             under)
         reports)
 
+(* engine parity: the parallel engine and the structural memo cache are
+   semantically invisible — the full observable result (dependences and
+   the paper's counters) must render identically at every jobs setting,
+   cache on or off, cold or warm *)
+let render_result cfg prog =
+  let r = Deptest.Analyze.run cfg prog in
+  Format.asprintf "%a|%a"
+    (Format.pp_print_list (fun ppf d ->
+         Format.fprintf ppf "%a;" Deptest.Dep.pp d))
+    r.Deptest.Analyze.deps Deptest.Counters.pp r.Deptest.Analyze.counters
+
+let prop_engine_parity =
+  qtest ~count:200 "jobs/cache settings never change the analysis result"
+    gen_program (fun prog ->
+      let mk ~jobs ~cache = Deptest.Analyze.Config.make ~jobs ~cache () in
+      let base = render_result (mk ~jobs:1 ~cache:false) prog in
+      let warm = mk ~jobs:2 ~cache:true in
+      ignore (Deptest.Analyze.run warm prog);
+      List.for_all
+        (fun cfg -> render_result cfg prog = base)
+        [
+          mk ~jobs:4 ~cache:false;
+          mk ~jobs:1 ~cache:true;
+          mk ~jobs:4 ~cache:true;
+          warm (* second run over an already-warm cache *);
+        ])
+
 let suite =
   [
     prop_sound_partition;
@@ -214,4 +241,5 @@ let suite =
     prop_delta_refines_baseline;
     prop_levels_valid;
     prop_parallel_sound;
+    prop_engine_parity;
   ]

@@ -55,7 +55,7 @@ let test_distribute_semantics_fixed () =
         B(I) = C(I)
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let dist = Dt_transform.Distribute.run prog deps in
   check Alcotest.bool "distribution preserves semantics" true
     (Interp.equal (Interp.run prog) (Interp.run dist))
@@ -74,7 +74,7 @@ let gen_program =
 let prop_distribute_semantics =
   qtest ~count:500 "loop distribution preserves program semantics"
     gen_program (fun prog ->
-      let deps = Deptest.Analyze.deps_of prog in
+      let deps = deps_of_prog prog in
       let dist = Dt_transform.Distribute.run prog deps in
       Interp.equal (Interp.run prog) (Interp.run dist))
 

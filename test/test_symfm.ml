@@ -85,7 +85,7 @@ let test_triangular_transpose () =
    20 CONTINUE
 |} in
   let deps =
-    List.filter (fun d -> d.Deptest.Dep.array = "A") (Deptest.Analyze.deps_of prog)
+    List.filter (fun d -> d.Deptest.Dep.array = "A") (deps_of_prog prog)
   in
   check (Alcotest.list Alcotest.string) "no A dependence" []
     (List.map (fun d -> Deptest.Dep.kind_name d.Deptest.Dep.kind) deps)
@@ -100,7 +100,7 @@ let test_diag_vs_row () =
    10   CONTINUE
    20 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   (* the diagonal write A(J,J) and the off-diagonal write A(J,I) never
      touch the same element *)
   check Alcotest.bool "no output dep between S0 and S1" true

@@ -25,7 +25,7 @@ let test_parallel_reports () =
    10 CONTINUE
    20 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let reports = Dt_transform.Parallel.analyze prog deps in
   let find name =
     List.find
@@ -44,7 +44,7 @@ let test_vectorize_simple () =
         A(I) = B(I) + C(I)
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let plan = Dt_transform.Vectorize.codegen prog deps in
   check Alcotest.int "one vector stmt" 1
     (List.length (Dt_transform.Vectorize.vector_statements plan));
@@ -57,7 +57,7 @@ let test_vectorize_recurrence () =
         A(I) = A(I-1) + B(I)
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let plan = Dt_transform.Vectorize.codegen prog deps in
   check Alcotest.int "no vector stmts" 0
     (List.length (Dt_transform.Vectorize.vector_statements plan));
@@ -74,7 +74,7 @@ let test_vectorize_partial () =
         C(I) = B(I) + D(I)
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let plan = Dt_transform.Vectorize.codegen prog deps in
   let vec = Dt_transform.Vectorize.vector_statements plan in
   check Alcotest.int "one vectorized" 1 (List.length vec);
@@ -90,7 +90,7 @@ let test_vectorize_inner () =
    10 CONTINUE
    20 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let plan = Dt_transform.Vectorize.codegen prog deps in
   match plan with
   | [ Dt_transform.Vectorize.Seq_loop (l, [ Dt_transform.Vectorize.Vector_stmt _ ]) ] ->
@@ -105,7 +105,7 @@ let test_vectorize_self_anti () =
         A(I) = A(I) + 1
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let plan = Dt_transform.Vectorize.codegen prog deps in
   check Alcotest.int "vectorizes" 1
     (List.length (Dt_transform.Vectorize.vector_statements plan))
@@ -185,7 +185,7 @@ let test_distribute () =
         C(I) = B(I) + D(I)
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let prog' = Dt_transform.Distribute.run prog deps in
   (* distribution splits the loop: the recurrence stays in its own loop,
      the independent statement becomes a parallel loop *)
@@ -206,7 +206,7 @@ let test_distribute_preserves_order () =
         Y(I) = X(I-1) * 2
    10 CONTINUE
 |} in
-  let deps = Deptest.Analyze.deps_of prog in
+  let deps = deps_of_prog prog in
   let prog' = Dt_transform.Distribute.run prog deps in
   let ids = List.map (fun s -> s.Dt_ir.Stmt.id) (Dt_ir.Nest.all_stmts prog') in
   check (Alcotest.list Alcotest.int) "topological order kept" [ 0; 1 ] ids
