@@ -468,6 +468,211 @@ let engine_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Banerjee kernel benchmark: the incremental compiled evaluator against
+   the from-scratch Reference. Two legs — the whole corpus through the
+   analyzer (cache off so Banerjee actually runs) and direct hierarchy
+   queries on synthetic deep-MIV nests where the DFS dominates. Always
+   runs (CI guards the ns/node figure against bench/banerjee_baseline.json);
+   writes BENCH_banerjee.json and exits 1 if the two evaluators ever
+   render different output. *)
+
+type bj_leg = {
+  bj_ns : int64;          (* best-of-repeat wall clock for one pass *)
+  bj_nodes : int;         (* hierarchy nodes evaluated in one pass *)
+  bj_minor_words : float; (* minor words allocated by one pass *)
+  bj_caps : int;          (* combo-cap fallbacks in one pass *)
+  bj_out : string;        (* rendered verdicts, for the identity check *)
+}
+
+let bj_measure ~reference ~repeat run_once =
+  let saved = !Deptest.Banerjee.use_reference in
+  Fun.protect
+    ~finally:(fun () -> Deptest.Banerjee.use_reference := saved)
+    (fun () ->
+      Deptest.Banerjee.use_reference := reference;
+      (* instrumented pass: output, node count, cap fallbacks *)
+      let m = Dt_obs.Metrics.create () in
+      let out = run_once m in
+      let nodes =
+        Dt_obs.Metrics.banerjee_incremental_nodes m
+        + Dt_obs.Metrics.banerjee_scratch_nodes m
+      in
+      let caps = Dt_obs.Metrics.banerjee_caps m in
+      (* allocation pass, bracketed by the minor-words counter (both
+         evaluators pay the same harness overhead, so the ratio is the
+         per-node story) *)
+      let w0 = Gc.minor_words () in
+      ignore (run_once (Dt_obs.Metrics.create ()));
+      let w1 = Gc.minor_words () in
+      (* timed passes, best-of-repeat *)
+      let best = ref Int64.max_int in
+      for _ = 1 to repeat do
+        let mt = Dt_obs.Metrics.create () in
+        let t0 = Dt_obs.Metrics.now_ns () in
+        ignore (run_once mt);
+        let t1 = Dt_obs.Metrics.now_ns () in
+        let dt = Int64.sub t1 t0 in
+        if Int64.compare dt !best < 0 then best := dt
+      done;
+      { bj_ns = !best; bj_nodes = nodes; bj_minor_words = w1 -. w0;
+        bj_caps = caps; bj_out = out })
+
+(* synthetic hierarchy queries: deep constant-bound MIV nests (where the
+   '*'-hierarchy is largest), a coefficient-varying pair, a triangular
+   nest, a symbolic-bound nest, and a 7-deep nest whose root crosses the
+   vertex cross-product cap *)
+let bj_queries () =
+  let mk name n ~hi_of ~src_k ~snk_k ~delta =
+    let ixs = List.init n (fun k -> Index.make (Printf.sprintf "X%d" k) ~depth:k) in
+    let loops =
+      List.mapi
+        (fun k i -> Loop.make i ~lo:(Affine.const 1) ~hi:(hi_of k ixs))
+        ixs
+    in
+    let assume = Deptest.Assume.add_loop_facts Deptest.Assume.empty loops in
+    let range = Deptest.Range.compute loops in
+    let sum f =
+      List.fold_left
+        (fun acc (k, i) -> Affine.add acc (av ~k:(f k) i))
+        Affine.zero
+        (List.mapi (fun k i -> (k, i)) ixs)
+    in
+    let p = Spair.make (sum src_k) (Affine.add_const delta (sum snk_k)) in
+    (name, assume, range, [ p ], ixs)
+  in
+  let const_hi h = fun _ _ -> Affine.const h in
+  [
+    mk "deep5-unit" 5 ~hi_of:(const_hi 8)
+      ~src_k:(fun _ -> 1) ~snk_k:(fun _ -> 1) ~delta:(-1);
+    mk "deep6-coeffs" 6 ~hi_of:(const_hi 8)
+      ~src_k:(fun k -> 1 + (k mod 3)) ~snk_k:(fun k -> 1 + ((k + 1) mod 3))
+      ~delta:1;
+    mk "triangular3" 3
+      ~hi_of:(fun k ixs ->
+        if k = 0 then Affine.const 10
+        else Affine.add_const (-1) (Affine.of_index (List.nth ixs (k - 1))))
+      ~src_k:(fun _ -> 1) ~snk_k:(fun _ -> 1) ~delta:(-1);
+    mk "symbolic3" 3 ~hi_of:(fun _ _ -> Affine.of_sym "N")
+      ~src_k:(fun _ -> 1) ~snk_k:(fun _ -> 1) ~delta:(-2);
+    (* 4^7 = 16384 literal vertex combinations at the all-'*' root: the
+       cap fallback path is part of the measured (and identity-checked)
+       workload *)
+    mk "deep7-cap" 7 ~hi_of:(const_hi 8)
+      ~src_k:(fun _ -> 1) ~snk_k:(fun _ -> 1) ~delta:(-1);
+  ]
+
+let bj_render_queries m queries =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, assume, range, pairs, ixs) ->
+      let v = Deptest.Banerjee.vectors ~metrics:m assume range pairs ~indices:ixs in
+      Buffer.add_string buf name;
+      Buffer.add_string buf ": ";
+      (match v with
+      | `Independent -> Buffer.add_string buf "independent"
+      | `Vectors vs ->
+          List.iter
+            (fun vec ->
+              Buffer.add_string buf
+                (Format.asprintf "%a " Deptest.Dirvec.pp_concrete vec))
+            vs);
+      Buffer.add_char buf '\n')
+    queries;
+  Buffer.contents buf
+
+let bj_leg_json leg =
+  let npn =
+    if leg.bj_nodes = 0 then 0.0
+    else Int64.to_float leg.bj_ns /. float_of_int leg.bj_nodes
+  and wpn =
+    if leg.bj_nodes = 0 then 0.0
+    else leg.bj_minor_words /. float_of_int leg.bj_nodes
+  in
+  ( npn,
+    wpn,
+    Dt_obs.Json.Obj
+      [
+        ("ns", Dt_obs.Json.Int (Int64.to_int leg.bj_ns));
+        ("nodes", Dt_obs.Json.Int leg.bj_nodes);
+        ("ns_per_node", Dt_obs.Json.Float npn);
+        ("minor_words", Dt_obs.Json.Float leg.bj_minor_words);
+        ("words_per_node", Dt_obs.Json.Float wpn);
+      ] )
+
+let banerjee_bench () =
+  let repeat = engine_repeat () in
+  let progs =
+    List.concat_map
+      (fun (e : Dt_workloads.Corpus.entry) -> Dt_workloads.Corpus.programs e)
+      Dt_workloads.Corpus.all
+  in
+  let corpus_once m =
+    let cfg = Deptest.Analyze.Config.make ~jobs:1 ~cache:false ~metrics:m () in
+    render_deps cfg progs
+  in
+  let queries = bj_queries () in
+  let synth_once m = bj_render_queries m queries in
+  let legs name run_once =
+    let inc = bj_measure ~reference:false ~repeat run_once in
+    let refl = bj_measure ~reference:true ~repeat run_once in
+    let inc_npn, inc_wpn, inc_json = bj_leg_json inc in
+    let ref_npn, ref_wpn, ref_json = bj_leg_json refl in
+    let identical = inc.bj_out = refl.bj_out in
+    let speedup = if inc_npn > 0.0 then ref_npn /. inc_npn else 0.0 in
+    let alloc_ratio = if inc_wpn > 0.0 then ref_wpn /. inc_wpn else 0.0 in
+    Printf.printf "  %-10s incremental %8.1f ns/node %10.1f words/node (%d nodes)\n"
+      name inc_npn inc_wpn inc.bj_nodes;
+    Printf.printf "  %-10s reference   %8.1f ns/node %10.1f words/node (%d nodes)\n"
+      "" ref_npn ref_wpn refl.bj_nodes;
+    Printf.printf
+      "  %-10s %.2fx ns/node, %.2fx words/node, outputs identical: %b\n" ""
+      speedup alloc_ratio identical;
+    ( identical,
+      inc,
+      Dt_obs.Json.Obj
+        [
+          ("incremental", inc_json);
+          ("reference", ref_json);
+          ("identical_output", Dt_obs.Json.Bool identical);
+          ("speedup_ns_per_node", Dt_obs.Json.Float speedup);
+          ("alloc_ratio_words_per_node", Dt_obs.Json.Float alloc_ratio);
+        ],
+      (inc_npn, speedup, alloc_ratio) )
+  in
+  Printf.printf "\n== banerjee: incremental kernel vs from-scratch (min of %d) ==\n"
+    repeat;
+  let c_ok, _c_inc, c_json, _ = legs "corpus" corpus_once in
+  let s_ok, s_inc, s_json, (s_npn, s_speedup, s_alloc) =
+    legs "synthetic" synth_once
+  in
+  let json =
+    Dt_obs.Json.Obj
+      [
+        ("schema", Dt_obs.Json.String "deptest-banerjee/1");
+        ("repeat", Dt_obs.Json.Int repeat);
+        ("corpus", c_json);
+        ("synthetic", s_json);
+        (* headline figures (synthetic leg, where the DFS dominates the
+           measurement): these are what CI guards *)
+        ("ns_per_node", Dt_obs.Json.Float s_npn);
+        ("speedup_ns_per_node", Dt_obs.Json.Float s_speedup);
+        ("alloc_ratio_words_per_node", Dt_obs.Json.Float s_alloc);
+        ("combo_cap_fallbacks", Dt_obs.Json.Int s_inc.bj_caps);
+        ("identical_output", Dt_obs.Json.Bool (c_ok && s_ok));
+      ]
+  in
+  let oc = open_out "BENCH_banerjee.json" in
+  output_string oc (Dt_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "banerjee benchmark written to BENCH_banerjee.json";
+  if not (c_ok && s_ok) then begin
+    prerr_endline
+      "bench: FATAL: incremental and reference Banerjee evaluators disagree";
+    exit 1
+  end
+
 let is_infix ~affix s =
   let na = String.length affix and ns = String.length s in
   let rec go i = i + na <= ns && (String.sub s i na = affix || go (i + 1)) in
@@ -477,6 +682,7 @@ let () =
   let tables_only = Array.mem "--tables-only" Sys.argv in
   print_tables ();
   engine_bench ();
+  banerjee_bench ();
   if not tables_only then begin
     let micro = run_suite ~name:"per-test microbenchmarks (Tables 2-3 tests)" micro_tests in
     let strat = run_suite ~name:"strategy comparison (Table 4 / Triolet 22-28x)" strategy_tests in

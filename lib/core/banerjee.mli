@@ -13,19 +13,33 @@
     formulation extends directly to symbolic and triangular bounds: each
     vertex is an affine form compared against [c] by the sign oracle. This
     subsumes the paper's "triangular Banerjee" through the section 4.3
-    index ranges. *)
+    index ranges.
+
+    Since the compiled-kernel rewrite the hierarchy DFS is *incremental*:
+    per pair, each index's vertex set is compiled once per direction into
+    flat {!Dt_ir.Linform} vectors, and refining one index swaps its
+    contribution in and out of running bound sums instead of recombining
+    the whole cross product (DESIGN.md §8). The verdicts are byte-identical
+    to the from-scratch evaluator, which is kept as {!Reference}. *)
 
 open Dt_ir
 
 val feasible :
+  ?metrics:Dt_obs.Metrics.t ->
+  ?sink:Dt_obs.Trace.sink ->
   Assume.t ->
   Range.t ->
   Spair.t ->
   dirs:(Index.t * Direction.t option) list ->
   bool
 (** Can the subscript's dependence equation hold under the (partial)
-    direction assignment? [None] entries are the paper's '*'. Sound:
-    [false] proves no solution. Includes the directed GCD test. *)
+    direction assignment? [None] entries are the paper's '*'; indices of
+    the pair absent from [dirs] are unconstrained, and the first binding
+    of an index wins. Sound: [false] proves no solution. Includes the
+    directed GCD test. [metrics] counts the evaluation (a single query
+    builds its state from scratch); [sink] receives a note when the
+    vertex cross product exceeds {!max_combos} and the test
+    conservatively assumes feasibility. *)
 
 val region_nonempty :
   Assume.t -> Range.t -> Index.t -> Direction.t option -> bool
@@ -34,6 +48,8 @@ val region_nonempty :
     [false] is a proof of emptiness. *)
 
 val vectors :
+  ?metrics:Dt_obs.Metrics.t ->
+  ?sink:Dt_obs.Trace.sink ->
   Assume.t ->
   Range.t ->
   Spair.t list ->
@@ -42,8 +58,48 @@ val vectors :
 (** The direction-vector hierarchy: refine '*' entries outermost-first,
     keeping assignments under which *every* subscript pair is feasible.
     Returns the concrete legal vectors over [indices] (in the given
-    order), or [`Independent] when none survive. *)
+    order), or [`Independent] when none survive.
+
+    Runs on the incremental compiled evaluator: one kernel compilation
+    per pair (counted in [metrics]), then O(1) contribution swaps per
+    hierarchy node. [sink] receives a note per combo-cap fallback. *)
 
 val explain :
   [ `Independent | `Vectors of Direction.t list list ] -> string
 (** One-line reason for a {!vectors} verdict, for the trace layer. *)
+
+val max_combos : int
+(** Cap on the vertex cross-product size: a node whose (literal, before
+    per-slot deduplication) combination count exceeds this is assumed
+    feasible — sound, observable via {!Dt_obs.Metrics.banerjee_caps} and
+    a trace note, no longer silent. *)
+
+val use_reference : bool ref
+(** When set, {!feasible} and {!vectors} route to {!Reference}. Test and
+    bench hook for byte-identity comparison; defaults to [false]. *)
+
+(** The pre-kernel, from-scratch evaluator: recombines every index's
+    vertex contributions at each hierarchy node with persistent-map
+    {!Affine} arithmetic. The semantics oracle the compiled evaluator is
+    tested against, and the baseline the bench compares allocation and
+    ns/node figures with. *)
+module Reference : sig
+  val feasible :
+    ?metrics:Dt_obs.Metrics.t ->
+    Assume.t ->
+    Range.t ->
+    Spair.t ->
+    dirs:(Index.t * Direction.t option) list ->
+    bool
+  (** As {!val:Banerjee.feasible}, evaluated from scratch (every
+      evaluation counts as a scratch node in [metrics]). *)
+
+  val vectors :
+    ?metrics:Dt_obs.Metrics.t ->
+    Assume.t ->
+    Range.t ->
+    Spair.t list ->
+    indices:Index.t list ->
+    [ `Independent | `Vectors of Direction.t list list ]
+  (** As {!val:Banerjee.vectors}, on the from-scratch evaluator. *)
+end

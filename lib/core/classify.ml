@@ -9,7 +9,7 @@ type t =
   | Miv of Index.Set.t
 
 let siv_kind_of (p : Spair.t) i =
-  let a1 = Affine.coeff p.src i and a2 = Affine.coeff p.snk i in
+  let a1, a2 = Spair.coeffs p i in
   if a1 = a2 then Strong
   else if a1 = 0 || a2 = 0 then Weak_zero
   else if a1 = -a2 then Weak_crossing

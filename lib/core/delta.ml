@@ -12,7 +12,7 @@ exception Proved_independent
    a2*beta_i becomes a2*alpha_i + a2*e; the alpha term moves to the source
    side as a coefficient merge (see DESIGN.md). *)
 let apply_dist (p : Spair.t) i e =
-  let a1 = Affine.coeff p.src i and a2 = Affine.coeff p.snk i in
+  let a1, a2 = Spair.coeffs p i (* compiled-kernel coefficient lookup *) in
   if a2 = 0 then None
   else
     let src = Affine.set_coeff p.src i (a1 - a2) in
@@ -20,7 +20,7 @@ let apply_dist (p : Spair.t) i e =
     Some (Spair.make src snk)
 
 let apply_point (p : Spair.t) i ~x ~y =
-  let a1 = Affine.coeff p.src i and a2 = Affine.coeff p.snk i in
+  let a1, a2 = Spair.coeffs p i in
   if a1 = 0 && a2 = 0 then None
   else
     Some
@@ -35,10 +35,10 @@ let apply_constraint (p : Spair.t) i constr =
   | Constr.Point { x; y } ->
       apply_point p i ~x:(Affine.const x) ~y:(Affine.const y)
   | Constr.Line { a = 1; b = 0; c } ->
-      if Affine.coeff p.src i = 0 then None
+      if fst (Spair.coeffs p i) = 0 then None
       else Some (Spair.make (Affine.subst_index p.src i c) p.snk)
   | Constr.Line { a = 0; b = 1; c } ->
-      if Affine.coeff p.snk i = 0 then None
+      if snd (Spair.coeffs p i) = 0 then None
       else Some (Spair.make p.src (Affine.subst_index p.snk i c))
   | _ -> None
 
@@ -656,7 +656,7 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
             |> List.sort (fun a b -> compare (Index.depth a) (Index.depth b))
           in
           let t1 = tick () in
-          match Banerjee.vectors assume range [ p ] ~indices with
+          match Banerjee.vectors ?metrics ?sink assume range [ p ] ~indices with
           | `Independent as v ->
               record ~ns:(tock t1) Counters.Banerjee_miv ~indep:true;
               if tracing then begin

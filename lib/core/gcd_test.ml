@@ -1,19 +1,26 @@
 open Dt_ir
 open Dt_support
 
+(* Both folds run over the pair's compiled kernel: the per-slot
+   gcd(a_k, b_k) / (a_k - b_k) values and the gcd of diff_const's
+   symbolic coefficients are precomputed once per pair, so a query is an
+   allocation-free loop. gcd is associative and commutative, so folding
+   precomputed sub-gcds yields the same value as the historical
+   coefficient-by-coefficient fold. *)
+
 let coeff_gcd ?(eq_indices = Index.Set.empty) (p : Spair.t) =
-  let indices = Spair.indices p in
-  Index.Set.fold
-    (fun i g ->
-      let a = Affine.coeff p.src i and b = Affine.coeff p.snk i in
-      if Index.Set.mem i eq_indices then Int_ops.gcd g (a - b)
-      else Int_ops.gcd (Int_ops.gcd g a) b)
-    indices 0
+  let kp = Spair.kernel p in
+  let g = ref 0 in
+  Array.iteri
+    (fun k i ->
+      g :=
+        Int_ops.gcd !g
+          (if Index.Set.mem i eq_indices then kp.Linform.diff_eq.(k)
+           else kp.Linform.gcd_star.(k)))
+    kp.Linform.indices;
+  !g
 
 let test ?eq_indices (p : Spair.t) =
-  let g = coeff_gcd ?eq_indices p in
-  let c = Spair.diff_const p in
-  let g' =
-    List.fold_left (fun acc (_, k) -> Int_ops.gcd acc k) g (Affine.sym_terms c)
-  in
-  if Int_ops.divides g' (Affine.const_part c) then `Maybe else `Independent
+  let kp = Spair.kernel p in
+  let g' = Int_ops.gcd (coeff_gcd ?eq_indices p) kp.Linform.c_sym_gcd in
+  if Int_ops.divides g' kp.Linform.c_const then `Maybe else `Independent

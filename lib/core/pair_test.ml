@@ -204,7 +204,7 @@ let test ?counters ?metrics ?sink ?(strategy = Partition_based)
           List.filter (fun i -> Index.Set.mem i occurring) common_indices
         in
         let t1 = tick () in
-        match Banerjee.vectors assume range [ p ] ~indices with
+        match Banerjee.vectors ?metrics ?sink assume range [ p ] ~indices with
         | `Independent as v ->
             record ~ns:(tock t1) Counters.Banerjee_miv ~indep:true;
             if sink <> None then

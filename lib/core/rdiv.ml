@@ -18,7 +18,7 @@ let interval_of_range range assume i =
   | None -> Interval.full
 
 let test assume range (p : Spair.t) ~src ~snk =
-  let a1 = Affine.coeff p.src src and a2 = Affine.coeff p.snk snk in
+  let a1 = fst (Spair.coeffs p src) and a2 = snd (Spair.coeffs p snk) in
   let c1 = Affine.drop_index p.src src and c2 = Affine.drop_index p.snk snk in
   let c = Affine.sub c2 c1 in
   (* a1 * alpha_src - a2 * beta_snk = c *)

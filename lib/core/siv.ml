@@ -10,7 +10,7 @@ type result = { outcome : Outcome.t; constr : Constr.t }
    interpreter (Constr.to_outcome) that performs the bound checks. *)
 
 let parts (p : Spair.t) i =
-  let a1 = Affine.coeff p.src i and a2 = Affine.coeff p.snk i in
+  let a1, a2 = Spair.coeffs p i (* compiled-kernel coefficient lookup *) in
   let c1 = Affine.drop_index p.src i and c2 = Affine.drop_index p.snk i in
   (a1, a2, Affine.sub c2 c1)
 

@@ -41,7 +41,7 @@ let test ?counters ?metrics ?sink assume range pairs ~common =
             List.filter (fun i -> Index.Set.mem i occurring) common
           in
           let t1 = tick () in
-          match Banerjee.vectors assume range [ p ] ~indices with
+          match Banerjee.vectors ?metrics ?sink assume range [ p ] ~indices with
           | `Independent as v ->
               record Counters.Banerjee_miv ~indep:true ~ns:(tock t1);
               emit_test Counters.Banerjee_miv p Dt_obs.Trace.Independent

@@ -1,11 +1,20 @@
-type t = { src : Affine.t; snk : Affine.t }
+type t = { src : Affine.t; snk : Affine.t; mutable kern : Linform.pair option }
 
-let make src snk = { src; snk }
+let make src snk = { src; snk; kern = None }
+
+let kernel t =
+  match t.kern with
+  | Some k -> k
+  | None ->
+      (* benign race under the parallel engine: two domains may both
+         compile; either result is correct and the field write is atomic *)
+      let k = Linform.compile_pair ~src:t.src ~snk:t.snk in
+      t.kern <- Some k;
+      k
+
 let indices t = Index.Set.union (Affine.indices t.src) (Affine.indices t.snk)
-
-let diff_const t =
-  let d = Affine.sub t.snk t.src in
-  Affine.make ~idx:[] ~sym:(Affine.sym_terms d) ~const:(Affine.const_part d)
+let coeffs t i = Linform.coeffs (kernel t) i
+let diff_const t = (kernel t).Linform.c
 
 let eval t ~src_env ~snk_env ~sym_env =
   ( Affine.eval t.src ~index_env:src_env ~sym_env,

@@ -4,21 +4,42 @@
     and [A(g1,...,gm)] (sink, at iteration vector beta), the k-th subscript
     pair is <f_k, g_k>. Both affines range over the same [Index.t] values,
     but an index [i] in [src] denotes alpha_i while in [snk] it denotes
-    beta_i; every test in the suite is written with this convention. *)
+    beta_i; every test in the suite is written with this convention.
 
-type t = { src : Affine.t; snk : Affine.t }
+    Each pair lazily carries its compiled {!Linform.pair} kernel: the
+    occurring indices interned into dense slots with flat coefficient and
+    gcd arrays, computed once at first use and shared by every test that
+    runs on the pair (GCD, SIV coefficient extraction, the Banerjee
+    hierarchy). The record is [private] so construction goes through
+    {!make} and the cache can never be forged. *)
+
+type t = private {
+  src : Affine.t;
+  snk : Affine.t;
+  mutable kern : Linform.pair option;  (** compiled-kernel cache; use
+                                           {!kernel}, never directly *)
+}
 
 val make : Affine.t -> Affine.t -> t
 
+val kernel : t -> Linform.pair
+(** The pair's compiled linear-form kernel, compiled on first use and
+    cached. Note the cache makes structural ([=]/[compare]) comparison of
+    [t] values meaningless — compare [src]/[snk] instead. *)
+
 val indices : t -> Index.Set.t
 (** All loop indices occurring on either side. *)
+
+val coeffs : t -> Index.t -> int * int
+(** [(a, b)] coefficients of an index in [src]/[snk], via the compiled
+    kernel; [(0, 0)] when the index does not occur. *)
 
 val diff_const : t -> Affine.t
 (** The "constant" part of the dependence equation
     [src(alpha) = snk(beta)] after moving index terms to one side:
     symbolic + integer part of [snk.const - src.const] (coefficients of
     indices excluded).  Concretely: the affine [snk - src] restricted to
-    its symbolic and constant terms. *)
+    its symbolic and constant terms. Served from the compiled kernel. *)
 
 val eval :
   t ->

@@ -26,6 +26,10 @@ type t = {
   mutable pair_ns : int64;
   mutable cache_hits : int;  (* pair verdicts served by the memo cache *)
   mutable cache_misses : int;
+  mutable bj_compile : int;  (* Banerjee linear-form kernel compilations *)
+  mutable bj_inc_nodes : int;  (* hierarchy nodes via the incremental path *)
+  mutable bj_scratch_nodes : int;  (* nodes re-evaluated from scratch *)
+  mutable bj_caps : int;  (* vertex cross products hitting the combo cap *)
 }
 
 let create () =
@@ -39,6 +43,10 @@ let create () =
     pair_ns = 0L;
     cache_hits = 0;
     cache_misses = 0;
+    bj_compile = 0;
+    bj_inc_nodes = 0;
+    bj_scratch_nodes = 0;
+    bj_caps = 0;
   }
 
 let now_ns () = Monotonic_clock.now ()
@@ -79,6 +87,18 @@ let cache_miss t = t.cache_misses <- t.cache_misses + 1
 let cache_hits t = t.cache_hits
 let cache_misses t = t.cache_misses
 
+let banerjee_compile t = t.bj_compile <- t.bj_compile + 1
+
+let banerjee_node t ~incremental =
+  if incremental then t.bj_inc_nodes <- t.bj_inc_nodes + 1
+  else t.bj_scratch_nodes <- t.bj_scratch_nodes + 1
+
+let banerjee_cap t = t.bj_caps <- t.bj_caps + 1
+let banerjee_compilations t = t.bj_compile
+let banerjee_incremental_nodes t = t.bj_inc_nodes
+let banerjee_scratch_nodes t = t.bj_scratch_nodes
+let banerjee_caps t = t.bj_caps
+
 let applied t k = t.applied.(Test_kind.id k)
 let proved_indep t k = t.indep.(Test_kind.id k)
 let kind_ns t k = t.kind_ns.(Test_kind.id k)
@@ -100,7 +120,11 @@ let merge_into acc extra =
   acc.pairs <- acc.pairs + extra.pairs;
   acc.pair_ns <- Int64.add acc.pair_ns extra.pair_ns;
   acc.cache_hits <- acc.cache_hits + extra.cache_hits;
-  acc.cache_misses <- acc.cache_misses + extra.cache_misses
+  acc.cache_misses <- acc.cache_misses + extra.cache_misses;
+  acc.bj_compile <- acc.bj_compile + extra.bj_compile;
+  acc.bj_inc_nodes <- acc.bj_inc_nodes + extra.bj_inc_nodes;
+  acc.bj_scratch_nodes <- acc.bj_scratch_nodes + extra.bj_scratch_nodes;
+  acc.bj_caps <- acc.bj_caps + extra.bj_caps
 
 let merge a b =
   let t = create () in
@@ -174,6 +198,14 @@ let to_json t =
                 (if n = 0 then 0.
                  else float_of_int t.cache_hits /. float_of_int n) );
           ] );
+      ( "banerjee",
+        Json.Obj
+          [
+            ("kernel_compilations", Json.Int t.bj_compile);
+            ("incremental_nodes", Json.Int t.bj_inc_nodes);
+            ("scratch_nodes", Json.Int t.bj_scratch_nodes);
+            ("combo_cap_fallbacks", Json.Int t.bj_caps);
+          ] );
     ]
 
 let us ns = Int64.to_float ns /. 1_000.0
@@ -201,6 +233,11 @@ let pp ppf t =
      Format.fprintf ppf "memo cache: %d hits / %d lookups (%.1f%%)@."
        t.cache_hits n
        (100. *. float_of_int t.cache_hits /. float_of_int n));
+  if t.bj_compile + t.bj_inc_nodes + t.bj_scratch_nodes + t.bj_caps > 0 then
+    Format.fprintf ppf
+      "banerjee kernel: %d compiled, %d incremental / %d scratch nodes, %d \
+       cap fallback(s)@."
+      t.bj_compile t.bj_inc_nodes t.bj_scratch_nodes t.bj_caps;
   Format.fprintf ppf "pair latency:";
   Array.iteri
     (fun i c -> if c > 0 then Format.fprintf ppf " %s:%d" (bucket_label i) c)

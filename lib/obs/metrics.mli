@@ -46,6 +46,25 @@ val cache_miss : t -> unit
 val cache_hits : t -> int
 val cache_misses : t -> int
 
+val banerjee_compile : t -> unit
+(** One subscript pair compiled into its linear-form kernel
+    ({!Dt_ir.Linform}-style dense arrays) for the Banerjee evaluator. *)
+
+val banerjee_node : t -> incremental:bool -> unit
+(** One §4.4 hierarchy-node feasibility evaluation: [incremental] when
+    served by the running-sum evaluator (one index's contribution swapped
+    in O(1)), scratch when the node was recombined from scratch. *)
+
+val banerjee_cap : t -> unit
+(** One Banerjee evaluation whose vertex cross product exceeded the combo
+    cap and conservatively assumed feasibility (see the [banerjee] block
+    of {!to_json} and the paired trace note). *)
+
+val banerjee_compilations : t -> int
+val banerjee_incremental_nodes : t -> int
+val banerjee_scratch_nodes : t -> int
+val banerjee_caps : t -> int
+
 val applied : t -> Test_kind.t -> int
 val proved_indep : t -> Test_kind.t -> int
 val kind_ns : t -> Test_kind.t -> int64
@@ -70,8 +89,10 @@ val merge : t -> t -> t
 val to_json : t -> Json.t
 (** The metrics snapshot: schema ["deptest-metrics/1"], per-kind
     [tests] rows (kind, name, applied, independent, total_ns), [phases]
-    totals, [pairs] with the latency histogram, and [cache]
-    hits/misses/hit_rate (see README). *)
+    totals, [pairs] with the latency histogram, [cache]
+    hits/misses/hit_rate, and [banerjee] kernel counters
+    (kernel_compilations, incremental_nodes, scratch_nodes,
+    combo_cap_fallbacks) — see README. *)
 
 val pp : Format.formatter -> t -> unit
 (** The per-kind time/count table — the §6 Table-3 shape with wall-clock

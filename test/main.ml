@@ -3,6 +3,7 @@ let () =
     [
       ("support", Test_support.suite);
       ("affine", Test_affine.suite);
+      ("linform", Test_linform.suite);
       ("assume-range", Test_assume_range.suite);
       ("dirvec", Test_dirvec.suite);
       ("classify", Test_classify.suite);

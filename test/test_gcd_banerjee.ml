@@ -167,6 +167,169 @@ let test_banerjee_exhaustive () =
     done
   done
 
+(* ------------------------------------------------------------------ *)
+(* Compiled incremental evaluator vs the from-scratch Reference: the
+   verdicts must be identical on every query — random nests (constant,
+   triangular, symbolic bounds), every direction assignment, and the
+   whole corpus rendered byte-for-byte. *)
+
+let gen_parity_case =
+  QCheck.make
+    ~print:(fun (p, loops) ->
+      Format.asprintf "%a under %a" Spair.pp p
+        (Format.pp_print_list Loop.pp)
+        loops)
+    (QCheck.Gen.map
+       (fun seed ->
+         let st = Random.State.make [| seed |] in
+         let ri lo hi = lo + Random.State.int st (hi - lo + 1) in
+         let depth = ri 2 3 in
+         let idxs = [ i0; j1; k2 ] in
+         let rec mk_loops k outer =
+           if k = depth then []
+           else
+             let i = List.nth idxs k in
+             let lo = Affine.const (ri 1 2) in
+             let hi =
+               match ri 0 3 with
+               | 2 when outer <> None ->
+                   (* triangular: hi = outer - 1 *)
+                   Affine.add_const (-1) (Affine.of_index (Option.get outer))
+               | 3 -> Affine.of_sym "N"
+               | _ -> Affine.const (ri 3 8)
+             in
+             loop_aff i ~lo ~hi :: mk_loops (k + 1) (Some i)
+         in
+         let loops = mk_loops 0 None in
+         let side () =
+           let base =
+             List.fold_left
+               (fun acc i -> Affine.add acc (av ~k:(ri (-3) 3) i))
+               (Affine.const (ri (-9) 9))
+               (List.filteri (fun k _ -> k < depth) idxs)
+           in
+           if ri 0 3 = 0 then
+             Affine.add base (Affine.of_sym ~coeff:(ri (-2) 2) "N")
+           else base
+         in
+         (spair (side ()) (side ()), loops))
+       QCheck.Gen.int)
+
+let all_dir_assignments indices =
+  let opts =
+    [
+      None;
+      Some Deptest.Direction.Lt;
+      Some Deptest.Direction.Eq;
+      Some Deptest.Direction.Gt;
+    ]
+  in
+  List.fold_left
+    (fun acc i ->
+      List.concat_map (fun dirs -> List.map (fun d -> (i, d) :: dirs) opts) acc)
+    [ [] ] indices
+
+let prop_incremental_parity =
+  qtest ~count:400 "incremental evaluator matches Reference everywhere"
+    gen_parity_case (fun (p, loops) ->
+      let assume, range = siv_ctx loops in
+      let indices = List.map (fun (l : Loop.t) -> l.Loop.index) loops in
+      Deptest.Banerjee.vectors assume range [ p ] ~indices
+      = Deptest.Banerjee.Reference.vectors assume range [ p ] ~indices
+      && List.for_all
+           (fun dirs ->
+             Deptest.Banerjee.feasible assume range p ~dirs
+             = Deptest.Banerjee.Reference.feasible assume range p ~dirs)
+           (all_dir_assignments indices))
+
+let test_combo_cap () =
+  (* seven coupled indices, all '*': 4^7 literal combinations exceed
+     max_combos, so the evaluator assumes feasibility — now with a
+     metrics counter and a trace note instead of a silent fallback *)
+  let idxs = List.init 7 (fun k -> idx ~depth:k (Printf.sprintf "X%d" k)) in
+  let loops = List.map (fun i -> loop ~hi:10 i) idxs in
+  let assume, range = siv_ctx loops in
+  let sum k0 c0 =
+    List.fold_left
+      (fun acc i -> Affine.add acc (av ~k:k0 i))
+      (Affine.const c0) idxs
+  in
+  let p = spair (sum 1 0) (sum 2 1) in
+  let dirs = List.map (fun i -> (i, None)) idxs in
+  let m = Dt_obs.Metrics.create () in
+  let s = Dt_obs.Trace.make () in
+  check Alcotest.bool "cap assumes feasible" true
+    (Deptest.Banerjee.feasible ~metrics:m ~sink:s assume range p ~dirs);
+  check Alcotest.bool "Reference agrees" true
+    (Deptest.Banerjee.Reference.feasible assume range p ~dirs);
+  check Alcotest.int "cap fallback counted" 1 (Dt_obs.Metrics.banerjee_caps m);
+  check Alcotest.int "kernel compilation counted" 1
+    (Dt_obs.Metrics.banerjee_compilations m);
+  check Alcotest.int "single query is a scratch node" 1
+    (Dt_obs.Metrics.banerjee_scratch_nodes m);
+  let contains ~affix s =
+    let na = String.length affix and ns = String.length s in
+    let rec go i = i + na <= ns && (String.sub s i na = affix || go (i + 1)) in
+    na = 0 || go 0
+  in
+  check Alcotest.bool "trace note emitted" true
+    (List.exists
+       (function
+         | Dt_obs.Trace.Note n -> contains ~affix:"capped" n
+         | _ -> false)
+       (Dt_obs.Trace.events s))
+
+let test_below_cap_exact () =
+  (* six coupled indices stay under the cap (4^6 = 4096 is not > cap):
+     the bound check still runs and disproves an out-of-range constant *)
+  let idxs = List.init 6 (fun k -> idx ~depth:k (Printf.sprintf "Y%d" k)) in
+  let loops = List.map (fun i -> loop ~hi:10 i) idxs in
+  let assume, range = siv_ctx loops in
+  let sum c0 =
+    List.fold_left (fun acc i -> Affine.add acc (av i)) (Affine.const c0) idxs
+  in
+  (* h = sum alpha - sum beta in [-54, 54] per index pair... max is 9*6 = 54 *)
+  let p = spair (sum 0) (sum 55) in
+  let dirs = List.map (fun i -> (i, None)) idxs in
+  let m = Dt_obs.Metrics.create () in
+  check Alcotest.bool "under-cap infeasible proven" false
+    (Deptest.Banerjee.feasible ~metrics:m assume range p ~dirs);
+  check Alcotest.int "no cap fallback" 0 (Dt_obs.Metrics.banerjee_caps m)
+
+let render_corpus () =
+  let cfg = Deptest.Analyze.Config.make ~jobs:1 ~cache:false () in
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun (e : Dt_workloads.Corpus.entry) ->
+      List.iter
+        (fun p ->
+          let r = Deptest.Analyze.run cfg p in
+          Buffer.add_string buf p.Nest.name;
+          Buffer.add_char buf '\n';
+          List.iter
+            (fun d ->
+              Buffer.add_string buf (Format.asprintf "%a@." Deptest.Dep.pp d))
+            r.Deptest.Analyze.deps;
+          Buffer.add_string buf
+            (Format.asprintf "%a@." Deptest.Counters.pp
+               r.Deptest.Analyze.counters))
+        (Dt_workloads.Corpus.programs e))
+    Dt_workloads.Corpus.all;
+  Buffer.contents buf
+
+let test_corpus_byte_parity () =
+  let with_reference = Fun.protect ~finally:(fun () ->
+      Deptest.Banerjee.use_reference := false)
+  in
+  let compiled = render_corpus () in
+  let reference =
+    with_reference (fun () ->
+        Deptest.Banerjee.use_reference := true;
+        render_corpus ())
+  in
+  check Alcotest.bool "corpus output byte-identical" true
+    (String.equal compiled reference)
+
 let suite =
   [
     Alcotest.test_case "GCD test" `Quick test_gcd;
@@ -176,4 +339,9 @@ let suite =
     Alcotest.test_case "triangular Banerjee" `Quick test_banerjee_triangular;
     Alcotest.test_case "symbolic Banerjee" `Quick test_banerjee_symbolic;
     Alcotest.test_case "Banerjee soundness exhaustive" `Slow test_banerjee_exhaustive;
+    prop_incremental_parity;
+    Alcotest.test_case "combo cap observable" `Quick test_combo_cap;
+    Alcotest.test_case "below-cap bound check exact" `Quick test_below_cap_exact;
+    Alcotest.test_case "corpus byte parity vs Reference" `Quick
+      test_corpus_byte_parity;
   ]

@@ -1,0 +1,161 @@
+(* The compiled linear-form kernel: universes, flat-vector arithmetic, and
+   the per-pair coefficient kernel must mirror Affine exactly — they are
+   the arrays the Banerjee/GCD hot path trusts. *)
+
+open Dt_ir
+open Helpers
+
+let check = Alcotest.check
+
+let test_universe () =
+  let u = Linform.universe [ "N"; "M"; "N"; "A" ] in
+  check Alcotest.int "deduped size" 3 (Linform.universe_size u);
+  check
+    Alcotest.(list string)
+    "sorted" [ "A"; "M"; "N" ] (Linform.universe_syms u);
+  check Alcotest.(option int) "slot of N" (Some 2) (Linform.sym_slot u "N");
+  check Alcotest.(option int) "slot of A" (Some 0) (Linform.sym_slot u "A");
+  check Alcotest.(option int) "missing symbol" None (Linform.sym_slot u "Z");
+  check Alcotest.int "empty universe" 0
+    (Linform.universe_size (Linform.universe []))
+
+let test_roundtrip () =
+  let u = Linform.universe [ "M"; "N" ] in
+  let e = aff ~sym:[ ("N", 3); ("M", -2) ] 7 in
+  check affine_t "compile/to_affine roundtrip" e
+    (Linform.to_affine u (Linform.compile u e));
+  check affine_t "zero vec" Affine.zero (Linform.to_affine u (Linform.zero_vec u));
+  (* zero slots are dropped on the way back, matching Affine.make *)
+  check affine_t "partial" (Affine.of_sym "M")
+    (Linform.to_affine u (Linform.compile u (Affine.of_sym "M")))
+
+let test_vec_ops () =
+  let u = Linform.universe [ "M"; "N" ] in
+  let e1 = aff ~sym:[ ("N", 3) ] 7
+  and e2 = aff ~sym:[ ("M", 1); ("N", -3) ] 2 in
+  let v = Linform.compile u e1 in
+  Linform.add_into v (Linform.compile u e2);
+  check affine_t "add_into" (Affine.add e1 e2) (Linform.to_affine u v);
+  Linform.sub_into v (Linform.compile u e2);
+  check affine_t "sub_into undoes" e1 (Linform.to_affine u v);
+  let x = Linform.compile u e1 and y = Linform.compile u e2 in
+  check affine_t "corner = a*x - b*y"
+    (Affine.sub (Affine.scale 2 e1) (Affine.scale (-3) e2))
+    (Linform.to_affine u (Linform.corner ~a:2 ~b:(-3) x y));
+  check affine_t "add_const_vec"
+    (Affine.add_const 5 e1)
+    (Linform.to_affine u (Linform.add_const_vec 5 x));
+  check Alcotest.bool "is_const_vec on constant" true
+    (Linform.is_const_vec (Linform.compile u (Affine.const 5)));
+  check Alcotest.bool "is_const_vec on symbolic" false (Linform.is_const_vec x);
+  check Alcotest.int "const_of_vec" 7 (Linform.const_of_vec x)
+
+let test_compile_rejects () =
+  let u = Linform.universe [ "N" ] in
+  (match Linform.compile u (av i0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "affine with index terms accepted");
+  match Linform.compile u (Affine.of_sym "Z") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown symbol accepted"
+
+let test_pair_kernel () =
+  let src = Affine.add (av ~k:2 i0) (av ~k:(-1) ~c:3 j1)
+  and snk = Affine.add (av ~k:4 i0) (Affine.of_sym ~coeff:2 "N") in
+  let p = spair src snk in
+  let kp = Spair.kernel p in
+  check Alcotest.int "two occurring slots" 2 (Array.length kp.Linform.indices);
+  check Alcotest.(pair int int) "coeffs I" (2, 4) (Spair.coeffs p i0);
+  check Alcotest.(pair int int) "coeffs J" (-1, 0) (Spair.coeffs p j1);
+  check Alcotest.(pair int int) "coeffs of absent index" (0, 0)
+    (Spair.coeffs p k2);
+  Array.iteri
+    (fun k i ->
+      check Alcotest.int "gcd_star slot"
+        (Dt_support.Int_ops.gcd (Affine.coeff src i) (Affine.coeff snk i))
+        kp.Linform.gcd_star.(k);
+      check Alcotest.int "diff_eq slot"
+        (Affine.coeff src i - Affine.coeff snk i)
+        kp.Linform.diff_eq.(k))
+    kp.Linform.indices;
+  let d = Affine.sub snk src in
+  check affine_t "kernel c is diff_const"
+    (Affine.make ~idx:[] ~sym:(Affine.sym_terms d) ~const:(Affine.const_part d))
+    kp.Linform.c;
+  check affine_t "Spair.diff_const served by kernel" kp.Linform.c
+    (Spair.diff_const p);
+  check Alcotest.int "c_sym_gcd" 2 kp.Linform.c_sym_gcd;
+  check Alcotest.int "c_const" (-3) kp.Linform.c_const;
+  check Alcotest.bool "kernel compiled once and cached" true
+    (Spair.kernel p == kp)
+
+(* random affines: the kernel's coefficient view must agree with Affine's
+   on every occurring index, and the gcd precomputation with Gcd_test's
+   historical fold *)
+let gen_rand_pair =
+  QCheck.make
+    ~print:(fun p -> Spair.to_string p)
+    (QCheck.Gen.map
+       (fun seed ->
+         let st = Random.State.make [| seed |] in
+         let ri lo hi = lo + Random.State.int st (hi - lo + 1) in
+         let side () =
+           let base =
+             List.fold_left
+               (fun acc i -> Affine.add acc (av ~k:(ri (-3) 3) i))
+               (Affine.const (ri (-9) 9))
+               [ i0; j1; k2 ]
+           in
+           if ri 0 2 = 0 then
+             Affine.add base (Affine.of_sym ~coeff:(ri (-2) 2) "N")
+           else base
+         in
+         spair (side ()) (side ()))
+       QCheck.Gen.int)
+
+let prop_kernel_coeffs =
+  qtest ~count:300 "kernel coefficients agree with Affine.coeff" gen_rand_pair
+    (fun p ->
+      let kp = Spair.kernel p in
+      Index.Set.equal (Spair.indices p)
+        (Index.Set.of_list (Array.to_list kp.Linform.indices))
+      && List.for_all
+           (fun i ->
+             Spair.coeffs p i
+             = (Affine.coeff p.Spair.src i, Affine.coeff p.Spair.snk i))
+           [ i0; j1; k2 ])
+
+let prop_kernel_gcds =
+  qtest ~count:300 "kernel gcd slots match the coefficient fold" gen_rand_pair
+    (fun p ->
+      let kp = Spair.kernel p in
+      let all = Index.Set.of_list (Array.to_list kp.Linform.indices) in
+      (* directed fold over precomputed slots = historical per-coefficient
+         fold, for both the all-star and all-eq extremes *)
+      let star_fold =
+        Index.Set.fold
+          (fun i g ->
+            Dt_support.Int_ops.gcd
+              (Dt_support.Int_ops.gcd g (Affine.coeff p.Spair.src i))
+              (Affine.coeff p.Spair.snk i))
+          all 0
+      and eq_fold =
+        Index.Set.fold
+          (fun i g ->
+            Dt_support.Int_ops.gcd g
+              (Affine.coeff p.Spair.src i - Affine.coeff p.Spair.snk i))
+          all 0
+      in
+      Deptest.Gcd_test.coeff_gcd p = star_fold
+      && Deptest.Gcd_test.coeff_gcd ~eq_indices:all p = eq_fold)
+
+let suite =
+  [
+    Alcotest.test_case "universe interning" `Quick test_universe;
+    Alcotest.test_case "compile/to_affine roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "vector arithmetic" `Quick test_vec_ops;
+    Alcotest.test_case "compile rejects bad input" `Quick test_compile_rejects;
+    Alcotest.test_case "pair kernel fields" `Quick test_pair_kernel;
+    prop_kernel_coeffs;
+    prop_kernel_gcds;
+  ]

@@ -120,6 +120,35 @@ let test_metrics_merge () =
     (Dt_obs.Metrics.phase_ns a Dt_obs.Metrics.Test = 1_000L);
   check Alcotest.int "pairs merged" 1 (Dt_obs.Metrics.pairs a)
 
+let test_metrics_banerjee_counters () =
+  let a = Dt_obs.Metrics.create () and b = Dt_obs.Metrics.create () in
+  Dt_obs.Metrics.banerjee_compile a;
+  Dt_obs.Metrics.banerjee_node a ~incremental:true;
+  Dt_obs.Metrics.banerjee_node a ~incremental:true;
+  Dt_obs.Metrics.banerjee_node b ~incremental:false;
+  Dt_obs.Metrics.banerjee_cap b;
+  Dt_obs.Metrics.merge_into a b;
+  check Alcotest.int "compilations" 1 (Dt_obs.Metrics.banerjee_compilations a);
+  check Alcotest.int "incremental nodes" 2
+    (Dt_obs.Metrics.banerjee_incremental_nodes a);
+  check Alcotest.int "scratch nodes merged" 1
+    (Dt_obs.Metrics.banerjee_scratch_nodes a);
+  check Alcotest.int "caps merged" 1 (Dt_obs.Metrics.banerjee_caps a);
+  (* surfaced in the profile --json snapshot *)
+  match Dt_obs.Json.member "banerjee" (Dt_obs.Metrics.to_json a) with
+  | None -> Alcotest.fail "banerjee block missing from metrics JSON"
+  | Some blk ->
+      check Alcotest.bool "kernel_compilations" true
+        (Dt_obs.Json.member "kernel_compilations" blk
+        = Some (Dt_obs.Json.Int 1));
+      check Alcotest.bool "incremental_nodes" true
+        (Dt_obs.Json.member "incremental_nodes" blk = Some (Dt_obs.Json.Int 2));
+      check Alcotest.bool "scratch_nodes" true
+        (Dt_obs.Json.member "scratch_nodes" blk = Some (Dt_obs.Json.Int 1));
+      check Alcotest.bool "combo_cap_fallbacks" true
+        (Dt_obs.Json.member "combo_cap_fallbacks" blk
+        = Some (Dt_obs.Json.Int 1))
+
 let test_metrics_json_roundtrip () =
   let m = Dt_obs.Metrics.create () in
   Dt_obs.Metrics.record m Dt_obs.Test_kind.Strong_siv ~indep:true ~ns:4_000L;
@@ -348,6 +377,8 @@ let suite =
     Alcotest.test_case "metrics latency histogram" `Quick
       test_metrics_latency_hist;
     Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+    Alcotest.test_case "metrics banerjee counters" `Quick
+      test_metrics_banerjee_counters;
     Alcotest.test_case "metrics json round-trip" `Quick
       test_metrics_json_roundtrip;
     Alcotest.test_case "trace scope depths and tree" `Quick

@@ -114,6 +114,50 @@ let prop_delta_refines_baseline =
           true
       | _ -> true)
 
+(* the incremental Banerjee evaluator directly against the oracle: on
+   small single-subscript nests (constant, triangular/trapezoidal §4.3,
+   and symbolic bounds) the reported vector set must cover every observed
+   direction vector, and must equal the from-scratch Reference
+   evaluator's set exactly *)
+let banerjee_vs_brute (src, snk, loops) =
+  match (Aref.linear_subs src, Aref.linear_subs snk) with
+  | Some [ f ], Some [ g ] -> (
+      let p = Helpers.spair f g in
+      let assume = assume_of loops and range = range_of loops in
+      let indices = List.map (fun (l : Loop.t) -> l.Loop.index) loops in
+      let v = Deptest.Banerjee.vectors assume range [ p ] ~indices in
+      v = Deptest.Banerjee.Reference.vectors assume range [ p ] ~indices
+      &&
+      match brute src snk loops with
+      | None -> true
+      | Some rep -> (
+          match v with
+          | `Independent -> rep.Dt_exact.Brute.dirvecs = []
+          | `Vectors vecs ->
+              List.for_all
+                (fun observed -> List.mem observed vecs)
+                rep.Dt_exact.Brute.dirvecs))
+  | _ -> true
+
+let prop_banerjee_brute =
+  qtest ~count:200 "incremental Banerjee covers the oracle on small nests"
+    (gen_pair
+       ~cfg:{ Dt_workloads.Generator.default with max_dims = 1 }
+       ())
+    banerjee_vs_brute
+
+let prop_banerjee_brute_triangular =
+  qtest ~count:200 "incremental Banerjee covers the oracle on triangular nests"
+    (gen_pair
+       ~cfg:
+         {
+           Dt_workloads.Generator.default with
+           max_dims = 1;
+           triangular = true;
+         }
+       ())
+    banerjee_vs_brute
+
 (* program-level: every dependence's level is within the nest depth, and
    every claimed loop-parallel loop is truly parallel per the oracle *)
 let gen_program =
@@ -239,6 +283,8 @@ let suite =
     prop_dirvec_superset;
     prop_distances_exact;
     prop_delta_refines_baseline;
+    prop_banerjee_brute;
+    prop_banerjee_brute_triangular;
     prop_levels_valid;
     prop_parallel_sound;
     prop_engine_parity;
