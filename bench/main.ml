@@ -209,12 +209,9 @@ let print_tables () =
   print_string (Dt_stats.Figures.class_histogram agg.Dt_stats.Profile.classes);
   (* metrics snapshot for the whole-corpus run: per-test-kind counts and
      wall-clock timings, phase spans, per-pair latency histogram *)
-  let oc = open_out "BENCH_obs.json" in
-  output_string oc
-    (Dt_obs.Json.to_string
-       (Dt_obs.Metrics.to_json agg.Dt_stats.Profile.metrics));
-  output_char oc '\n';
-  close_out oc;
+  Dt_obs.Artifact.write_atomic "BENCH_obs.json"
+    (Dt_obs.Json.to_string (Dt_obs.Metrics.to_json agg.Dt_stats.Profile.metrics)
+    ^ "\n");
   print_endline "\nwhole-corpus metrics snapshot written to BENCH_obs.json"
 
 (* ------------------------------------------------------------------ *)
@@ -457,10 +454,8 @@ let engine_bench () =
                runs) );
       ]
   in
-  let oc = open_out "BENCH_engine.json" in
-  output_string oc (Dt_obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  Dt_obs.Artifact.write_atomic "BENCH_engine.json"
+    (Dt_obs.Json.to_string json ^ "\n");
   print_endline "engine benchmark written to BENCH_engine.json";
   if not (identical && synth_identical) then begin
     prerr_endline
@@ -662,16 +657,68 @@ let banerjee_bench () =
         ("identical_output", Dt_obs.Json.Bool (c_ok && s_ok));
       ]
   in
-  let oc = open_out "BENCH_banerjee.json" in
-  output_string oc (Dt_obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  Dt_obs.Artifact.write_atomic "BENCH_banerjee.json"
+    (Dt_obs.Json.to_string json ^ "\n");
   print_endline "banerjee benchmark written to BENCH_banerjee.json";
   if not (c_ok && s_ok) then begin
     prerr_endline
       "bench: FATAL: incremental and reference Banerjee evaluators disagree";
     exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* timeline capture: one profiled whole-corpus pass through the parallel
+   engine (2 workers, cache off), exported in both timeline formats.
+   Always runs (CI validates the artifacts), plus an informational
+   metrics diff of the BENCH_obs.json snapshot against the checked-in
+   baseline — the enforcing diff is the CI `profile --diff` step. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let obs_timeline () =
+  let progs =
+    List.concat_map
+      (fun (e : Dt_workloads.Corpus.entry) -> Dt_workloads.Corpus.programs e)
+      Dt_workloads.Corpus.all
+  in
+  let profiler = Dt_obs.Span.profiler ~gc:true () in
+  let metrics = Dt_obs.Metrics.create () in
+  let cfg =
+    Deptest.Analyze.Config.make ~jobs:2 ~cache:false ~metrics ~profiler ()
+  in
+  List.iter (fun p -> ignore (Deptest.Analyze.run cfg p)) progs;
+  let spans = Dt_obs.Span.spans profiler in
+  let domains =
+    List.length
+      (List.sort_uniq compare
+         (Array.to_list (Array.map (fun s -> s.Dt_obs.Span.domain) spans)))
+  in
+  Dt_obs.Artifact.write_atomic "BENCH_timeline.json"
+    (Dt_obs.Json.to_string (Dt_obs.Timeline.to_chrome spans) ^ "\n");
+  Dt_obs.Artifact.write_atomic "BENCH_flame.folded"
+    (Dt_obs.Timeline.to_folded spans);
+  Printf.printf
+    "\ntimeline written to BENCH_timeline.json (%d spans over %d domains), \
+     folded stacks to BENCH_flame.folded\n"
+    (Array.length spans) domains;
+  if Sys.file_exists "bench/obs_baseline.json" then
+    match
+      ( Dt_obs.Json.of_string (read_file "bench/obs_baseline.json"),
+        Dt_obs.Json.of_string (read_file "BENCH_obs.json") )
+    with
+    | Ok base, Ok cur -> (
+        match Dt_obs.Diff.compare_json ~base ~cur () with
+        | Ok report ->
+            Format.printf
+              "@.-- metrics diff vs bench/obs_baseline.json (informational) \
+               --@.%a@."
+              Dt_obs.Diff.pp report
+        | Error e -> Printf.printf "obs baseline diff skipped: %s\n" e)
+    | _ -> print_endline "obs baseline diff skipped: unreadable JSON"
 
 let is_infix ~affix s =
   let na = String.length affix and ns = String.length s in
@@ -683,6 +730,7 @@ let () =
   print_tables ();
   engine_bench ();
   banerjee_bench ();
+  obs_timeline ();
   if not tables_only then begin
     let micro = run_suite ~name:"per-test microbenchmarks (Tables 2-3 tests)" micro_tests in
     let strat = run_suite ~name:"strategy comparison (Table 4 / Triolet 22-28x)" strategy_tests in

@@ -127,56 +127,99 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE.jsonl"
         ~doc:"Write the trace as JSON Lines (one event per line) to $(docv).")
 
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE.json"
+        ~doc:
+          "Record a timeline of the run and write it in Chrome trace-event \
+           format to $(docv) (open with Perfetto / chrome://tracing; one \
+           row per worker domain).")
+
+let flame_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flame" ] ~docv:"FILE.folded"
+        ~doc:
+          "Record a timeline of the run and write it as folded stacks to \
+           $(docv) (pipe through flamegraph.pl for an SVG flamegraph).")
+
+(* every artifact lands via write-to-temp-then-rename: a crashed or
+   interrupted run never leaves a truncated file behind *)
+let write_artifact path content =
+  try Dt_obs.Artifact.write_atomic path content
+  with Sys_error e ->
+    Printf.eprintf "cannot write %s: %s\n" path e;
+    exit 2
+
+let make_profiler chrome flame =
+  if chrome <> None || flame <> None then
+    Some (Dt_obs.Span.profiler ~gc:true ())
+  else None
+
+let export_timeline chrome flame profiler =
+  match profiler with
+  | None -> ()
+  | Some p ->
+      let spans = Dt_obs.Span.spans p in
+      (match chrome with
+      | Some f ->
+          write_artifact f
+            (Dt_obs.Json.to_string (Dt_obs.Timeline.to_chrome spans) ^ "\n")
+      | None -> ());
+      (match flame with
+      | Some f -> write_artifact f (Dt_obs.Timeline.to_folded spans)
+      | None -> ())
+
 let analyze_cmd =
-  let run file strategy inputs bindings explain trace_file jobs no_cache =
-    let trace_oc =
-      match trace_file with
-      | None -> None
-      | Some f -> (
-          try Some (open_out f)
-          with Sys_error e ->
-            Printf.eprintf "cannot write trace: %s\n" e;
-            exit 2)
+  let run file strategy inputs bindings explain trace_file jobs no_cache
+      chrome flame =
+    let profiler = make_profiler chrome flame in
+    let trace_buf =
+      match trace_file with None -> None | Some _ -> Some (Buffer.create 4096)
     in
-    Fun.protect
-      ~finally:(fun () ->
-        match trace_oc with Some oc -> close_out_noerr oc | None -> ())
-    @@ fun () ->
-    each file @@ fun prog ->
-    let prog =
-      if bindings = [] then prog
-      else Dt_ir.Specialize.program prog ~bindings
-    in
-    let sink =
-      if explain || trace_oc <> None then Some (Dt_obs.Trace.make ())
-      else None
-    in
-    let cfg =
-      Deptest.Analyze.Config.make ~strategy ~include_inputs:inputs ~jobs
-        ~cache:(not no_cache) ?sink ()
-    in
-    let r = Deptest.Analyze.run cfg prog in
-    Format.printf "%a@." Dt_ir.Nest.pp prog;
-    if r.Deptest.Analyze.deps = [] then print_endline "no dependences"
-    else
-      List.iter (fun d -> Format.printf "%a@." Deptest.Dep.pp d)
-        r.Deptest.Analyze.deps;
-    (match sink with
-    | Some sk ->
-        if explain then
-          Format.printf "@.-- explain --@.%a" Dt_obs.Trace.pp_tree sk;
-        (match trace_oc with
-        | Some oc -> output_string oc (Dt_obs.Trace.to_jsonl sk)
-        | None -> ())
-    | None -> ());
-    Format.printf "@.-- tests applied --@.%a" Deptest.Counters.pp
-      r.Deptest.Analyze.counters
+    (each file @@ fun prog ->
+     let prog =
+       if bindings = [] then prog
+       else Dt_ir.Specialize.program prog ~bindings
+     in
+     let sink =
+       if explain || trace_buf <> None then Some (Dt_obs.Trace.make ())
+       else None
+     in
+     let cfg =
+       Deptest.Analyze.Config.make ~strategy ~include_inputs:inputs ~jobs
+         ~cache:(not no_cache) ?sink ?profiler ()
+     in
+     let r = Deptest.Analyze.run cfg prog in
+     Format.printf "%a@." Dt_ir.Nest.pp prog;
+     if r.Deptest.Analyze.deps = [] then print_endline "no dependences"
+     else
+       List.iter (fun d -> Format.printf "%a@." Deptest.Dep.pp d)
+         r.Deptest.Analyze.deps;
+     (match sink with
+     | Some sk ->
+         if explain then
+           Format.printf "@.-- explain --@.%a" Dt_obs.Trace.pp_tree sk;
+         (match trace_buf with
+         | Some b -> Buffer.add_string b (Dt_obs.Trace.to_jsonl sk)
+         | None -> ())
+     | None -> ());
+     Format.printf "@.-- tests applied --@.%a" Deptest.Counters.pp
+       r.Deptest.Analyze.counters);
+    (match (trace_file, trace_buf) with
+    | Some f, Some b -> write_artifact f (Buffer.contents b)
+    | _ -> ());
+    export_timeline chrome flame profiler
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Print all data dependences of a program")
     Term.(
       const run $ file_arg $ strategy_arg $ inputs_arg $ bind_arg
-      $ explain_arg $ trace_arg $ jobs_arg $ no_cache_arg)
+      $ explain_arg $ trace_arg $ jobs_arg $ no_cache_arg $ chrome_arg
+      $ flame_arg)
 
 let parallel_cmd =
   let run file =
@@ -343,24 +386,57 @@ let tables_cmd =
     Term.(const run $ suites_arg $ which)
 
 let profile_cmd =
-  let run file strategy json =
-    let metrics = Dt_obs.Metrics.create () in
-    (* sequential, cache off: the per-kind time columns must reflect
-       real executions of every test *)
-    let cfg =
-      Deptest.Analyze.Config.make ~strategy ~jobs:1 ~cache:false ~metrics ()
+  let diff base_path cur_path ~threshold ~min_ns =
+    let parse path =
+      match Dt_obs.Json.of_string (read_file path) with
+      | Ok j -> j
+      | Error e -> load_error path "invalid metrics JSON: " e
+      | exception Sys_error e -> load_error path "" e
     in
-    let progs =
-      Dt_obs.Metrics.timed (Some metrics) Dt_obs.Metrics.Parse (fun () ->
-          load_unit file)
-    in
-    List.iter
-      (fun (prog : Dt_ir.Nest.program) ->
-        ignore (Deptest.Analyze.run cfg prog))
-      progs;
-    if json then
-      print_endline (Dt_obs.Json.to_string (Dt_obs.Metrics.to_json metrics))
-    else Format.printf "%a" Dt_obs.Metrics.pp metrics
+    let base = parse base_path and cur = parse cur_path in
+    match
+      Dt_obs.Diff.compare_json ~threshold:(threshold /. 100.) ~min_ns ~base
+        ~cur ()
+    with
+    | Error e -> load_error cur_path "" e
+    | Ok report ->
+        Format.printf "%a@." Dt_obs.Diff.pp report;
+        if Dt_obs.Diff.has_breach report then exit 1
+  in
+  let run file strategy json jobs diff_base threshold min_ns chrome flame =
+    match diff_base with
+    | Some base ->
+        (* diff mode: FILE is the *current* metrics snapshot, not a
+           source file — no analysis runs at all *)
+        diff base file ~threshold ~min_ns
+    | None ->
+        let metrics = Dt_obs.Metrics.create () in
+        let profiler = make_profiler chrome flame in
+        let main_buf =
+          Option.map (fun p -> Dt_obs.Span.buffer p ~domain:0) profiler
+        in
+        (* cache off: the per-kind time columns must reflect real
+           executions of every test. Sequential by default; an explicit
+           --jobs exercises the parallel engine (per-domain busy / wait
+           accounting, one timeline row per worker). *)
+        let cfg =
+          Deptest.Analyze.Config.make ~strategy ~jobs ~cache:false ~metrics
+            ?profiler ()
+        in
+        let progs =
+          Dt_obs.Span.with_ main_buf Dt_obs.Span.Parse (fun () ->
+              Dt_obs.Metrics.timed (Some metrics) Dt_obs.Metrics.Parse
+                (fun () -> load_unit file))
+        in
+        List.iter
+          (fun (prog : Dt_ir.Nest.program) ->
+            ignore (Deptest.Analyze.run cfg prog))
+          progs;
+        if json then
+          print_endline
+            (Dt_obs.Json.to_string (Dt_obs.Metrics.to_json metrics))
+        else Format.printf "%a" Dt_obs.Metrics.pp metrics;
+        export_timeline chrome flame profiler
   in
   let json_arg =
     Arg.(
@@ -368,12 +444,50 @@ let profile_cmd =
       & info [ "json" ]
           ~doc:"Emit the metrics snapshot as JSON instead of a table.")
   in
+  let profile_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the profiled run (default 1: sequential, \
+             so per-kind times reflect one execution stream).")
+  in
+  let diff_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "diff" ] ~docv:"OLD.json"
+          ~doc:
+            "Regression mode: compare the baseline metrics snapshot \
+             $(docv) against the current snapshot given as the positional \
+             argument (both from $(b,profile --json)), print per-row \
+             deltas, and exit 1 if any row regressed past the thresholds.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 25.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "With $(b,--diff): relative time growth (in percent) that \
+             counts as a regression.")
+  in
+  let min_ns_arg =
+    Arg.(
+      value & opt float 10000.0
+      & info [ "min-ns" ] ~docv:"NS"
+          ~doc:
+            "With $(b,--diff): absolute time growth floor a row must also \
+             exceed to count (damps jitter on microsecond-scale rows).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Analyze a file and print per-test-kind counts and wall-clock \
-          timings (the paper's Table-3 shape with time columns)")
-    Term.(const run $ file_arg $ strategy_arg $ json_arg)
+          timings (the paper's Table-3 shape with time columns), or diff \
+          two metrics snapshots for regressions")
+    Term.(
+      const run $ file_arg $ strategy_arg $ json_arg $ profile_jobs_arg
+      $ diff_arg $ threshold_arg $ min_ns_arg $ chrome_arg $ flame_arg)
 
 let corpus_cmd =
   let run () =

@@ -12,10 +12,12 @@ module Config = struct
     cache : Pair_cache.t option;
     metrics : Dt_obs.Metrics.t option;
     sink : Dt_obs.Trace.sink option;
+    profiler : Dt_obs.Span.profiler option;
   }
 
   let make ?(strategy = Pair_test.Partition_based) ?(include_inputs = false)
-      ?(assume = Assume.empty) ?(jobs = 0) ?(cache = true) ?metrics ?sink () =
+      ?(assume = Assume.empty) ?(jobs = 0) ?(cache = true) ?metrics ?sink
+      ?profiler () =
     {
       strategy;
       include_inputs;
@@ -24,6 +26,7 @@ module Config = struct
       cache = (if cache then Some (Pair_cache.create ()) else None);
       metrics;
       sink;
+      profiler;
     }
 
   let default = make ()
@@ -37,6 +40,8 @@ module Config = struct
 
   let with_metrics metrics t = { t with metrics }
   let with_sink sink t = { t with sink }
+  let with_profiler profiler t = { t with profiler }
+  let profiler t = t.profiler
   let strategy t = t.strategy
   let include_inputs t = t.include_inputs
   let assume t = t.assume
@@ -149,17 +154,37 @@ let strategy_tag = function
 
 (* per-worker accumulators, merged deterministically (in worker-id
    order) after the parallel loop *)
-type worker = { counters : Counters.t; metrics : Dt_obs.Metrics.t option }
+type worker = {
+  counters : Counters.t;
+  metrics : Dt_obs.Metrics.t option;
+  spans : Dt_obs.Span.t option;
+}
 
 (* minimum number of reference pairs before [run] fans out to worker
    domains; below this the spawn cost exceeds the testing work *)
 let min_parallel_sites = 256
 
 let run (cfg : Config.t) prog =
-  let { Config.strategy; include_inputs; assume; jobs; cache; metrics; sink } =
+  let {
+    Config.strategy;
+    include_inputs;
+    assume;
+    jobs;
+    cache;
+    metrics;
+    sink;
+    profiler;
+  } =
     cfg
   in
-  let sites = sites ~include_inputs prog in
+  (* worker 0 runs in the calling domain, so the analysis-level brackets
+     and worker 0's per-pair spans share buffer 0 and nest naturally *)
+  let main_buf = Option.map (fun p -> Dt_obs.Span.buffer p ~domain:0) profiler in
+  Dt_obs.Span.with_ main_buf Dt_obs.Span.Analyze @@ fun () ->
+  let sites =
+    Dt_obs.Span.with_ main_buf Dt_obs.Span.Enumerate (fun () ->
+        sites ~include_inputs prog)
+  in
   let n = Array.length sites in
   (* a trace is an ordered narrative: a sink forces the sequential path.
      In auto mode (jobs = 0) the engine also stays sequential below the
@@ -204,12 +229,13 @@ let run (cfg : Config.t) prog =
       match w.metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
     in
     let r =
+      Dt_obs.Span.with_ w.spans Dt_obs.Span.Pair @@ fun () ->
       scoped (fun () ->
           let r =
             match cache with
             | None ->
                 Pair_test.test ~counters:w.counters ?metrics:w.metrics ?sink
-                  ~strategy ~assume
+                  ?spans:w.spans ~strategy ~assume
                   ~src:(a1.Stmt.aref, loops1)
                   ~snk:(a2.Stmt.aref, loops2)
                   ()
@@ -239,7 +265,7 @@ let run (cfg : Config.t) prog =
                     let local = Counters.create () in
                     let r =
                       Pair_test.test ~counters:local ?metrics:w.metrics ?sink
-                        ~strategy ~assume
+                        ?spans:w.spans ~strategy ~assume
                         ~src:(a1.Stmt.aref, loops1)
                         ~snk:(a2.Stmt.aref, loops2)
                         ()
@@ -275,14 +301,88 @@ let run (cfg : Config.t) prog =
     | None -> ());
     results.(i) <- Some r
   in
-  let workers =
-    Dt_support.Pool.parallel_for ~jobs ~n
-      ~state:(fun _ ->
+  (* mirror [Pool.parallel_for]'s worker-count resolution so the states
+     (and their span buffers / engine registries) can be created eagerly,
+     before the domains spawn — [Span.buffer] takes the profiler lock,
+     which must not happen concurrently with buffer lookups *)
+  let njobs =
+    if n = 0 then 0
+    else begin
+      let j = if jobs <= 0 then Dt_support.Pool.recommended_jobs () else jobs in
+      let j = min j n in
+      if j <= 1 then 1 else j
+    end
+  in
+  let wres =
+    Array.init njobs (fun w ->
+        let wm = Option.map (fun _ -> Dt_obs.Metrics.create ()) metrics in
+        (match wm with
+        | Some m -> Dt_obs.Metrics.engine_registry m
+        | None -> ());
         {
           counters = Counters.create ();
-          metrics = Option.map (fun _ -> Dt_obs.Metrics.create ()) metrics;
+          metrics = wm;
+          spans = Option.map (fun p -> Dt_obs.Span.buffer p ~domain:w) profiler;
         })
-      ~body:test_site ()
+  in
+  let probe =
+    if njobs = 0 || (metrics = None && profiler = None) then None
+    else begin
+      (* each worker touches only its own slots: safe across domains *)
+      let wait_t0 = Array.make njobs 0L in
+      let task_t0 = Array.make njobs 0L in
+      let worker_slot = Array.make njobs (-1) in
+      let wait_slot = Array.make njobs (-1) in
+      let task_slot = Array.make njobs (-1) in
+      let enter w slots k =
+        match wres.(w).spans with
+        | Some b -> slots.(w) <- Dt_obs.Span.enter b k
+        | None -> ()
+      in
+      let exit_ w slots =
+        match wres.(w).spans with
+        | Some b when slots.(w) >= 0 ->
+            Dt_obs.Span.exit_ b slots.(w);
+            slots.(w) <- -1
+        | _ -> ()
+      in
+      Some
+        {
+          Dt_support.Pool.worker_start =
+            (fun w -> enter w worker_slot Dt_obs.Span.Worker);
+          worker_stop = (fun w -> exit_ w worker_slot);
+          wait_start =
+            (fun w ->
+              wait_t0.(w) <- Dt_obs.Clock.now_ns ();
+              enter w wait_slot Dt_obs.Span.Queue_wait);
+          wait_stop =
+            (fun w ->
+              exit_ w wait_slot;
+              match wres.(w).metrics with
+              | Some m ->
+                  Dt_obs.Metrics.engine_wait m ~domain:w
+                    ~ns:(Int64.sub (Dt_obs.Clock.now_ns ()) wait_t0.(w))
+              | None -> ());
+          task_start =
+            (fun w ->
+              task_t0.(w) <- Dt_obs.Clock.now_ns ();
+              enter w task_slot Dt_obs.Span.Task);
+          task_stop =
+            (fun w ->
+              exit_ w task_slot;
+              match wres.(w).metrics with
+              | Some m ->
+                  Dt_obs.Metrics.engine_task m ~domain:w
+                    ~ns:(Int64.sub (Dt_obs.Clock.now_ns ()) task_t0.(w))
+              | None -> ());
+        }
+    end
+  in
+  let workers =
+    Dt_obs.Span.with_ main_buf Dt_obs.Span.Test_phase (fun () ->
+        Dt_support.Pool.parallel_for ~jobs ~n ?probe
+          ~state:(fun w -> wres.(w))
+          ~body:test_site ())
   in
   let counters = Counters.create () in
   List.iter
@@ -309,6 +409,7 @@ let run (cfg : Config.t) prog =
       }
       :: !deps
   in
+  Dt_obs.Span.with_ main_buf Dt_obs.Span.Orient @@ fun () ->
   Array.iteri
     (fun i site ->
       let ((a1 : Stmt.access), _) = site.left
@@ -398,6 +499,7 @@ let config_of_options { strategy; include_inputs; assume } ?metrics ?sink () =
     cache = None;
     metrics;
     sink;
+    profiler = None;
   }
 
 let program ?(options = default_options) ?metrics ?sink prog =

@@ -31,15 +31,19 @@ module Config : sig
     ?cache:bool ->
     ?metrics:Dt_obs.Metrics.t ->
     ?sink:Dt_obs.Trace.sink ->
+    ?profiler:Dt_obs.Span.profiler ->
     unit ->
     t
   (** Defaults: [Partition_based], no input dependences, empty assume,
       [jobs = 0] (auto: one worker per recommended domain, but small
       nests — fewer than ~256 reference pairs, where a Domain spawn
       would cost more than the testing work — run sequentially), cache
-      on, no metrics, no sink. An explicit [jobs >= 1] is honored
-      literally. A trace sink forces sequential execution — a trace is
-      an ordered narrative. *)
+      on, no metrics, no sink, no profiler. An explicit [jobs >= 1] is
+      honored literally. A trace sink forces sequential execution — a
+      trace is an ordered narrative. A profiler does {e not} constrain
+      the schedule: each worker domain records into its own span buffer
+      and the buffers merge deterministically afterwards (see
+      {!Dt_obs.Span}). *)
 
   val default : t
   (** [make ()] evaluated once: note that every [run default] therefore
@@ -54,7 +58,9 @@ module Config : sig
   val with_cache : bool -> t -> t
   val with_metrics : Dt_obs.Metrics.t option -> t -> t
   val with_sink : Dt_obs.Trace.sink option -> t -> t
+  val with_profiler : Dt_obs.Span.profiler option -> t -> t
 
+  val profiler : t -> Dt_obs.Span.profiler option
   val strategy : t -> Pair_test.strategy
   val include_inputs : t -> bool
   val assume : t -> Assume.t

@@ -414,7 +414,8 @@ let feasible ?metrics ?sink assume range (p : Spair.t) ~dirs =
     eval_state ?metrics ?sink ~from_scratch:true assume st
   end
 
-let vectors ?metrics ?sink assume range pairs ~indices =
+let vectors ?metrics ?sink ?spans assume range pairs ~indices =
+  Dt_obs.Span.with_ spans Dt_obs.Span.Banerjee @@ fun () ->
   if !use_reference then Reference.vectors ?metrics assume range pairs ~indices
   else begin
     let states =

@@ -50,6 +50,7 @@ val region_nonempty :
 val vectors :
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
+  ?spans:Dt_obs.Span.t ->
   Assume.t ->
   Range.t ->
   Spair.t list ->
@@ -62,7 +63,9 @@ val vectors :
 
     Runs on the incremental compiled evaluator: one kernel compilation
     per pair (counted in [metrics]), then O(1) contribution swaps per
-    hierarchy node. [sink] receives a note per combo-cap fallback. *)
+    hierarchy node. [sink] receives a note per combo-cap fallback;
+    [spans] brackets the whole hierarchy walk as one
+    {!Dt_obs.Span.Banerjee} timeline span. *)
 
 val explain :
   [ `Independent | `Vectors of Direction.t list list ] -> string

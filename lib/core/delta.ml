@@ -161,25 +161,29 @@ let relation_infeasible loops assume ~ivar ~jvar ~e =
       else false)
     loops
 
-let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
-    ~relevant =
-  let t_start =
-    match metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
-  in
-  let record ?(ns = 0L) k ~indep =
+let test ?counters ?metrics ?sink ?spans ?trace ?(loops = []) assume range
+    pairs ~relevant =
+  Dt_obs.Span.with_ spans Dt_obs.Span.Delta @@ fun () ->
+  let instrumented = metrics <> None || spans <> None in
+  let t_start = if instrumented then Dt_obs.Clock.now_ns () else 0L in
+  (* [record ~t0] closes the measurement opened by [tick]: one clock
+     read feeds both the metrics total and the timeline leaf. [~span:
+     false] suppresses the leaf when a dedicated span (Banerjee, the
+     whole Delta bracket) already covers the same interval. *)
+  let record ?(t0 = 0L) ?(span = true) k ~indep =
     (match counters with Some c -> Counters.record c k ~indep | None -> ());
-    match metrics with
-    | Some m -> Dt_obs.Metrics.record m k ~indep ~ns
-    | None -> ()
+    if instrumented then begin
+      let t1 = Dt_obs.Clock.now_ns () in
+      (match metrics with
+      | Some m -> Dt_obs.Metrics.record m k ~indep ~ns:(Int64.sub t1 t0)
+      | None -> ());
+      match spans with
+      | Some b when span ->
+          Dt_obs.Span.record b (Dt_obs.Span.Test k) ~t0_ns:t0 ~t1_ns:t1
+      | _ -> ()
+    end
   in
-  let tick () =
-    match metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
-  in
-  let tock t0 =
-    match metrics with
-    | Some _ -> Int64.sub (Dt_obs.Metrics.now_ns ()) t0
-    | None -> 0L
-  in
+  let tick () = if instrumented then Dt_obs.Clock.now_ns () else 0L in
   (* [tracing] is checked before any trace string is built, so a run
      without observers allocates nothing for tracing *)
   let tracing = trace <> None || sink <> None in
@@ -241,7 +245,7 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
         let t0 = tick () in
         let o = Ziv.test assume p in
         let indep = o = Outcome.Independent in
-        record ~ns:(tock t0) Counters.Ziv_test ~indep;
+        record ~t0 Counters.Ziv_test ~indep;
         if tracing then begin
           legacy (Format.asprintf "  ZIV test %a: %a" Spair.pp p Outcome.pp o);
           let d = Affine.sub p.Spair.snk p.Spair.src in
@@ -269,7 +273,7 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
           | Classify.General -> Counters.Exact_siv
         in
         let indep = r.Siv.outcome = Outcome.Independent in
-        record ~ns:(tock t0) ckind ~indep;
+        record ~t0 ckind ~indep;
         if tracing then begin
           legacy
             (Format.asprintf "  %s test %a: %a"
@@ -287,7 +291,7 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
         let t0 = tick () in
         let r = Rdiv.test assume range p ~src:src_index ~snk:snk_index in
         let indep = r.Rdiv.outcome = Outcome.Independent in
-        record ~ns:(tock t0) Counters.Rdiv_test ~indep;
+        record ~t0 Counters.Rdiv_test ~indep;
         if tracing then begin
           legacy
             (Format.asprintf "  RDIV test %a: %a" Spair.pp p Outcome.pp
@@ -604,11 +608,12 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
     while !continue && !passes < (3 * n) + 3 do
       incr passes;
       emit (Dt_obs.Trace.Pass !passes);
-      changed := false;
-      for k = 0 to n - 1 do
-        if pending.(k) then test_one k
-      done;
-      propagate ();
+      Dt_obs.Span.with_ spans Dt_obs.Span.Delta_pass (fun () ->
+          changed := false;
+          for k = 0 to n - 1 do
+            if pending.(k) then test_one k
+          done;
+          propagate ());
       continue := !changed
     done;
     refine_rdiv ();
@@ -639,7 +644,7 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
           let t0 = tick () in
           (match Gcd_test.test p with
           | `Independent ->
-              record ~ns:(tock t0) Counters.Gcd_miv ~indep:true;
+              record ~t0 Counters.Gcd_miv ~indep:true;
               if tracing then begin
                 legacy "  GCD on leftover MIV: independent";
                 emit_test Counters.Gcd_miv p Dt_obs.Trace.Independent
@@ -647,7 +652,7 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
               end;
               raise Proved_independent
           | `Maybe ->
-              record ~ns:(tock t0) Counters.Gcd_miv ~indep:false;
+              record ~t0 Counters.Gcd_miv ~indep:false;
               if tracing then
                 emit_test Counters.Gcd_miv p Dt_obs.Trace.Inconclusive
                   "coefficient gcd divides the constant difference");
@@ -656,9 +661,11 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
             |> List.sort (fun a b -> compare (Index.depth a) (Index.depth b))
           in
           let t1 = tick () in
-          match Banerjee.vectors ?metrics ?sink assume range [ p ] ~indices with
+          match
+            Banerjee.vectors ?metrics ?sink ?spans assume range [ p ] ~indices
+          with
           | `Independent as v ->
-              record ~ns:(tock t1) Counters.Banerjee_miv ~indep:true;
+              record ~t0:t1 ~span:false Counters.Banerjee_miv ~indep:true;
               if tracing then begin
                 legacy "  Banerjee on leftover MIV: independent";
                 emit_test Counters.Banerjee_miv p Dt_obs.Trace.Independent
@@ -666,7 +673,7 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
               end;
               raise Proved_independent
           | `Vectors vecs as v ->
-              record ~ns:(tock t1) Counters.Banerjee_miv ~indep:false;
+              record ~t0:t1 ~span:false Counters.Banerjee_miv ~indep:false;
               if tracing then
                 emit_test Counters.Banerjee_miv p Dt_obs.Trace.Dependent
                   (Banerjee.explain v);
@@ -686,6 +693,6 @@ let test ?counters ?metrics ?sink ?trace ?(loops = []) assume range pairs
     with Proved_independent ->
       { verdict = `Independent; passes = !passes; leftover_miv = 0 }
   in
-  record ~ns:(tock t_start) Counters.Delta_test
+  record ~t0:t_start ~span:false Counters.Delta_test
     ~indep:(res.verdict = `Independent);
   res

@@ -30,6 +30,7 @@ val test :
   ?counters:Counters.t ->
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
+  ?spans:Dt_obs.Span.t ->
   ?trace:(string -> unit) ->
   ?loops:Loop.t list ->
   Assume.t ->
@@ -41,7 +42,10 @@ val test :
     indices. [trace] receives a human-readable account of every step (used
     by the Figure-3 walkthrough example); [sink] receives the same account
     as typed {!Dt_obs.Trace} events and [metrics] accumulates per-kind
-    timings. When neither is supplied no trace strings are built.
+    timings. [spans] adds the group to the timeline: one
+    {!Dt_obs.Span.Delta} bracket, one {!Dt_obs.Span.Delta_pass} per
+    constraint-propagation pass, and a leaf span per exact test applied.
+    When no observer is supplied no trace strings are built.
 
     [loops] (the enclosing loops, outermost first) enables the *relational*
     RDIV refinement: combining an RDIV relation [alpha_i = beta_j + c]

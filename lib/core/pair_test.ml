@@ -74,7 +74,7 @@ let rename_snk ~src_loops ~common (snk_loops : Loop.t list)
   in
   (suffix', subs')
 
-let test ?counters ?metrics ?sink ?(strategy = Partition_based)
+let test ?counters ?metrics ?sink ?spans ?(strategy = Partition_based)
     ?(assume = Assume.empty) ~src:(src_ref, src_loops)
     ~snk:(snk_ref, snk_loops) () =
   if src_ref.Aref.base <> snk_ref.Aref.base then
@@ -107,25 +107,31 @@ let test ?counters ?metrics ?sink ?(strategy = Partition_based)
         src_subs snk_subs ([], 0)
   in
   let classes, groups =
-    Dt_obs.Metrics.timed metrics Dt_obs.Metrics.Partition (fun () ->
-        ( List.map (fun p -> Classify.classify ~relevant p) spairs,
-          Classify.partition ~relevant spairs ))
+    Dt_obs.Span.with_ spans Dt_obs.Span.Partition (fun () ->
+        Dt_obs.Metrics.timed metrics Dt_obs.Metrics.Partition (fun () ->
+            ( List.map (fun p -> Classify.classify ~relevant p) spairs,
+              Classify.partition ~relevant spairs )))
   in
   let delta_passes = ref 0 and delta_leftover = ref 0 in
-  let record ?(ns = 0L) k ~indep =
+  let instrumented = metrics <> None || spans <> None in
+  (* [record ~t0] closes the measurement opened by [tick]: one clock
+     read feeds both the metrics total and the timeline leaf. [~span:
+     false] suppresses the leaf when a dedicated span (the Banerjee
+     hierarchy bracket) already covers the same interval. *)
+  let record ?(t0 = 0L) ?(span = true) k ~indep =
     (match counters with Some c -> Counters.record c k ~indep | None -> ());
-    match metrics with
-    | Some m -> Dt_obs.Metrics.record m k ~indep ~ns
-    | None -> ()
+    if instrumented then begin
+      let t1 = Dt_obs.Clock.now_ns () in
+      (match metrics with
+      | Some m -> Dt_obs.Metrics.record m k ~indep ~ns:(Int64.sub t1 t0)
+      | None -> ());
+      match spans with
+      | Some b when span ->
+          Dt_obs.Span.record b (Dt_obs.Span.Test k) ~t0_ns:t0 ~t1_ns:t1
+      | _ -> ()
+    end
   in
-  let tick () =
-    match metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
-  in
-  let tock t0 =
-    match metrics with
-    | Some _ -> Int64.sub (Dt_obs.Metrics.now_ns ()) t0
-    | None -> 0L
-  in
+  let tick () = if instrumented then Dt_obs.Clock.now_ns () else 0L in
   let emit ev =
     match sink with Some sk -> Dt_obs.Trace.emit sk ev | None -> ()
   in
@@ -149,7 +155,7 @@ let test ?counters ?metrics ?sink ?(strategy = Partition_based)
         let symbolic = not (Affine.is_const (Affine.sub p.Spair.snk p.Spair.src)) in
         let ck = if symbolic then Counters.Symbolic_ziv else Counters.Ziv_test in
         let indep = o = Outcome.Independent in
-        record ~ns:(tock t0) ck ~indep;
+        record ~t0 ck ~indep;
         if sink <> None then
           emit_test ck p
             (if indep then Dt_obs.Trace.Independent
@@ -172,7 +178,7 @@ let test ?counters ?metrics ?sink ?(strategy = Partition_based)
           | Classify.General -> Counters.Exact_siv
         in
         let indep = r.Siv.outcome = Outcome.Independent in
-        record ~ns:(tock t0) ck ~indep;
+        record ~t0 ck ~indep;
         if sink <> None then
           emit_test ck p
             (if indep then Dt_obs.Trace.Independent else Dt_obs.Trace.Dependent)
@@ -183,7 +189,7 @@ let test ?counters ?metrics ?sink ?(strategy = Partition_based)
         let t0 = tick () in
         let r = Rdiv.test assume range p ~src:src_index ~snk:snk_index in
         let indep = r.Rdiv.outcome = Outcome.Independent in
-        record ~ns:(tock t0) Counters.Rdiv_test ~indep;
+        record ~t0 Counters.Rdiv_test ~indep;
         if sink <> None then
           emit_test Counters.Rdiv_test p
             (if indep then Dt_obs.Trace.Independent else Dt_obs.Trace.Dependent)
@@ -194,25 +200,27 @@ let test ?counters ?metrics ?sink ?(strategy = Partition_based)
         let t0 = tick () in
         (match Gcd_test.test p with
         | `Independent ->
-            record ~ns:(tock t0) Counters.Gcd_miv ~indep:true;
+            record ~t0 Counters.Gcd_miv ~indep:true;
             emit_test Counters.Gcd_miv p Dt_obs.Trace.Independent
               "coefficient gcd does not divide the constant difference";
             raise (Indep (Some Counters.Gcd_miv))
-        | `Maybe -> record ~ns:(tock t0) Counters.Gcd_miv ~indep:false);
+        | `Maybe -> record ~t0 Counters.Gcd_miv ~indep:false);
         let occurring = Spair.indices p in
         let indices =
           List.filter (fun i -> Index.Set.mem i occurring) common_indices
         in
         let t1 = tick () in
-        match Banerjee.vectors ?metrics ?sink assume range [ p ] ~indices with
+        match
+          Banerjee.vectors ?metrics ?sink ?spans assume range [ p ] ~indices
+        with
         | `Independent as v ->
-            record ~ns:(tock t1) Counters.Banerjee_miv ~indep:true;
+            record ~t0:t1 ~span:false Counters.Banerjee_miv ~indep:true;
             if sink <> None then
               emit_test Counters.Banerjee_miv p Dt_obs.Trace.Independent
                 (Banerjee.explain v);
             raise (Indep (Some Counters.Banerjee_miv))
         | `Vectors vecs as v ->
-            record ~ns:(tock t1) Counters.Banerjee_miv ~indep:false;
+            record ~t0:t1 ~span:false Counters.Banerjee_miv ~indep:false;
             if sink <> None then
               emit_test Counters.Banerjee_miv p Dt_obs.Trace.Dependent
                 (Banerjee.explain v);
@@ -236,8 +244,8 @@ let test ?counters ?metrics ?sink ?(strategy = Partition_based)
           match strategy with
           | Subscript_by_subscript -> (
               match
-                Subscript_wise.test ?counters ?metrics ?sink assume range
-                  spairs ~common:common_indices
+                Subscript_wise.test ?counters ?metrics ?sink ?spans assume
+                  range spairs ~common:common_indices
               with
               | `Independent k -> raise (Indep (Some k))
               | `Dependent parts -> parts)
@@ -259,7 +267,7 @@ let test ?counters ?metrics ?sink ?(strategy = Partition_based)
                          { positions = g.Classify.positions });
                     let r =
                       scoped (fun () ->
-                          Delta.test ?counters ?metrics ?sink
+                          Delta.test ?counters ?metrics ?sink ?spans
                             ~loops:all_loops assume range group_pairs
                             ~relevant)
                     in
@@ -272,6 +280,7 @@ let test ?counters ?metrics ?sink ?(strategy = Partition_based)
               in
               sep_parts @ coup_parts)
     in
+    Dt_obs.Span.with_ spans Dt_obs.Span.Merge @@ fun () ->
     Dt_obs.Metrics.timed metrics Dt_obs.Metrics.Merge (fun () ->
         if List.exists Presult.is_independent parts then raise (Indep None);
         let vec_sets =

@@ -49,6 +49,7 @@ val test :
   ?counters:Counters.t ->
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
+  ?spans:Dt_obs.Span.t ->
   ?strategy:strategy ->
   ?assume:Assume.t ->
   src:Aref.t * Loop.t list ->
@@ -61,4 +62,7 @@ val test :
 
     [metrics] accumulates per-test-kind counts/timings and partition /
     test / merge phase spans; [sink] receives the typed trace of every
-    step (see {!Dt_obs.Trace}). Neither costs anything when omitted. *)
+    step (see {!Dt_obs.Trace}); [spans] receives the timeline —
+    partition and merge brackets, a leaf span per test applied, and the
+    Delta / Banerjee sub-brackets (see {!Dt_obs.Span}). None of them
+    costs anything when omitted. *)

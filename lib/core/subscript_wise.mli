@@ -12,6 +12,7 @@ val test :
   ?counters:Counters.t ->
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
+  ?spans:Dt_obs.Span.t ->
   Assume.t ->
   Range.t ->
   Spair.t list ->

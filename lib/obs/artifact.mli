@@ -1,0 +1,11 @@
+(** Atomic file writes for observability artifacts.
+
+    Traces, metrics snapshots, and Chrome timelines are consumed by
+    other tools ([jq], Perfetto, CI diffs); a run interrupted mid-write
+    must never leave a truncated JSON behind. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path content] writes [content] to [path ^ ".tmp"] and
+    renames it over [path] — readers see either the old file or the
+    complete new one. Raises [Sys_error] as [open_out]/[Sys.rename] do;
+    the temporary file is removed on a write error. *)

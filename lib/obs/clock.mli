@@ -1,0 +1,10 @@
+(** The one monotonic clock every observability layer reads.
+
+    {!Span} timelines, {!Trace} event timestamps, and {!Metrics} phase
+    spans all sample this clock, so their nanosecond values land on a
+    single comparable axis: a trace event's [ts_ns] can be located
+    inside the span that emitted it. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. Never goes backwards; the origin is
+    unspecified (differences are meaningful, absolute values are not). *)

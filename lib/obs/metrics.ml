@@ -16,6 +16,13 @@ let bucket_bounds_ns =
 
 let n_buckets = Array.length bucket_bounds_ns + 1
 
+(* per-domain engine accounting: work executed by one worker domain *)
+type engine_row = {
+  mutable tasks : int;  (* work chunks executed *)
+  mutable busy_ns : int64;  (* time inside chunk bodies *)
+  mutable wait_ns : int64;  (* time blocked on the shared chunk queue *)
+}
+
 type t = {
   applied : int array;  (* per Test_kind.id *)
   indep : int array;
@@ -30,6 +37,8 @@ type t = {
   mutable bj_inc_nodes : int;  (* hierarchy nodes via the incremental path *)
   mutable bj_scratch_nodes : int;  (* nodes re-evaluated from scratch *)
   mutable bj_caps : int;  (* vertex cross products hitting the combo cap *)
+  eng : (int, engine_row) Hashtbl.t;  (* per-domain engine rows *)
+  mutable eng_registries : int;  (* worker registries merged into this one *)
 }
 
 let create () =
@@ -47,9 +56,11 @@ let create () =
     bj_inc_nodes = 0;
     bj_scratch_nodes = 0;
     bj_caps = 0;
+    eng = Hashtbl.create 8;
+    eng_registries = 0;
   }
 
-let now_ns () = Monotonic_clock.now ()
+let now_ns = Clock.now_ns
 
 let record t k ~indep ~ns =
   let i = Test_kind.id k in
@@ -94,6 +105,30 @@ let banerjee_node t ~incremental =
   else t.bj_scratch_nodes <- t.bj_scratch_nodes + 1
 
 let banerjee_cap t = t.bj_caps <- t.bj_caps + 1
+
+let engine_row t domain =
+  match Hashtbl.find_opt t.eng domain with
+  | Some r -> r
+  | None ->
+      let r = { tasks = 0; busy_ns = 0L; wait_ns = 0L } in
+      Hashtbl.replace t.eng domain r;
+      r
+
+let engine_task t ~domain ~ns =
+  let r = engine_row t domain in
+  r.tasks <- r.tasks + 1;
+  r.busy_ns <- Int64.add r.busy_ns ns
+
+let engine_wait t ~domain ~ns =
+  let r = engine_row t domain in
+  r.wait_ns <- Int64.add r.wait_ns ns
+
+let engine_registry t = t.eng_registries <- t.eng_registries + 1
+let engine_registries t = t.eng_registries
+
+let engine_rows t =
+  Hashtbl.fold (fun d r acc -> (d, r.tasks, r.busy_ns, r.wait_ns) :: acc) t.eng []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
 let banerjee_compilations t = t.bj_compile
 let banerjee_incremental_nodes t = t.bj_inc_nodes
 let banerjee_scratch_nodes t = t.bj_scratch_nodes
@@ -124,7 +159,15 @@ let merge_into acc extra =
   acc.bj_compile <- acc.bj_compile + extra.bj_compile;
   acc.bj_inc_nodes <- acc.bj_inc_nodes + extra.bj_inc_nodes;
   acc.bj_scratch_nodes <- acc.bj_scratch_nodes + extra.bj_scratch_nodes;
-  acc.bj_caps <- acc.bj_caps + extra.bj_caps
+  acc.bj_caps <- acc.bj_caps + extra.bj_caps;
+  Hashtbl.iter
+    (fun d (er : engine_row) ->
+      let r = engine_row acc d in
+      r.tasks <- r.tasks + er.tasks;
+      r.busy_ns <- Int64.add r.busy_ns er.busy_ns;
+      r.wait_ns <- Int64.add r.wait_ns er.wait_ns)
+    extra.eng;
+  acc.eng_registries <- acc.eng_registries + extra.eng_registries
 
 let merge a b =
   let t = create () in
@@ -206,6 +249,31 @@ let to_json t =
             ("scratch_nodes", Json.Int t.bj_scratch_nodes);
             ("combo_cap_fallbacks", Json.Int t.bj_caps);
           ] );
+      ( "engine",
+        let rows = engine_rows t in
+        let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
+        let sum64 f = List.fold_left (fun a r -> Int64.add a (f r)) 0L rows in
+        Json.Obj
+          [
+            ("registries", Json.Int t.eng_registries);
+            ( "domains",
+              Json.List
+                (List.map
+                   (fun (d, tasks, busy, wait) ->
+                     Json.Obj
+                       [
+                         ("domain", Json.Int d);
+                         ("tasks", Json.Int tasks);
+                         ("busy_ns", Json.Int (Int64.to_int busy));
+                         ("queue_wait_ns", Json.Int (Int64.to_int wait));
+                       ])
+                   rows) );
+            ("tasks", Json.Int (sum (fun (_, n, _, _) -> n)));
+            ( "busy_ns",
+              Json.Int (Int64.to_int (sum64 (fun (_, _, b, _) -> b))) );
+            ( "queue_wait_ns",
+              Json.Int (Int64.to_int (sum64 (fun (_, _, _, w) -> w))) );
+          ] );
     ]
 
 let us ns = Int64.to_float ns /. 1_000.0
@@ -238,6 +306,18 @@ let pp ppf t =
       "banerjee kernel: %d compiled, %d incremental / %d scratch nodes, %d \
        cap fallback(s)@."
       t.bj_compile t.bj_inc_nodes t.bj_scratch_nodes t.bj_caps;
+  (let rows = engine_rows t in
+   if rows <> [] then begin
+     Format.fprintf ppf "engine: %d worker registr%s merged@."
+       t.eng_registries
+       (if t.eng_registries = 1 then "y" else "ies");
+     List.iter
+       (fun (d, tasks, busy, wait) ->
+         Format.fprintf ppf
+           "  domain %d: %d task(s), busy %.1f us, queue wait %.1f us@." d
+           tasks (us busy) (us wait))
+       rows
+   end);
   Format.fprintf ppf "pair latency:";
   Array.iteri
     (fun i c -> if c > 0 then Format.fprintf ppf " %s:%d" (bucket_label i) c)

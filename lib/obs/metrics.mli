@@ -60,6 +60,24 @@ val banerjee_cap : t -> unit
     cap and conservatively assumed feasibility (see the [banerjee] block
     of {!to_json} and the paired trace note). *)
 
+val engine_task : t -> domain:int -> ns:int64 -> unit
+(** One engine work chunk executed by worker [domain] in [ns]: bump the
+    domain's task count and busy time. *)
+
+val engine_wait : t -> domain:int -> ns:int64 -> unit
+(** Worker [domain] spent [ns] blocked on the shared chunk queue. *)
+
+val engine_registry : t -> unit
+(** One per-worker metrics registry was created for this run; after the
+    engine's deterministic merge the total counts the workers that
+    participated. *)
+
+val engine_registries : t -> int
+
+val engine_rows : t -> (int * int * int64 * int64) list
+(** [(domain, tasks, busy_ns, queue_wait_ns)] per domain that executed
+    work, sorted by domain id. Empty when the engine never reported. *)
+
 val banerjee_compilations : t -> int
 val banerjee_incremental_nodes : t -> int
 val banerjee_scratch_nodes : t -> int
@@ -90,9 +108,11 @@ val to_json : t -> Json.t
 (** The metrics snapshot: schema ["deptest-metrics/1"], per-kind
     [tests] rows (kind, name, applied, independent, total_ns), [phases]
     totals, [pairs] with the latency histogram, [cache]
-    hits/misses/hit_rate, and [banerjee] kernel counters
+    hits/misses/hit_rate, [banerjee] kernel counters
     (kernel_compilations, incremental_nodes, scratch_nodes,
-    combo_cap_fallbacks) — see README. *)
+    combo_cap_fallbacks), and the [engine] block (merged registries,
+    per-domain tasks / busy_ns / queue_wait_ns rows plus totals) — see
+    README. *)
 
 val pp : Format.formatter -> t -> unit
 (** The per-kind time/count table — the §6 Table-3 shape with wall-clock

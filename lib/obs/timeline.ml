@@ -1,0 +1,119 @@
+let min_t0 spans =
+  Array.fold_left
+    (fun acc (s : Span.span) ->
+      if Int64.compare s.Span.t0_ns acc < 0 then s.Span.t0_ns else acc)
+    (if Array.length spans = 0 then 0L else spans.(0).Span.t0_ns)
+    spans
+
+let domains spans =
+  Array.fold_left
+    (fun acc (s : Span.span) ->
+      if List.mem s.Span.domain acc then acc else s.Span.domain :: acc)
+    [] spans
+  |> List.sort compare
+
+let us_of_ns ns = Int64.to_float ns /. 1_000.0
+
+let to_chrome ?(process = "deptest") spans =
+  let t0 = min_t0 spans in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String process) ]);
+      ]
+    :: List.map
+         (fun d ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int d);
+               ( "args",
+                 Json.Obj
+                   [ ("name", Json.String (Printf.sprintf "domain %d" d)) ] );
+             ])
+         (domains spans)
+  in
+  (* complete ("X") events sorted by begin time; the sort is stable, so
+     within one tid the buffer's append order — which is begin order —
+     is preserved and Perfetto reconstructs the nesting *)
+  let order = Array.init (Array.length spans) Fun.id in
+  Array.stable_sort
+    (fun a b -> Int64.compare spans.(a).Span.t0_ns spans.(b).Span.t0_ns)
+    order;
+  let events =
+    Array.to_list
+      (Array.map
+         (fun i ->
+           let s = spans.(i) in
+           let args =
+             (if s.Span.minor_words <> 0. then
+                [ ("gc_minor_words", Json.Float s.Span.minor_words) ]
+              else [])
+             @
+             if s.Span.major_words <> 0. then
+               [ ("gc_major_words", Json.Float s.Span.major_words) ]
+             else []
+           in
+           Json.Obj
+             ([
+                ("name", Json.String (Span.kind_name s.Span.kind));
+                ("cat", Json.String "deptest");
+                ("ph", Json.String "X");
+                ("pid", Json.Int 1);
+                ("tid", Json.Int s.Span.domain);
+                ("ts", Json.Float (us_of_ns (Int64.sub s.Span.t0_ns t0)));
+                ("dur", Json.Float (us_of_ns (Span.dur_ns s)));
+              ]
+             @ if args = [] then [] else [ ("args", Json.Obj args) ]))
+         order)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ events));
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* folded stacks (flamegraph.pl input): one line per distinct stack,
+   "domainD;outer;...;leaf self_ns" with self time as the sample count *)
+
+let to_folded spans =
+  let n = Array.length spans in
+  (* self ns = dur - sum of direct children's durations *)
+  let child_ns = Array.make n 0L in
+  Array.iter
+    (fun (s : Span.span) ->
+      if s.Span.parent >= 0 then
+        child_ns.(s.Span.parent) <-
+          Int64.add child_ns.(s.Span.parent) (Span.dur_ns s))
+    spans;
+  let stack i =
+    let rec go i acc =
+      if i < 0 then acc
+      else go spans.(i).Span.parent (Span.kind_name spans.(i).Span.kind :: acc)
+    in
+    Printf.sprintf "domain%d;%s" spans.(i).Span.domain
+      (String.concat ";" (go i []))
+  in
+  let totals = Hashtbl.create 64 in
+  Array.iteri
+    (fun i s ->
+      let self = Int64.sub (Span.dur_ns s) child_ns.(i) in
+      let self = if Int64.compare self 0L < 0 then 0L else self in
+      if Int64.compare self 0L > 0 then begin
+        let key = stack i in
+        let prev = Option.value (Hashtbl.find_opt totals key) ~default:0L in
+        Hashtbl.replace totals key (Int64.add prev self)
+      end)
+    spans;
+  let lines =
+    Hashtbl.fold (fun k v acc -> Printf.sprintf "%s %Ld" k v :: acc) totals []
+  in
+  String.concat "\n" (List.sort compare lines)
+  ^ if lines = [] then "" else "\n"

@@ -1,0 +1,22 @@
+(** Exporters for merged {!Span} timelines.
+
+    Two formats, both derived from the same {!Span.spans} array:
+
+    - {!to_chrome}: Chrome trace-event JSON ([traceEvents] with complete
+      ["X"] events), loadable in Perfetto / [chrome://tracing]. One
+      [tid] row per engine domain, timestamps in microseconds relative
+      to the earliest span, Gc word deltas as event [args].
+    - {!to_folded}: folded-stack text for Brendan Gregg's
+      [flamegraph.pl] — one line per distinct stack with the span's
+      *self* nanoseconds (duration minus direct children) as the sample
+      count. *)
+
+val to_chrome : ?process:string -> Span.span array -> Json.t
+(** [process] names the trace's single process (default ["deptest"]).
+    Events are sorted by begin time (stable, so per-tid nesting order is
+    preserved); a metadata ["M"] event names the process and each
+    domain's thread row. *)
+
+val to_folded : Span.span array -> string
+(** Lines are sorted (deterministic output); stacks with zero self time
+    are omitted. Suitable as [flamegraph.pl --countname=ns] input. *)

@@ -20,8 +20,19 @@ type event =
   | Verdict of { independent : bool; reason : string }
   | Note of string
 
+(* one emitted event: instant by construction ([dur_ns = 0]); when a
+   {!scope} closes, the scope's opening event receives the elapsed time
+   as its duration, putting trace events on the same clock axis as the
+   {!Span} timeline *)
+type cell = {
+  depth : int;
+  ts_ns : int64;
+  mutable dur_ns : int64;
+  ev : event;
+}
+
 type sink = {
-  mutable rev_events : (int * event) list;  (* (depth, event), newest first *)
+  mutable rev_events : cell list;  (* newest first *)
   mutable depth : int;
   mutable count : int;
 }
@@ -29,15 +40,33 @@ type sink = {
 let make () = { rev_events = []; depth = 0; count = 0 }
 
 let emit s ev =
-  s.rev_events <- (s.depth, ev) :: s.rev_events;
+  s.rev_events <-
+    { depth = s.depth; ts_ns = Clock.now_ns (); dur_ns = 0L; ev }
+    :: s.rev_events;
   s.count <- s.count + 1
 
 let scope s f =
+  (* the most recent event opened this scope: when the scope ends, it
+     gets the elapsed time as its duration *)
+  let opener = match s.rev_events with [] -> None | c :: _ -> Some c in
   s.depth <- s.depth + 1;
-  Fun.protect ~finally:(fun () -> s.depth <- s.depth - 1) f
+  Fun.protect
+    ~finally:(fun () ->
+      s.depth <- s.depth - 1;
+      match opener with
+      | Some c -> c.dur_ns <- Int64.sub (Clock.now_ns ()) c.ts_ns
+      | None -> ())
+    f
 
-let events_with_depth s = List.rev s.rev_events
-let events s = List.rev_map snd s.rev_events
+let cells s = List.rev s.rev_events
+
+let events_with_depth s =
+  List.rev_map (fun (c : cell) -> (c.depth, c.ev)) s.rev_events
+
+let events s = List.rev_map (fun (c : cell) -> c.ev) s.rev_events
+
+let events_timed s =
+  List.map (fun (c : cell) -> (c.ev, c.ts_ns, c.dur_ns)) (cells s)
 
 type node = { event : event; children : node list }
 
@@ -102,11 +131,14 @@ let pp_tree ppf s =
 (* ------------------------------------------------------------------ *)
 (* JSONL export                                                        *)
 
-let event_to_json ~seq ~depth ev =
+let event_to_json ~seq ~depth ?(ts_ns = 0L) ?(dur_ns = 0L) ev =
   let base ty fields =
     Json.Obj
-      ((("seq", Json.Int seq) :: ("depth", Json.Int depth)
-       :: ("type", Json.String ty) :: fields))
+      (("seq", Json.Int seq) :: ("depth", Json.Int depth)
+      :: ("type", Json.String ty)
+      :: ("ts_ns", Json.Int (Int64.to_int ts_ns))
+      :: ("dur_ns", Json.Int (Int64.to_int dur_ns))
+      :: fields)
   in
   match ev with
   | Pair_start { array; src_stmt; snk_stmt } ->
@@ -153,9 +185,15 @@ let event_to_json ~seq ~depth ev =
 
 let to_jsonl s =
   let buf = Buffer.create 4096 in
+  (* timestamps are relative to the first event, so the artifact is
+     stable to read and diff across runs *)
+  let t0 = match cells s with [] -> 0L | (c : cell) :: _ -> c.ts_ns in
   List.iteri
-    (fun seq (depth, ev) ->
-      Buffer.add_string buf (Json.to_string (event_to_json ~seq ~depth ev));
+    (fun seq (c : cell) ->
+      Buffer.add_string buf
+        (Json.to_string
+           (event_to_json ~seq ~depth:c.depth
+              ~ts_ns:(Int64.sub c.ts_ns t0) ~dur_ns:c.dur_ns c.ev));
       Buffer.add_char buf '\n')
-    (events_with_depth s);
+    (cells s);
   Buffer.contents buf

@@ -63,6 +63,12 @@ val events : sink -> event list
 
 val events_with_depth : sink -> (int * event) list
 
+val events_timed : sink -> (event * int64 * int64) list
+(** [(event, ts_ns, dur_ns)] in emission order. [ts_ns] is the absolute
+    {!Clock.now_ns} sample at emission (same clock as {!Span});
+    [dur_ns] is [0] for instant events and the elapsed scope time for
+    events that opened a {!scope}. *)
+
 type node = { event : event; children : node list }
 
 val tree : sink -> node list
@@ -75,9 +81,13 @@ val pp_tree : Format.formatter -> sink -> unit
 (** The human-readable explain rendering: one line per event, indented
     two spaces per nesting level. *)
 
-val event_to_json : seq:int -> depth:int -> event -> Json.t
+val event_to_json :
+  seq:int -> depth:int -> ?ts_ns:int64 -> ?dur_ns:int64 -> event -> Json.t
 
 val to_jsonl : sink -> string
-(** One JSON object per line per event, in emission order. Schema:
-    every line has ["seq"], ["depth"], ["type"]; the remaining fields
-    mirror the event payload (see README). *)
+(** One JSON object per line per event, in emission order
+    ([deptest-trace/2]). Every line has ["seq"], ["depth"], ["type"],
+    ["ts_ns"] (nanoseconds since the sink's first event, monotonic
+    clock shared with {!Span}), and ["dur_ns"] (scope duration for
+    events that opened one, [0] otherwise); the remaining fields mirror
+    the event payload (see README). *)

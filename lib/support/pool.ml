@@ -1,22 +1,53 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 
-let sequential ~n ~state ~body =
+type probe = {
+  worker_start : int -> unit;
+  worker_stop : int -> unit;
+  wait_start : int -> unit;
+  wait_stop : int -> unit;
+  task_start : int -> unit;
+  task_stop : int -> unit;
+}
+
+let no_probe =
+  let nop _ = () in
+  {
+    worker_start = nop;
+    worker_stop = nop;
+    wait_start = nop;
+    wait_stop = nop;
+    task_start = nop;
+    task_stop = nop;
+  }
+
+let sequential ~probe ~n ~state ~body =
   let st = state 0 in
-  for i = 0 to n - 1 do
-    body st i
-  done;
+  (* the whole index loop is one task on worker 0: the engine metrics
+     see the same busy-time accounting shape at every jobs setting
+     (queue wait is identically zero here) *)
+  probe.worker_start 0;
+  probe.task_start 0;
+  Fun.protect
+    ~finally:(fun () ->
+      probe.task_stop 0;
+      probe.worker_stop 0)
+    (fun () ->
+      for i = 0 to n - 1 do
+        body st i
+      done);
   [ st ]
 
 let default_chunk ~jobs ~n =
   let c = n / (jobs * 8) in
   if c < 1 then 1 else if c > 64 then 64 else c
 
-let parallel_for ?(jobs = 0) ?chunk ~n ~state ~body () =
+let parallel_for ?(jobs = 0) ?chunk ?probe ~n ~state ~body () =
+  let probe = Option.value probe ~default:no_probe in
   if n <= 0 then []
   else
     let jobs = if jobs <= 0 then recommended_jobs () else jobs in
     let jobs = min jobs n in
-    if jobs <= 1 || n <= 1 then sequential ~n ~state ~body
+    if jobs <= 1 || n <= 1 then sequential ~probe ~n ~state ~body
     else begin
       let chunk =
         match chunk with
@@ -38,19 +69,26 @@ let parallel_for ?(jobs = 0) ?chunk ~n ~state ~body () =
             fail w e;
             None
         | st ->
+            probe.worker_start w;
             (try
                let continue = ref true in
                while !continue do
+                 probe.wait_start w;
                  let k = Atomic.fetch_and_add next 1 in
+                 probe.wait_stop w;
                  if k >= n_chunks then continue := false
-                 else
+                 else begin
                    let lo = k * chunk in
                    let hi = min n (lo + chunk) - 1 in
+                   probe.task_start w;
                    for i = lo to hi do
                      body st i
-                   done
+                   done;
+                   probe.task_stop w
+                 end
                done
              with e -> fail w e);
+            probe.worker_stop w;
             Some st
       in
       let domains =

@@ -18,9 +18,25 @@
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+type probe = {
+  worker_start : int -> unit;  (** worker [w] begins its loop *)
+  worker_stop : int -> unit;  (** worker [w] finished (normal exit) *)
+  wait_start : int -> unit;  (** worker [w] is about to poll the queue *)
+  wait_stop : int -> unit;  (** worker [w] obtained a chunk (or the end) *)
+  task_start : int -> unit;  (** worker [w] begins executing a chunk *)
+  task_stop : int -> unit;  (** worker [w] finished the chunk *)
+}
+(** Per-worker accounting brackets, called from the worker's own domain
+    — an implementation must only touch per-worker state (the engine
+    hands each worker its own metrics registry and span buffer). On the
+    sequential path the whole loop is bracketed as one task on worker 0
+    with no queue waits; on an exception the failing worker's open
+    brackets are simply never closed. *)
+
 val parallel_for :
   ?jobs:int ->
   ?chunk:int ->
+  ?probe:probe ->
   n:int ->
   state:(int -> 'w) ->
   body:('w -> int -> unit) ->

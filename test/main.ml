@@ -25,6 +25,7 @@ let () =
       ("extras", Test_extras.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
+      ("span", Test_span.suite);
       ("emit", Test_emit.suite);
       ("semantics", Test_semantics.suite);
       ("properties", Test_properties.suite);
