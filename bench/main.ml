@@ -720,6 +720,132 @@ let obs_timeline () =
         | Error e -> Printf.printf "obs baseline diff skipped: %s\n" e)
     | _ -> print_endline "obs baseline diff skipped: unreadable JSON"
 
+(* ------------------------------------------------------------------ *)
+(* guard benchmark: cost and behavior of the robustness layer. Every
+   arithmetic site on the verdict path is overflow-checked now, so the
+   cost figure is the guarded Banerjee ns/node against the checked-in
+   pre-guard baseline (target: within 5%; CI separately enforces a 25%
+   ceiling on the same figure). The behavior figures are the degradation
+   counters: zero over a clean corpus pass, non-zero under deterministic
+   fault injection and under a one-node starvation budget. Writes
+   BENCH_guard.json. *)
+
+let guard_reasons m =
+  Dt_obs.Json.Obj
+    [
+      ("overflow", Dt_obs.Json.Int (Dt_obs.Metrics.degraded_by m `Overflow));
+      ("exception", Dt_obs.Json.Int (Dt_obs.Metrics.degraded_by m `Exception));
+      ("budget", Dt_obs.Json.Int (Dt_obs.Metrics.degraded_by m `Budget));
+    ]
+
+let guard_bench () =
+  let repeat = engine_repeat () in
+  let queries = bj_queries () in
+  let synth_once m = bj_render_queries m queries in
+  let inc = bj_measure ~reference:false ~repeat synth_once in
+  let refl = bj_measure ~reference:true ~repeat synth_once in
+  let inc_npn, _, _ = bj_leg_json inc in
+  let ref_npn, _, _ = bj_leg_json refl in
+  let baseline_npn =
+    if Sys.file_exists "bench/banerjee_baseline.json" then
+      match Dt_obs.Json.of_string (read_file "bench/banerjee_baseline.json") with
+      | Ok j -> (
+          match Dt_obs.Json.member "ns_per_node" j with
+          | Some (Dt_obs.Json.Float f) -> Some f
+          | Some (Dt_obs.Json.Int i) -> Some (float_of_int i)
+          | _ -> None)
+      | Error _ -> None
+    else None
+  in
+  let overhead =
+    match baseline_npn with
+    | Some b when b > 0.0 -> Some ((inc_npn -. b) /. b)
+    | _ -> None
+  in
+  let progs =
+    List.concat_map
+      (fun (e : Dt_workloads.Corpus.entry) -> Dt_workloads.Corpus.programs e)
+      Dt_workloads.Corpus.all
+  in
+  let corpus_pass cfg_of =
+    let m = Dt_obs.Metrics.create () in
+    List.iter (fun p -> ignore (Deptest.Analyze.run (cfg_of m) p)) progs;
+    m
+  in
+  let plain m = Deptest.Analyze.Config.make ~jobs:1 ~cache:false ~metrics:m () in
+  let clean_m = corpus_pass plain in
+  let inject_period = 7 in
+  let inj_m =
+    Fun.protect ~finally:Dt_guard.Inject.disable (fun () ->
+        Dt_guard.Inject.enable ~period:inject_period
+          [ Dt_guard.Inject.Overflow; Dt_guard.Inject.Exception ];
+        corpus_pass plain)
+  in
+  let bud_m =
+    corpus_pass (fun m ->
+        Deptest.Analyze.Config.make ~jobs:1 ~cache:false ~metrics:m ~budget:1 ())
+  in
+  let clean_n = Dt_obs.Metrics.degraded_pairs clean_m
+  and inj_n = Dt_obs.Metrics.degraded_pairs inj_m
+  and bud_n = Dt_obs.Metrics.degraded_pairs bud_m in
+  Printf.printf "\n== guard: checked arithmetic and degradation (min of %d) ==\n"
+    repeat;
+  Printf.printf "  guarded ns/node: incremental %8.1f   reference %8.1f\n"
+    inc_npn ref_npn;
+  (match (baseline_npn, overhead) with
+  | Some b, Some o ->
+      Printf.printf "  vs pre-guard baseline %.1f ns/node: %+.1f%%%s\n" b
+        (100.0 *. o)
+        (if o > 0.05 then "  (above the 5% target)" else "")
+  | _ -> print_endline "  no banerjee baseline found; overhead not computed");
+  Printf.printf
+    "  degraded pairs: clean %d, injected(period=%d) %d, budget=1 %d\n" clean_n
+    inject_period inj_n bud_n;
+  let json =
+    Dt_obs.Json.Obj
+      [
+        ("schema", Dt_obs.Json.String "deptest-guard/1");
+        ("repeat", Dt_obs.Json.Int repeat);
+        ("ns_per_node", Dt_obs.Json.Float inc_npn);
+        ("reference_ns_per_node", Dt_obs.Json.Float ref_npn);
+        ( "baseline_ns_per_node",
+          match baseline_npn with
+          | Some b -> Dt_obs.Json.Float b
+          | None -> Dt_obs.Json.Null );
+        ( "overhead_vs_baseline",
+          match overhead with
+          | Some o -> Dt_obs.Json.Float o
+          | None -> Dt_obs.Json.Null );
+        ( "clean",
+          Dt_obs.Json.Obj
+            [ ("degraded", Dt_obs.Json.Int clean_n);
+              ("by_reason", guard_reasons clean_m) ] );
+        ( "injected",
+          Dt_obs.Json.Obj
+            [
+              ("degraded", Dt_obs.Json.Int inj_n);
+              ("period", Dt_obs.Json.Int inject_period);
+              ("by_reason", guard_reasons inj_m);
+            ] );
+        ( "budget",
+          Dt_obs.Json.Obj
+            [ ("fuel", Dt_obs.Json.Int 1);
+              ("degraded", Dt_obs.Json.Int bud_n);
+              ("by_reason", guard_reasons bud_m) ] );
+      ]
+  in
+  Dt_obs.Artifact.write_atomic "BENCH_guard.json"
+    (Dt_obs.Json.to_string json ^ "\n");
+  print_endline "guard benchmark written to BENCH_guard.json";
+  if clean_n <> 0 then begin
+    prerr_endline "bench: FATAL: clean corpus pass degraded reference pairs";
+    exit 1
+  end;
+  if inj_n = 0 then begin
+    prerr_endline "bench: FATAL: fault injection produced no degradations";
+    exit 1
+  end
+
 let is_infix ~affix s =
   let na = String.length affix and ns = String.length s in
   let rec go i = i + na <= ns && (String.sub s i na = affix || go (i + 1)) in
@@ -730,6 +856,7 @@ let () =
   print_tables ();
   engine_bench ();
   banerjee_bench ();
+  guard_bench ();
   obs_timeline ();
   if not tables_only then begin
     let micro = run_suite ~name:"per-test microbenchmarks (Tables 2-3 tests)" micro_tests in

@@ -112,6 +112,36 @@ let no_cache_arg =
           "Disable the structural memo cache (identical reference-pair \
            shapes re-run the full test cascade).")
 
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit 3 if any reference pair was degraded to the conservative \
+           full direction-vector verdict (overflow, contained exception, \
+           or exhausted budget/deadline). Without this flag degraded \
+           pairs are reported but the run still exits 0.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"N"
+        ~doc:
+          "Per-reference-pair work budget, in Banerjee hierarchy-node \
+           evaluations; a pair exceeding it degrades to the conservative \
+           verdict instead of running unboundedly.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline per analyzed routine, in milliseconds; \
+           pairs starting after it degrade conservatively without being \
+           tested.")
+
 let explain_arg =
   Arg.(
     value & flag
@@ -175,11 +205,12 @@ let export_timeline chrome flame profiler =
 
 let analyze_cmd =
   let run file strategy inputs bindings explain trace_file jobs no_cache
-      chrome flame =
+      strict budget deadline_ms chrome flame =
     let profiler = make_profiler chrome flame in
     let trace_buf =
       match trace_file with None -> None | Some _ -> Some (Buffer.create 4096)
     in
+    let degraded_total = ref 0 in
     (each file @@ fun prog ->
      let prog =
        if bindings = [] then prog
@@ -191,7 +222,7 @@ let analyze_cmd =
      in
      let cfg =
        Deptest.Analyze.Config.make ~strategy ~include_inputs:inputs ~jobs
-         ~cache:(not no_cache) ?sink ?profiler ()
+         ~cache:(not no_cache) ?sink ?profiler ?budget ?deadline_ms ()
      in
      let r = Deptest.Analyze.run cfg prog in
      Format.printf "%a@." Dt_ir.Nest.pp prog;
@@ -207,19 +238,45 @@ let analyze_cmd =
          | Some b -> Buffer.add_string b (Dt_obs.Trace.to_jsonl sk)
          | None -> ())
      | None -> ());
+     let degraded =
+       List.filter
+         (fun (p : Deptest.Analyze.pair_record) ->
+           p.Deptest.Analyze.meta.Deptest.Pair_test.degraded <> None)
+         r.Deptest.Analyze.pairs
+     in
+     degraded_total := !degraded_total + List.length degraded;
+     List.iter
+       (fun (p : Deptest.Analyze.pair_record) ->
+         match p.Deptest.Analyze.meta.Deptest.Pair_test.degraded with
+         | Some reason ->
+             Format.printf
+               "warning: %s S%d/S%d degraded conservatively (%s)@."
+               p.Deptest.Analyze.array p.Deptest.Analyze.src_stmt
+               p.Deptest.Analyze.snk_stmt
+               (Dt_guard.Degrade.to_string reason)
+         | None -> ())
+       degraded;
      Format.printf "@.-- tests applied --@.%a" Deptest.Counters.pp
        r.Deptest.Analyze.counters);
     (match (trace_file, trace_buf) with
     | Some f, Some b -> write_artifact f (Buffer.contents b)
     | _ -> ());
-    export_timeline chrome flame profiler
+    export_timeline chrome flame profiler;
+    (* exit 3: sound-but-degraded, distinct from analysis failure (1)
+       and load error (2) *)
+    if strict && !degraded_total > 0 then begin
+      Printf.eprintf
+        "strict mode: %d reference pair(s) degraded conservatively\n"
+        !degraded_total;
+      exit 3
+    end
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Print all data dependences of a program")
     Term.(
       const run $ file_arg $ strategy_arg $ inputs_arg $ bind_arg
-      $ explain_arg $ trace_arg $ jobs_arg $ no_cache_arg $ chrome_arg
-      $ flame_arg)
+      $ explain_arg $ trace_arg $ jobs_arg $ no_cache_arg $ strict_arg
+      $ budget_arg $ deadline_arg $ chrome_arg $ flame_arg)
 
 let parallel_cmd =
   let run file =
@@ -518,4 +575,9 @@ let main =
       corpus_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* opt-in deterministic fault injection (DEPTEST_INJECT=overflow,...);
+     only the CLI reads the environment, so library behavior stays
+     env-independent *)
+  Dt_guard.Inject.from_env ();
+  exit (Cmd.eval main)

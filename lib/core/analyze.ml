@@ -13,11 +13,13 @@ module Config = struct
     metrics : Dt_obs.Metrics.t option;
     sink : Dt_obs.Trace.sink option;
     profiler : Dt_obs.Span.profiler option;
+    budget : int option;  (* per-pair fuel, Banerjee nodes *)
+    deadline_ms : int option;  (* wall-clock cap for the whole analysis *)
   }
 
   let make ?(strategy = Pair_test.Partition_based) ?(include_inputs = false)
       ?(assume = Assume.empty) ?(jobs = 0) ?(cache = true) ?metrics ?sink
-      ?profiler () =
+      ?profiler ?budget ?deadline_ms () =
     {
       strategy;
       include_inputs;
@@ -27,6 +29,8 @@ module Config = struct
       metrics;
       sink;
       profiler;
+      budget;
+      deadline_ms;
     }
 
   let default = make ()
@@ -41,11 +45,15 @@ module Config = struct
   let with_metrics metrics t = { t with metrics }
   let with_sink sink t = { t with sink }
   let with_profiler profiler t = { t with profiler }
+  let with_budget budget t = { t with budget }
+  let with_deadline_ms deadline_ms t = { t with deadline_ms }
   let profiler t = t.profiler
   let strategy t = t.strategy
   let include_inputs t = t.include_inputs
   let assume t = t.assume
   let jobs t = t.jobs
+  let budget t = t.budget
+  let deadline_ms t = t.deadline_ms
   let cache_enabled t = t.cache <> None
 
   let cache_stats t =
@@ -174,8 +182,25 @@ let run (cfg : Config.t) prog =
     metrics;
     sink;
     profiler;
+    budget = fuel;
+    deadline_ms;
   } =
     cfg
+  in
+  (* the deadline is absolute: fixed before any pair runs, checked at
+     each pair's start. [deadline_ms = 0] therefore degrades every pair
+     deterministically — the harness relies on that. *)
+  let deadline_ns =
+    Option.map
+      (fun ms ->
+        Int64.add (Dt_obs.Clock.now_ns ())
+          (Int64.mul (Int64.of_int ms) 1_000_000L))
+      deadline_ms
+  in
+  let past_deadline () =
+    match deadline_ns with
+    | Some d -> Int64.compare (Dt_obs.Clock.now_ns ()) d >= 0
+    | None -> false
   in
   (* worker 0 runs in the calling domain, so the analysis-level brackets
      and worker 0's per-pair spans share buffer 0 and nest naturally *)
@@ -225,6 +250,23 @@ let run (cfg : Config.t) prog =
            src_stmt = a1.Stmt.stmt.Stmt.id;
            snk_stmt = a2.Stmt.stmt.Stmt.id;
          });
+    if past_deadline () then begin
+      (* over the wall-clock cap: the pair is not tested at all, only
+         widened. Never cached — a later run with more time must retest. *)
+      let r =
+        Pair_test.degraded_result
+          ~src:(a1.Stmt.aref, loops1)
+          ~snk:(a2.Stmt.aref, loops2)
+          Dt_guard.Degrade.Budget
+      in
+      (match w.metrics with
+      | Some m -> Dt_obs.Metrics.degraded m `Budget
+      | None -> ());
+      emit (Dt_obs.Trace.Note "analysis deadline passed: pair degraded");
+      results.(i) <- Some r
+    end
+    else begin
+    let budget = Option.map Dt_guard.Budget.make fuel in
     let t0 =
       match w.metrics with Some _ -> Dt_obs.Metrics.now_ns () | None -> 0L
     in
@@ -235,7 +277,7 @@ let run (cfg : Config.t) prog =
             match cache with
             | None ->
                 Pair_test.test ~counters:w.counters ?metrics:w.metrics ?sink
-                  ?spans:w.spans ~strategy ~assume
+                  ?spans:w.spans ?budget ~strategy ~assume
                   ~src:(a1.Stmt.aref, loops1)
                   ~snk:(a2.Stmt.aref, loops2)
                   ()
@@ -265,12 +307,15 @@ let run (cfg : Config.t) prog =
                     let local = Counters.create () in
                     let r =
                       Pair_test.test ~counters:local ?metrics:w.metrics ?sink
-                        ?spans:w.spans ~strategy ~assume
+                        ?spans:w.spans ?budget ~strategy ~assume
                         ~src:(a1.Stmt.aref, loops1)
                         ~snk:(a2.Stmt.aref, loops2)
                         ()
                     in
-                    Pair_cache.store c key ~counters:local r;
+                    (* a degraded verdict reflects a fault or a spent
+                       budget, not the pair's shape: never memoize it *)
+                    if r.Pair_test.meta.Pair_test.degraded = None then
+                      Pair_cache.store c key ~counters:local r;
                     Counters.merge_into w.counters local;
                     r)
           in
@@ -300,6 +345,39 @@ let run (cfg : Config.t) prog =
           ~ns:(Int64.sub (Dt_obs.Metrics.now_ns ()) t0)
     | None -> ());
     results.(i) <- Some r
+    end
+  in
+  (* engine-level backstop: a task that somehow raises outside
+     [Pair_test.test]'s own containment (a fault in the cache or trace
+     path, an injected engine fault) is contained per task — the other
+     pairs keep running and the faulty pair is widened. *)
+  let on_error w i e =
+    match e with
+    | Out_of_memory -> raise e
+    | e ->
+        let reason =
+          match e with
+          | Dt_guard.Ops.Overflow -> Dt_guard.Degrade.Overflow
+          | Dt_guard.Budget.Exhausted -> Dt_guard.Degrade.Budget
+          | Dt_guard.Inject.Injected site ->
+              Dt_guard.Degrade.Exception ("injected fault at " ^ site)
+          | e -> Dt_guard.Degrade.Exception (Printexc.to_string e)
+        in
+        let { left = (a1 : Stmt.access), loops1;
+              right = (a2 : Stmt.access), loops2;
+              _ } =
+          sites.(i)
+        in
+        let r =
+          Pair_test.degraded_result
+            ~src:(a1.Stmt.aref, loops1)
+            ~snk:(a2.Stmt.aref, loops2)
+            reason
+        in
+        (match w.metrics with
+        | Some m -> Dt_obs.Metrics.degraded m (Dt_guard.Degrade.tag reason)
+        | None -> ());
+        results.(i) <- Some r
   in
   (* mirror [Pool.parallel_for]'s worker-count resolution so the states
      (and their span buffers / engine registries) can be created eagerly,
@@ -380,7 +458,7 @@ let run (cfg : Config.t) prog =
   in
   let workers =
     Dt_obs.Span.with_ main_buf Dt_obs.Span.Test_phase (fun () ->
-        Dt_support.Pool.parallel_for ~jobs ~n ?probe
+        Dt_support.Pool.parallel_for ~jobs ~n ?probe ~on_error
           ~state:(fun w -> wres.(w))
           ~body:test_site ())
   in
@@ -500,6 +578,8 @@ let config_of_options { strategy; include_inputs; assume } ?metrics ?sink () =
     metrics;
     sink;
     profiler = None;
+    budget = None;
+    deadline_ms = None;
   }
 
 let program ?(options = default_options) ?metrics ?sink prog =

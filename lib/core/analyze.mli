@@ -32,18 +32,30 @@ module Config : sig
     ?metrics:Dt_obs.Metrics.t ->
     ?sink:Dt_obs.Trace.sink ->
     ?profiler:Dt_obs.Span.profiler ->
+    ?budget:int ->
+    ?deadline_ms:int ->
     unit ->
     t
   (** Defaults: [Partition_based], no input dependences, empty assume,
       [jobs = 0] (auto: one worker per recommended domain, but small
       nests — fewer than ~256 reference pairs, where a Domain spawn
       would cost more than the testing work — run sequentially), cache
-      on, no metrics, no sink, no profiler. An explicit [jobs >= 1] is
-      honored literally. A trace sink forces sequential execution — a
-      trace is an ordered narrative. A profiler does {e not} constrain
-      the schedule: each worker domain records into its own span buffer
-      and the buffers merge deterministically afterwards (see
-      {!Dt_obs.Span}). *)
+      on, no metrics, no sink, no profiler, no budget, no deadline. An
+      explicit [jobs >= 1] is honored literally. A trace sink forces
+      sequential execution — a trace is an ordered narrative. A profiler
+      does {e not} constrain the schedule: each worker domain records
+      into its own span buffer and the buffers merge deterministically
+      afterwards (see {!Dt_obs.Span}).
+
+      [budget] caps the work per reference pair (in Banerjee
+      hierarchy-node evaluations); a pair that exhausts it degrades to
+      the conservative full direction-vector verdict. [deadline_ms]
+      caps the whole analysis' wall clock: the deadline is fixed when
+      {!run} starts and every pair beginning after it degrades without
+      being tested ([deadline_ms = 0] degrades every pair —
+      deterministic, used by the fault harness). Both degradations are
+      counted in the metrics' guard block and recorded in the pair's
+      [meta.degraded]; degraded verdicts are never cached. *)
 
   val default : t
   (** [make ()] evaluated once: note that every [run default] therefore
@@ -59,12 +71,16 @@ module Config : sig
   val with_metrics : Dt_obs.Metrics.t option -> t -> t
   val with_sink : Dt_obs.Trace.sink option -> t -> t
   val with_profiler : Dt_obs.Span.profiler option -> t -> t
+  val with_budget : int option -> t -> t
+  val with_deadline_ms : int option -> t -> t
 
   val profiler : t -> Dt_obs.Span.profiler option
   val strategy : t -> Pair_test.strategy
   val include_inputs : t -> bool
   val assume : t -> Assume.t
   val jobs : t -> int
+  val budget : t -> int option
+  val deadline_ms : t -> int option
   val cache_enabled : t -> bool
 
   val cache_stats : t -> (int * int) option

@@ -1,5 +1,8 @@
 open Dt_ir
 open Dt_support
+module Ops = Dt_guard.Ops
+
+let inject_node = Dt_guard.Inject.register "banerjee.node"
 
 (* ------------------------------------------------------------------ *)
 (* Vertex enumeration, shared by the compiled evaluator and the
@@ -54,7 +57,9 @@ let use_reference = ref false
    reachable via [use_reference]. *)
 
 module Reference = struct
-  let feasible ?metrics assume range (p : Spair.t) ~dirs =
+  let feasible ?metrics ?budget assume range (p : Spair.t) ~dirs =
+    Dt_guard.Inject.hit inject_node;
+    Dt_guard.Budget.charge budget 1;
     (match metrics with
     | Some m -> Dt_obs.Metrics.banerjee_node m ~incremental:false
     | None -> ());
@@ -93,7 +98,7 @@ module Reference = struct
         | `Unbounded -> true
         | `Lists lists ->
             let n_combos =
-              List.fold_left (fun acc l -> acc * List.length l) 1 lists
+              List.fold_left (fun acc l -> Ops.mul acc (List.length l)) 1 lists
             in
             if n_combos > max_combos then true
             else
@@ -114,11 +119,11 @@ module Reference = struct
               in
               not (all_below || all_above))
 
-  let vectors ?metrics assume range pairs ~indices =
+  let vectors ?metrics ?budget assume range pairs ~indices =
     let results = ref [] in
     let feasible_all assignment =
       List.for_all
-        (fun p -> feasible ?metrics assume range p ~dirs:assignment)
+        (fun p -> feasible ?metrics ?budget assume range p ~dirs:assignment)
         pairs
     in
     (* depth-first refinement of the '*' hierarchy, outermost index first *)
@@ -286,10 +291,10 @@ let build_state ?metrics range (p : Spair.t) =
     (fun tbl ->
       if Array.length tbl > 0 then begin
         let vi = tbl.(0) in
-        st.combos <- st.combos * vi.count;
+        st.combos <- Ops.mul st.combos vi.count;
         if vi.const_only then begin
-          st.lo_sum <- st.lo_sum + vi.cmin;
-          st.hi_sum <- st.hi_sum + vi.cmax
+          st.lo_sum <- Ops.add st.lo_sum vi.cmin;
+          st.hi_sum <- Ops.add st.hi_sum vi.cmax
         end
         else st.n_sym <- st.n_sym + 1
       end)
@@ -305,15 +310,15 @@ let set_dir st k code =
     else begin
       let old = st.vert.(k).(st.dir.(k)) in
       let nw = st.vert.(k).(code) in
-      st.combos <- st.combos / old.count * nw.count;
+      st.combos <- Ops.mul (st.combos / old.count) nw.count;
       (if old.const_only then begin
-         st.lo_sum <- st.lo_sum - old.cmin;
-         st.hi_sum <- st.hi_sum - old.cmax
+         st.lo_sum <- Ops.sub st.lo_sum old.cmin;
+         st.hi_sum <- Ops.sub st.hi_sum old.cmax
        end
        else st.n_sym <- st.n_sym - 1);
       (if nw.const_only then begin
-         st.lo_sum <- st.lo_sum + nw.cmin;
-         st.hi_sum <- st.hi_sum + nw.cmax
+         st.lo_sum <- Ops.add st.lo_sum nw.cmin;
+         st.hi_sum <- Ops.add st.hi_sum nw.cmax
        end
        else st.n_sym <- st.n_sym + 1);
       st.dir.(k) <- code
@@ -368,7 +373,9 @@ let symbolic_feasible assume st =
   (try go 0 with Early -> ());
   not (!all_below || !all_above)
 
-let eval_state ?metrics ?sink ~from_scratch assume st =
+let eval_state ?metrics ?sink ?budget ~from_scratch assume st =
+  Dt_guard.Inject.hit inject_node;
+  Dt_guard.Budget.charge budget 1;
   (match metrics with
   | Some m -> Dt_obs.Metrics.banerjee_node m ~incremental:(not from_scratch)
   | None -> ());
@@ -396,8 +403,9 @@ let eval_state ?metrics ?sink ~from_scratch assume st =
     c >= st.lo_sum && c <= st.hi_sum
   else symbolic_feasible assume st
 
-let feasible ?metrics ?sink assume range (p : Spair.t) ~dirs =
-  if !use_reference then Reference.feasible ?metrics assume range p ~dirs
+let feasible ?metrics ?sink ?budget assume range (p : Spair.t) ~dirs =
+  if !use_reference then
+    Reference.feasible ?metrics ?budget assume range p ~dirs
   else begin
     let st = build_state ?metrics range p in
     (* the first binding of an index wins, as List.find_opt did *)
@@ -411,12 +419,13 @@ let feasible ?metrics ?sink assume range (p : Spair.t) ~dirs =
           | None -> ()
         end)
       dirs;
-    eval_state ?metrics ?sink ~from_scratch:true assume st
+    eval_state ?metrics ?sink ?budget ~from_scratch:true assume st
   end
 
-let vectors ?metrics ?sink ?spans assume range pairs ~indices =
+let vectors ?metrics ?sink ?spans ?budget assume range pairs ~indices =
   Dt_obs.Span.with_ spans Dt_obs.Span.Banerjee @@ fun () ->
-  if !use_reference then Reference.vectors ?metrics assume range pairs ~indices
+  if !use_reference then
+    Reference.vectors ?metrics ?budget assume range pairs ~indices
   else begin
     let states =
       List.map
@@ -443,7 +452,8 @@ let vectors ?metrics ?sink ?spans assume range pairs ~indices =
     in
     let feasible_all () =
       List.for_all
-        (fun (st, _) -> eval_state ?metrics ?sink ~from_scratch:false assume st)
+        (fun (st, _) ->
+          eval_state ?metrics ?sink ?budget ~from_scratch:false assume st)
         states
     in
     let set_all k code =

@@ -27,6 +27,7 @@ open Dt_ir
 val feasible :
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
+  ?budget:Dt_guard.Budget.t ->
   Assume.t ->
   Range.t ->
   Spair.t ->
@@ -39,7 +40,9 @@ val feasible :
     directed GCD test. [metrics] counts the evaluation (a single query
     builds its state from scratch); [sink] receives a note when the
     vertex cross product exceeds {!max_combos} and the test
-    conservatively assumes feasibility. *)
+    conservatively assumes feasibility. [budget] is charged one unit per
+    hierarchy-node evaluation and raises {!Dt_guard.Budget.Exhausted}
+    when spent — the driver catches it at the pair boundary. *)
 
 val region_nonempty :
   Assume.t -> Range.t -> Index.t -> Direction.t option -> bool
@@ -51,6 +54,7 @@ val vectors :
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
   ?spans:Dt_obs.Span.t ->
+  ?budget:Dt_guard.Budget.t ->
   Assume.t ->
   Range.t ->
   Spair.t list ->
@@ -89,6 +93,7 @@ val use_reference : bool ref
 module Reference : sig
   val feasible :
     ?metrics:Dt_obs.Metrics.t ->
+    ?budget:Dt_guard.Budget.t ->
     Assume.t ->
     Range.t ->
     Spair.t ->
@@ -99,6 +104,7 @@ module Reference : sig
 
   val vectors :
     ?metrics:Dt_obs.Metrics.t ->
+    ?budget:Dt_guard.Budget.t ->
     Assume.t ->
     Range.t ->
     Spair.t list ->

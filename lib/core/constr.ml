@@ -1,5 +1,6 @@
 open Dt_ir
 open Dt_support
+module Ops = Dt_guard.Ops
 
 type t =
   | Any
@@ -57,7 +58,9 @@ let to_line = function
 let affine_sign assume e = Assume.sign assume e
 
 let point_on_line assume ~x ~y (a, b, c) =
-  let residual = Affine.add_const (-((a * x) + (b * y))) c in
+  let residual =
+    Affine.add_const (Ops.neg (Ops.add (Ops.mul a x) (Ops.mul b y))) c
+  in
   match affine_sign assume residual with
   | `Zero -> `On
   | `Pos | `Neg -> `Off
@@ -77,9 +80,9 @@ let intersect assume c1 c2 =
     | Empty -> Empty
     | Point { x = x2; y = y2 } ->
         if x = x2 && y = y2 then Point { x; y } else Empty
-    | Dist d -> if y - x = d then Point { x; y } else Empty
+    | Dist d -> if Ops.sub y x = d then Point { x; y } else Empty
     | Sym_dist e -> (
-        match affine_sign assume (Affine.add_const (-(y - x)) e) with
+        match affine_sign assume (Affine.add_const (Ops.neg (Ops.sub y x)) e) with
         | `Zero -> Point { x; y }
         | `Pos | `Neg -> Empty
         | _ -> Point { x; y })
@@ -90,7 +93,7 @@ let intersect assume c1 c2 =
         | `Unknown -> Point { x; y })
   in
   let line_line (a1, b1, e1) (a2, b2, e2) keep1 keep2 =
-    let det = (a1 * b2) - (a2 * b1) in
+    let det = Ops.sub (Ops.mul a1 b2) (Ops.mul a2 b1) in
     if det <> 0 then
       let nx = Affine.sub (Affine.scale b2 e1) (Affine.scale b1 e2) in
       let ny = Affine.sub (Affine.scale a1 e2) (Affine.scale a2 e1) in
@@ -164,7 +167,7 @@ let to_outcome assume range i t =
       with
       | Some false, _ | _, Some false -> Outcome.Independent
       | _ ->
-          let d = y - x in
+          let d = Ops.sub y x in
           Outcome.dep1 i (Direction.single (Direction.of_distance d)) (Const d))
   | Line { a; b; c } ->
       let r = Range.find range i in
@@ -231,7 +234,7 @@ let to_outcome assume range i t =
                   else
                     let dist =
                       match Dio.unique fam ~t_range:tr with
-                      | Some (x, y) -> Outcome.Const (y - x)
+                      | Some (x, y) -> Outcome.Const (Ops.sub y x)
                       | None -> Outcome.Unknown
                     in
                     Outcome.dep1 i dirs dist)

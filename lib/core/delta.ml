@@ -161,7 +161,7 @@ let relation_infeasible loops assume ~ivar ~jvar ~e =
       else false)
     loops
 
-let test ?counters ?metrics ?sink ?spans ?trace ?(loops = []) assume range
+let test ?counters ?metrics ?sink ?spans ?budget ?trace ?(loops = []) assume range
     pairs ~relevant =
   Dt_obs.Span.with_ spans Dt_obs.Span.Delta @@ fun () ->
   let instrumented = metrics <> None || spans <> None in
@@ -662,7 +662,8 @@ let test ?counters ?metrics ?sink ?spans ?trace ?(loops = []) assume range
           in
           let t1 = tick () in
           match
-            Banerjee.vectors ?metrics ?sink ?spans assume range [ p ] ~indices
+            Banerjee.vectors ?metrics ?sink ?spans ?budget assume range [ p ]
+              ~indices
           with
           | `Independent as v ->
               record ~t0:t1 ~span:false Counters.Banerjee_miv ~indep:true;

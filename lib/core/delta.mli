@@ -31,6 +31,7 @@ val test :
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
   ?spans:Dt_obs.Span.t ->
+  ?budget:Dt_guard.Budget.t ->
   ?trace:(string -> unit) ->
   ?loops:Loop.t list ->
   Assume.t ->

@@ -1,8 +1,12 @@
 open Dt_support
+module Ops = Dt_guard.Ops
+
+let inject_solve = Dt_guard.Inject.register "dio.solve"
 
 type family = { g : int; x0 : int; y0 : int; dx : int; dy : int }
 
 let solve ~a ~b ~c =
+  Dt_guard.Inject.hit inject_solve;
   if a = 0 && b = 0 then
     if c = 0 then invalid_arg "Dio.solve: degenerate 0 = 0 equation"
     else None
@@ -12,7 +16,7 @@ let solve ~a ~b ~c =
     else
       let k = c / g in
       (* a*(u*k) + b*(v*k) = c; family moves along the kernel (b/g, -a/g) *)
-      Some { g; x0 = u * k; y0 = v * k; dx = b / g; dy = -(a / g) }
+      Some { g; x0 = Ops.mul u k; y0 = Ops.mul v k; dx = b / g; dy = -(a / g) }
 
 (* t values keeping x0 + d*t within [lo, hi] *)
 let t_for ~x0 ~d (r : Interval.t) =
@@ -24,7 +28,7 @@ let t_for ~x0 ~d (r : Interval.t) =
       match b with
       | Interval.Neg_inf | Interval.Pos_inf -> None
       | Interval.Fin v ->
-          let rhs = v - x0 in
+          let rhs = Ops.sub v x0 in
           (* d t >= rhs (is_lo) / d t <= rhs *)
           let lower_bound = (is_lo && d > 0) || ((not is_lo) && d < 0) in
           if lower_bound then Some (`Lo (Int_ops.ceil_div rhs d))
@@ -56,7 +60,7 @@ let direction_sets fam ~t_range:tr =
   if Interval.is_empty tr then Direction.empty_set
   else
     (* y - x = (y0 - x0) + (dy - dx) t *)
-    let c0 = fam.y0 - fam.x0 and d = fam.dy - fam.dx in
+    let c0 = Ops.sub fam.y0 fam.x0 and d = Ops.sub fam.dy fam.dx in
     if d = 0 then Direction.single (Direction.of_distance c0)
     else
       (* signs taken by c0 + d*t over integer t in tr *)
@@ -65,8 +69,8 @@ let direction_sets fam ~t_range:tr =
         let cond =
           match target with
           | 0 ->
-              if Int_ops.divides d (-c0) then
-                let t = -c0 / d in
+              if Int_ops.divides d (Ops.neg c0) then
+                let t = Ops.neg c0 / d in
                 Interval.contains tr t
               else false
           | s when s > 0 ->
@@ -74,20 +78,20 @@ let direction_sets fam ~t_range:tr =
               let sub =
                 if d > 0 then
                   Interval.inter tr
-                    (Interval.make (Interval.Fin (Int_ops.ceil_div (1 - c0) d)) Interval.Pos_inf)
+                    (Interval.make (Interval.Fin (Int_ops.ceil_div (Ops.sub 1 c0) d)) Interval.Pos_inf)
                 else
                   Interval.inter tr
-                    (Interval.make Interval.Neg_inf (Interval.Fin (Int_ops.floor_div (1 - c0) d)))
+                    (Interval.make Interval.Neg_inf (Interval.Fin (Int_ops.floor_div (Ops.sub 1 c0) d)))
               in
               not (Interval.is_empty sub)
           | _ ->
               let sub =
                 if d > 0 then
                   Interval.inter tr
-                    (Interval.make Interval.Neg_inf (Interval.Fin (Int_ops.floor_div (-1 - c0) d)))
+                    (Interval.make Interval.Neg_inf (Interval.Fin (Int_ops.floor_div (Ops.sub (-1) c0) d)))
                 else
                   Interval.inter tr
-                    (Interval.make (Interval.Fin (Int_ops.ceil_div (-1 - c0) d)) Interval.Pos_inf)
+                    (Interval.make (Interval.Fin (Int_ops.ceil_div (Ops.sub (-1) c0) d)) Interval.Pos_inf)
               in
               not (Interval.is_empty sub)
         in
@@ -101,7 +105,9 @@ let direction_sets fam ~t_range:tr =
           gt = sign_possible (-1);
         }
 
-let value_at fam t = (fam.x0 + (fam.dx * t), fam.y0 + (fam.dy * t))
+let value_at fam t =
+  ( Ops.add fam.x0 (Ops.mul fam.dx t),
+    Ops.add fam.y0 (Ops.mul fam.dy t) )
 
 let unique fam ~t_range:tr =
   match Interval.finite tr with

@@ -1,5 +1,7 @@
 open Dt_ir
 
+let inject_pair = Dt_guard.Inject.register "pair.test"
+
 type strategy = Partition_based | Subscript_by_subscript
 
 type meta = {
@@ -12,6 +14,7 @@ type meta = {
   delta_passes : int;
   delta_leftover_miv : int;
   proved_by : Counters.kind option;
+  degraded : Dt_guard.Degrade.reason option;
 }
 
 type dependence_info = {
@@ -74,9 +77,13 @@ let rename_snk ~src_loops ~common (snk_loops : Loop.t list)
   in
   (suffix', subs')
 
-let test ?counters ?metrics ?sink ?spans ?(strategy = Partition_based)
-    ?(assume = Assume.empty) ~src:(src_ref, src_loops)
-    ~snk:(snk_ref, snk_loops) () =
+(* The driver proper. May raise: a checked-arithmetic overflow during
+   renaming / range computation / classification — before the per-pair
+   backstop below is even reachable — escapes this function. [test]
+   wraps it so the exported entry point never raises. *)
+let test_exn ?counters ?metrics ?sink ?spans ?budget
+    ?(strategy = Partition_based) ?(assume = Assume.empty)
+    ~src:(src_ref, src_loops) ~snk:(snk_ref, snk_loops) () =
   if src_ref.Aref.base <> snk_ref.Aref.base then
     invalid_arg "Pair_test.test: references to different arrays";
   let common = common_loops src_loops snk_loops in
@@ -147,6 +154,26 @@ let test ?counters ?metrics ?sink ?spans ?(strategy = Partition_based)
     | None -> ()
   in
   let exception Indep of Counters.kind option in
+  (* fault containment: the first degradation reason per pair, recorded
+     whether the fault is contained at the partition or the pair level *)
+  let degraded = ref None in
+  let note_degraded r = if !degraded = None then degraded := Some r in
+  (* partition-level guard: an overflow (or injected fault) inside one
+     partition's test widens that partition to "all directions" and lets
+     the rest of the pair proceed. [Indep] and budget exhaustion pass
+     through: an independence proof from another partition is still
+     valid, while a spent budget must stop the whole pair. *)
+  let contain ~widen f =
+    match f () with
+    | r -> r
+    | exception Dt_guard.Ops.Overflow ->
+        note_degraded Dt_guard.Degrade.Overflow;
+        widen Dt_guard.Degrade.Overflow
+    | exception Dt_guard.Inject.Injected site ->
+        let r = Dt_guard.Degrade.Exception ("injected fault at " ^ site) in
+        note_degraded r;
+        widen r
+  in
   let test_separable p =
     match Classify.classify ~relevant p with
     | Classify.Ziv ->
@@ -211,7 +238,8 @@ let test ?counters ?metrics ?sink ?spans ?(strategy = Partition_based)
         in
         let t1 = tick () in
         match
-          Banerjee.vectors ?metrics ?sink ?spans assume range [ p ] ~indices
+          Banerjee.vectors ?metrics ?sink ?spans ?budget assume range [ p ]
+            ~indices
         with
         | `Independent as v ->
             record ~t0:t1 ~span:false Counters.Banerjee_miv ~indep:true;
@@ -239,13 +267,14 @@ let test ?counters ?metrics ?sink ?spans ?(strategy = Partition_based)
          coupled_groups = List.length coupled;
        });
   let run () =
+    Dt_guard.Inject.hit inject_pair;
     let parts =
       Dt_obs.Metrics.timed metrics Dt_obs.Metrics.Test (fun () ->
           match strategy with
           | Subscript_by_subscript -> (
               match
-                Subscript_wise.test ?counters ?metrics ?sink ?spans assume
-                  range spairs ~common:common_indices
+                Subscript_wise.test ?counters ?metrics ?sink ?spans ?budget
+                  assume range spairs ~common:common_indices
               with
               | `Independent k -> raise (Indep (Some k))
               | `Dependent parts -> parts)
@@ -253,7 +282,10 @@ let test ?counters ?metrics ?sink ?spans ?(strategy = Partition_based)
               let sep_parts =
                 List.map
                   (fun g ->
-                    test_separable spairs_arr.(List.hd g.Classify.positions))
+                    contain
+                      ~widen:(fun r -> Presult.Degraded r)
+                      (fun () ->
+                        test_separable spairs_arr.(List.hd g.Classify.positions)))
                   separable
               in
               let coup_parts =
@@ -265,17 +297,22 @@ let test ?counters ?metrics ?sink ?spans ?(strategy = Partition_based)
                     emit
                       (Dt_obs.Trace.Group_start
                          { positions = g.Classify.positions });
-                    let r =
-                      scoped (fun () ->
-                          Delta.test ?counters ?metrics ?sink ?spans
-                            ~loops:all_loops assume range group_pairs
-                            ~relevant)
-                    in
-                    delta_passes := max !delta_passes r.Delta.passes;
-                    delta_leftover := !delta_leftover + r.Delta.leftover_miv;
-                    match r.Delta.verdict with
-                    | `Independent -> raise (Indep (Some Counters.Delta_test))
-                    | `Dependent parts -> parts)
+                    contain
+                      ~widen:(fun r -> [ Presult.Degraded r ])
+                      (fun () ->
+                        let r =
+                          scoped (fun () ->
+                              Delta.test ?counters ?metrics ?sink ?spans
+                                ?budget ~loops:all_loops assume range
+                                group_pairs ~relevant)
+                        in
+                        delta_passes := max !delta_passes r.Delta.passes;
+                        delta_leftover :=
+                          !delta_leftover + r.Delta.leftover_miv;
+                        match r.Delta.verdict with
+                        | `Independent ->
+                            raise (Indep (Some Counters.Delta_test))
+                        | `Dependent parts -> parts))
                   coupled
               in
               sep_parts @ coup_parts)
@@ -300,9 +337,41 @@ let test ?counters ?metrics ?sink ?spans ?(strategy = Partition_based)
         in
         `Dependent { dirvecs; distances })
   in
-  let result, proved_by =
-    try (run (), None) with Indep k -> (`Independent, k)
+  (* pair-level backstop: whatever escapes the partition guard (budget
+     exhaustion, a fault inside the merge, an unexpected exception from
+     a buggy test) widens the whole pair, never the whole run. Only
+     [Out_of_memory] stays fatal. *)
+  let conservative reason =
+    note_degraded reason;
+    `Dependent { dirvecs = [ Dirvec.full n ]; distances = [] }
   in
+  let result, proved_by =
+    match run () with
+    | r -> (r, None)
+    | exception Indep k -> (`Independent, k)
+    | exception Dt_guard.Ops.Overflow ->
+        (conservative Dt_guard.Degrade.Overflow, None)
+    | exception Dt_guard.Budget.Exhausted ->
+        (conservative Dt_guard.Degrade.Budget, None)
+    | exception Dt_guard.Inject.Injected site ->
+        (conservative (Dt_guard.Degrade.Exception ("injected fault at " ^ site)),
+         None)
+    | exception Out_of_memory -> raise Out_of_memory
+    | exception Stack_overflow ->
+        (conservative (Dt_guard.Degrade.Exception "Stack_overflow"), None)
+    | exception e ->
+        (conservative (Dt_guard.Degrade.Exception (Printexc.to_string e)), None)
+  in
+  (match !degraded with
+  | None -> ()
+  | Some r ->
+      (match metrics with
+      | Some m -> Dt_obs.Metrics.degraded m (Dt_guard.Degrade.tag r)
+      | None -> ());
+      emit
+        (Dt_obs.Trace.Note
+           (Printf.sprintf "pair degraded conservatively (%s)"
+              (Dt_guard.Degrade.to_string r))));
   let meta =
     {
       dims = List.length spairs + nonlinear;
@@ -317,6 +386,65 @@ let test ?counters ?metrics ?sink ?spans ?(strategy = Partition_based)
       delta_passes = !delta_passes;
       delta_leftover_miv = !delta_leftover;
       proved_by;
+      degraded = !degraded;
     }
   in
   { result; meta }
+
+let degraded_result ~src:((_ : Aref.t), src_loops) ~snk:((_ : Aref.t), snk_loops)
+    reason =
+  let n = List.length (common_loops src_loops snk_loops) in
+  {
+    result = `Dependent { dirvecs = [ Dirvec.full n ]; distances = [] };
+    meta =
+      {
+        dims = 0;
+        nonlinear = 0;
+        separable = 0;
+        coupled_groups = 0;
+        coupled_positions = 0;
+        classes = [];
+        delta_passes = 0;
+        delta_leftover_miv = 0;
+        proved_by = None;
+        degraded = Some reason;
+      };
+  }
+
+(* Whole-function backstop: [test_exn] can fault before its own pair-level
+   guard is in place (huge constants overflow checked arithmetic inside
+   [Range.compute] or kernel compilation at classification time). The
+   exported driver therefore never raises — any fault yields the
+   conservative full direction-vector verdict, with the reason recorded
+   in metrics and on the trace. [Out_of_memory] stays fatal. *)
+let test ?counters ?metrics ?sink ?spans ?budget ?strategy ?assume ~src ~snk ()
+    =
+  if (fst src).Aref.base <> (fst snk).Aref.base then
+    invalid_arg "Pair_test.test: references to different arrays";
+  match
+    test_exn ?counters ?metrics ?sink ?spans ?budget ?strategy ?assume ~src
+      ~snk ()
+  with
+  | r -> r
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception e ->
+      let reason =
+        match e with
+        | Dt_guard.Ops.Overflow -> Dt_guard.Degrade.Overflow
+        | Dt_guard.Budget.Exhausted -> Dt_guard.Degrade.Budget
+        | Dt_guard.Inject.Injected site ->
+            Dt_guard.Degrade.Exception ("injected fault at " ^ site)
+        | Stack_overflow -> Dt_guard.Degrade.Exception "Stack_overflow"
+        | e -> Dt_guard.Degrade.Exception (Printexc.to_string e)
+      in
+      (match metrics with
+      | Some m -> Dt_obs.Metrics.degraded m (Dt_guard.Degrade.tag reason)
+      | None -> ());
+      (match sink with
+      | Some sk ->
+          Dt_obs.Trace.emit sk
+            (Dt_obs.Trace.Note
+               (Printf.sprintf "pair degraded conservatively (%s)"
+                  (Dt_guard.Degrade.to_string reason)))
+      | None -> ());
+      degraded_result ~src ~snk reason

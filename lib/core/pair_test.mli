@@ -34,6 +34,12 @@ type meta = {
       (** when the result is [`Independent], the test that proved it;
           [None] means independence emerged from the direction-vector
           merge (no single test). Meaningless for dependent results. *)
+  degraded : Dt_guard.Degrade.reason option;
+      (** [Some r] when a fault (checked-arithmetic overflow, contained
+          exception, exhausted budget) forced part or all of this pair to
+          the conservative full direction-vector verdict. The result is
+          still sound — a superset of the true dependences — but no
+          longer exact; such results are never cached. *)
 }
 
 type dependence_info = {
@@ -50,6 +56,7 @@ val test :
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
   ?spans:Dt_obs.Span.t ->
+  ?budget:Dt_guard.Budget.t ->
   ?strategy:strategy ->
   ?assume:Assume.t ->
   src:Aref.t * Loop.t list ->
@@ -65,4 +72,23 @@ val test :
     step (see {!Dt_obs.Trace}); [spans] receives the timeline —
     partition and merge brackets, a leaf span per test applied, and the
     Delta / Banerjee sub-brackets (see {!Dt_obs.Span}). None of them
-    costs anything when omitted. *)
+    costs anything when omitted.
+
+    Fault containment: an overflow of the checked arithmetic or an
+    injected fault inside one partition's test degrades that partition;
+    anything escaping the partition guard — including
+    {!Dt_guard.Budget.Exhausted} when [budget] runs out — degrades the
+    whole pair to the full direction-vector verdict. Either way the
+    reason is recorded in [meta.degraded], counted in [metrics]'s guard
+    block, and noted on [sink]; the call never raises (except
+    [Out_of_memory], which stays fatal). *)
+
+val degraded_result :
+  src:Aref.t * Loop.t list ->
+  snk:Aref.t * Loop.t list ->
+  Dt_guard.Degrade.reason ->
+  t
+(** The conservative verdict the engine substitutes when a pair task
+    fails outside {!test}'s own guards (or is cut off by a deadline
+    before starting): full direction vectors over the common loops,
+    zeroed meta, [meta.degraded = Some reason]. *)

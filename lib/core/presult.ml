@@ -4,6 +4,7 @@ type t =
   | Independent
   | Indexwise of Outcome.index_dep list
   | Vectors of Index.t list * Direction.t list list
+  | Degraded of Dt_guard.Degrade.reason
 
 let of_outcome = function
   | Outcome.Independent -> Independent
@@ -20,6 +21,7 @@ let to_dirvecs ~loop_indices t =
   let n = List.length loop_indices in
   match t with
   | Independent -> []
+  | Degraded _ -> [ Dirvec.full n ]
   | Indexwise deps ->
       let v = Dirvec.full n in
       let v =
@@ -51,7 +53,7 @@ let to_dirvecs ~loop_indices t =
         vecs
 
 let distances = function
-  | Independent | Vectors _ -> []
+  | Independent | Vectors _ | Degraded _ -> []
   | Indexwise deps ->
       List.filter_map
         (fun (d : Outcome.index_dep) ->
@@ -62,12 +64,16 @@ let distances = function
 
 let is_independent = function
   | Independent -> true
+  | Degraded _ -> false
   | Indexwise deps ->
       List.exists (fun (d : Outcome.index_dep) -> Direction.is_empty d.dirs) deps
   | Vectors (_, vecs) -> vecs = []
 
 let pp ppf = function
   | Independent -> Format.pp_print_string ppf "independent"
+  | Degraded r ->
+      Format.fprintf ppf "degraded (%a): all directions assumed"
+        Dt_guard.Degrade.pp r
   | Indexwise deps -> Outcome.pp ppf (Outcome.Dependent deps)
   | Vectors (indices, vecs) ->
       Format.fprintf ppf "vectors over (%a): "

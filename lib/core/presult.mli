@@ -14,6 +14,10 @@ type t =
       (** constraints per index; unlisted indices are unconstrained *)
   | Vectors of Index.t list * Direction.t list list
       (** joint legal direction vectors over exactly these indices *)
+  | Degraded of Dt_guard.Degrade.reason
+      (** the partition's test could not be trusted (overflow, contained
+          exception): conservatively unconstrained — {!to_dirvecs} yields
+          the full direction vector, {!is_independent} is [false] *)
 
 val of_outcome : Outcome.t -> t
 

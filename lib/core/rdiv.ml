@@ -1,6 +1,8 @@
 open Dt_ir
 open Dt_support
 
+let inject_test = Dt_guard.Inject.register "rdiv.test"
+
 type relation = {
   src_index : Index.t;
   snk_index : Index.t;
@@ -18,6 +20,7 @@ let interval_of_range range assume i =
   | None -> Interval.full
 
 let test assume range (p : Spair.t) ~src ~snk =
+  Dt_guard.Inject.hit inject_test;
   let a1 = fst (Spair.coeffs p src) and a2 = snd (Spair.coeffs p snk) in
   let c1 = Affine.drop_index p.src src and c2 = Affine.drop_index p.snk snk in
   let c = Affine.sub c2 c1 in

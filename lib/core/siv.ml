@@ -1,5 +1,7 @@
 open Dt_ir
 
+let inject_test = Dt_guard.Inject.register "siv.test"
+
 type result = { outcome : Outcome.t; constr : Constr.t }
 
 (* All SIV tests reduce the dependence equation
@@ -45,6 +47,7 @@ let exact assume range (p : Spair.t) i =
   finish assume range i constr
 
 let test assume range p i =
+  Dt_guard.Inject.hit inject_test;
   match Classify.siv_kind_of p i with
   | Classify.Strong -> strong assume range p i
   | Classify.Weak_zero -> weak_zero assume range p i
@@ -55,7 +58,7 @@ let crossing_point (p : Spair.t) i =
   let a1, a2, e = parts p i in
   if a1 = -a2 && a1 <> 0 then
     match Affine.as_const e with
-    | Some c -> Some (Dt_support.Ratio.make c (2 * a1))
+    | Some c -> Some (Dt_support.Ratio.make c (Dt_guard.Ops.mul 2 a1))
     | None -> None
   else None
 

@@ -13,6 +13,7 @@ val test :
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
   ?spans:Dt_obs.Span.t ->
+  ?budget:Dt_guard.Budget.t ->
   Assume.t ->
   Range.t ->
   Spair.t list ->

@@ -1,0 +1,23 @@
+(* Per-pair work fuel. The Banerjee hierarchy charges one unit per node
+   evaluation (the same work the [max_combos] cap already bounds per
+   node); when the fuel runs out the pair degrades with reason [Budget]
+   instead of running unboundedly. *)
+
+exception Exhausted
+
+type t = { mutable fuel : int }
+
+let make fuel =
+  if fuel < 0 then invalid_arg "Budget.make: negative fuel";
+  { fuel }
+
+let remaining t = t.fuel
+
+let spend t n =
+  if t.fuel < n then begin
+    t.fuel <- 0;
+    raise Exhausted
+  end
+  else t.fuel <- t.fuel - n
+
+let charge opt n = match opt with None -> () | Some t -> spend t n

@@ -1,0 +1,25 @@
+(** Work-budget governor: per-pair fuel for the expensive tests.
+
+    A budget is created per reference pair and threaded into the Banerjee
+    hierarchy evaluation, which spends one unit per node. When the fuel
+    runs out, [Exhausted] propagates to the pair boundary and the pair
+    degrades with reason {!Degrade.Budget} — the analysis continues on
+    the remaining pairs. Complements the existing per-node [max_combos]
+    vertex cap (which bounds one evaluation) by bounding the whole
+    hierarchy walk. *)
+
+exception Exhausted
+
+type t
+
+val make : int -> t
+(** [make fuel] — raises [Invalid_argument] on negative fuel. *)
+
+val remaining : t -> int
+
+val spend : t -> int -> unit
+(** Deduct [n] units; raises {!Exhausted} when fewer remain (fuel is
+    clamped to 0 first, so a handler sees an empty budget). *)
+
+val charge : t option -> int -> unit
+(** [spend] through an option; [None] costs nothing. *)

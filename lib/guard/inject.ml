@@ -1,0 +1,125 @@
+(* Deterministic fault injection.
+
+   Guarded code marks its containment sites with [hit site]; when
+   injection is off (the default) that is one ref load and a match — no
+   allocation, no table lookup. Tests and the CI fault matrix enable a
+   configuration (which kinds to inject, a seed, an injection period, an
+   optional single-site filter) and every degradation path can then be
+   exercised deterministically: the n-th hit of a site fires iff
+   [(n + seed) mod period = 0], and the kind rotates through the enabled
+   list.
+
+   The harness mutates plain per-site counters: enable it only around
+   single-domain runs (the unit tests, the sequential CLI paths). *)
+
+exception Injected of string
+
+type kind = Overflow | Exception | Delay
+
+let kind_name = function
+  | Overflow -> "overflow"
+  | Exception -> "exception"
+  | Delay -> "delay"
+
+let kind_of_name = function
+  | "overflow" -> Some Overflow
+  | "exception" -> Some Exception
+  | "delay" -> Some Delay
+  | _ -> None
+
+type cfg = {
+  kinds : kind array;
+  seed : int;
+  period : int;
+  only : string option;
+  counts : (string, int ref) Hashtbl.t;
+  mutable injected : int;
+}
+
+(* --- site registry ------------------------------------------------- *)
+
+let registry : string list ref = ref []
+
+let register name =
+  if not (List.mem name !registry) then registry := name :: !registry;
+  name
+
+let site_names () = List.sort String.compare !registry
+
+(* --- activation ---------------------------------------------------- *)
+
+let active : cfg option ref = ref None
+
+let enable ?(seed = 0) ?(period = 1) ?only kinds =
+  if kinds = [] then invalid_arg "Inject.enable: no kinds";
+  if period < 1 then invalid_arg "Inject.enable: period < 1";
+  active :=
+    Some
+      {
+        kinds = Array.of_list kinds;
+        seed;
+        period;
+        only;
+        counts = Hashtbl.create 16;
+        injected = 0;
+      }
+
+let disable () = active := None
+let enabled () = !active <> None
+let injected_count () = match !active with Some c -> c.injected | None -> 0
+
+(* a deterministic busy spin: no clock, no sleep, survives inlining *)
+let delay_spin () =
+  let x = ref 0 in
+  for i = 1 to 50_000 do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let fire c site n =
+  let k = ((n + c.seed) / c.period) mod Array.length c.kinds in
+  c.injected <- c.injected + 1;
+  match c.kinds.(k) with
+  | Overflow -> raise Ops.Overflow
+  | Exception -> raise (Injected site)
+  | Delay -> delay_spin ()
+
+let hit site =
+  match !active with
+  | None -> ()
+  | Some c ->
+      let skip = match c.only with Some s -> s <> site | None -> false in
+      if not skip then begin
+        let n =
+          match Hashtbl.find_opt c.counts site with
+          | Some r ->
+              incr r;
+              !r
+          | None ->
+              Hashtbl.add c.counts site (ref 1);
+              1
+        in
+        if (n + c.seed) mod c.period = 0 then fire c site n
+      end
+
+(* --- environment wiring (opt-in per process; only the CLI calls it) - *)
+
+let getenv_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v -> v
+  | None -> default
+
+let from_env () =
+  match Sys.getenv_opt "DEPTEST_INJECT" with
+  | None | Some "" -> ()
+  | Some spec ->
+      let kinds =
+        String.split_on_char ',' spec
+        |> List.filter_map (fun s -> kind_of_name (String.trim s))
+      in
+      if kinds <> [] then
+        enable
+          ~seed:(getenv_int "DEPTEST_INJECT_SEED" 0)
+          ~period:(max 1 (getenv_int "DEPTEST_INJECT_PERIOD" 1))
+          ?only:(Sys.getenv_opt "DEPTEST_INJECT_ONLY")
+          kinds

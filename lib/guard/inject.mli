@@ -1,0 +1,49 @@
+(** Deterministic, site-keyed fault injection.
+
+    Off by default and nearly free when off: {!hit} is a single ref load.
+    When enabled, the n-th hit of a site fires iff
+    [(n + seed) mod period = 0], and the fired kind rotates through the
+    enabled list — fully deterministic, so a failing seed reproduces.
+
+    Injected faults exercise the driver's containment paths: [Overflow]
+    raises {!Ops.Overflow}, [Exception] raises {!Injected} (carrying the
+    site name), [Delay] spins long enough for a wall-clock deadline to
+    trip. The harness keeps plain mutable counters — enable it only
+    around single-domain runs. *)
+
+exception Injected of string
+(** An injected fault, carrying the site that fired. *)
+
+type kind = Overflow | Exception | Delay
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+val register : string -> string
+(** [register name] records [name] in the site registry (idempotent) and
+    returns it, so a module can bind its site at toplevel:
+    [let site = Inject.register "banerjee.node"]. *)
+
+val site_names : unit -> string list
+(** Every registered site, sorted — the coverage tests iterate this. *)
+
+val enable : ?seed:int -> ?period:int -> ?only:string -> kind list -> unit
+(** Activate injection. [period] defaults to 1 (every hit fires); [only]
+    restricts firing to one site. Raises [Invalid_argument] on an empty
+    kind list or [period < 1]. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val injected_count : unit -> int
+(** Faults fired since {!enable} (0 when disabled). *)
+
+val hit : string -> unit
+(** Mark a containment site. No-op (one ref load) when disabled. *)
+
+val from_env : unit -> unit
+(** Opt-in per process: read [DEPTEST_INJECT] (comma-separated kinds),
+    [DEPTEST_INJECT_SEED], [DEPTEST_INJECT_PERIOD], and
+    [DEPTEST_INJECT_ONLY], and {!enable} accordingly. Called by the CLI
+    at startup; the test binary never calls it, so tier-1 runs are
+    unaffected by the environment. *)

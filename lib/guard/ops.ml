@@ -1,0 +1,41 @@
+(* Overflow-checked native-int arithmetic.
+
+   Every operation either returns the mathematically exact result or
+   raises [Overflow]; nothing ever wraps. The checks are branch-
+   predictable sign tests (addition/subtraction) or one division
+   (multiplication), and [Overflow] is a constant constructor, so a
+   raise allocates nothing. Callers at a containment boundary catch
+   [Overflow] and degrade to their conservative verdict. *)
+
+exception Overflow
+
+let[@inline] add a b =
+  let s = a + b in
+  (* overflow iff the operands share a sign the sum does not *)
+  if (a lxor s) land (b lxor s) < 0 then raise Overflow else s
+
+let[@inline] sub a b =
+  let d = a - b in
+  (* overflow iff the operands differ in sign and the result has b's *)
+  if (a lxor b) land (a lxor d) < 0 then raise Overflow else d
+
+let[@inline] neg a = if a = min_int then raise Overflow else -a
+
+(* Magnitudes below 2^30 cannot overflow 62-bit ints (|a*b| < 2^60), so
+   the common case — loop bounds, coefficients, small products — skips
+   the division post-check entirely. *)
+let small = 0x4000_0000
+
+let[@inline] mul a b =
+  if a > -small && a < small && b > -small && b < small then a * b
+  else if b = 0 then 0
+  else if b = -1 then neg a (* also keeps the division below off min_int / -1 *)
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let sum l = List.fold_left add 0 l
+let sum_array v = Array.fold_left add 0 v
+
+let add_opt a b = match add a b with s -> Some s | exception Overflow -> None
+let mul_opt a b = match mul a b with p -> Some p | exception Overflow -> None

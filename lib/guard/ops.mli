@@ -1,0 +1,23 @@
+(** Overflow-checked native-int arithmetic.
+
+    Exact result or [Overflow] — never a silent wrap. A wrapped bound in
+    the dependence tester can report false independence; every arithmetic
+    site on the driver's verdict path goes through these operations and
+    degrades conservatively (all direction vectors assumed) when one
+    raises. [Overflow] carries no payload, so raising is allocation-free
+    and cheap enough for the Banerjee hot loops. *)
+
+exception Overflow
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val neg : int -> int
+val mul : int -> int -> int
+
+val sum : int list -> int
+val sum_array : int array -> int
+
+val add_opt : int -> int -> int option
+(** [None] instead of raising, for option-shaped callers. *)
+
+val mul_opt : int -> int -> int option

@@ -1,3 +1,11 @@
+(* Coefficient arithmetic goes through the overflow-checked ops: a
+   silently wrapped coefficient or constant would corrupt every
+   downstream bound check (SIV distances, Banerjee sums), so a form
+   whose exact value is not representable raises [Dt_guard.Ops.Overflow]
+   instead — the driver catches it at the pair boundary and degrades
+   conservatively. *)
+module Ops = Dt_guard.Ops
+
 type t = { idx : int Index.Map.t; sym : int Smap.t; const : int }
 
 let norm_idx m = Index.Map.filter (fun _ c -> c <> 0) m
@@ -13,10 +21,10 @@ let of_sym ?(coeff = 1) s = { zero with sym = norm_sym (Smap.singleton s coeff) 
 
 let make ~idx ~sym ~const =
   let add_idx m (i, c) =
-    Index.Map.update i (fun v -> Some (Option.value v ~default:0 + c)) m
+    Index.Map.update i (fun v -> Some (Ops.add (Option.value v ~default:0) c)) m
   in
   let add_sym m (s, c) =
-    Smap.update s (fun v -> Some (Option.value v ~default:0 + c)) m
+    Smap.update s (fun v -> Some (Ops.add (Option.value v ~default:0) c)) m
   in
   {
     idx = norm_idx (List.fold_left add_idx Index.Map.empty idx);
@@ -37,25 +45,25 @@ let merge_sym f a b =
        a b)
 
 let add a b =
-  { idx = merge_idx ( + ) a.idx b.idx;
-    sym = merge_sym ( + ) a.sym b.sym;
-    const = a.const + b.const }
+  { idx = merge_idx Ops.add a.idx b.idx;
+    sym = merge_sym Ops.add a.sym b.sym;
+    const = Ops.add a.const b.const }
 
 let sub a b =
-  { idx = merge_idx ( - ) a.idx b.idx;
-    sym = merge_sym ( - ) a.sym b.sym;
-    const = a.const - b.const }
+  { idx = merge_idx Ops.sub a.idx b.idx;
+    sym = merge_sym Ops.sub a.sym b.sym;
+    const = Ops.sub a.const b.const }
 
 let neg a = sub zero a
 
 let scale k a =
   if k = 0 then zero
   else
-    { idx = Index.Map.map (fun c -> k * c) a.idx;
-      sym = Smap.map (fun c -> k * c) a.sym;
-      const = k * a.const }
+    { idx = Index.Map.map (fun c -> Ops.mul k c) a.idx;
+      sym = Smap.map (fun c -> Ops.mul k c) a.sym;
+      const = Ops.mul k a.const }
 
-let add_const c a = { a with const = a.const + c }
+let add_const c a = { a with const = Ops.add a.const c }
 
 let content a =
   let g = Dt_support.Int_ops.gcd_list (List.map snd (Index.Map.bindings a.idx)) in
@@ -69,11 +77,13 @@ let div_exact a k =
     && Smap.for_all (fun _ c -> c mod k = 0) a.sym
     && a.const mod k = 0
   then
+    (* k = -1 is the one quotient that can overflow (min_int / -1) *)
+    let div c = if k = -1 then Ops.neg c else c / k in
     Some
       {
-        idx = Index.Map.map (fun c -> c / k) a.idx;
-        sym = Smap.map (fun c -> c / k) a.sym;
-        const = a.const / k;
+        idx = Index.Map.map div a.idx;
+        sym = Smap.map div a.sym;
+        const = div a.const;
       }
   else None
 let coeff a i = Option.value (Index.Map.find_opt i a.idx) ~default:0
@@ -97,14 +107,17 @@ let subst_index a i e =
   if c = 0 then a else add (drop_index a i) (scale c e)
 
 let eval a ~index_env ~sym_env =
-  Index.Map.fold (fun i c acc -> acc + (c * index_env i)) a.idx a.const
-  + Smap.fold (fun s c acc -> acc + (c * sym_env s)) a.sym 0
+  Ops.add
+    (Index.Map.fold
+       (fun i c acc -> Ops.add acc (Ops.mul c (index_env i)))
+       a.idx a.const)
+    (Smap.fold (fun s c acc -> Ops.add acc (Ops.mul c (sym_env s))) a.sym 0)
 
 let eval_syms a ~sym_env =
   Smap.fold
     (fun s c acc ->
       match sym_env s with
-      | Some v -> add_const (c * v) { acc with sym = Smap.remove s acc.sym }
+      | Some v -> add_const (Ops.mul c v) { acc with sym = Smap.remove s acc.sym }
       | None -> acc)
     a.sym a
 

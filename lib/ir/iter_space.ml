@@ -3,6 +3,8 @@ type point = int Index.Map.t
 exception Too_big
 exception Unevaluable
 
+let inject_size = Dt_guard.Inject.register "iter_space.size"
+
 let eval_bound a point ~sym_env =
   let index_env i =
     match Index.Map.find_opt i point with
@@ -33,6 +35,7 @@ let enumerate ~loops ~sym_env ~max_points =
 let lookup point i = Index.Map.find i point
 
 let size ~loops ~sym_env =
+  Dt_guard.Inject.hit inject_size;
   let rec go point = function
     | [] -> 1
     | (l : Loop.t) :: rest ->
@@ -40,10 +43,13 @@ let size ~loops ~sym_env =
         let hi = eval_bound l.hi point ~sym_env in
         let total = ref 0 in
         for v = lo to hi do
-          total := !total + go (Index.Map.add l.index v point) rest
+          total := Dt_guard.Ops.add !total (go (Index.Map.add l.index v point) rest)
         done;
         !total
   in
+  (* an overflowing point count (or an injected fault) degrades to
+     "unknown size", exactly like an unevaluable bound *)
   match go Index.Map.empty loops with
   | n -> Some n
-  | exception Unevaluable -> None
+  | exception (Unevaluable | Dt_guard.Ops.Overflow | Dt_guard.Inject.Injected _)
+    -> None

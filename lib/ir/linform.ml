@@ -1,6 +1,15 @@
 (* Compiled linear forms: dense int-array mirrors of (index-free) Affine
    values over a per-pair symbol universe, plus the per-pair coefficient
-   kernel the Banerjee/GCD hot path runs on. *)
+   kernel the Banerjee/GCD hot path runs on.
+
+   All slot arithmetic is overflow-checked (Dt_guard.Ops): a wrapped
+   kernel slot or vertex coordinate would silently corrupt the Banerjee
+   bounds, so the exact-or-raise ops are used even in the in-place hot
+   loops and the pair degrades conservatively when one raises. *)
+
+module Ops = Dt_guard.Ops
+
+let inject_corner = Dt_guard.Inject.register "linform.corner"
 
 type universe = { syms : string array (* sorted, unique *) }
 
@@ -49,21 +58,22 @@ let to_affine u (v : vec) =
 
 let add_into (dst : vec) (v : vec) =
   for j = 0 to Array.length dst - 1 do
-    dst.(j) <- dst.(j) + v.(j)
+    dst.(j) <- Ops.add dst.(j) v.(j)
   done
 
 let sub_into (dst : vec) (v : vec) =
   for j = 0 to Array.length dst - 1 do
-    dst.(j) <- dst.(j) - v.(j)
+    dst.(j) <- Ops.sub dst.(j) v.(j)
   done
 
 let corner ~a ~b (x : vec) (y : vec) =
-  Array.init (Array.length x) (fun j -> (a * x.(j)) - (b * y.(j)))
+  Dt_guard.Inject.hit inject_corner;
+  Array.init (Array.length x) (fun j -> Ops.sub (Ops.mul a x.(j)) (Ops.mul b y.(j)))
 
 let add_const_vec k (v : vec) =
   let w = Array.copy v in
   let last = Array.length w - 1 in
-  w.(last) <- w.(last) + k;
+  w.(last) <- Ops.add w.(last) k;
   w
 
 let is_const_vec (v : vec) =
@@ -101,7 +111,7 @@ let compile_pair ~src ~snk =
       a.(k) <- ak;
       b.(k) <- bk;
       gcd_star.(k) <- Dt_support.Int_ops.gcd ak bk;
-      diff_eq.(k) <- ak - bk)
+      diff_eq.(k) <- Ops.sub ak bk)
     indices;
   let d = Affine.sub snk src in
   let sym = Affine.sym_terms d in

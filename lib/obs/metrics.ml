@@ -37,6 +37,11 @@ type t = {
   mutable bj_inc_nodes : int;  (* hierarchy nodes via the incremental path *)
   mutable bj_scratch_nodes : int;  (* nodes re-evaluated from scratch *)
   mutable bj_caps : int;  (* vertex cross products hitting the combo cap *)
+  (* pairs degraded to the conservative full direction-vector verdict,
+     bucketed by the guard's reason *)
+  mutable g_overflow : int;
+  mutable g_exception : int;
+  mutable g_budget : int;
   eng : (int, engine_row) Hashtbl.t;  (* per-domain engine rows *)
   mutable eng_registries : int;  (* worker registries merged into this one *)
 }
@@ -56,6 +61,9 @@ let create () =
     bj_inc_nodes = 0;
     bj_scratch_nodes = 0;
     bj_caps = 0;
+    g_overflow = 0;
+    g_exception = 0;
+    g_budget = 0;
     eng = Hashtbl.create 8;
     eng_registries = 0;
   }
@@ -105,6 +113,20 @@ let banerjee_node t ~incremental =
   else t.bj_scratch_nodes <- t.bj_scratch_nodes + 1
 
 let banerjee_cap t = t.bj_caps <- t.bj_caps + 1
+
+let degraded t reason =
+  match reason with
+  | `Overflow -> t.g_overflow <- t.g_overflow + 1
+  | `Exception -> t.g_exception <- t.g_exception + 1
+  | `Budget -> t.g_budget <- t.g_budget + 1
+
+let degraded_pairs t = t.g_overflow + t.g_exception + t.g_budget
+
+let degraded_by t reason =
+  match reason with
+  | `Overflow -> t.g_overflow
+  | `Exception -> t.g_exception
+  | `Budget -> t.g_budget
 
 let engine_row t domain =
   match Hashtbl.find_opt t.eng domain with
@@ -160,6 +182,9 @@ let merge_into acc extra =
   acc.bj_inc_nodes <- acc.bj_inc_nodes + extra.bj_inc_nodes;
   acc.bj_scratch_nodes <- acc.bj_scratch_nodes + extra.bj_scratch_nodes;
   acc.bj_caps <- acc.bj_caps + extra.bj_caps;
+  acc.g_overflow <- acc.g_overflow + extra.g_overflow;
+  acc.g_exception <- acc.g_exception + extra.g_exception;
+  acc.g_budget <- acc.g_budget + extra.g_budget;
   Hashtbl.iter
     (fun d (er : engine_row) ->
       let r = engine_row acc d in
@@ -249,6 +274,18 @@ let to_json t =
             ("scratch_nodes", Json.Int t.bj_scratch_nodes);
             ("combo_cap_fallbacks", Json.Int t.bj_caps);
           ] );
+      ( "guard",
+        Json.Obj
+          [
+            ("degraded", Json.Int (degraded_pairs t));
+            ( "by_reason",
+              Json.Obj
+                [
+                  ("overflow", Json.Int t.g_overflow);
+                  ("exception", Json.Int t.g_exception);
+                  ("budget", Json.Int t.g_budget);
+                ] );
+          ] );
       ( "engine",
         let rows = engine_rows t in
         let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
@@ -306,6 +343,11 @@ let pp ppf t =
       "banerjee kernel: %d compiled, %d incremental / %d scratch nodes, %d \
        cap fallback(s)@."
       t.bj_compile t.bj_inc_nodes t.bj_scratch_nodes t.bj_caps;
+  if degraded_pairs t > 0 then
+    Format.fprintf ppf
+      "guard: %d pair(s) degraded conservatively (%d overflow, %d \
+       exception, %d budget)@."
+      (degraded_pairs t) t.g_overflow t.g_exception t.g_budget;
   (let rows = engine_rows t in
    if rows <> [] then begin
      Format.fprintf ppf "engine: %d worker registr%s merged@."

@@ -60,6 +60,17 @@ val banerjee_cap : t -> unit
     cap and conservatively assumed feasibility (see the [banerjee] block
     of {!to_json} and the paired trace note). *)
 
+val degraded : t -> [ `Overflow | `Exception | `Budget ] -> unit
+(** One reference pair degraded to the conservative full
+    direction-vector verdict, bucketed by the guard's reason (checked
+    arithmetic overflow, a contained exception, or an exhausted work
+    budget / deadline). Feeds the [guard] block of {!to_json}. *)
+
+val degraded_pairs : t -> int
+(** Total degraded pairs across every reason. *)
+
+val degraded_by : t -> [ `Overflow | `Exception | `Budget ] -> int
+
 val engine_task : t -> domain:int -> ns:int64 -> unit
 (** One engine work chunk executed by worker [domain] in [ns]: bump the
     domain's task count and busy time. *)
@@ -110,9 +121,10 @@ val to_json : t -> Json.t
     totals, [pairs] with the latency histogram, [cache]
     hits/misses/hit_rate, [banerjee] kernel counters
     (kernel_compilations, incremental_nodes, scratch_nodes,
-    combo_cap_fallbacks), and the [engine] block (merged registries,
-    per-domain tasks / busy_ns / queue_wait_ns rows plus totals) — see
-    README. *)
+    combo_cap_fallbacks), the [guard] block (degraded pair total and
+    by_reason overflow / exception / budget buckets), and the [engine]
+    block (merged registries, per-domain tasks / busy_ns / queue_wait_ns
+    rows plus totals) — see README. *)
 
 val pp : Format.formatter -> t -> unit
 (** The per-kind time/count table — the §6 Table-3 shape with wall-clock

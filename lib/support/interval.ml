@@ -43,17 +43,34 @@ let hull a b =
   else if is_empty b then a
   else { lo = bound_min a.lo b.lo; hi = bound_max a.hi b.hi }
 
-let bound_add a b =
+(* Bound sums are positional: the indeterminate oo + -oo (and a native
+   overflow of two finite endpoints) widens toward the conservative side
+   of the position it sits in — -oo for a lower bound, +oo for an upper
+   bound — so triangular-range arithmetic degrades instead of crashing
+   the driver. *)
+let bound_add_lo a b =
   match (a, b) with
-  | Fin x, Fin y -> Fin (x + y)
-  | Neg_inf, Pos_inf | Pos_inf, Neg_inf ->
-      invalid_arg "Interval.bound_add: oo + -oo"
   | Neg_inf, _ | _, Neg_inf -> Neg_inf
   | Pos_inf, _ | _, Pos_inf -> Pos_inf
+  | Fin x, Fin y -> (
+      match Dt_guard.Ops.add x y with
+      | s -> Fin s
+      | exception Dt_guard.Ops.Overflow -> Neg_inf)
+
+let bound_add_hi a b =
+  match (a, b) with
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Fin x, Fin y -> (
+      match Dt_guard.Ops.add x y with
+      | s -> Fin s
+      | exception Dt_guard.Ops.Overflow -> Pos_inf)
+
+let bound_add = bound_add_hi
 
 let add a b =
   if is_empty a || is_empty b then empty
-  else { lo = bound_add a.lo b.lo; hi = bound_add a.hi b.hi }
+  else { lo = bound_add_lo a.lo b.lo; hi = bound_add_hi a.hi b.hi }
 
 let bound_neg = function Neg_inf -> Pos_inf | Pos_inf -> Neg_inf | Fin x -> Fin (-x)
 let neg t = if is_empty t then empty else { lo = bound_neg t.hi; hi = bound_neg t.lo }

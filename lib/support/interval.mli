@@ -44,8 +44,19 @@ val width : t -> int option
 val finite : t -> (int * int) option
 (** Both endpoints, when finite and non-empty. *)
 
+val bound_add_lo : bound -> bound -> bound
+(** Bound sum for a {e lower}-bound position: the indeterminate
+    oo + (-oo), and a finite sum that overflows the native range, widen
+    to [Neg_inf] (the conservative side for a lower bound) instead of
+    raising or wrapping. *)
+
+val bound_add_hi : bound -> bound -> bound
+(** Bound sum for an {e upper}-bound position: indeterminate or
+    overflowing sums widen to [Pos_inf]. *)
+
 val bound_add : bound -> bound -> bound
-(** Raises [Invalid_argument] on oo + (-oo). *)
+(** Alias of {!bound_add_hi}, kept for source compatibility: use the
+    positional variants so widening lands on the conservative side. *)
 
 val bound_scale : int -> bound -> bound
 val bound_le : bound -> bound -> bool

@@ -20,7 +20,7 @@ let no_probe =
     task_stop = nop;
   }
 
-let sequential ~probe ~n ~state ~body =
+let sequential ~probe ~run_body ~n ~state =
   let st = state 0 in
   (* the whole index loop is one task on worker 0: the engine metrics
      see the same busy-time accounting shape at every jobs setting
@@ -33,7 +33,7 @@ let sequential ~probe ~n ~state ~body =
       probe.worker_stop 0)
     (fun () ->
       for i = 0 to n - 1 do
-        body st i
+        run_body st i
       done);
   [ st ]
 
@@ -41,13 +41,22 @@ let default_chunk ~jobs ~n =
   let c = n / (jobs * 8) in
   if c < 1 then 1 else if c > 64 then 64 else c
 
-let parallel_for ?(jobs = 0) ?chunk ?probe ~n ~state ~body () =
+let parallel_for ?(jobs = 0) ?chunk ?probe ?on_error ~n ~state ~body () =
   let probe = Option.value probe ~default:no_probe in
+  (* per-task containment: with a handler, a raising [body] is confined
+     to its own index — the handler runs on the worker's domain and the
+     loop continues. A handler that itself raises falls through to the
+     legacy first-exception path below (strict mode). *)
+  let run_body =
+    match on_error with
+    | None -> body
+    | Some handle -> fun st i -> ( try body st i with e -> handle st i e)
+  in
   if n <= 0 then []
   else
     let jobs = if jobs <= 0 then recommended_jobs () else jobs in
     let jobs = min jobs n in
-    if jobs <= 1 || n <= 1 then sequential ~probe ~n ~state ~body
+    if jobs <= 1 || n <= 1 then sequential ~probe ~run_body ~n ~state
     else begin
       let chunk =
         match chunk with
@@ -82,7 +91,7 @@ let parallel_for ?(jobs = 0) ?chunk ?probe ~n ~state ~body () =
                    let hi = min n (lo + chunk) - 1 in
                    probe.task_start w;
                    for i = lo to hi do
-                     body st i
+                     run_body st i
                    done;
                    probe.task_stop w
                  end

@@ -37,6 +37,7 @@ val parallel_for :
   ?jobs:int ->
   ?chunk:int ->
   ?probe:probe ->
+  ?on_error:('w -> int -> exn -> unit) ->
   n:int ->
   state:(int -> 'w) ->
   body:('w -> int -> unit) ->
@@ -53,6 +54,15 @@ val parallel_for :
     them), each pulling chunks of [chunk] consecutive indices (default:
     a size that yields roughly 8 chunks per worker, clamped to [1, 64]).
 
-    If any [body] or [state] call raises, all remaining work is drained,
-    the workers are joined, and the first exception (by worker id) is
-    re-raised with its backtrace. *)
+    [on_error] is the per-task containment policy: when given, a [body]
+    call that raises is caught at its own index — [on_error st i e] runs
+    on the same worker (so it may record into the worker state and fill
+    the index's result slot) and the loop continues with the next index;
+    one faulty task no longer aborts the run. This applies on the
+    sequential path too.
+
+    Without [on_error] (or when the handler itself raises — strict
+    mode), the legacy policy applies: all remaining work is drained, the
+    workers are joined, and the first exception (by worker id) is
+    re-raised with its backtrace. A raising [state] call is always
+    fatal. *)

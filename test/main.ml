@@ -28,5 +28,6 @@ let () =
       ("span", Test_span.suite);
       ("emit", Test_emit.suite);
       ("semantics", Test_semantics.suite);
+      ("guard", Test_guard.suite);
       ("properties", Test_properties.suite);
     ]
