@@ -846,6 +846,89 @@ let guard_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* run ledger: one record per instrumented corpus pass, saved to
+   BENCH_ledger.jsonl and drift-gated by CI against the committed
+   bench/ledger_baseline.jsonl (regenerate with
+   `dune exec bench/main.exe -- --tables-only && cp BENCH_ledger.jsonl
+   bench/ledger_baseline.jsonl`). The jobs=1 and jobs=2 passes must
+   produce byte-identical stable records — worker count is an engine
+   knob, never a semantic one — so a mismatch is fatal. *)
+
+let ledger_bench () =
+  let entries = Dt_workloads.Corpus.all in
+  let progs =
+    List.concat_map
+      (fun (e : Dt_workloads.Corpus.entry) -> Dt_workloads.Corpus.programs e)
+      entries
+  in
+  let source_text =
+    String.concat "\n"
+      (List.map
+         (fun (e : Dt_workloads.Corpus.entry) -> e.Dt_workloads.Corpus.source)
+         entries)
+  in
+  let source =
+    Dt_report.Record.source_of ~routines:(List.length progs) source_text
+  in
+  let pass ~label ?strategy ?budget ~jobs () =
+    let metrics = Dt_obs.Metrics.create () in
+    let cfg =
+      Deptest.Analyze.Config.make ?strategy ~jobs ~cache:false ~metrics
+        ?budget ()
+    in
+    let counters = Deptest.Counters.create () in
+    let pairs = ref 0 and indep = ref 0 and degr = ref 0 in
+    let gc0 = Gc.quick_stat () in
+    let t0 = Dt_obs.Metrics.now_ns () in
+    List.iter
+      (fun p ->
+        let r = Deptest.Analyze.run cfg p in
+        Deptest.Counters.merge_into counters r.Deptest.Analyze.counters;
+        let np, ni, nd = Dt_report.Record.summary_of_result r in
+        pairs := !pairs + np;
+        indep := !indep + ni;
+        degr := !degr + nd)
+      progs;
+    let wall_ns = Int64.to_int (Int64.sub (Dt_obs.Metrics.now_ns ()) t0) in
+    let gc1 = Gc.quick_stat () in
+    Dt_report.Record.make ~ts_ms:(Dt_report.Record.now_ms ()) ~label
+      ~config:(Dt_report.Record.config_of cfg)
+      ~source ~counters ~pairs:!pairs ~independent:!indep ~degraded:!degr
+      ~metrics ~wall_ns
+      ~gc_minor_words:(gc1.Gc.minor_words -. gc0.Gc.minor_words)
+      ~gc_major_words:(gc1.Gc.major_words -. gc0.Gc.major_words)
+      ()
+  in
+  let r1 = pass ~label:"corpus" ~jobs:1 () in
+  let r2 = pass ~label:"corpus" ~jobs:2 () in
+  let rsub =
+    pass ~label:"corpus-subscript"
+      ~strategy:Deptest.Pair_test.Subscript_by_subscript ~jobs:1 ()
+  in
+  let rbud = pass ~label:"corpus-budget1" ~budget:1 ~jobs:1 () in
+  let records = [ r1; r2; rsub; rbud ] in
+  Printf.printf "\n== ledger: instrumented corpus passes ==\n";
+  List.iter
+    (fun (r : Dt_report.Record.t) ->
+      Printf.printf
+        "  %-18s jobs=%d  %4d pairs %4d indep %3d degraded  %s\n" r.label
+        r.config.jobs r.verdicts.pairs r.verdicts.independent
+        r.verdicts.degraded
+        (String.sub r.fingerprint 0 12))
+    records;
+  let stable r = Dt_obs.Json.to_string (Dt_report.Record.stable_json r) in
+  let parity = stable r1 = stable r2 in
+  Printf.printf "  stable record byte-identical at jobs=1 and jobs=2: %b\n"
+    parity;
+  Dt_report.Ledger.save ~path:"BENCH_ledger.jsonl" records;
+  print_endline "ledger records written to BENCH_ledger.jsonl";
+  if not parity then begin
+    prerr_endline
+      "bench: FATAL: ledger record differs between --jobs 1 and --jobs 2";
+    exit 1
+  end
+
 let is_infix ~affix s =
   let na = String.length affix and ns = String.length s in
   let rec go i = i + na <= ns && (String.sub s i na = affix || go (i + 1)) in
@@ -858,6 +941,7 @@ let () =
   banerjee_bench ();
   guard_bench ();
   obs_timeline ();
+  ledger_bench ();
   if not tables_only then begin
     let micro = run_suite ~name:"per-test microbenchmarks (Tables 2-3 tests)" micro_tests in
     let strat = run_suite ~name:"strategy comparison (Table 4 / Triolet 22-28x)" strategy_tests in

@@ -176,6 +176,38 @@ let flame_arg =
           "Record a timeline of the run and write it as folded stacks to \
            $(docv) (pipe through flamegraph.pl for an SVG flamegraph).")
 
+let prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics snapshot in Prometheus text exposition \
+           format (0.0.4) to $(docv) — the same registry the JSON snapshot \
+           exports, as $(b,deptest_)-prefixed families with a cumulative \
+           pair-latency histogram.")
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Dt_report.Ledger.default_path) (some string) None
+    & info [ "ledger" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "DEPTEST_LEDGER")
+        ~doc:
+          "Append one run record (config fingerprint, source digest, \
+           verdict histogram, timings) to the JSONL ledger at $(docv) \
+           (default $(b,.deptest/ledger.jsonl)); inspect it with \
+           $(b,deptest report).")
+
+let label_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "label" ] ~docv:"NAME"
+        ~doc:
+          "Label stored in the ledger record; part of the configuration \
+           fingerprint, so differently-labelled runs never drift against \
+           each other.")
+
 (* every artifact lands via write-to-temp-then-rename: a crashed or
    interrupted run never leaves a truncated file behind *)
 let write_artifact path content =
@@ -205,13 +237,24 @@ let export_timeline chrome flame profiler =
 
 let analyze_cmd =
   let run file strategy inputs bindings explain trace_file jobs no_cache
-      strict budget deadline_ms chrome flame =
+      strict budget deadline_ms chrome flame prom ledger label =
     let profiler = make_profiler chrome flame in
     let trace_buf =
       match trace_file with None -> None | Some _ -> Some (Buffer.create 4096)
     in
     let degraded_total = ref 0 in
+    (* --prom / --ledger observe the whole file as one run: a shared
+       metrics registry across routines, plus §6 counters and pair
+       verdicts aggregated for the ledger record *)
+    let want_record = prom <> None || ledger <> None in
+    let metrics = if want_record then Some (Dt_obs.Metrics.create ()) else None in
+    let agg_counters = Deptest.Counters.create () in
+    let agg_pairs = ref 0 and agg_indep = ref 0 and agg_degr = ref 0 in
+    let routines = ref 0 in
+    let gc0 = Gc.quick_stat () in
+    let t0 = Dt_obs.Metrics.now_ns () in
     (each file @@ fun prog ->
+     incr routines;
      let prog =
        if bindings = [] then prog
        else Dt_ir.Specialize.program prog ~bindings
@@ -222,9 +265,16 @@ let analyze_cmd =
      in
      let cfg =
        Deptest.Analyze.Config.make ~strategy ~include_inputs:inputs ~jobs
-         ~cache:(not no_cache) ?sink ?profiler ?budget ?deadline_ms ()
+         ~cache:(not no_cache) ?metrics ?sink ?profiler ?budget ?deadline_ms ()
      in
      let r = Deptest.Analyze.run cfg prog in
+     if want_record then begin
+       Deptest.Counters.merge_into agg_counters r.Deptest.Analyze.counters;
+       let pairs, indep, degr = Dt_report.Record.summary_of_result r in
+       agg_pairs := !agg_pairs + pairs;
+       agg_indep := !agg_indep + indep;
+       agg_degr := !agg_degr + degr
+     end;
      Format.printf "%a@." Dt_ir.Nest.pp prog;
      if r.Deptest.Analyze.deps = [] then print_endline "no dependences"
      else
@@ -262,6 +312,43 @@ let analyze_cmd =
     | Some f, Some b -> write_artifact f (Buffer.contents b)
     | _ -> ());
     export_timeline chrome flame profiler;
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        let wall_ns = Int64.to_int (Int64.sub (Dt_obs.Metrics.now_ns ()) t0) in
+        let gc1 = Gc.quick_stat () in
+        (match prom with
+        | Some f -> write_artifact f (Dt_obs.Metrics.to_prometheus m)
+        | None -> ());
+        (match ledger with
+        | None -> ()
+        | Some path ->
+            let cfg0 =
+              Deptest.Analyze.Config.make ~strategy ~include_inputs:inputs
+                ~jobs ~cache:(not no_cache) ?budget ?deadline_ms ()
+            in
+            let record =
+              Dt_report.Record.make ~ts_ms:(Dt_report.Record.now_ms ()) ~label
+                ~config:(Dt_report.Record.config_of cfg0)
+                ~source:
+                  (Dt_report.Record.source_of ~routines:!routines
+                     (read_file file))
+                ~counters:agg_counters ~pairs:!agg_pairs
+                ~independent:!agg_indep ~degraded:!agg_degr ~metrics:m
+                ~wall_ns
+                ~gc_minor_words:(gc1.Gc.minor_words -. gc0.Gc.minor_words)
+                ~gc_major_words:(gc1.Gc.major_words -. gc0.Gc.major_words)
+                ()
+            in
+            (match Dt_report.Ledger.append ~path record with
+            | Ok skipped ->
+                if skipped > 0 then
+                  Printf.eprintf
+                    "warning: %s: dropped %d corrupt line(s) on rewrite\n" path
+                    skipped
+            | Error e ->
+                Printf.eprintf "cannot write ledger %s: %s\n" path e;
+                exit 2)));
     (* exit 3: sound-but-degraded, distinct from analysis failure (1)
        and load error (2) *)
     if strict && !degraded_total > 0 then begin
@@ -276,7 +363,8 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ strategy_arg $ inputs_arg $ bind_arg
       $ explain_arg $ trace_arg $ jobs_arg $ no_cache_arg $ strict_arg
-      $ budget_arg $ deadline_arg $ chrome_arg $ flame_arg)
+      $ budget_arg $ deadline_arg $ chrome_arg $ flame_arg $ prom_arg
+      $ ledger_arg $ label_arg)
 
 let parallel_cmd =
   let run file =
@@ -558,6 +646,202 @@ let corpus_cmd =
     (Cmd.info "corpus" ~doc:"List the embedded benchmark corpus")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* report: inspect the run ledger                                      *)
+
+let ledger_path_arg =
+  Arg.(
+    value
+    & opt string Dt_report.Ledger.default_path
+    & info [ "ledger" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "DEPTEST_LEDGER")
+        ~doc:"Ledger file to read (JSONL of run records).")
+
+let load_ledger path =
+  match Dt_report.Ledger.load ~path () with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 2
+  | Ok (records, skipped) ->
+      if skipped > 0 then
+        Printf.eprintf "warning: %s: skipped %d corrupt line(s)\n" path skipped;
+      records
+
+let nth_record records i =
+  match List.nth_opt records i with
+  | Some r -> r
+  | None ->
+      Printf.eprintf "no record %d (ledger has %d record(s))\n" i
+        (List.length records);
+      exit 2
+
+let ts_string ms =
+  let t = Unix.gmtime (float_of_int ms /. 1000.) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let short_fp fp = if String.length fp > 12 then String.sub fp 0 12 else fp
+
+let report_list_cmd =
+  let run path =
+    match load_ledger path with
+    | [] -> print_endline "(empty ledger)"
+    | records ->
+        List.iteri
+          (fun i (r : Dt_report.Record.t) ->
+            Printf.printf
+              "%3d  %s  %s  %-12s  %4d pairs %4d indep %3d degraded  jobs=%d\n"
+              i (ts_string r.ts_ms) (short_fp r.fingerprint)
+              (if r.label = "" then "-" else r.label)
+              r.verdicts.pairs r.verdicts.independent r.verdicts.degraded
+              r.config.jobs)
+          records
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the ledger's run records, oldest first")
+    Term.(const run $ ledger_path_arg)
+
+let report_show_cmd =
+  let run path index json =
+    let r = nth_record (load_ledger path) index in
+    if json then
+      print_endline (Dt_obs.Json.to_string (Dt_report.Record.to_json r))
+    else Format.printf "%a@." Dt_report.Record.pp r
+  in
+  let index_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Record index as shown by $(b,report list).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the full record JSON instead of a summary.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Show one ledger record")
+    Term.(const run $ ledger_path_arg $ index_arg $ json_arg)
+
+let drift_threshold_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "latency-threshold" ] ~docv:"PCT"
+        ~doc:
+          "Relative mean-pair-latency growth (percent) that counts as \
+           drift; verdict counts always compare exactly.")
+
+let drift_min_ns_arg =
+  Arg.(
+    value & opt float 10000.0
+    & info [ "min-ns" ] ~docv:"NS"
+        ~doc:
+          "Absolute mean-latency growth floor that must also be exceeded \
+           (damps jitter on microsecond-scale runs).")
+
+let no_latency_arg =
+  Arg.(
+    value & flag
+    & info [ "no-latency" ]
+        ~doc:
+          "Compare verdicts only; ignore latency entirely (for \
+           cross-machine comparisons, e.g. a committed CI baseline).")
+
+let report_diff_cmd =
+  let run path a b threshold min_ns no_latency =
+    let records = load_ledger path in
+    let baseline = nth_record records a and current = nth_record records b in
+    let counters, latency =
+      Dt_report.Drift.diff ~latency_threshold:(threshold /. 100.) ~min_ns
+        ~check_latency:(not no_latency) ~baseline ~current ()
+    in
+    if counters = [] && latency = None then
+      Printf.printf "records %d and %d agree\n" a b
+    else begin
+      List.iter
+        (fun (r : Dt_report.Drift.counter_row) ->
+          Printf.printf "%s: %d -> %d\n" r.metric r.baseline r.current)
+        counters;
+      (match latency with
+      | Some (l : Dt_report.Drift.latency_row) ->
+          Printf.printf "mean pair latency: %.0f ns -> %.0f ns\n" l.baseline_ns
+            l.current_ns
+      | None -> ());
+      exit 1
+    end
+  in
+  let a_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"A" ~doc:"Baseline record index.")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 1 (some int) None
+      & info [] ~docv:"B" ~doc:"Current record index.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two ledger records field by field; exit 1 if they differ")
+    Term.(
+      const run $ ledger_path_arg $ a_arg $ b_arg $ drift_threshold_arg
+      $ drift_min_ns_arg $ no_latency_arg)
+
+let report_drift_cmd =
+  let run path baseline_path window threshold min_ns no_latency =
+    if not (Sys.file_exists baseline_path) then begin
+      (* a repo without a committed baseline must pass CI: skip, don't fail *)
+      Printf.printf "no baseline ledger at %s; skipping drift check\n"
+        baseline_path;
+      exit 0
+    end;
+    let baseline = load_ledger baseline_path in
+    let current = load_ledger path in
+    let report =
+      Dt_report.Drift.detect ~window ~latency_threshold:(threshold /. 100.)
+        ~min_ns ~check_latency:(not no_latency) ~baseline ~current ()
+    in
+    Format.printf "%a@." Dt_report.Drift.pp report;
+    if Dt_report.Drift.has_drift report then exit 1
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt string "bench/ledger_baseline.jsonl"
+      & info [ "baseline" ] ~docv:"PATH"
+          ~doc:
+            "Baseline ledger to drift against; when the file does not \
+             exist the check is skipped with exit 0.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "window" ] ~docv:"K"
+          ~doc:
+            "Baseline records per fingerprint to aggregate (latency \
+             compares against the window mean).")
+  in
+  Cmd.v
+    (Cmd.info "drift"
+       ~doc:
+         "Compare the newest run of each configuration against a baseline \
+          ledger; exit 1 on verdict or latency drift (the CI gate)")
+    Term.(
+      const run $ ledger_path_arg $ baseline_arg $ window_arg
+      $ drift_threshold_arg $ drift_min_ns_arg $ no_latency_arg)
+
+let report_cmd =
+  Cmd.group
+    (Cmd.info "report"
+       ~doc:
+         "Inspect the run ledger: list and show records, diff two runs, \
+          gate on drift against a baseline")
+    [ report_list_cmd; report_show_cmd; report_diff_cmd; report_drift_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "deptest" ~version:"1.0.0"
@@ -573,6 +857,7 @@ let main =
       profile_cmd;
       tables_cmd;
       corpus_cmd;
+      report_cmd;
     ]
 
 let () =

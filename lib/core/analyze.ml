@@ -18,14 +18,16 @@ module Config = struct
   }
 
   let make ?(strategy = Pair_test.Partition_based) ?(include_inputs = false)
-      ?(assume = Assume.empty) ?(jobs = 0) ?(cache = true) ?metrics ?sink
-      ?profiler ?budget ?deadline_ms () =
+      ?(assume = Assume.empty) ?(jobs = 0) ?(cache = true) ?cache_capacity
+      ?metrics ?sink ?profiler ?budget ?deadline_ms () =
     {
       strategy;
       include_inputs;
       assume;
       jobs;
-      cache = (if cache then Some (Pair_cache.create ()) else None);
+      cache =
+        (if cache then Some (Pair_cache.create ?capacity:cache_capacity ())
+         else None);
       metrics;
       sink;
       profiler;
@@ -58,6 +60,9 @@ module Config = struct
 
   let cache_stats t =
     Option.map (fun c -> (Pair_cache.hits c, Pair_cache.misses c)) t.cache
+
+  let cache_usage t =
+    Option.map (fun c -> (Pair_cache.length c, Pair_cache.evictions c)) t.cache
 
   let cache_hit_rate t = Option.map Pair_cache.hit_rate t.cache
 end
@@ -470,6 +475,13 @@ let run (cfg : Config.t) prog =
       | Some m, Some wm -> Dt_obs.Metrics.merge_into m wm
       | _ -> ())
     workers;
+  (* cache growth snapshot — the table is shared by all workers, so this
+     is taken once after the merge, not per worker registry *)
+  (match (metrics, cache) with
+  | Some m, Some c ->
+      Dt_obs.Metrics.set_cache_usage m ~size:(Pair_cache.length c)
+        ~evictions:(Pair_cache.evictions c)
+  | _ -> ());
   (* sequential orientation pass, in enumeration order: bit-identical to
      the historical sequential driver at every jobs setting *)
   let deps = ref [] and pairs = ref [] in

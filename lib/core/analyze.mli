@@ -29,6 +29,7 @@ module Config : sig
     ?assume:Assume.t ->
     ?jobs:int ->
     ?cache:bool ->
+    ?cache_capacity:int ->
     ?metrics:Dt_obs.Metrics.t ->
     ?sink:Dt_obs.Trace.sink ->
     ?profiler:Dt_obs.Span.profiler ->
@@ -40,7 +41,9 @@ module Config : sig
       [jobs = 0] (auto: one worker per recommended domain, but small
       nests — fewer than ~256 reference pairs, where a Domain spawn
       would cost more than the testing work — run sequentially), cache
-      on, no metrics, no sink, no profiler, no budget, no deadline. An
+      on and unbounded ([cache_capacity] bounds its resident entries with
+      FIFO eviction), no metrics, no sink, no profiler, no budget, no
+      deadline. An
       explicit [jobs >= 1] is honored literally. A trace sink forces
       sequential execution — a trace is an ordered narrative. A profiler
       does {e not} constrain the schedule: each worker domain records
@@ -85,6 +88,11 @@ module Config : sig
 
   val cache_stats : t -> (int * int) option
   (** [(hits, misses)] of this configuration's cache, if it has one. *)
+
+  val cache_usage : t -> (int * int) option
+  (** [(size, evictions)]: resident entries and capacity evictions of
+      this configuration's cache, if it has one. [run] snapshots the
+      same numbers into the metrics registry's cache block. *)
 
   val cache_hit_rate : t -> float option
 end

@@ -10,7 +10,7 @@ type entry = {
 
 type t = entry Memo.t
 
-let create () : t = Memo.create ()
+let create ?capacity () : t = Memo.create ?capacity ()
 
 (* ------------------------------------------------------------------ *)
 (* rehydration: translate the producer's result into the consumer's
@@ -128,3 +128,4 @@ let hits = Memo.hits
 let misses = Memo.misses
 let hit_rate = Memo.hit_rate
 let length = Memo.length
+let evictions = Memo.evictions

@@ -25,7 +25,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the resident entries (FIFO eviction past it, see
+    {!Dt_engine.Memo}); omitted means unbounded. *)
 
 val find : t -> Dt_engine.Key.t -> counters:Counters.t -> Pair_test.t option
 (** On a hit, returns the rehydrated result and replays the entry's
@@ -39,3 +41,6 @@ val hits : t -> int
 val misses : t -> int
 val hit_rate : t -> float
 val length : t -> int
+
+val evictions : t -> int
+(** Entries dropped by capacity eviction. *)

@@ -1,11 +1,21 @@
-let write_atomic path content =
+let write_atomic_with path write =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
-     output_string oc content;
+     write oc;
+     flush oc;
+     (* durability before visibility: the rename must never publish a
+        name whose bytes are still only in the page cache — a crash
+        between rename and writeback would yield a complete-looking but
+        empty artifact. Best-effort: not every target supports fsync. *)
+     (try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ());
      close_out oc
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   Sys.rename tmp path
+
+let write_atomic path content =
+  write_atomic_with path (fun oc -> output_string oc content)

@@ -1,11 +1,20 @@
 (** Atomic file writes for observability artifacts.
 
-    Traces, metrics snapshots, and Chrome timelines are consumed by
-    other tools ([jq], Perfetto, CI diffs); a run interrupted mid-write
-    must never leave a truncated JSON behind. *)
+    Traces, metrics snapshots, Chrome timelines, and ledger records are
+    consumed by other tools ([jq], Perfetto, CI diffs); a run interrupted
+    mid-write must never leave a truncated JSON behind. *)
 
 val write_atomic : string -> string -> unit
-(** [write_atomic path content] writes [content] to [path ^ ".tmp"] and
-    renames it over [path] — readers see either the old file or the
-    complete new one. Raises [Sys_error] as [open_out]/[Sys.rename] do;
-    the temporary file is removed on a write error. *)
+(** [write_atomic path content] writes [content] to [path ^ ".tmp"],
+    fsyncs, and renames it over [path] — readers see either the old file
+    or the complete new one, even across a crash between the rename and
+    writeback. Raises [Sys_error] as [open_out]/[Sys.rename] do; the
+    temporary file is removed on a write error. *)
+
+val write_atomic_with : string -> (out_channel -> unit) -> unit
+(** [write_atomic_with path write] is {!write_atomic} with the content
+    streamed by the [write] callback instead of built in memory — used
+    for ledger appends, where the existing records are copied through.
+    If [write] raises, the temporary file is removed (no [*.tmp] litter
+    next to baselines) and the exception is re-raised; [path] is left
+    untouched either way. *)

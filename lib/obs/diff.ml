@@ -9,11 +9,13 @@ type row = {
 
 type report = { rows : row list; threshold : float; min_ns : float }
 
-let schema = "deptest-metrics/1"
+(* both snapshot generations diff cleanly: /2 only added cache fields,
+   which the extraction below never reads *)
+let schemas = [ "deptest-metrics/1"; "deptest-metrics/2" ]
 
 (* ------------------------------------------------------------------ *)
 (* extraction: one (label, count, ns) triple per test kind, per phase,
-   plus the pair total, from a deptest-metrics/1 snapshot *)
+   plus the pair total, from a deptest-metrics snapshot *)
 
 let field name j = Json.member name j
 
@@ -24,7 +26,7 @@ let int_field ?(default = 0) name j =
 
 let extract j =
   match Option.bind (field "schema" j) Json.to_str with
-  | Some s when s = schema ->
+  | Some s when List.mem s schemas ->
       let tests =
         match Option.bind (field "tests" j) Json.to_list with
         | None -> []
@@ -61,8 +63,12 @@ let extract j =
         | None -> []
       in
       Ok (tests @ phases @ pairs)
-  | Some s -> Error (Printf.sprintf "expected schema %S, got %S" schema s)
-  | None -> Error (Printf.sprintf "not a %s snapshot (no schema field)" schema)
+  | Some s ->
+      Error
+        (Printf.sprintf "expected schema %s, got %S"
+           (String.concat " or " (List.map (Printf.sprintf "%S") schemas))
+           s)
+  | None -> Error "not a deptest-metrics snapshot (no schema field)"
 
 (* ------------------------------------------------------------------ *)
 

@@ -1,6 +1,6 @@
 (** Cross-run regression diffing of {!Metrics} snapshots.
 
-    Two [deptest-metrics/1] JSON snapshots (as printed by
+    Two [deptest-metrics/1] or [/2] JSON snapshots (as printed by
     [deptest profile --json] or written by the bench harness) compare
     row-wise: one row per test kind ([test:<slug>], count = applied,
     ns = total), per phase ([phase:<name>]), plus the [pairs] total.

@@ -285,5 +285,10 @@ let rec equal a b =
 
 let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
 let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
 let to_list = function List xs -> Some xs | _ -> None
 let to_str = function String s -> Some s | _ -> None

@@ -33,5 +33,9 @@ val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] otherwise. *)
 
 val to_int : t -> int option
+
+val to_float : t -> float option
+(** [Int] values widen; everything non-numeric is [None]. *)
+
 val to_list : t -> t list option
 val to_str : t -> string option

@@ -33,6 +33,8 @@ type t = {
   mutable pair_ns : int64;
   mutable cache_hits : int;  (* pair verdicts served by the memo cache *)
   mutable cache_misses : int;
+  mutable cache_size : int;  (* resident memo entries, snapshot after a run *)
+  mutable cache_evictions : int;  (* entries dropped by capacity eviction *)
   mutable bj_compile : int;  (* Banerjee linear-form kernel compilations *)
   mutable bj_inc_nodes : int;  (* hierarchy nodes via the incremental path *)
   mutable bj_scratch_nodes : int;  (* nodes re-evaluated from scratch *)
@@ -57,6 +59,8 @@ let create () =
     pair_ns = 0L;
     cache_hits = 0;
     cache_misses = 0;
+    cache_size = 0;
+    cache_evictions = 0;
     bj_compile = 0;
     bj_inc_nodes = 0;
     bj_scratch_nodes = 0;
@@ -105,6 +109,13 @@ let cache_hit t = t.cache_hits <- t.cache_hits + 1
 let cache_miss t = t.cache_misses <- t.cache_misses + 1
 let cache_hits t = t.cache_hits
 let cache_misses t = t.cache_misses
+
+let set_cache_usage t ~size ~evictions =
+  t.cache_size <- size;
+  t.cache_evictions <- evictions
+
+let cache_size t = t.cache_size
+let cache_evictions t = t.cache_evictions
 
 let banerjee_compile t = t.bj_compile <- t.bj_compile + 1
 
@@ -178,6 +189,11 @@ let merge_into acc extra =
   acc.pair_ns <- Int64.add acc.pair_ns extra.pair_ns;
   acc.cache_hits <- acc.cache_hits + extra.cache_hits;
   acc.cache_misses <- acc.cache_misses + extra.cache_misses;
+  (* size/evictions are snapshots of a shared table, not per-registry
+     increments: summing registries that observed the same cache would
+     double-count, so the merge keeps the larger snapshot *)
+  acc.cache_size <- max acc.cache_size extra.cache_size;
+  acc.cache_evictions <- max acc.cache_evictions extra.cache_evictions;
   acc.bj_compile <- acc.bj_compile + extra.bj_compile;
   acc.bj_inc_nodes <- acc.bj_inc_nodes + extra.bj_inc_nodes;
   acc.bj_scratch_nodes <- acc.bj_scratch_nodes + extra.bj_scratch_nodes;
@@ -245,7 +261,8 @@ let to_json t =
   in
   Json.Obj
     [
-      ("schema", Json.String "deptest-metrics/1");
+      (* /2: the cache block gained size and evictions *)
+      ("schema", Json.String "deptest-metrics/2");
       ("tests", Json.List tests);
       ("phases", Json.Obj phases_json);
       ( "pairs",
@@ -265,6 +282,8 @@ let to_json t =
               Json.Float
                 (if n = 0 then 0.
                  else float_of_int t.cache_hits /. float_of_int n) );
+            ("size", Json.Int t.cache_size);
+            ("evictions", Json.Int t.cache_evictions);
           ] );
       ( "banerjee",
         Json.Obj
@@ -335,9 +354,14 @@ let pp ppf t =
   Format.fprintf ppf "@.pairs tested %d, total %.1f us@." t.pairs (us t.pair_ns);
   (if t.cache_hits + t.cache_misses > 0 then
      let n = t.cache_hits + t.cache_misses in
-     Format.fprintf ppf "memo cache: %d hits / %d lookups (%.1f%%)@."
+     Format.fprintf ppf
+       "memo cache: %d hits / %d lookups (%.1f%%), %d entr%s resident, %d \
+        evicted@."
        t.cache_hits n
-       (100. *. float_of_int t.cache_hits /. float_of_int n));
+       (100. *. float_of_int t.cache_hits /. float_of_int n)
+       t.cache_size
+       (if t.cache_size = 1 then "y" else "ies")
+       t.cache_evictions);
   if t.bj_compile + t.bj_inc_nodes + t.bj_scratch_nodes + t.bj_caps > 0 then
     Format.fprintf ppf
       "banerjee kernel: %d compiled, %d incremental / %d scratch nodes, %d \
@@ -365,3 +389,154 @@ let pp ppf t =
     (fun i c -> if c > 0 then Format.fprintf ppf " %s:%d" (bucket_label i) c)
     t.hist;
   Format.fprintf ppf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text-format exposition (the surface a serve daemon's
+   /metrics endpoint mounts). Metric names are stable; every per-kind
+   series is emitted even at zero so scrapes never lose a series. *)
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_prometheus t =
+  let buf = Buffer.create 4096 in
+  let family name typ help =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  let sample ?labels name v =
+    Buffer.add_string buf name;
+    (match labels with
+    | Some ls ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "%s=\"%s\"" k (prom_escape v)))
+          ls;
+        Buffer.add_char buf '}'
+    | None -> ());
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf v;
+    Buffer.add_char buf '\n'
+  in
+  let int_sample ?labels name v = sample ?labels name (string_of_int v) in
+  let ns_sample ?labels name v = sample ?labels name (Int64.to_string v) in
+  let per_kind name f =
+    List.iter
+      (fun k -> f ~labels:[ ("kind", Test_kind.slug k) ] name (Test_kind.id k))
+      Test_kind.all
+  in
+  family "deptest_tests_applied_total" "counter"
+    "Dependence-test applications by test kind.";
+  per_kind "deptest_tests_applied_total" (fun ~labels name i ->
+      int_sample ~labels name t.applied.(i));
+  family "deptest_tests_independent_total" "counter"
+    "Independence proofs by test kind.";
+  per_kind "deptest_tests_independent_total" (fun ~labels name i ->
+      int_sample ~labels name t.indep.(i));
+  family "deptest_test_ns_total" "counter"
+    "Wall-clock nanoseconds inside each test kind.";
+  per_kind "deptest_test_ns_total" (fun ~labels name i ->
+      ns_sample ~labels name t.kind_ns.(i));
+  family "deptest_phase_ns_total" "counter"
+    "Wall-clock nanoseconds per analysis phase.";
+  List.iter
+    (fun p ->
+      ns_sample
+        ~labels:[ ("phase", phase_name p) ]
+        "deptest_phase_ns_total" (phase_ns t p))
+    phases;
+  family "deptest_pairs_tested_total" "counter"
+    "Reference pairs that completed the driver.";
+  int_sample "deptest_pairs_tested_total" t.pairs;
+  family "deptest_pair_latency_ns" "histogram"
+    "Per-reference-pair driver latency in nanoseconds.";
+  (let cum = ref 0 in
+   Array.iteri
+     (fun i c ->
+       cum := !cum + c;
+       let le =
+         if i < Array.length bucket_bounds_ns then
+           Int64.to_string bucket_bounds_ns.(i)
+         else "+Inf"
+       in
+       int_sample ~labels:[ ("le", le) ] "deptest_pair_latency_ns_bucket" !cum)
+     t.hist);
+  ns_sample "deptest_pair_latency_ns_sum" t.pair_ns;
+  int_sample "deptest_pair_latency_ns_count" t.pairs;
+  family "deptest_cache_hits_total" "counter"
+    "Pair verdicts served by the structural memo cache.";
+  int_sample "deptest_cache_hits_total" t.cache_hits;
+  family "deptest_cache_misses_total" "counter" "Memo-cache lookup misses.";
+  int_sample "deptest_cache_misses_total" t.cache_misses;
+  family "deptest_cache_entries" "gauge"
+    "Resident memo-cache entries after the run.";
+  int_sample "deptest_cache_entries" t.cache_size;
+  family "deptest_cache_evictions_total" "counter"
+    "Memo-cache entries dropped by capacity eviction.";
+  int_sample "deptest_cache_evictions_total" t.cache_evictions;
+  family "deptest_banerjee_kernel_compilations_total" "counter"
+    "Subscript pairs compiled into the linear-form kernel.";
+  int_sample "deptest_banerjee_kernel_compilations_total" t.bj_compile;
+  family "deptest_banerjee_nodes_total" "counter"
+    "Banerjee hierarchy-node evaluations by path.";
+  int_sample
+    ~labels:[ ("path", "incremental") ]
+    "deptest_banerjee_nodes_total" t.bj_inc_nodes;
+  int_sample
+    ~labels:[ ("path", "scratch") ]
+    "deptest_banerjee_nodes_total" t.bj_scratch_nodes;
+  family "deptest_banerjee_combo_cap_fallbacks_total" "counter"
+    "Vertex cross products past the combination cap.";
+  int_sample "deptest_banerjee_combo_cap_fallbacks_total" t.bj_caps;
+  family "deptest_degraded_pairs_total" "counter"
+    "Pairs degraded to the conservative verdict, by guard reason.";
+  int_sample
+    ~labels:[ ("reason", "overflow") ]
+    "deptest_degraded_pairs_total" t.g_overflow;
+  int_sample
+    ~labels:[ ("reason", "exception") ]
+    "deptest_degraded_pairs_total" t.g_exception;
+  int_sample
+    ~labels:[ ("reason", "budget") ]
+    "deptest_degraded_pairs_total" t.g_budget;
+  family "deptest_engine_registries_total" "counter"
+    "Worker metrics registries merged into this snapshot.";
+  int_sample "deptest_engine_registries_total" t.eng_registries;
+  family "deptest_engine_tasks_total" "counter"
+    "Engine work chunks executed, by worker domain.";
+  let rows = engine_rows t in
+  List.iter
+    (fun (d, tasks, _, _) ->
+      int_sample
+        ~labels:[ ("domain", string_of_int d) ]
+        "deptest_engine_tasks_total" tasks)
+    rows;
+  family "deptest_engine_busy_ns_total" "counter"
+    "Nanoseconds inside chunk bodies, by worker domain.";
+  List.iter
+    (fun (d, _, busy, _) ->
+      ns_sample
+        ~labels:[ ("domain", string_of_int d) ]
+        "deptest_engine_busy_ns_total" busy)
+    rows;
+  family "deptest_engine_queue_wait_ns_total" "counter"
+    "Nanoseconds blocked on the shared chunk queue, by worker domain.";
+  List.iter
+    (fun (d, _, _, wait) ->
+      ns_sample
+        ~labels:[ ("domain", string_of_int d) ]
+        "deptest_engine_queue_wait_ns_total" wait)
+    rows;
+  Buffer.contents buf

@@ -46,6 +46,15 @@ val cache_miss : t -> unit
 val cache_hits : t -> int
 val cache_misses : t -> int
 
+val set_cache_usage : t -> size:int -> evictions:int -> unit
+(** Snapshot the memo table's growth after a run: resident entries and
+    capacity evictions. A snapshot of shared state, not an increment —
+    {!merge} keeps the larger value rather than summing, so per-worker
+    registries observing one shared cache don't multiply it. *)
+
+val cache_size : t -> int
+val cache_evictions : t -> int
+
 val banerjee_compile : t -> unit
 (** One subscript pair compiled into its linear-form kernel
     ({!Dt_ir.Linform}-style dense arrays) for the Banerjee evaluator. *)
@@ -116,10 +125,10 @@ val merge : t -> t -> t
     parallel engine's per-domain registries merge deterministically. *)
 
 val to_json : t -> Json.t
-(** The metrics snapshot: schema ["deptest-metrics/1"], per-kind
+(** The metrics snapshot: schema ["deptest-metrics/2"], per-kind
     [tests] rows (kind, name, applied, independent, total_ns), [phases]
     totals, [pairs] with the latency histogram, [cache]
-    hits/misses/hit_rate, [banerjee] kernel counters
+    hits/misses/hit_rate/size/evictions, [banerjee] kernel counters
     (kernel_compilations, incremental_nodes, scratch_nodes,
     combo_cap_fallbacks), the [guard] block (degraded pair total and
     by_reason overflow / exception / budget buckets), and the [engine]
@@ -129,3 +138,13 @@ val to_json : t -> Json.t
 val pp : Format.formatter -> t -> unit
 (** The per-kind time/count table — the §6 Table-3 shape with wall-clock
     columns — followed by phase totals and the latency histogram. *)
+
+val to_prometheus : t -> string
+(** The snapshot in Prometheus text exposition format (version 0.0.4):
+    one [# HELP]/[# TYPE] family header per metric, stable metric names
+    under the [deptest_] prefix, label values escaped, and the pair
+    latency histogram as cumulative [_bucket{le=...}] samples (bounds
+    from {!bucket_bounds_ns} plus [+Inf]) with [_sum]/[_count]. Every
+    per-kind series is emitted even at zero, so the set of series never
+    depends on the workload. This is the exposition surface
+    [deptest analyze --prom] writes and a future serve daemon mounts. *)

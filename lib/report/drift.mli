@@ -1,0 +1,74 @@
+(** Regression detection over ledger records.
+
+    Two comparisons, both keyed by the configuration fingerprint
+    ({!Record.fingerprint} — same source, same semantic config):
+
+    - {b verdicts} must match {e exactly}. The analysis is deterministic
+      — cache-, jobs-, and wall-clock-invariant — so any change in the
+      pair totals or a per-kind applied/independent count between runs
+      of the same fingerprint is a real behavioral change, reported by
+      test-kind name.
+    - {b latency} is noisy, so it drifts only when the mean per-pair
+      time exceeds the windowed baseline mean by a relative threshold
+      {e and} an absolute floor, and it can be disabled outright
+      ([check_latency:false], the CI gate's [--no-latency]) for
+      cross-machine comparisons. *)
+
+type counter_row = { metric : string; baseline : int; current : int }
+(** One exact-count mismatch; [metric] names the quantity, e.g.
+    ["pairs"], ["degraded"], or ["strong_siv independent"]. *)
+
+type latency_row = {
+  baseline_ns : float;  (** mean pair ns over the baseline window *)
+  current_ns : float;
+  threshold : float;
+}
+
+type group = {
+  fingerprint : string;
+  label : string;
+  samples : int;  (** baseline records in the window *)
+  counters : counter_row list;
+  latency : latency_row option;
+}
+
+type t = {
+  groups : group list;
+  unmatched : string list;
+      (** current runs with no baseline of the same fingerprint — new
+          configurations, reported but never drift *)
+  window : int;
+}
+
+val detect :
+  ?window:int ->
+  ?latency_threshold:float ->
+  ?min_ns:float ->
+  ?check_latency:bool ->
+  baseline:Record.t list ->
+  current:Record.t list ->
+  unit ->
+  t
+(** Compare the newest record of each fingerprint in [current] against
+    the last [window] (default 5) records of the same fingerprint in
+    [baseline]: verdicts against the newest baseline record, latency
+    against the window mean with [latency_threshold] (default 0.5 — 50%
+    slower) and [min_ns] (default 10 µs absolute growth floor). *)
+
+val diff :
+  ?latency_threshold:float ->
+  ?min_ns:float ->
+  ?check_latency:bool ->
+  baseline:Record.t ->
+  current:Record.t ->
+  unit ->
+  counter_row list * latency_row option
+(** Pairwise comparison of two records irrespective of fingerprint
+    ([deptest report diff A B]). *)
+
+val group_drifted : group -> bool
+val has_drift : t -> bool
+(** True when any group has a counter mismatch or a latency breach —
+    the CI gate's exit-1 condition. Unmatched runs are not drift. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+open Dt_obs
+
+let default_path = ".deptest/ledger.jsonl"
+let default_keep = 64
+
+let ensure_parent path =
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ?(path = default_path) () =
+  if not (Sys.file_exists path) then Ok ([], 0)
+  else
+    match read_file path with
+    | exception Sys_error e -> Error e
+    | content ->
+        let records, skipped =
+          List.fold_left
+            (fun (rs, skipped) line ->
+              let line = String.trim line in
+              if line = "" then (rs, skipped)
+              else
+                match Json.of_string line with
+                | Error _ -> (rs, skipped + 1)
+                | Ok j -> (
+                    match Record.of_json j with
+                    | Ok r -> (r :: rs, skipped)
+                    | Error _ -> (rs, skipped + 1)))
+            ([], 0)
+            (String.split_on_char '\n' content)
+        in
+        Ok (List.rev records, skipped)
+
+let save ?(path = default_path) records =
+  ensure_parent path;
+  Artifact.write_atomic_with path (fun oc ->
+      List.iter
+        (fun r ->
+          output_string oc (Json.to_string (Record.to_json r));
+          output_char oc '\n')
+        records)
+
+let compact ?(keep = default_keep) records =
+  (* Keep the newest [keep] records per fingerprint, preserving file
+     order: count each fingerprint's records, then drop occurrences from
+     the front until at most [keep] remain. *)
+  let total = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Record.t) ->
+      Hashtbl.replace total r.fingerprint
+        (1 + Option.value ~default:0 (Hashtbl.find_opt total r.fingerprint)))
+    records;
+  let dropped = Hashtbl.create 8 in
+  List.filter
+    (fun (r : Record.t) ->
+      let n = Hashtbl.find total r.fingerprint in
+      let d = Option.value ~default:0 (Hashtbl.find_opt dropped r.fingerprint) in
+      if n - d > keep then begin
+        Hashtbl.replace dropped r.fingerprint (d + 1);
+        false
+      end
+      else true)
+    records
+
+let append ?(path = default_path) ?(keep = default_keep) record =
+  match load ~path () with
+  | Error e -> Error e
+  | Ok (records, skipped) ->
+      save ~path (compact ~keep (records @ [ record ]));
+      Ok skipped
+
+let merge a b =
+  (* Union preserving [a]'s order, then [b]'s records not already present
+     (full-JSON identity, so re-merging a baseline is idempotent). *)
+  let seen = Hashtbl.create 16 in
+  let key r = Json.to_string (Record.to_json r) in
+  List.iter (fun r -> Hashtbl.replace seen (key r) ()) a;
+  a
+  @ List.filter
+      (fun r ->
+        let k = key r in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      b

@@ -1,0 +1,38 @@
+(** The run ledger: an append-only JSONL file of {!Record.t}, one record
+    per line, under the working tree at [.deptest/ledger.jsonl].
+
+    Appends rewrite the whole file atomically (via
+    {!Dt_obs.Artifact.write_atomic_with}), so a crash mid-append never
+    truncates history. Loading tolerates corrupt lines — a ledger that
+    met a partial editor save or a merge conflict still yields its valid
+    records, with the casualty count reported. Compaction bounds growth:
+    only the newest {!default_keep} records per configuration
+    fingerprint survive an append. *)
+
+val default_path : string
+(** [".deptest/ledger.jsonl"]. *)
+
+val default_keep : int
+(** 64 records per fingerprint. *)
+
+val load : ?path:string -> unit -> (Record.t list * int, string) result
+(** Records in file order plus the number of skipped (unparsable or
+    schema-invalid) lines. A missing file is an empty ledger, not an
+    error; an unreadable one is [Error]. *)
+
+val save : ?path:string -> Record.t list -> unit
+(** Atomic rewrite; creates the parent directory if needed. Raises
+    [Sys_error] as {!Dt_obs.Artifact.write_atomic} does. *)
+
+val append :
+  ?path:string -> ?keep:int -> Record.t -> (int, string) result
+(** Load-tolerantly, add the record, compact to [keep] per fingerprint,
+    rewrite atomically. Returns the corrupt-line count encountered (they
+    are dropped by the rewrite). *)
+
+val compact : ?keep:int -> Record.t list -> Record.t list
+(** Keep the newest [keep] records of each fingerprint, in order. *)
+
+val merge : Record.t list -> Record.t list -> Record.t list
+(** Order-preserving union, deduplicated by full record identity —
+    merging a ledger into itself is the identity. *)

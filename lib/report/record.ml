@@ -1,0 +1,381 @@
+open Dt_obs
+
+let schema_version = "deptest-ledger/1"
+
+type config = {
+  strategy : string;
+  include_inputs : bool;
+  cache : bool;
+  jobs : int;
+  budget : int option;
+  deadline_ms : int option;
+}
+
+type source = { digest : string; bytes : int; routines : int }
+type kind_row = { kind : string; applied : int; independent : int }
+
+type verdicts = {
+  pairs : int;
+  independent : int;
+  dependent : int;
+  degraded : int;
+  by_kind : kind_row list;
+}
+
+type t = {
+  ts_ms : int;
+  label : string;
+  fingerprint : string;
+  config : config;
+  source : source;
+  verdicts : verdicts;
+  wall_ns : int;
+  gc_minor_words : float;
+  gc_major_words : float;
+  pair_ns : int;
+  latency_le_ns : (string * int option) list;
+  metrics : Json.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* construction                                                        *)
+
+let strategy_name = function
+  | Deptest.Pair_test.Partition_based -> "partition"
+  | Deptest.Pair_test.Subscript_by_subscript -> "subscript"
+
+let config_of cfg =
+  let module C = Deptest.Analyze.Config in
+  {
+    strategy = strategy_name (C.strategy cfg);
+    include_inputs = C.include_inputs cfg;
+    cache = C.cache_enabled cfg;
+    jobs = C.jobs cfg;
+    budget = C.budget cfg;
+    deadline_ms = C.deadline_ms cfg;
+  }
+
+let source_of ?(routines = 1) contents =
+  {
+    digest = Digest.to_hex (Digest.string contents);
+    bytes = String.length contents;
+    routines;
+  }
+
+let fingerprint ~label ~config ~source =
+  (* The identity of a run configuration: everything that can change the
+     analysis *result* plus the label partitioning the ledger. [jobs] is
+     deliberately excluded — it is an engine knob, and [Analyze.run] is
+     jobs-invariant, so runs at --jobs 1 and --jobs 2 must land in the
+     same drift group. *)
+  let b = Buffer.create 128 in
+  let add s =
+    Buffer.add_string b s;
+    Buffer.add_char b '\x00'
+  in
+  add schema_version;
+  add label;
+  add config.strategy;
+  add (string_of_bool config.include_inputs);
+  add (string_of_bool config.cache);
+  add (match config.budget with None -> "-" | Some n -> string_of_int n);
+  add (match config.deadline_ms with None -> "-" | Some n -> string_of_int n);
+  add source.digest;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let percentiles = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
+let latency_of_metrics m =
+  let hist = Metrics.latency_hist m in
+  let bounds = Metrics.bucket_bounds_ns in
+  let total = Array.fold_left ( + ) 0 hist in
+  List.map
+    (fun (name, q) ->
+      if total = 0 then (name, Some 0)
+      else
+        let target = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+        let rec go i cum =
+          if i >= Array.length hist then (name, None)
+          else
+            let cum = cum + hist.(i) in
+            if cum >= target then
+              ( name,
+                if i < Array.length bounds then Some (Int64.to_int bounds.(i))
+                else None (* overflow bucket: no finite bound *) )
+            else go (i + 1) cum
+        in
+        go 0 0)
+    percentiles
+
+let verdicts_of ~counters ~pairs ~independent ~degraded =
+  let by_kind =
+    List.map
+      (fun k ->
+        {
+          kind = Test_kind.slug k;
+          applied = Deptest.Counters.applied counters k;
+          independent = Deptest.Counters.proved_indep counters k;
+        })
+      Test_kind.all
+  in
+  { pairs; independent; dependent = pairs - independent; degraded; by_kind }
+
+let make ?(ts_ms = 0) ?(label = "") ~config ~source ~counters ~pairs
+    ~independent ~degraded ?metrics ~wall_ns ?(gc_minor_words = 0.)
+    ?(gc_major_words = 0.) () =
+  let verdicts = verdicts_of ~counters ~pairs ~independent ~degraded in
+  let latency_le_ns, pair_ns, metrics_json =
+    match metrics with
+    | None -> (List.map (fun (n, _) -> (n, None)) percentiles, 0, Json.Null)
+    | Some m ->
+        ( latency_of_metrics m,
+          Int64.to_int (Metrics.pair_ns_total m),
+          Metrics.to_json m )
+  in
+  {
+    ts_ms;
+    label;
+    fingerprint = fingerprint ~label ~config ~source;
+    config;
+    source;
+    verdicts;
+    wall_ns;
+    gc_minor_words;
+    gc_major_words;
+    pair_ns;
+    latency_le_ns;
+    metrics = metrics_json;
+  }
+
+let summary_of_result (r : Deptest.Analyze.result) =
+  let pairs = List.length r.pairs in
+  let independent =
+    List.length
+      (List.filter (fun (p : Deptest.Analyze.pair_record) -> p.independent)
+         r.pairs)
+  in
+  let degraded =
+    List.length
+      (List.filter
+         (fun (p : Deptest.Analyze.pair_record) -> p.meta.degraded <> None)
+         r.pairs)
+  in
+  (pairs, independent, degraded)
+
+let of_run ?ts_ms ?label ~config ~source ?metrics ~wall_ns ?gc_minor_words
+    ?gc_major_words (result : Deptest.Analyze.result) =
+  let pairs, independent, degraded = summary_of_result result in
+  make ?ts_ms ?label ~config ~source ~counters:result.counters ~pairs
+    ~independent ~degraded ?metrics ~wall_ns ?gc_minor_words ?gc_major_words
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+
+let config_fields c =
+  [
+    ("strategy", Json.String c.strategy);
+    ("include_inputs", Json.Bool c.include_inputs);
+    ("cache", Json.Bool c.cache);
+    ("budget", opt_int c.budget);
+    ("deadline_ms", opt_int c.deadline_ms);
+  ]
+
+let source_json s =
+  Json.Obj
+    [
+      ("digest", Json.String s.digest);
+      ("bytes", Json.Int s.bytes);
+      ("routines", Json.Int s.routines);
+    ]
+
+let verdicts_json v =
+  Json.Obj
+    [
+      ("pairs", Json.Int v.pairs);
+      ("independent", Json.Int v.independent);
+      ("dependent", Json.Int v.dependent);
+      ("degraded", Json.Int v.degraded);
+      ( "by_kind",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("kind", Json.String r.kind);
+                   ("applied", Json.Int r.applied);
+                   ("independent", Json.Int r.independent);
+                 ])
+             v.by_kind) );
+    ]
+
+let stable_json t =
+  (* The deterministic subset: identical for byte-identical runs of the
+     same configuration regardless of wall clock, GC, or --jobs. This is
+     the surface the bench's jobs-parity assertion and the tests compare
+     byte-for-byte. *)
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("label", Json.String t.label);
+      ("fingerprint", Json.String t.fingerprint);
+      ("config", Json.Obj (config_fields t.config));
+      ("source", source_json t.source);
+      ("verdicts", verdicts_json t.verdicts);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("ts_ms", Json.Int t.ts_ms);
+      ("label", Json.String t.label);
+      ("fingerprint", Json.String t.fingerprint);
+      ( "config",
+        Json.Obj (config_fields t.config @ [ ("jobs", Json.Int t.config.jobs) ])
+      );
+      ("source", source_json t.source);
+      ("verdicts", verdicts_json t.verdicts);
+      ("wall_ns", Json.Int t.wall_ns);
+      ( "gc",
+        Json.Obj
+          [
+            ("minor_words", Json.Float t.gc_minor_words);
+            ("major_words", Json.Float t.gc_major_words);
+          ] );
+      ("pair_ns", Json.Int t.pair_ns);
+      ( "latency_le_ns",
+        Json.Obj (List.map (fun (n, v) -> (n, opt_int v)) t.latency_le_ns) );
+      ("metrics", t.metrics);
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let to_opt_int = function
+  | Json.Null -> Some None
+  | Json.Int i -> Some (Some i)
+  | _ -> None
+
+let config_of_json j =
+  let* strategy = field "strategy" Json.to_str j in
+  let* include_inputs =
+    field "include_inputs" (function Json.Bool b -> Some b | _ -> None) j
+  in
+  let* cache = field "cache" (function Json.Bool b -> Some b | _ -> None) j in
+  let* jobs = field "jobs" Json.to_int j in
+  let* budget = field "budget" to_opt_int j in
+  let* deadline_ms = field "deadline_ms" to_opt_int j in
+  Ok { strategy; include_inputs; cache; jobs; budget; deadline_ms }
+
+let source_of_json j =
+  let* digest = field "digest" Json.to_str j in
+  let* bytes = field "bytes" Json.to_int j in
+  let* routines = field "routines" Json.to_int j in
+  Ok { digest; bytes; routines }
+
+let kind_row_of_json j =
+  let* kind = field "kind" Json.to_str j in
+  let* applied = field "applied" Json.to_int j in
+  let* independent = field "independent" Json.to_int j in
+  Ok { kind; applied; independent }
+
+let verdicts_of_json j =
+  let* pairs = field "pairs" Json.to_int j in
+  let* independent = field "independent" Json.to_int j in
+  let* dependent = field "dependent" Json.to_int j in
+  let* degraded = field "degraded" Json.to_int j in
+  let* rows = field "by_kind" Json.to_list j in
+  let* by_kind =
+    List.fold_left
+      (fun acc row ->
+        let* acc = acc in
+        let* r = kind_row_of_json row in
+        Ok (r :: acc))
+      (Ok []) rows
+  in
+  Ok { pairs; independent; dependent; degraded; by_kind = List.rev by_kind }
+
+let of_json j =
+  let* schema = field "schema" Json.to_str j in
+  if schema <> schema_version then
+    Error (Printf.sprintf "unsupported ledger schema %S" schema)
+  else
+    let* ts_ms = field "ts_ms" Json.to_int j in
+    let* label = field "label" Json.to_str j in
+    let* fingerprint = field "fingerprint" Json.to_str j in
+    let* config = Result.bind (field "config" Option.some j) config_of_json in
+    let* source = Result.bind (field "source" Option.some j) source_of_json in
+    let* verdicts =
+      Result.bind (field "verdicts" Option.some j) verdicts_of_json
+    in
+    let* wall_ns = field "wall_ns" Json.to_int j in
+    let* gc = field "gc" Option.some j in
+    let* gc_minor_words = field "minor_words" Json.to_float gc in
+    let* gc_major_words = field "major_words" Json.to_float gc in
+    let* pair_ns = field "pair_ns" Json.to_int j in
+    let* latency =
+      field "latency_le_ns"
+        (function Json.Obj fields -> Some fields | _ -> None)
+        j
+    in
+    let* latency_le_ns =
+      List.fold_left
+        (fun acc (name, v) ->
+          let* acc = acc in
+          match to_opt_int v with
+          | Some v -> Ok ((name, v) :: acc)
+          | None -> Error "latency percentile has the wrong type")
+        (Ok []) latency
+    in
+    let metrics = Option.value ~default:Json.Null (Json.member "metrics" j) in
+    Ok
+      {
+        ts_ms;
+        label;
+        fingerprint;
+        config;
+        source;
+        verdicts;
+        wall_ns;
+        gc_minor_words;
+        gc_major_words;
+        pair_ns;
+        latency_le_ns = List.rev latency_le_ns;
+        metrics;
+      }
+
+let now_ms () = int_of_float (Unix.gettimeofday () *. 1000.)
+
+let pp ppf t =
+  let pct name =
+    match List.assoc_opt name t.latency_le_ns with
+    | Some (Some ns) -> Printf.sprintf "<=%dns" ns
+    | Some None -> ">10ms"
+    | None -> "-"
+  in
+  Format.fprintf ppf
+    "@[<v>%s  label=%S  fingerprint=%s@,\
+     config: strategy=%s inputs=%b cache=%b jobs=%d budget=%s deadline=%s@,\
+     source: %s (%d bytes, %d routine%s)@,\
+     verdicts: %d pairs, %d independent, %d dependent, %d degraded@,\
+     wall: %.3f ms   pair p50 %s  p90 %s  p99 %s@]" schema_version t.label
+    t.fingerprint t.config.strategy t.config.include_inputs t.config.cache
+    t.config.jobs
+    (match t.config.budget with None -> "-" | Some n -> string_of_int n)
+    (match t.config.deadline_ms with None -> "-" | Some n -> string_of_int n)
+    t.source.digest t.source.bytes t.source.routines
+    (if t.source.routines = 1 then "" else "s")
+    t.verdicts.pairs t.verdicts.independent t.verdicts.dependent
+    t.verdicts.degraded
+    (float_of_int t.wall_ns /. 1e6)
+    (pct "p50") (pct "p90") (pct "p99")

@@ -1,0 +1,126 @@
+(** One ledger record: the durable summary of a single analysis run.
+
+    A record captures what the paper's §6 study tabulated per program —
+    how many reference pairs were tested, how many each test kind proved
+    independent — plus the run's configuration fingerprint and enough
+    volatile detail (wall clock, GC, pair-latency percentiles, the full
+    metrics snapshot) to investigate a regression later. Records append
+    to the JSONL ledger ({!Ledger}) and feed drift detection ({!Drift}).
+
+    The record splits into two surfaces:
+    - {!stable_json} — schema, label, fingerprint, semantic config,
+      source identity, verdict histogram. Byte-identical for identical
+      runs regardless of [--jobs], caching, wall clock, or GC.
+    - {!to_json} — everything, including the volatile fields. *)
+
+open Dt_obs
+
+val schema_version : string
+(** ["deptest-ledger/1"]. *)
+
+type config = {
+  strategy : string;  (** ["partition"] or ["subscript"] *)
+  include_inputs : bool;
+  cache : bool;
+  jobs : int;  (** volatile: an engine knob, excluded from the fingerprint *)
+  budget : int option;
+  deadline_ms : int option;
+}
+
+type source = {
+  digest : string;  (** MD5 hex of the analyzed source text *)
+  bytes : int;
+  routines : int;
+}
+
+type kind_row = { kind : string; applied : int; independent : int }
+(** Per test-kind application counts ({!Dt_obs.Test_kind.slug} keys),
+    taken from the cache-invariant {!Deptest.Counters} — the §6 columns. *)
+
+type verdicts = {
+  pairs : int;
+  independent : int;
+  dependent : int;
+  degraded : int;
+  by_kind : kind_row list;
+}
+
+type t = {
+  ts_ms : int;
+  label : string;
+  fingerprint : string;
+  config : config;
+  source : source;
+  verdicts : verdicts;
+  wall_ns : int;
+  gc_minor_words : float;
+  gc_major_words : float;
+  pair_ns : int;  (** total driver time across pairs, from the metrics *)
+  latency_le_ns : (string * int option) list;
+      (** pair-latency percentiles as inclusive histogram-bucket upper
+          bounds: [("p50", Some 10_000)] means the median pair finished
+          within 10 µs; [None] is the overflow bucket (> 10 ms). *)
+  metrics : Json.t;  (** full [Metrics.to_json] snapshot, or [Null] *)
+}
+
+val config_of : Deptest.Analyze.Config.t -> config
+(** Project an analysis configuration onto the recorded shape. *)
+
+val source_of : ?routines:int -> string -> source
+(** Identity of the analyzed text: digest and size, plus how many
+    routines it parsed into (default 1). *)
+
+val fingerprint : label:string -> config:config -> source:source -> string
+(** MD5 over schema, label, the semantic config fields (strategy, input
+    pairs, cache, budget, deadline — NOT [jobs]), and the source digest.
+    Records with equal fingerprints are comparable runs: same input,
+    same semantics, so any verdict difference is drift. *)
+
+val make :
+  ?ts_ms:int ->
+  ?label:string ->
+  config:config ->
+  source:source ->
+  counters:Deptest.Counters.t ->
+  pairs:int ->
+  independent:int ->
+  degraded:int ->
+  ?metrics:Metrics.t ->
+  wall_ns:int ->
+  ?gc_minor_words:float ->
+  ?gc_major_words:float ->
+  unit ->
+  t
+(** Build a record; the fingerprint is computed, the verdict histogram
+    is read from [counters], and latency percentiles / [pair_ns] / the
+    metrics block come from [metrics] when given. *)
+
+val of_run :
+  ?ts_ms:int ->
+  ?label:string ->
+  config:config ->
+  source:source ->
+  ?metrics:Metrics.t ->
+  wall_ns:int ->
+  ?gc_minor_words:float ->
+  ?gc_major_words:float ->
+  Deptest.Analyze.result ->
+  t
+(** {!make} with [pairs]/[independent]/[degraded]/[counters] summarized
+    from an {!Deptest.Analyze.result}. *)
+
+val summary_of_result : Deptest.Analyze.result -> int * int * int
+(** [(pairs, independent, degraded)] of a result's pair records. *)
+
+val to_json : t -> Json.t
+val stable_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Validating parse; rejects unknown schemas and missing or ill-typed
+    fields with a message naming the field. *)
+
+val now_ms : unit -> int
+(** Wall clock in milliseconds since the epoch, for [ts_ms]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human summary ([deptest report show]). *)

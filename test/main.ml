@@ -29,5 +29,6 @@ let () =
       ("emit", Test_emit.suite);
       ("semantics", Test_semantics.suite);
       ("guard", Test_guard.suite);
+      ("report", Test_report.suite);
       ("properties", Test_properties.suite);
     ]

@@ -162,7 +162,7 @@ let test_metrics_json_roundtrip () =
       check Alcotest.bool "round-trip equal" true (Dt_obs.Json.equal j j');
       check Alcotest.bool "schema" true
         (Dt_obs.Json.member "schema" j'
-        = Some (Dt_obs.Json.String "deptest-metrics/1"));
+        = Some (Dt_obs.Json.String "deptest-metrics/2"));
       let tests =
         match Dt_obs.Json.member "tests" j' with
         | Some l -> Option.value ~default:[] (Dt_obs.Json.to_list l)
