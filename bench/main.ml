@@ -249,6 +249,12 @@ let engine_repeat () =
   | None -> 3
   | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> 3)
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 (* render the full analysis result (dependences + paper counters) so the
    cross-setting identity check covers everything a user can observe *)
 let render_deps cfg progs =
@@ -402,6 +408,210 @@ let engine_bench () =
         (speedup_vs synth_base r))
     synth_runs;
   Printf.printf "  output identical across all settings: %b\n" synth_identical;
+  (* routine-grain sharding: a generated thousand-routine corpus through
+     [Analyze.run_all], where whole routines are the stolen work items.
+     Generation is seeded, so the digest of the rendered output is
+     machine-independent and guarded against bench/engine_baseline.json
+     (regenerate with `dune exec bench/main.exe -- --tables-only` and
+     copy the "digest" field). Half the routines get a symbolic outer
+     bound so both adaptive-dispatch regimes occur in the mix. *)
+  let shard_routines = 1000 in
+  let shard_progs =
+    let st = Random.State.make [| 0xD09; shard_routines |] in
+    let sym_cfg =
+      { Dt_workloads.Generator.default with
+        Dt_workloads.Generator.symbolic_hi = true }
+    in
+    List.init shard_routines (fun k ->
+        let cfg =
+          if k mod 2 = 0 then Dt_workloads.Generator.default else sym_cfg
+        in
+        let p = Dt_workloads.Generator.program st cfg ~stmts:4 in
+        { p with Nest.name = Printf.sprintf "gen-%04d" k })
+  in
+  let render_all cfg progs =
+    let buf = Buffer.create (1 lsl 16) in
+    List.iter2
+      (fun (p : Nest.program) (r : Deptest.Analyze.result) ->
+        Buffer.add_string buf p.Nest.name;
+        Buffer.add_char buf '\n';
+        List.iter
+          (fun d ->
+            Buffer.add_string buf (Format.asprintf "%a@." Deptest.Dep.pp d))
+          r.Deptest.Analyze.deps;
+        Buffer.add_string buf
+          (Format.asprintf "%a@." Deptest.Counters.pp
+             r.Deptest.Analyze.counters))
+      progs
+      (Deptest.Analyze.run_all cfg progs);
+    Buffer.contents buf
+  in
+  let shard_digest ~jobs ~dispatch =
+    let cfg = Deptest.Analyze.Config.make ~jobs ~dispatch ~cache:false () in
+    Digest.to_hex (Digest.string (render_all cfg shard_progs))
+  in
+  let shard_setting jobs =
+    (* one instrumented pass for the digest and the per-worker
+       attribution (tasks, steals, busy vs queue-wait), then
+       uninstrumented timed passes, best-of-repeat *)
+    let m = Dt_obs.Metrics.create () in
+    let icfg =
+      Deptest.Analyze.Config.make ~jobs ~cache:false ~metrics:m ()
+    in
+    let digest = Digest.to_hex (Digest.string (render_all icfg shard_progs)) in
+    let best = ref Int64.max_int in
+    for _ = 1 to repeat do
+      let cfg = Deptest.Analyze.Config.make ~jobs ~cache:false () in
+      let t0 = Dt_obs.Metrics.now_ns () in
+      ignore (Deptest.Analyze.run_all cfg shard_progs);
+      let t1 = Dt_obs.Metrics.now_ns () in
+      let dt = Int64.sub t1 t0 in
+      if Int64.compare dt !best < 0 then best := dt
+    done;
+    (jobs, digest, !best, Dt_obs.Metrics.engine_rows m,
+     Dt_obs.Metrics.shards m)
+  in
+  let shard_runs = List.map shard_setting jobs in
+  let _, shard_digest0, shard_base_ns, _, _ = List.hd shard_runs in
+  let shard_speedup ns =
+    if Int64.compare ns 0L > 0 then
+      Int64.to_float shard_base_ns /. Int64.to_float ns
+    else 0.0
+  in
+  let shard_identical =
+    List.for_all (fun (_, d, _, _, _) -> d = shard_digest0) shard_runs
+  in
+  (* dispatch is an engine knob, never a semantic one: forcing either
+     evaluator must reproduce the auto digest *)
+  let max_jobs = List.fold_left max 1 jobs in
+  let dispatch_parity =
+    List.for_all
+      (fun d -> shard_digest ~jobs:max_jobs ~dispatch:d = shard_digest0)
+      [ Deptest.Banerjee.Reference; Deptest.Banerjee.Incremental ]
+  in
+  Printf.printf
+    "\n== engine: sharded corpus (%d generated routines, min of %d) ==\n"
+    shard_routines repeat;
+  List.iter
+    (fun (j, _, ns, rows, shards) ->
+      let steals = List.fold_left (fun a (_, _, s, _, _) -> a + s) 0 rows in
+      let busy =
+        List.fold_left (fun a (_, _, _, b, _) -> Int64.add a b) 0L rows
+      in
+      let wait =
+        List.fold_left (fun a (_, _, _, _, w) -> Int64.add a w) 0L rows
+      in
+      Printf.printf
+        "  jobs=%d %10.2f ms   %5.2fx vs jobs=1   shards=%d steals=%d \
+         busy=%.1fms wait=%.1fms\n"
+        j
+        (Int64.to_float ns /. 1e6)
+        (shard_speedup ns) shards steals
+        (Int64.to_float busy /. 1e6)
+        (Int64.to_float wait /. 1e6))
+    shard_runs;
+  Printf.printf "  output digest identical across jobs settings: %b\n"
+    shard_identical;
+  Printf.printf "  forced reference/incremental reproduce the auto digest: %b\n"
+    dispatch_parity;
+  let baseline_digest =
+    if Sys.file_exists "bench/engine_baseline.json" then
+      match Dt_obs.Json.of_string (read_file "bench/engine_baseline.json") with
+      | Ok j -> (
+          match Dt_obs.Json.member "digest" j with
+          | Some (Dt_obs.Json.String s) -> Some s
+          | _ -> None)
+      | Error _ -> None
+    else None
+  in
+  let baseline_match =
+    match baseline_digest with
+    | None ->
+        print_endline
+          "  no committed engine baseline; digest guard skipped";
+        None
+    | Some b ->
+        Printf.printf "  digest vs bench/engine_baseline.json: %s\n"
+          (if b = shard_digest0 then "match" else "MISMATCH");
+        Some (b = shard_digest0)
+  in
+  (* dispatch calibration: ns/query for each evaluator across the nest
+     shapes the [Banerjee.select] threshold discriminates on (depth x
+     symbolic bounds). The printed table is the evidence behind the
+     depth>=3-or-symbolic cutover. *)
+  (* every iteration gets a structurally distinct pair (fresh additive
+     constant), so the incremental evaluator pays its kernel compilation
+     each time — exactly the shape the analyzer sees, where each new
+     reference pair compiles once *)
+  let calib_iters = 200 in
+  let calib_queries depth ~symbolic =
+    let ixs =
+      List.init depth (fun k ->
+          Index.make (Printf.sprintf "X%d" k) ~depth:k)
+    in
+    let loops =
+      List.mapi
+        (fun k i ->
+          let hi =
+            if symbolic && k = 0 then Affine.of_sym "N" else Affine.const 8
+          in
+          Loop.make i ~lo:(Affine.const 1) ~hi)
+        ixs
+    in
+    let assume = Deptest.Assume.add_loop_facts Deptest.Assume.empty loops in
+    let range = Deptest.Range.compute loops in
+    let sum =
+      List.fold_left (fun acc i -> Affine.add acc (av i)) Affine.zero ixs
+    in
+    let mk_pairs () =
+      Array.init calib_iters (fun k ->
+          [ Spair.make sum (Affine.add_const (-1 - k) sum) ])
+    in
+    (assume, range, mk_pairs, ixs)
+  in
+  let time_eval ~dispatch (assume, range, mk_pairs, ixs) =
+    let best = ref Int64.max_int in
+    for _ = 1 to repeat do
+      (* fresh pairs each repeat: the per-pair kernel cache starts cold,
+         so every repeat pays compilation like a fresh reference pair *)
+      let pairs = mk_pairs () in
+      let t0 = Dt_obs.Metrics.now_ns () in
+      Array.iter
+        (fun ps ->
+          ignore (Deptest.Banerjee.vectors ~dispatch assume range ps
+                    ~indices:ixs))
+        pairs;
+      let t1 = Dt_obs.Metrics.now_ns () in
+      let dt = Int64.sub t1 t0 in
+      if Int64.compare dt !best < 0 then best := dt
+    done;
+    Int64.to_float !best /. float_of_int calib_iters
+  in
+  let calib_cells =
+    [ (1, false); (2, false); (2, true); (3, false); (3, true) ]
+  in
+  Printf.printf "\n== engine: dispatch calibration (ns/query, min of %d) ==\n"
+    repeat;
+  let calib_rows =
+    List.map
+      (fun (depth, symbolic) ->
+        let q = calib_queries depth ~symbolic in
+        let inc = time_eval ~dispatch:Deptest.Banerjee.Incremental q in
+        let refl = time_eval ~dispatch:Deptest.Banerjee.Reference q in
+        let symbols = if symbolic then 1 else 0 in
+        let auto =
+          match Deptest.Banerjee.select ~depth ~symbols with
+          | Deptest.Banerjee.Incremental -> "incremental"
+          | Deptest.Banerjee.Reference -> "reference"
+          | Deptest.Banerjee.Auto -> "auto"
+        in
+        Printf.printf
+          "  depth=%d symbolic=%-5b incremental %8.0f   reference %8.0f   \
+           auto->%s\n"
+          depth symbolic inc refl auto;
+        (depth, symbols, inc, refl, auto))
+      calib_cells
+  in
   let cores = Dt_support.Pool.recommended_jobs () in
   if cores = 1 then
     print_endline
@@ -412,14 +622,71 @@ let engine_bench () =
   let json =
     Dt_obs.Json.Obj
       [
-        ("schema", Dt_obs.Json.String "deptest-engine/1");
+        ("schema", Dt_obs.Json.String "deptest-engine/2");
         ("cores", Dt_obs.Json.Int cores);
         ("routines", Dt_obs.Json.Int (List.length progs));
         ("repeat", Dt_obs.Json.Int repeat);
         ( "jobs_tested",
           Dt_obs.Json.List (List.map (fun j -> Dt_obs.Json.Int j) jobs) );
         ("cache_hit_rate", Dt_obs.Json.Float overall_hit_rate);
-        ("identical_output", Dt_obs.Json.Bool (identical && synth_identical));
+        ( "identical_output",
+          Dt_obs.Json.Bool
+            (identical && synth_identical && shard_identical && dispatch_parity)
+        );
+        ( "sharded",
+          Dt_obs.Json.Obj
+            [
+              ("routines", Dt_obs.Json.Int shard_routines);
+              ("stmts_per_routine", Dt_obs.Json.Int 4);
+              ("digest", Dt_obs.Json.String shard_digest0);
+              ( "baseline_match",
+                match baseline_match with
+                | None -> Dt_obs.Json.Null
+                | Some b -> Dt_obs.Json.Bool b );
+              ("dispatch_parity", Dt_obs.Json.Bool dispatch_parity);
+              ( "runs",
+                Dt_obs.Json.List
+                  (List.map
+                     (fun (j, _, ns, rows, shards) ->
+                       Dt_obs.Json.Obj
+                         [
+                           ("jobs", Dt_obs.Json.Int j);
+                           ("ns", Dt_obs.Json.Int (Int64.to_int ns));
+                           ("speedup", Dt_obs.Json.Float (shard_speedup ns));
+                           ("shards", Dt_obs.Json.Int shards);
+                           ( "workers",
+                             Dt_obs.Json.List
+                               (List.map
+                                  (fun (d, tasks, steals, busy, wait) ->
+                                    Dt_obs.Json.Obj
+                                      [
+                                        ("domain", Dt_obs.Json.Int d);
+                                        ("tasks", Dt_obs.Json.Int tasks);
+                                        ("steals", Dt_obs.Json.Int steals);
+                                        ( "busy_ns",
+                                          Dt_obs.Json.Int (Int64.to_int busy)
+                                        );
+                                        ( "queue_wait_ns",
+                                          Dt_obs.Json.Int (Int64.to_int wait)
+                                        );
+                                      ])
+                                  rows) );
+                         ])
+                     shard_runs) );
+            ] );
+        ( "calibration",
+          Dt_obs.Json.List
+            (List.map
+               (fun (depth, symbols, inc, refl, auto) ->
+                 Dt_obs.Json.Obj
+                   [
+                     ("depth", Dt_obs.Json.Int depth);
+                     ("symbols", Dt_obs.Json.Int symbols);
+                     ("incremental_ns", Dt_obs.Json.Float inc);
+                     ("reference_ns", Dt_obs.Json.Float refl);
+                     ("auto", Dt_obs.Json.String auto);
+                   ])
+               calib_rows) );
         ( "synthetic",
           Dt_obs.Json.Obj
             [
@@ -457,9 +724,18 @@ let engine_bench () =
   Dt_obs.Artifact.write_atomic "BENCH_engine.json"
     (Dt_obs.Json.to_string json ^ "\n");
   print_endline "engine benchmark written to BENCH_engine.json";
-  if not (identical && synth_identical) then begin
+  if not (identical && synth_identical && shard_identical && dispatch_parity)
+  then begin
     prerr_endline
-      "bench: FATAL: analysis output differs across jobs/cache settings";
+      "bench: FATAL: analysis output differs across jobs/cache/dispatch \
+       settings";
+    exit 1
+  end;
+  if baseline_match = Some false then begin
+    prerr_endline
+      "bench: FATAL: sharded-corpus digest differs from \
+       bench/engine_baseline.json (semantic drift; if intended, recommit \
+       the baseline from BENCH_engine.json's sharded.digest)";
     exit 1
   end
 
@@ -672,12 +948,6 @@ let banerjee_bench () =
    Always runs (CI validates the artifacts), plus an informational
    metrics diff of the BENCH_obs.json snapshot against the checked-in
    baseline — the enforcing diff is the CI `profile --diff` step. *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 let obs_timeline () =
   let progs =

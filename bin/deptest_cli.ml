@@ -104,6 +104,22 @@ let jobs_arg =
            default) means one per available core. The analysis result is \
            identical at every setting.")
 
+let dispatch_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("auto", Deptest.Banerjee.Auto);
+             ("incremental", Deptest.Banerjee.Incremental);
+             ("reference", Deptest.Banerjee.Reference) ])
+        Deptest.Banerjee.Auto
+    & info [ "dispatch" ]
+        ~doc:
+          "Banerjee evaluator dispatch: $(b,auto) (pick per query from the \
+           nest shape), $(b,incremental) (compiled kernels), or \
+           $(b,reference) (the from-scratch oracle). Verdicts are identical \
+           at every setting; only the wall clock changes.")
+
 let no_cache_arg =
   Arg.(
     value & flag
@@ -236,8 +252,8 @@ let export_timeline chrome flame profiler =
       | None -> ())
 
 let analyze_cmd =
-  let run file strategy inputs bindings explain trace_file jobs no_cache
-      strict budget deadline_ms chrome flame prom ledger label =
+  let run file strategy inputs bindings explain trace_file jobs dispatch
+      no_cache strict budget deadline_ms chrome flame prom ledger label =
     let profiler = make_profiler chrome flame in
     let trace_buf =
       match trace_file with None -> None | Some _ -> Some (Buffer.create 4096)
@@ -253,22 +269,41 @@ let analyze_cmd =
     let routines = ref 0 in
     let gc0 = Gc.quick_stat () in
     let t0 = Dt_obs.Metrics.now_ns () in
-    (each file @@ fun prog ->
-     incr routines;
-     let prog =
-       if bindings = [] then prog
-       else Dt_ir.Specialize.program prog ~bindings
-     in
-     let sink =
-       if explain || trace_buf <> None then Some (Dt_obs.Trace.make ())
-       else None
-     in
-     let cfg =
-       Deptest.Analyze.Config.make ~strategy ~include_inputs:inputs ~jobs
-         ~cache:(not no_cache) ?metrics ?sink ?profiler ?budget ?deadline_ms ()
-     in
-     let r = Deptest.Analyze.run cfg prog in
-     if want_record then begin
+    let progs =
+      List.map
+        (fun p ->
+          if bindings = [] then p else Dt_ir.Specialize.program p ~bindings)
+        (load_unit file)
+    in
+    let many = List.length progs > 1 in
+    routines := List.length progs;
+    let cfg ?sink () =
+      Deptest.Analyze.Config.make ~strategy ~include_inputs:inputs ~jobs
+        ~dispatch ~cache:(not no_cache) ?metrics ?sink ?profiler ?budget
+        ?deadline_ms ()
+    in
+    let analyzed =
+      if explain || trace_buf <> None then
+        (* a trace is an ordered narrative: per-routine sink, which also
+           forces each routine to run sequentially *)
+        List.map
+          (fun prog ->
+            let sink = Some (Dt_obs.Trace.make ()) in
+            (prog, sink, Deptest.Analyze.run (cfg ?sink ()) prog))
+          progs
+      else
+        (* no ordering constraint: shard whole routines across the
+           work-stealing pool, sharing one memo cache across the file *)
+        let c = cfg () in
+        List.map2
+          (fun prog r -> (prog, None, r))
+          progs
+          (Deptest.Analyze.run_all c progs)
+    in
+    (analyzed
+    |> List.iter @@ fun (prog, sink, r) ->
+       if many then Printf.printf "===== %s =====\n" prog.Dt_ir.Nest.name;
+       if want_record then begin
        Deptest.Counters.merge_into agg_counters r.Deptest.Analyze.counters;
        let pairs, indep, degr = Dt_report.Record.summary_of_result r in
        agg_pairs := !agg_pairs + pairs;
@@ -362,9 +397,9 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Print all data dependences of a program")
     Term.(
       const run $ file_arg $ strategy_arg $ inputs_arg $ bind_arg
-      $ explain_arg $ trace_arg $ jobs_arg $ no_cache_arg $ strict_arg
-      $ budget_arg $ deadline_arg $ chrome_arg $ flame_arg $ prom_arg
-      $ ledger_arg $ label_arg)
+      $ explain_arg $ trace_arg $ jobs_arg $ dispatch_arg $ no_cache_arg
+      $ strict_arg $ budget_arg $ deadline_arg $ chrome_arg $ flame_arg
+      $ prom_arg $ ledger_arg $ label_arg)
 
 let parallel_cmd =
   let run file =
@@ -548,7 +583,8 @@ let profile_cmd =
         Format.printf "%a@." Dt_obs.Diff.pp report;
         if Dt_obs.Diff.has_breach report then exit 1
   in
-  let run file strategy json jobs diff_base threshold min_ns chrome flame =
+  let run file strategy json jobs dispatch diff_base threshold min_ns chrome
+      flame =
     match diff_base with
     | Some base ->
         (* diff mode: FILE is the *current* metrics snapshot, not a
@@ -565,8 +601,8 @@ let profile_cmd =
            --jobs exercises the parallel engine (per-domain busy / wait
            accounting, one timeline row per worker). *)
         let cfg =
-          Deptest.Analyze.Config.make ~strategy ~jobs ~cache:false ~metrics
-            ?profiler ()
+          Deptest.Analyze.Config.make ~strategy ~jobs ~dispatch ~cache:false
+            ~metrics ?profiler ()
         in
         let progs =
           Dt_obs.Span.with_ main_buf Dt_obs.Span.Parse (fun () ->
@@ -632,7 +668,8 @@ let profile_cmd =
           two metrics snapshots for regressions")
     Term.(
       const run $ file_arg $ strategy_arg $ json_arg $ profile_jobs_arg
-      $ diff_arg $ threshold_arg $ min_ns_arg $ chrome_arg $ flame_arg)
+      $ dispatch_arg $ diff_arg $ threshold_arg $ min_ns_arg $ chrome_arg
+      $ flame_arg)
 
 let corpus_cmd =
   let run () =

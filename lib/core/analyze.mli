@@ -4,17 +4,20 @@
     direction vectors into forward / backward / loop-independent
     dependences, and collect statistics.
 
-    {!run} is the single entry point; {!Config} bundles every knob.
-    Parallelism and caching are engine concerns, never semantic ones: for
-    a fixed program and configuration semantics, [run] returns the same
-    {!result} (same [deps], same ordering) at every [jobs] setting and
-    with the cache on or off. *)
+    {!run} analyzes one routine; {!run_all} shards a routine corpus
+    across the same work-stealing pool. {!Config} bundles every knob.
+    Parallelism, caching and evaluator dispatch are engine concerns,
+    never semantic ones: for a fixed program and configuration
+    semantics, [run] returns the same {!result} (same [deps], same
+    ordering) at every [jobs] / [grain] / [dispatch] setting and with
+    the cache on or off. *)
 
 open Dt_ir
 
 (** Analysis configuration: the testing strategy and symbolic facts
-    (semantics), the engine knobs (worker count, memo cache), and the
-    observability outputs (metrics registry, trace sink) in one value.
+    (semantics), the engine knobs (worker count, splitting grain,
+    Banerjee evaluator dispatch, memo cache), and the observability
+    outputs (metrics registry, trace sink) in one value.
 
     A configuration [make ~cache:true] owns its memo cache: reusing the
     same [Config.t] across several {!run} calls shares the cache, so a
@@ -28,6 +31,8 @@ module Config : sig
     ?include_inputs:bool ->
     ?assume:Assume.t ->
     ?jobs:int ->
+    ?grain:int ->
+    ?dispatch:Banerjee.dispatch ->
     ?cache:bool ->
     ?cache_capacity:int ->
     ?metrics:Dt_obs.Metrics.t ->
@@ -40,15 +45,17 @@ module Config : sig
   (** Defaults: [Partition_based], no input dependences, empty assume,
       [jobs = 0] (auto: one worker per recommended domain, but small
       nests — fewer than ~256 reference pairs, where a Domain spawn
-      would cost more than the testing work — run sequentially), cache
-      on and unbounded ([cache_capacity] bounds its resident entries with
-      FIFO eviction), no metrics, no sink, no profiler, no budget, no
-      deadline. An
-      explicit [jobs >= 1] is honored literally. A trace sink forces
-      sequential execution — a trace is an ordered narrative. A profiler
-      does {e not} constrain the schedule: each worker domain records
-      into its own span buffer and the buffers merge deterministically
-      afterwards (see {!Dt_obs.Span}).
+      would cost more than the testing work — run sequentially),
+      [grain = 0] (auto leaf size for the pool's lazy binary split),
+      [dispatch = Banerjee.Auto] (per-query evaluator selection from the
+      nest shape), cache on and unbounded ([cache_capacity] bounds its
+      resident entries with FIFO eviction), no metrics, no sink, no
+      profiler, no budget, no deadline. An explicit [jobs >= 1] is
+      honored literally. A trace sink forces sequential execution — a
+      trace is an ordered narrative. A profiler does {e not} constrain
+      the schedule: each worker domain records into its own span buffer
+      and the buffers merge deterministically afterwards (see
+      {!Dt_obs.Span}).
 
       [budget] caps the work per reference pair (in Banerjee
       hierarchy-node evaluations); a pair that exhausts it degrades to
@@ -70,6 +77,8 @@ module Config : sig
   val with_include_inputs : bool -> t -> t
   val with_assume : Assume.t -> t -> t
   val with_jobs : int -> t -> t
+  val with_grain : int -> t -> t
+  val with_dispatch : Banerjee.dispatch -> t -> t
   val with_cache : bool -> t -> t
   val with_metrics : Dt_obs.Metrics.t option -> t -> t
   val with_sink : Dt_obs.Trace.sink option -> t -> t
@@ -82,6 +91,8 @@ module Config : sig
   val include_inputs : t -> bool
   val assume : t -> Assume.t
   val jobs : t -> int
+  val grain : t -> int
+  val dispatch : t -> Banerjee.dispatch
   val budget : t -> int option
   val deadline_ms : t -> int option
   val cache_enabled : t -> bool
@@ -130,33 +141,25 @@ val sites : ?include_inputs:bool -> Nest.program -> site array
 val run : Config.t -> Nest.program -> result
 (** Analyze one program under the given configuration. *)
 
+val run_all : Config.t -> Nest.program list -> result list
+(** Analyze a routine corpus, sharding whole routines across the
+    work-stealing pool: each worker analyzes its routines sequentially
+    (one {!Dt_obs.Span.Shard} bracket per routine, counted in the
+    metrics' engine block) while the deque scheduler balances uneven
+    routine sizes by stealing. The result list is byte-identical to
+    [List.map (run cfg) progs] at every engine setting — per-routine
+    counters included — with two scheduling-only differences: the
+    [deadline_ms] clock is armed once for the whole batch instead of
+    per routine, and a shard that faults outside the per-pair
+    containment aborts the batch exactly as the corresponding [run]
+    call would. Falls back to [List.map (run cfg)] (and its per-site
+    parallelism policy) when there is no fan-out to gain: fewer than
+    two routines, [jobs = 1], a trace sink, or auto mode on a small
+    batch. *)
+
 val decompose :
   Dirvec.t -> (int option * Dirvec.t * [ `Forward | `Backward ]) list
 (** Split a (possibly starred) direction vector into its carried components:
     [(Some k, v, `Forward)] is the part carried forward at level k;
     backward parts denote reversed dependences (vector NOT yet negated);
     [(None, v, `Forward)] is the loop-independent (all '=') part. *)
-
-(** {2 Deprecated pre-[Config] surface}
-
-    Thin wrappers over {!run} with [jobs = 1] and no cache — bit-for-bit
-    the historical sequential behavior. Kept for one release. *)
-
-type options = {
-  strategy : Pair_test.strategy;
-  include_inputs : bool;  (** also compute input (read-read) dependences *)
-  assume : Assume.t;  (** extra symbolic facts, e.g. N >= 1 *)
-}
-
-val default_options : options
-
-val program :
-  ?options:options ->
-  ?metrics:Dt_obs.Metrics.t ->
-  ?sink:Dt_obs.Trace.sink ->
-  Nest.program ->
-  result
-[@@ocaml.deprecated "use Analyze.run with Analyze.Config"]
-
-val deps_of : ?options:options -> Nest.program -> Dep.t list
-[@@ocaml.deprecated "use Analyze.run with Analyze.Config"]

@@ -24,7 +24,35 @@
 
 open Dt_ir
 
+(** Which evaluator runs a query. [Auto] (the default everywhere) picks
+    per query from the nest shape via {!select} — unless the legacy
+    {!use_reference} hook forces the from-scratch path. The two
+    evaluators are byte-identical in verdicts {e and} in budget
+    consumption (same hierarchy-node count), so dispatch can never
+    change an analysis result — only its wall clock. *)
+type dispatch = Auto | Incremental | Reference
+
+val select : depth:int -> symbols:int -> dispatch
+(** The [Auto] heuristic, exposed for the bench's calibration section:
+    [Incremental] when [depth >= 3], or [depth >= 2] with symbolic
+    terms in play; [Reference] otherwise (never [Auto]). [depth] is the
+    hierarchy depth (indices refined), [symbols] the distinct symbols
+    across the pairs' difference constants and range endpoints. *)
+
+(** A per-worker scratch arena for the compiled evaluator: proof memo
+    tables and vertex/bound vectors are rented per pair and returned
+    when the query finishes, so a long testing loop stops allocating
+    once the arena is warm. Single-domain by design — the engine gives
+    each worker its own; never share one across domains. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+end
+
 val feasible :
+  ?dispatch:dispatch ->
+  ?scratch:Scratch.t ->
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
   ?budget:Dt_guard.Budget.t ->
@@ -51,6 +79,8 @@ val region_nonempty :
     [false] is a proof of emptiness. *)
 
 val vectors :
+  ?dispatch:dispatch ->
+  ?scratch:Scratch.t ->
   ?metrics:Dt_obs.Metrics.t ->
   ?sink:Dt_obs.Trace.sink ->
   ?spans:Dt_obs.Span.t ->
@@ -65,11 +95,12 @@ val vectors :
     Returns the concrete legal vectors over [indices] (in the given
     order), or [`Independent] when none survive.
 
-    Runs on the incremental compiled evaluator: one kernel compilation
-    per pair (counted in [metrics]), then O(1) contribution swaps per
-    hierarchy node. [sink] receives a note per combo-cap fallback;
-    [spans] brackets the whole hierarchy walk as one
-    {!Dt_obs.Span.Banerjee} timeline span. *)
+    [dispatch] selects the evaluator (default [Auto]). On the
+    incremental compiled path: one kernel compilation per pair (counted
+    in [metrics]), then O(1) contribution swaps per hierarchy node, with
+    per-pair buffers rented from [scratch] when given. [sink] receives a
+    note per combo-cap fallback; [spans] brackets the whole hierarchy
+    walk as one {!Dt_obs.Span.Banerjee} timeline span. *)
 
 val explain :
   [ `Independent | `Vectors of Direction.t list list ] -> string

@@ -81,7 +81,7 @@ let rename_snk ~src_loops ~common (snk_loops : Loop.t list)
    renaming / range computation / classification — before the per-pair
    backstop below is even reachable — escapes this function. [test]
    wraps it so the exported entry point never raises. *)
-let test_exn ?counters ?metrics ?sink ?spans ?budget
+let test_exn ?counters ?metrics ?sink ?spans ?budget ?dispatch ?scratch
     ?(strategy = Partition_based) ?(assume = Assume.empty)
     ~src:(src_ref, src_loops) ~snk:(snk_ref, snk_loops) () =
   if src_ref.Aref.base <> snk_ref.Aref.base then
@@ -238,8 +238,8 @@ let test_exn ?counters ?metrics ?sink ?spans ?budget
         in
         let t1 = tick () in
         match
-          Banerjee.vectors ?metrics ?sink ?spans ?budget assume range [ p ]
-            ~indices
+          Banerjee.vectors ?dispatch ?scratch ?metrics ?sink ?spans ?budget
+            assume range [ p ] ~indices
         with
         | `Independent as v ->
             record ~t0:t1 ~span:false Counters.Banerjee_miv ~indep:true;
@@ -274,7 +274,8 @@ let test_exn ?counters ?metrics ?sink ?spans ?budget
           | Subscript_by_subscript -> (
               match
                 Subscript_wise.test ?counters ?metrics ?sink ?spans ?budget
-                  assume range spairs ~common:common_indices
+                  ?dispatch ?scratch assume range spairs
+                  ~common:common_indices
               with
               | `Independent k -> raise (Indep (Some k))
               | `Dependent parts -> parts)
@@ -303,8 +304,8 @@ let test_exn ?counters ?metrics ?sink ?spans ?budget
                         let r =
                           scoped (fun () ->
                               Delta.test ?counters ?metrics ?sink ?spans
-                                ?budget ~loops:all_loops assume range
-                                group_pairs ~relevant)
+                                ?budget ?dispatch ?scratch ~loops:all_loops
+                                assume range group_pairs ~relevant)
                         in
                         delta_passes := max !delta_passes r.Delta.passes;
                         delta_leftover :=
@@ -417,13 +418,13 @@ let degraded_result ~src:((_ : Aref.t), src_loops) ~snk:((_ : Aref.t), snk_loops
    exported driver therefore never raises — any fault yields the
    conservative full direction-vector verdict, with the reason recorded
    in metrics and on the trace. [Out_of_memory] stays fatal. *)
-let test ?counters ?metrics ?sink ?spans ?budget ?strategy ?assume ~src ~snk ()
-    =
+let test ?counters ?metrics ?sink ?spans ?budget ?dispatch ?scratch ?strategy
+    ?assume ~src ~snk () =
   if (fst src).Aref.base <> (fst snk).Aref.base then
     invalid_arg "Pair_test.test: references to different arrays";
   match
-    test_exn ?counters ?metrics ?sink ?spans ?budget ?strategy ?assume ~src
-      ~snk ()
+    test_exn ?counters ?metrics ?sink ?spans ?budget ?dispatch ?scratch
+      ?strategy ?assume ~src ~snk ()
   with
   | r -> r
   | exception Out_of_memory -> raise Out_of_memory

@@ -18,9 +18,10 @@ let n_buckets = Array.length bucket_bounds_ns + 1
 
 (* per-domain engine accounting: work executed by one worker domain *)
 type engine_row = {
-  mutable tasks : int;  (* work chunks executed *)
-  mutable busy_ns : int64;  (* time inside chunk bodies *)
-  mutable wait_ns : int64;  (* time blocked on the shared chunk queue *)
+  mutable tasks : int;  (* grain-sized leaves executed *)
+  mutable steals : int;  (* ranges this worker took from another deque *)
+  mutable busy_ns : int64;  (* time inside leaf bodies *)
+  mutable wait_ns : int64;  (* time acquiring work (pop, steal, backoff) *)
 }
 
 type t = {
@@ -46,6 +47,7 @@ type t = {
   mutable g_budget : int;
   eng : (int, engine_row) Hashtbl.t;  (* per-domain engine rows *)
   mutable eng_registries : int;  (* worker registries merged into this one *)
+  mutable eng_shards : int;  (* routine-grain shards dispatched to the pool *)
 }
 
 let create () =
@@ -70,6 +72,7 @@ let create () =
     g_budget = 0;
     eng = Hashtbl.create 8;
     eng_registries = 0;
+    eng_shards = 0;
   }
 
 let now_ns = Clock.now_ns
@@ -143,7 +146,7 @@ let engine_row t domain =
   match Hashtbl.find_opt t.eng domain with
   | Some r -> r
   | None ->
-      let r = { tasks = 0; busy_ns = 0L; wait_ns = 0L } in
+      let r = { tasks = 0; steals = 0; busy_ns = 0L; wait_ns = 0L } in
       Hashtbl.replace t.eng domain r;
       r
 
@@ -156,12 +159,20 @@ let engine_wait t ~domain ~ns =
   let r = engine_row t domain in
   r.wait_ns <- Int64.add r.wait_ns ns
 
+let engine_steal t ~domain =
+  let r = engine_row t domain in
+  r.steals <- r.steals + 1
+
 let engine_registry t = t.eng_registries <- t.eng_registries + 1
 let engine_registries t = t.eng_registries
+let engine_shards t ~n = t.eng_shards <- t.eng_shards + n
+let shards t = t.eng_shards
 
 let engine_rows t =
-  Hashtbl.fold (fun d r acc -> (d, r.tasks, r.busy_ns, r.wait_ns) :: acc) t.eng []
-  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+  Hashtbl.fold
+    (fun d r acc -> (d, r.tasks, r.steals, r.busy_ns, r.wait_ns) :: acc)
+    t.eng []
+  |> List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b)
 let banerjee_compilations t = t.bj_compile
 let banerjee_incremental_nodes t = t.bj_inc_nodes
 let banerjee_scratch_nodes t = t.bj_scratch_nodes
@@ -205,10 +216,12 @@ let merge_into acc extra =
     (fun d (er : engine_row) ->
       let r = engine_row acc d in
       r.tasks <- r.tasks + er.tasks;
+      r.steals <- r.steals + er.steals;
       r.busy_ns <- Int64.add r.busy_ns er.busy_ns;
       r.wait_ns <- Int64.add r.wait_ns er.wait_ns)
     extra.eng;
-  acc.eng_registries <- acc.eng_registries + extra.eng_registries
+  acc.eng_registries <- acc.eng_registries + extra.eng_registries;
+  acc.eng_shards <- acc.eng_shards + extra.eng_shards
 
 let merge a b =
   let t = create () in
@@ -312,23 +325,26 @@ let to_json t =
         Json.Obj
           [
             ("registries", Json.Int t.eng_registries);
+            ("shards", Json.Int t.eng_shards);
             ( "domains",
               Json.List
                 (List.map
-                   (fun (d, tasks, busy, wait) ->
+                   (fun (d, tasks, steals, busy, wait) ->
                      Json.Obj
                        [
                          ("domain", Json.Int d);
                          ("tasks", Json.Int tasks);
+                         ("steals", Json.Int steals);
                          ("busy_ns", Json.Int (Int64.to_int busy));
                          ("queue_wait_ns", Json.Int (Int64.to_int wait));
                        ])
                    rows) );
-            ("tasks", Json.Int (sum (fun (_, n, _, _) -> n)));
+            ("tasks", Json.Int (sum (fun (_, n, _, _, _) -> n)));
+            ("steals", Json.Int (sum (fun (_, _, s, _, _) -> s)));
             ( "busy_ns",
-              Json.Int (Int64.to_int (sum64 (fun (_, _, b, _) -> b))) );
+              Json.Int (Int64.to_int (sum64 (fun (_, _, _, b, _) -> b))) );
             ( "queue_wait_ns",
-              Json.Int (Int64.to_int (sum64 (fun (_, _, _, w) -> w))) );
+              Json.Int (Int64.to_int (sum64 (fun (_, _, _, _, w) -> w))) );
           ] );
     ]
 
@@ -374,14 +390,18 @@ let pp ppf t =
       (degraded_pairs t) t.g_overflow t.g_exception t.g_budget;
   (let rows = engine_rows t in
    if rows <> [] then begin
-     Format.fprintf ppf "engine: %d worker registr%s merged@."
+     Format.fprintf ppf "engine: %d worker registr%s merged%t@."
        t.eng_registries
-       (if t.eng_registries = 1 then "y" else "ies");
+       (if t.eng_registries = 1 then "y" else "ies")
+       (fun ppf ->
+         if t.eng_shards > 0 then
+           Format.fprintf ppf ", %d routine shard(s)" t.eng_shards);
      List.iter
-       (fun (d, tasks, busy, wait) ->
+       (fun (d, tasks, steals, busy, wait) ->
          Format.fprintf ppf
-           "  domain %d: %d task(s), busy %.1f us, queue wait %.1f us@." d
-           tasks (us busy) (us wait))
+           "  domain %d: %d task(s), %d steal(s), busy %.1f us, queue wait \
+            %.1f us@."
+           d tasks steals (us busy) (us wait))
        rows
    end);
   Format.fprintf ppf "pair latency:";
@@ -514,27 +534,38 @@ let to_prometheus t =
   family "deptest_engine_registries_total" "counter"
     "Worker metrics registries merged into this snapshot.";
   int_sample "deptest_engine_registries_total" t.eng_registries;
+  family "deptest_engine_shards_total" "counter"
+    "Routine-grain shards dispatched to the work-stealing pool.";
+  int_sample "deptest_engine_shards_total" t.eng_shards;
   family "deptest_engine_tasks_total" "counter"
-    "Engine work chunks executed, by worker domain.";
+    "Engine work leaves executed, by worker domain.";
   let rows = engine_rows t in
   List.iter
-    (fun (d, tasks, _, _) ->
+    (fun (d, tasks, _, _, _) ->
       int_sample
         ~labels:[ ("domain", string_of_int d) ]
         "deptest_engine_tasks_total" tasks)
     rows;
-  family "deptest_engine_busy_ns_total" "counter"
-    "Nanoseconds inside chunk bodies, by worker domain.";
+  family "deptest_engine_steals_total" "counter"
+    "Ranges stolen from another worker's deque, by thief domain.";
   List.iter
-    (fun (d, _, busy, _) ->
+    (fun (d, _, steals, _, _) ->
+      int_sample
+        ~labels:[ ("domain", string_of_int d) ]
+        "deptest_engine_steals_total" steals)
+    rows;
+  family "deptest_engine_busy_ns_total" "counter"
+    "Nanoseconds inside leaf bodies, by worker domain.";
+  List.iter
+    (fun (d, _, _, busy, _) ->
       ns_sample
         ~labels:[ ("domain", string_of_int d) ]
         "deptest_engine_busy_ns_total" busy)
     rows;
   family "deptest_engine_queue_wait_ns_total" "counter"
-    "Nanoseconds blocked on the shared chunk queue, by worker domain.";
+    "Nanoseconds acquiring work (pop, steal, backoff), by worker domain.";
   List.iter
-    (fun (d, _, _, wait) ->
+    (fun (d, _, _, _, wait) ->
       ns_sample
         ~labels:[ ("domain", string_of_int d) ]
         "deptest_engine_queue_wait_ns_total" wait)

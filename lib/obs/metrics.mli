@@ -81,11 +81,15 @@ val degraded_pairs : t -> int
 val degraded_by : t -> [ `Overflow | `Exception | `Budget ] -> int
 
 val engine_task : t -> domain:int -> ns:int64 -> unit
-(** One engine work chunk executed by worker [domain] in [ns]: bump the
+(** One engine work leaf executed by worker [domain] in [ns]: bump the
     domain's task count and busy time. *)
 
 val engine_wait : t -> domain:int -> ns:int64 -> unit
-(** Worker [domain] spent [ns] blocked on the shared chunk queue. *)
+(** Worker [domain] spent [ns] acquiring work (own-deque pop, steal
+    attempts, idle backoff). *)
+
+val engine_steal : t -> domain:int -> unit
+(** Worker [domain] stole a range from another worker's deque. *)
 
 val engine_registry : t -> unit
 (** One per-worker metrics registry was created for this run; after the
@@ -94,9 +98,16 @@ val engine_registry : t -> unit
 
 val engine_registries : t -> int
 
-val engine_rows : t -> (int * int * int64 * int64) list
-(** [(domain, tasks, busy_ns, queue_wait_ns)] per domain that executed
-    work, sorted by domain id. Empty when the engine never reported. *)
+val engine_shards : t -> n:int -> unit
+(** [n] routine-grain shards were dispatched to the pool (one per
+    routine in a batched {e run_all}-style analysis). *)
+
+val shards : t -> int
+
+val engine_rows : t -> (int * int * int * int64 * int64) list
+(** [(domain, tasks, steals, busy_ns, queue_wait_ns)] per domain that
+    executed work, sorted by domain id. Empty when the engine never
+    reported. *)
 
 val banerjee_compilations : t -> int
 val banerjee_incremental_nodes : t -> int

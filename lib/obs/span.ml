@@ -14,6 +14,8 @@ type kind =
   | Worker
   | Task
   | Queue_wait
+  | Shard
+  | Steal
 
 let kind_name = function
   | Analyze -> "analyze"
@@ -31,6 +33,8 @@ let kind_name = function
   | Worker -> "worker"
   | Task -> "task"
   | Queue_wait -> "queue-wait"
+  | Shard -> "shard"
+  | Steal -> "steal"
 
 type span = {
   kind : kind;

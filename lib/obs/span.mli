@@ -32,8 +32,10 @@ type kind =
   | Merge  (** per-pair direction-vector merge *)
   | Parse  (** frontend parse + lowering *)
   | Worker  (** one engine worker's whole loop *)
-  | Task  (** one work chunk executed by a worker *)
-  | Queue_wait  (** a worker waiting on the shared chunk queue *)
+  | Task  (** one grain-sized work leaf executed by a worker *)
+  | Queue_wait  (** a worker acquiring work (pop, steal, backoff) *)
+  | Shard  (** one routine analyzed as a unit by a batched run *)
+  | Steal  (** instant: a range taken from another worker's deque *)
 
 val kind_name : kind -> string
 (** Stable slug, e.g. ["test:strong_siv"], ["queue-wait"] — the span

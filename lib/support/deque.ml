@@ -1,0 +1,88 @@
+(* Chase–Lev deque on sequentially consistent [Atomic]s.
+
+   [top] only ever increases (thieves CAS it forward; [pop] CASes it on
+   the last element). [bottom] is owned by one domain. The ring cells
+   are themselves atomic so a thief's read of a cell either sees the
+   value its CAS on [top] then validates, or the CAS fails and the read
+   is discarded — a stale cell value can never be returned, because the
+   owner only reuses a slot after [top] has moved past it (the ring is
+   grown, never overwritten, while entries are live). *)
+
+type 'a ring = { mask : int; cells : 'a option Atomic.t array }
+
+let ring size = { mask = size - 1; cells = Array.init size (fun _ -> Atomic.make None) }
+let cell r i = r.cells.(i land r.mask)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a ring Atomic.t;
+}
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 8
+
+let create ?(capacity = 64) () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (ring (round_pow2 capacity));
+  }
+
+(* owner only: called from [push] when the ring is full. Thieves keep
+   reading the old ring; entries t..b-1 are copied, and the CAS on
+   [top] decides every in-flight steal either way. *)
+let grow q old t b =
+  let nr = ring ((old.mask + 1) * 2) in
+  for i = t to b - 1 do
+    Atomic.set (cell nr i) (Atomic.get (cell old i))
+  done;
+  Atomic.set q.buf nr;
+  nr
+
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let r = Atomic.get q.buf in
+  let r = if b - t > r.mask then grow q r t b else r in
+  Atomic.set (cell r b) (Some v);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* already empty: undo the reservation *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else
+    let r = Atomic.get q.buf in
+    let v = Atomic.get (cell r b) in
+    if b > t then v
+    else begin
+      (* last element: race the thieves for it *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then v else None
+    end
+
+type 'a steal_result = Empty | Retry | Stolen of 'a
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if b - t <= 0 then Empty
+  else
+    let r = Atomic.get q.buf in
+    let v = Atomic.get (cell r t) in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      match v with Some x -> Stolen x | None -> assert false
+    else Retry
+
+let size q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if b - t < 0 then 0 else b - t

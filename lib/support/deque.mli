@@ -1,0 +1,46 @@
+(** A Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005, with the
+    C11-port corrections of Lê et al., PPoPP 2013), on OCaml's
+    sequentially consistent [Atomic] cells.
+
+    Exactly one domain — the {e owner} — may call {!push} and {!pop};
+    any number of other domains may call {!steal} concurrently. The
+    owner works LIFO off the bottom (locality: the most recently split
+    range is the one whose pages are hot); thieves take FIFO from the
+    top, which in the pool's lazy-binary-splitting regime is always the
+    largest outstanding range — stealing it transfers roughly half the
+    victim's remaining work in one CAS.
+
+    Every value pushed is returned by exactly one [pop] or [steal]
+    (linearizable); none is lost or duplicated. The circular buffer
+    grows geometrically and is never shrunk, so a deque handle is cheap
+    to keep in a pool across runs. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty deque. [capacity] (default 64, rounded up to a power of
+    two) sizes the initial ring; pushing past it grows the ring without
+    blocking thieves. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add [v] at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: remove and return the bottom element, [None] when
+    empty. When one element remains, the owner races thieves for it
+    with a CAS and loses gracefully. *)
+
+type 'a steal_result =
+  | Empty  (** nothing to take (possibly momentarily) *)
+  | Retry  (** lost a CAS race with the owner or another thief *)
+  | Stolen of 'a
+
+val steal : 'a t -> 'a steal_result
+(** Thief side: remove and return the top element. [Retry] means the
+    deque was non-empty but another party took the element first — the
+    caller should try again (possibly on another victim) rather than
+    conclude emptiness. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the element count (never negative). Only a hint —
+    for probes and tests, not for synchronization. *)

@@ -1,19 +1,30 @@
-(** A Domain-based worker pool for embarrassingly parallel index loops.
+(** A Domain-based work-stealing pool for embarrassingly parallel index
+    loops.
 
-    [parallel_for] distributes the indices [0 .. n-1] over a fixed set of
-    worker domains through a chunked shared work queue (dynamic
-    scheduling: a worker that finishes a chunk grabs the next one, so
-    uneven per-index cost balances out). Each worker owns a private state
-    value created by [state]; the states are returned in worker-id order
-    so the caller can merge per-worker accumulators deterministically.
+    A {!t} is a configuration handle: worker count, splitting grain and
+    {!hooks} fixed once at {!create}, plus one Chase–Lev deque per
+    worker ({!Deque}) that is reused across {!run} calls. Work is
+    distributed by {e lazy binary splitting}: [run ~n] seeds each
+    worker's deque with one contiguous index range; a worker pops its
+    own deque LIFO and, while the range in hand is larger than the
+    grain, pushes the upper half back (making it stealable) and
+    continues on the lower half. An idle worker steals FIFO from a
+    victim's top — always the largest outstanding range there, so one
+    steal transfers roughly half the victim's remaining work — and
+    backs off with exponential [Domain.cpu_relax] spins while all work
+    is in flight elsewhere.
 
-    Determinism contract: which worker processes which index is
-    scheduling-dependent, but every index is processed exactly once, and
-    writes to disjoint result slots made inside [body] are visible to the
-    caller after [parallel_for] returns (the domain joins establish the
-    happens-before edge). Any result that depends only on the index —
-    never on the executing worker — is therefore identical to a
-    sequential run. *)
+    Determinism contract (unchanged from the chunked predecessor): which
+    worker processes which index is scheduling-dependent, but every
+    index in [0 .. n-1] is processed exactly once, and writes to
+    disjoint result slots made inside [body] are visible to the caller
+    after {!run} returns (the domain joins establish the happens-before
+    edge). Any result that depends only on the index — never on the
+    executing worker — is therefore identical to a sequential run.
+
+    Worker domains are spawned per {!run} and joined before it returns;
+    the handle owns no threads between runs and must not be shared by
+    two concurrent runs. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
@@ -21,17 +32,72 @@ val recommended_jobs : unit -> int
 type probe = {
   worker_start : int -> unit;  (** worker [w] begins its loop *)
   worker_stop : int -> unit;  (** worker [w] finished (normal exit) *)
-  wait_start : int -> unit;  (** worker [w] is about to poll the queue *)
-  wait_stop : int -> unit;  (** worker [w] obtained a chunk (or the end) *)
-  task_start : int -> unit;  (** worker [w] begins executing a chunk *)
-  task_stop : int -> unit;  (** worker [w] finished the chunk *)
+  wait_start : int -> unit;  (** worker [w] starts acquiring work *)
+  wait_stop : int -> unit;  (** worker [w] obtained a range (or the end) *)
+  task_start : int -> unit;  (** worker [w] begins a grain-sized leaf *)
+  task_stop : int -> unit;  (** worker [w] finished the leaf *)
+  steal : thief:int -> victim:int -> unit;
+      (** worker [thief] took a range from worker [victim]'s deque;
+          called on the thief's domain *)
 }
 (** Per-worker accounting brackets, called from the worker's own domain
     — an implementation must only touch per-worker state (the engine
-    hands each worker its own metrics registry and span buffer). On the
-    sequential path the whole loop is bracketed as one task on worker 0
-    with no queue waits; on an exception the failing worker's open
-    brackets are simply never closed. *)
+    hands each worker its own metrics registry and span buffer). The
+    wait bracket covers the whole acquisition (own pop, steal attempts
+    and backoff). On the sequential path the whole loop is bracketed as
+    one task on worker 0 with no queue waits; on an exception the
+    failing worker's open brackets are simply never closed. *)
+
+val no_probe : probe
+(** All callbacks no-ops. *)
+
+type 'w hooks = {
+  probe : probe;
+  on_error : ('w -> int -> exn -> unit) option;
+      (** per-task containment policy: when given, a [body] call that
+          raises is caught at its own index — [on_error st i e] runs on
+          the same worker (so it may record into the worker state and
+          fill the index's result slot) and the loop continues; one
+          faulty task no longer aborts the run. Applies on the
+          sequential path too. Without it (or when the handler itself
+          raises — strict mode) all outstanding work is abandoned, the
+          workers are joined, and the first exception by worker id is
+          re-raised with its backtrace. *)
+}
+(** The pool's one extension point: instrumentation and containment
+    bundled in a single record, replacing the former loose [?probe] /
+    [?on_error] arguments. *)
+
+val hooks :
+  ?probe:probe -> ?on_error:('w -> int -> exn -> unit) -> unit -> 'w hooks
+(** Build a {!hooks} value; defaults: {!no_probe}, no handler. *)
+
+val default_hooks : 'w hooks
+(** [hooks ()]. *)
+
+type 'w t
+(** A pool handle; ['w] is the per-worker state type the hooks'
+    [on_error] may touch. *)
+
+val create : ?jobs:int -> ?grain:int -> ?hooks:'w hooks -> unit -> 'w t
+(** [jobs] is the worker count; [0] (the default) means
+    {!recommended_jobs}. [grain] is the leaf size of the lazy binary
+    split — ranges at most this long are executed without further
+    splitting; [0] (the default) picks [clamp (n / (workers * 8)) 1 64]
+    per run, the grain the chunked scheduler used. *)
+
+val jobs : _ t -> int
+(** The resolved worker count (never 0). *)
+
+val run : 'w t -> n:int -> state:(int -> 'w) -> body:('w -> int -> unit) -> 'w list
+(** [run pool ~n ~state ~body] calls [body st i] exactly once for every
+    [i] in [0 .. n-1] and returns the per-worker states in worker-id
+    order. Each worker owns a private state value created by [state].
+
+    With [jobs <= 1] (or [n <= 1]) everything runs in the calling
+    domain in index order — the sequential reference path. Otherwise
+    [min jobs n] domains run, the calling domain being worker 0.
+    A raising [state] call is always fatal. *)
 
 val parallel_for :
   ?jobs:int ->
@@ -43,26 +109,6 @@ val parallel_for :
   body:('w -> int -> unit) ->
   unit ->
   'w list
-(** [parallel_for ~jobs ~n ~state ~body ()] calls [body st i] exactly once
-    for every [i] in [0 .. n-1] and returns the per-worker states in
-    worker-id order.
-
-    [jobs] is the number of workers; [0] (the default) means
-    {!recommended_jobs}. With [jobs <= 1] (or [n <= 1]) everything runs in
-    the calling domain in index order — the sequential reference path.
-    Otherwise [min jobs n] domains run (the calling domain is one of
-    them), each pulling chunks of [chunk] consecutive indices (default:
-    a size that yields roughly 8 chunks per worker, clamped to [1, 64]).
-
-    [on_error] is the per-task containment policy: when given, a [body]
-    call that raises is caught at its own index — [on_error st i e] runs
-    on the same worker (so it may record into the worker state and fill
-    the index's result slot) and the loop continues with the next index;
-    one faulty task no longer aborts the run. This applies on the
-    sequential path too.
-
-    Without [on_error] (or when the handler itself raises — strict
-    mode), the legacy policy applies: all remaining work is drained, the
-    workers are joined, and the first exception (by worker id) is
-    re-raised with its backtrace. A raising [state] call is always
-    fatal. *)
+[@@ocaml.deprecated "use Pool.create and Pool.run with Pool.hooks"]
+(** Compatibility wrapper over {!create} + {!run} ([chunk] maps to
+    [grain]). One release only. *)

@@ -16,13 +16,13 @@ let string = Alcotest.string
 let test_pool_covers_all () =
   let n = 1000 in
   let out = Array.make n 0 in
+  let pool = Dt_support.Pool.create ~jobs:4 () in
   let states =
-    Dt_support.Pool.parallel_for ~jobs:4 ~n
+    Dt_support.Pool.run pool ~n
       ~state:(fun w -> (w, ref 0))
       ~body:(fun (_, acc) i ->
         out.(i) <- (i * i) + 1;
         acc := !acc + i)
-      ()
   in
   check bool "every cell written exactly once" true
     (Array.for_all (fun v -> v > 0) (Array.mapi (fun i v -> Bool.to_int (v = (i * i) + 1)) out));
@@ -35,10 +35,11 @@ let test_pool_covers_all () =
 let test_pool_sequential () =
   let order = ref [] in
   let states =
-    Dt_support.Pool.parallel_for ~jobs:1 ~n:5
+    Dt_support.Pool.run
+      (Dt_support.Pool.create ~jobs:1 ())
+      ~n:5
       ~state:(fun w -> w)
       ~body:(fun _ i -> order := i :: !order)
-      ()
   in
   check (Alcotest.list int) "jobs=1 runs in index order" [ 0; 1; 2; 3; 4 ]
     (List.rev !order);
@@ -46,10 +47,11 @@ let test_pool_sequential () =
 
 let test_pool_exception () =
   match
-    Dt_support.Pool.parallel_for ~jobs:4 ~n:100
+    Dt_support.Pool.run
+      (Dt_support.Pool.create ~jobs:4 ())
+      ~n:100
       ~state:(fun _ -> ())
       ~body:(fun () i -> if i = 57 then failwith "boom")
-      ()
   with
   | exception Failure m -> check string "body exception propagates" "boom" m
   | _ -> Alcotest.fail "expected the body's exception to propagate"
@@ -57,10 +59,89 @@ let test_pool_exception () =
 let test_pool_empty () =
   check int "n=0 spawns nothing" 0
     (List.length
-       (Dt_support.Pool.parallel_for ~jobs:4 ~n:0
+       (Dt_support.Pool.run
+          (Dt_support.Pool.create ~jobs:4 ())
+          ~n:0
           ~state:(fun w -> w)
-          ~body:(fun _ _ -> ())
-          ()))
+          ~body:(fun _ _ -> ())))
+
+(* --- Deque ------------------------------------------------------------- *)
+
+let test_deque_owner_lifo () =
+  let d = Dt_support.Deque.create () in
+  List.iter (Dt_support.Deque.push d) [ 1; 2; 3; 4; 5 ];
+  check int "size counts pushes" 5 (Dt_support.Deque.size d);
+  let popped = List.init 5 (fun _ -> Dt_support.Deque.pop d) in
+  check
+    (Alcotest.list (Alcotest.option int))
+    "owner pops newest-first"
+    [ Some 5; Some 4; Some 3; Some 2; Some 1 ]
+    popped;
+  check bool "then empty" true (Dt_support.Deque.pop d = None)
+
+let test_deque_steal_fifo () =
+  let d = Dt_support.Deque.create () in
+  List.iter (Dt_support.Deque.push d) [ 1; 2; 3 ];
+  (match Dt_support.Deque.steal d with
+  | Dt_support.Deque.Stolen v -> check int "thief takes oldest" 1 v
+  | _ -> Alcotest.fail "expected a successful steal");
+  check bool "owner still pops newest" true (Dt_support.Deque.pop d = Some 3);
+  (match Dt_support.Deque.steal d with
+  | Dt_support.Deque.Stolen v -> check int "next-oldest next" 2 v
+  | _ -> Alcotest.fail "expected a successful steal");
+  check bool "then empty for the owner" true (Dt_support.Deque.pop d = None);
+  check bool "and for thieves" true
+    (Dt_support.Deque.steal d = Dt_support.Deque.Empty)
+
+let test_deque_grows () =
+  let d = Dt_support.Deque.create ~capacity:2 () in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Dt_support.Deque.push d i
+  done;
+  let sum = ref 0 and count = ref 0 in
+  let rec drain () =
+    match Dt_support.Deque.pop d with
+    | Some v ->
+        sum := !sum + v;
+        incr count;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check int "growth loses nothing" n !count;
+  check int "and duplicates nothing" (n * (n - 1) / 2) !sum
+
+(* owner pops while three thieves steal: every pushed value must surface
+   exactly once across the four parties *)
+let test_deque_concurrent_steal () =
+  let d = Dt_support.Deque.create ~capacity:16 () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    Dt_support.Deque.push d i
+  done;
+  let thief () =
+    let rec go acc =
+      match Dt_support.Deque.steal d with
+      | Dt_support.Deque.Stolen v -> go (v :: acc)
+      | Dt_support.Deque.Retry ->
+          Domain.cpu_relax ();
+          go acc
+      | Dt_support.Deque.Empty -> acc
+    in
+    go []
+  in
+  let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+  let rec own acc =
+    match Dt_support.Deque.pop d with Some v -> own (v :: acc) | None -> acc
+  in
+  let mine = own [] in
+  let taken = List.concat_map Domain.join thieves @ mine in
+  check int "no value lost" n (List.length taken);
+  check
+    (Alcotest.list int)
+    "no value duplicated" (List.init n Fun.id)
+    (List.sort compare taken)
 
 (* --- Memo -------------------------------------------------------------- *)
 
@@ -345,16 +426,77 @@ let test_analyze_metrics_cache_counts () =
         = Some (Dt_obs.Metrics.cache_hits metrics))
   | None -> Alcotest.fail "metrics JSON should include the cache block"
 
-let test_deprecated_shim () =
-  (* the legacy entry points must keep working and agree with [run] *)
-  let legacy = (Deptest.Analyze.program [@alert "-deprecated"]) wavefront in
-  let fresh =
-    Deptest.Analyze.run (Deptest.Analyze.Config.make ~jobs:1 ~cache:false ())
-      wavefront
+let test_run_all_matches_run () =
+  (* routine sharding is an engine concern: [run_all] must agree with
+     mapping [run] over the batch, per-routine counters included *)
+  let progs = [ wavefront; wavefront; wavefront; wavefront ] in
+  let cfg jobs = Deptest.Analyze.Config.make ~jobs ~cache:false () in
+  let seq = List.map (Deptest.Analyze.run (cfg 1)) progs in
+  let sharded = Deptest.Analyze.run_all (cfg 3) progs in
+  check int "one result per routine" (List.length seq) (List.length sharded);
+  List.iter2
+    (fun (a : Deptest.Analyze.result) (b : Deptest.Analyze.result) ->
+      check bool "same deps" true (a.deps = b.deps);
+      check bool "same pair records" true (a.pairs = b.pairs);
+      check bool "same counters" true (Deptest.Counters.equal a.counters b.counters))
+    seq sharded
+
+(* byte-parity over a generated thousand-routine corpus: every
+   jobs x dispatch setting must render the identical analysis, pairs
+   and counters included. Seeded generation, half the routines with a
+   symbolic outer bound so both adaptive-dispatch regimes occur. *)
+let test_corpus_jobs_dispatch_parity () =
+  let routines = 1000 in
+  let progs =
+    let st = Random.State.make [| 0xD09; routines |] in
+    let sym =
+      { Dt_workloads.Generator.default with
+        Dt_workloads.Generator.symbolic_hi = true }
+    in
+    List.init routines (fun k ->
+        let gcfg =
+          if k mod 2 = 0 then Dt_workloads.Generator.default else sym
+        in
+        Dt_workloads.Generator.program st gcfg ~stmts:3)
   in
-  check int "same dependence count via the deprecated shim"
-    (List.length fresh.Deptest.Analyze.deps)
-    (List.length legacy.Deptest.Analyze.deps)
+  let render ~jobs ~dispatch =
+    let cfg = Deptest.Analyze.Config.make ~jobs ~dispatch ~cache:false () in
+    let buf = Buffer.create (1 lsl 16) in
+    List.iter
+      (fun (r : Deptest.Analyze.result) ->
+        List.iter
+          (fun d ->
+            Buffer.add_string buf (Format.asprintf "%a@." Deptest.Dep.pp d))
+          r.Deptest.Analyze.deps;
+        List.iter
+          (fun (p : Deptest.Analyze.pair_record) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s %d %d %b\n" p.Deptest.Analyze.array
+                 p.Deptest.Analyze.src_stmt p.Deptest.Analyze.snk_stmt
+                 p.Deptest.Analyze.independent))
+          r.Deptest.Analyze.pairs;
+        Buffer.add_string buf
+          (Format.asprintf "%a@." Deptest.Counters.pp
+             r.Deptest.Analyze.counters))
+      (Deptest.Analyze.run_all cfg progs);
+    Digest.string (Buffer.contents buf)
+  in
+  let base = render ~jobs:1 ~dispatch:Deptest.Banerjee.Auto in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun (name, dispatch) ->
+          check bool
+            (Printf.sprintf "jobs=%d dispatch=%s renders the jobs=1/auto bytes"
+               jobs name)
+            true
+            (render ~jobs ~dispatch = base))
+        [
+          ("auto", Deptest.Banerjee.Auto);
+          ("reference", Deptest.Banerjee.Reference);
+          ("incremental", Deptest.Banerjee.Incremental);
+        ])
+    [ 1; 2; 4 ]
 
 let suite =
   [
@@ -362,6 +504,11 @@ let suite =
     Alcotest.test_case "pool sequential fallback" `Quick test_pool_sequential;
     Alcotest.test_case "pool propagates body exceptions" `Quick test_pool_exception;
     Alcotest.test_case "pool empty range" `Quick test_pool_empty;
+    Alcotest.test_case "deque: owner pops LIFO" `Quick test_deque_owner_lifo;
+    Alcotest.test_case "deque: thieves steal FIFO" `Quick test_deque_steal_fifo;
+    Alcotest.test_case "deque: ring growth is lossless" `Quick test_deque_grows;
+    Alcotest.test_case "deque: concurrent steal, no loss or dup" `Quick
+      test_deque_concurrent_steal;
     Alcotest.test_case "memo table basics" `Quick test_memo_basics;
     Alcotest.test_case "key: isomorphic queries coincide" `Quick test_key_isomorphic;
     Alcotest.test_case "key: structural changes discriminate" `Quick test_key_discriminates;
@@ -378,5 +525,7 @@ let suite =
     Alcotest.test_case "config cache statistics" `Quick test_analyze_cache_hits;
     Alcotest.test_case "metrics count cache traffic" `Quick
       test_analyze_metrics_cache_counts;
-    Alcotest.test_case "deprecated shim agrees" `Quick test_deprecated_shim;
+    Alcotest.test_case "run_all agrees with run" `Quick test_run_all_matches_run;
+    Alcotest.test_case "thousand-routine jobs x dispatch byte parity" `Slow
+      test_corpus_jobs_dispatch_parity;
   ]

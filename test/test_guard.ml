@@ -178,8 +178,11 @@ let pool_containment ~jobs () =
     results.(i) <- i * 2
   in
   let _ =
-    Dt_support.Pool.parallel_for ~jobs ~on_error ~n ~state:(fun w -> w)
-      ~body ()
+    Dt_support.Pool.run
+      (Dt_support.Pool.create ~jobs
+         ~hooks:(Dt_support.Pool.hooks ~on_error ())
+         ())
+      ~n ~state:(fun w -> w) ~body
   in
   Alcotest.(check int) "exactly one failure" 1 (List.length !failed);
   Alcotest.(check int) "failing index captured" 13 (fst (List.hd !failed));
@@ -192,12 +195,13 @@ let pool_containment ~jobs () =
 let test_pool_containment_seq () = pool_containment ~jobs:1 ()
 let test_pool_containment_par () = pool_containment ~jobs:4 ()
 
-let test_pool_legacy_raises () =
+let test_pool_strict_raises () =
   let raised =
     match
-      Dt_support.Pool.parallel_for ~jobs:1 ~n:4 ~state:(fun w -> w)
+      Dt_support.Pool.run
+        (Dt_support.Pool.create ~jobs:1 ())
+        ~n:4 ~state:(fun w -> w)
         ~body:(fun _ i -> if i = 2 then failwith "boom")
-        ()
     with
     | _ -> false
     | exception Failure _ -> true
@@ -321,7 +325,17 @@ let battery () =
     let w, r, loops = miv_pair () in
     Deptest.Pair_test.test ~src:(w, loops) ~snk:(r, loops) ()
   in
-  [ strong_siv (); general_siv (); rdiv (); miv () ]
+  let miv_deep () =
+    (* depth 3: [Auto] dispatch routes this query to the incremental
+       compiled evaluator, whose kernel compilation owns the
+       [linform.corner] site (the shallow [miv] goes to [Reference]) *)
+    let s = Affine.add (av i0) (Affine.add (av j1) (av k2)) in
+    let w = Aref.linear "A" [ s ]
+    and r = Aref.linear "A" [ Affine.add_const (-1) s ] in
+    let loops = [ loop ~hi:10 i0; loop ~hi:10 j1; loop ~hi:10 k2 ] in
+    Deptest.Pair_test.test ~src:(w, loops) ~snk:(r, loops) ()
+  in
+  [ strong_siv (); general_siv (); rdiv (); miv (); miv_deep () ]
 
 let driver_sites =
   [ "pair.test"; "siv.test"; "rdiv.test"; "dio.solve"; "banerjee.node";
@@ -463,7 +477,7 @@ let suite =
     Alcotest.test_case "pool: contained task failure (4 workers)" `Quick
       test_pool_containment_par;
     Alcotest.test_case "pool: legacy fail-whole-run without on_error" `Quick
-      test_pool_legacy_raises;
+      test_pool_strict_raises;
     Alcotest.test_case "driver: overflow degrades conservatively" `Quick
       test_overflow_degrades;
     Alcotest.test_case "driver: exhausted budget degrades the pair" `Quick

@@ -119,9 +119,11 @@ let profiled_spans jobs =
   let out = render cfg in
   (out, Span.spans p)
 
-(* the engine-scheduling kinds: which domain runs which chunk varies *)
+(* the engine-scheduling kinds: which domain runs which chunk — and
+   whether any range gets stolen at all — varies run to run *)
 let scheduling = function
-  | Span.Worker | Span.Task | Span.Queue_wait -> true
+  | Span.Worker | Span.Task | Span.Queue_wait | Span.Steal | Span.Shard ->
+      true
   | _ -> false
 
 let kind_multiset spans =
@@ -334,7 +336,7 @@ let test_engine_metrics_block () =
   let rows = Dt_obs.Metrics.engine_rows metrics in
   check int "two domains" 2 (List.length rows);
   let total_tasks =
-    List.fold_left (fun n (_, tasks, _, _) -> n + tasks) 0 rows
+    List.fold_left (fun n (_, tasks, _, _, _) -> n + tasks) 0 rows
   in
   check bool "tasks were accounted" true (total_tasks > 0);
   (* the engine block lands in the JSON snapshot *)
