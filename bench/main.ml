@@ -231,15 +231,25 @@ let opt_value flag =
   in
   go (Array.to_list Sys.argv)
 
+(* the default jobs axis is clamped to the core count: oversubscribing
+   domains is never profitable (a 1-core box measured --jobs 2 at 2.4x
+   slower than --jobs 1), so auto selection must not exceed it. An
+   explicit --jobs list is honored literally — the CI matrix measures
+   oversubscription on purpose. Returns the axis and whether the clamp
+   dropped anything. *)
 let engine_jobs () =
   match opt_value "--jobs" with
-  | None -> [ 1; 2; 4 ]
+  | None ->
+      let cores = Dt_support.Pool.recommended_jobs () in
+      let wanted = [ 1; 2; 4 ] in
+      let js = List.filter (fun j -> j <= cores) wanted in
+      ((if js = [] then [ 1 ] else js), List.exists (fun j -> j > cores) wanted)
   | Some v -> (
       try
         let js =
           List.map int_of_string (String.split_on_char ',' (String.trim v))
         in
-        if js = [] then [ 1; 2; 4 ] else js
+        ((if js = [] then [ 1; 2; 4 ] else js), false)
       with _ ->
         prerr_endline "bench: bad --jobs value, expected e.g. --jobs 1,2,4";
         exit 2)
@@ -326,7 +336,7 @@ let time_setting ~jobs ~cache ~repeat progs =
     e_hits = !hits; e_misses = !misses }
 
 let engine_bench () =
-  let jobs = engine_jobs () and repeat = engine_repeat () in
+  let jobs, jobs_clamped = engine_jobs () and repeat = engine_repeat () in
   let cache_axes =
     if Array.mem "--no-cache" Sys.argv then [ false ] else [ false; true ]
   in
@@ -619,6 +629,11 @@ let engine_bench () =
       \  is not observable here — jobs>1 measures engine overhead only\n\
       \  (domains time-slice one core). The identity checks above still\n\
       \  exercise the full multi-domain path.";
+  if jobs_clamped then
+    Printf.printf
+      "  jobs axis clamped to <= %d core(s); pass an explicit --jobs list \
+       to measure oversubscription\n"
+      cores;
   let json =
     Dt_obs.Json.Obj
       [
@@ -628,6 +643,7 @@ let engine_bench () =
         ("repeat", Dt_obs.Json.Int repeat);
         ( "jobs_tested",
           Dt_obs.Json.List (List.map (fun j -> Dt_obs.Json.Int j) jobs) );
+        ("jobs_auto_clamped", Dt_obs.Json.Bool jobs_clamped);
         ("cache_hit_rate", Dt_obs.Json.Float overall_hit_rate);
         ( "identical_output",
           Dt_obs.Json.Bool
@@ -1199,6 +1215,214 @@ let ledger_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* serve benchmark: daemon round-trips over the corpus, cold vs warm vs
+   disk-warm after a restart. Latency numbers are machine-dependent and
+   recorded for the CI speedup guard; the output digest is
+   machine-independent and checked against bench/serve_baseline.json.
+   Writes BENCH_serve.json. *)
+
+let percentile_ns sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0L else sorted.(min (n - 1) (p * (n - 1) / 100))
+
+let serve_bench () =
+  Printf.printf "\n== serve: daemon round-trips (cold / warm / restart) ==\n";
+  let pid = Unix.getpid () in
+  let tmp = Filename.get_temp_dir_name () in
+  let cache_dir = Filename.concat tmp (Printf.sprintf "dt_bench_cache_%d" pid)
+  and sock = Filename.concat tmp (Printf.sprintf "dt_bench_%d.sock" pid) in
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+        Unix.rmdir p
+      end
+      else Sys.remove p
+  in
+  rm_rf cache_dir;
+  (try Sys.remove sock with Sys_error _ -> ());
+  let sources =
+    List.map
+      (fun (e : Dt_workloads.Corpus.entry) -> e.Dt_workloads.Corpus.source)
+      Dt_workloads.Corpus.all
+  in
+  (* the in-process reference: one fresh configuration per unit, exactly
+     what one-shot `deptest analyze` does *)
+  let expected =
+    List.map
+      (fun src ->
+        let progs = Dt_frontend.Lower.parse_unit src in
+        let cfg = Deptest.Analyze.Config.make () in
+        fst (Dt_serve.Render.unit_ progs (Deptest.Analyze.run_all cfg progs)))
+      sources
+  in
+  let digest = Digest.to_hex (Digest.string (String.concat "\x00" expected)) in
+  let start_daemon () =
+    let stop = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          Dt_serve.Server.run ~socket:sock ~cache_dir ~stop ())
+    in
+    let rec wait n =
+      if n = 0 then begin
+        prerr_endline "bench: FATAL: serve daemon never bound its socket";
+        exit 1
+      end;
+      if not (Sys.file_exists sock) then begin
+        Unix.sleepf 0.02;
+        wait (n - 1)
+      end
+    in
+    wait 250;
+    d
+  in
+  let identical = ref true in
+  let pass () =
+    let c = Dt_serve.Client.connect ~socket:sock in
+    Fun.protect
+      ~finally:(fun () -> Dt_serve.Client.close c)
+      (fun () ->
+        let lat =
+          List.map2
+            (fun src want ->
+              let t0 = Dt_obs.Metrics.now_ns () in
+              let resp =
+                Dt_serve.Client.request c
+                  (Dt_serve.Protocol.Analyze { source = src; id = None })
+              in
+              let ns = Int64.sub (Dt_obs.Metrics.now_ns ()) t0 in
+              (match Dt_obs.Json.member "output" resp with
+              | Some (Dt_obs.Json.String out) ->
+                  if out <> want then identical := false
+              | _ -> identical := false);
+              ns)
+            sources expected
+        in
+        let sorted = Array.of_list lat in
+        Array.sort Int64.compare sorted;
+        let total = List.fold_left Int64.add 0L lat in
+        (total, percentile_ns sorted 50, percentile_ns sorted 99))
+  in
+  let shutdown d =
+    let c = Dt_serve.Client.connect ~socket:sock in
+    ignore (Dt_serve.Client.request c Dt_serve.Protocol.Shutdown);
+    Dt_serve.Client.close c;
+    if Domain.join d <> 0 then begin
+      prerr_endline "bench: FATAL: serve daemon exited non-zero";
+      exit 1
+    end
+  in
+  let d = start_daemon () in
+  let cold = pass () in
+  let warm = pass () in
+  (* hit accounting straight off the daemon before it stops *)
+  let disk_hits, disk_misses =
+    let c = Dt_serve.Client.connect ~socket:sock in
+    Fun.protect
+      ~finally:(fun () -> Dt_serve.Client.close c)
+      (fun () ->
+        let m =
+          Dt_serve.Client.request c
+            (Dt_serve.Protocol.Metrics { prometheus = false })
+        in
+        let geti path =
+          match
+            Option.bind (Dt_obs.Json.member "metrics" m) (fun j ->
+                Option.bind (Dt_obs.Json.member "cache" j) (fun c ->
+                    Option.bind (Dt_obs.Json.member path c) Dt_obs.Json.to_int))
+          with
+          | Some v -> v
+          | None -> 0
+        in
+        (geti "disk_hits", geti "disk_misses"))
+  in
+  shutdown d;
+  let d2 = start_daemon () in
+  let disk_warm = pass () in
+  shutdown d2;
+  rm_rf cache_dir;
+  let ms ns = Int64.to_float ns /. 1e6 in
+  let speedup (c, _, _) (w, _, _) =
+    if Int64.compare w 0L > 0 then Int64.to_float c /. Int64.to_float w
+    else 0.
+  in
+  let row label (total, p50, p99) =
+    Printf.printf "  %-10s total %9.2f ms   p50 %8.0f ns   p99 %8.0f ns\n"
+      label (ms total) (Int64.to_float p50) (Int64.to_float p99)
+  in
+  row "cold" cold;
+  row "warm" warm;
+  row "disk-warm" disk_warm;
+  Printf.printf
+    "  warm %.1fx vs cold, disk-warm %.1fx vs cold; disk %d hits / %d \
+     misses; identical output: %b\n"
+    (speedup cold warm) (speedup cold disk_warm) disk_hits disk_misses
+    !identical;
+  let baseline_match =
+    if Sys.file_exists "bench/serve_baseline.json" then
+      match Dt_obs.Json.of_string (read_file "bench/serve_baseline.json") with
+      | Ok j -> (
+          match Dt_obs.Json.member "digest" j with
+          | Some (Dt_obs.Json.String s) ->
+              Printf.printf "  digest vs bench/serve_baseline.json: %s\n"
+                (if s = digest then "match" else "MISMATCH");
+              Some (s = digest)
+          | _ -> None)
+      | Error _ -> None
+    else begin
+      print_endline "  no committed serve baseline; digest guard skipped";
+      None
+    end
+  in
+  let leg label (total, p50, p99) extra =
+    ( label,
+      Dt_obs.Json.Obj
+        ([
+           ("total_ns", Dt_obs.Json.Int (Int64.to_int total));
+           ("p50_ns", Dt_obs.Json.Int (Int64.to_int p50));
+           ("p99_ns", Dt_obs.Json.Int (Int64.to_int p99));
+         ]
+        @ extra) )
+  in
+  let json =
+    Dt_obs.Json.Obj
+      [
+        ("schema", Dt_obs.Json.String "deptest-serve/1");
+        ("cores", Dt_obs.Json.Int (Dt_support.Pool.recommended_jobs ()));
+        ("jobs", Dt_obs.Json.Int (Dt_support.Pool.clamp_auto 0));
+        ("requests_per_pass", Dt_obs.Json.Int (List.length sources));
+        leg "cold" cold [];
+        leg "warm" warm
+          [ ("speedup_vs_cold", Dt_obs.Json.Float (speedup cold warm)) ];
+        leg "disk_warm" disk_warm
+          [ ("speedup_vs_cold", Dt_obs.Json.Float (speedup cold disk_warm)) ];
+        ("disk_hits", Dt_obs.Json.Int disk_hits);
+        ("disk_misses", Dt_obs.Json.Int disk_misses);
+        ("identical_output", Dt_obs.Json.Bool !identical);
+        ("digest", Dt_obs.Json.String digest);
+        ( "baseline_match",
+          match baseline_match with
+          | None -> Dt_obs.Json.Null
+          | Some b -> Dt_obs.Json.Bool b );
+      ]
+  in
+  Dt_obs.Artifact.write_atomic "BENCH_serve.json"
+    (Dt_obs.Json.to_string json ^ "\n");
+  print_endline "serve benchmark written to BENCH_serve.json";
+  if not !identical then begin
+    prerr_endline
+      "bench: FATAL: daemon verdicts differ from in-process analysis";
+    exit 1
+  end;
+  if baseline_match = Some false then begin
+    prerr_endline
+      "bench: FATAL: serve output digest differs from \
+       bench/serve_baseline.json (semantic drift; if intended, recommit \
+       the baseline from BENCH_serve.json's digest)";
+    exit 1
+  end
+
 let is_infix ~affix s =
   let na = String.length affix and ns = String.length s in
   let rec go i = i + na <= ns && (String.sub s i na = affix || go (i + 1)) in
@@ -1212,6 +1436,7 @@ let () =
   guard_bench ();
   obs_timeline ();
   ledger_bench ();
+  serve_bench ();
   if not tables_only then begin
     let micro = run_suite ~name:"per-test microbenchmarks (Tables 2-3 tests)" micro_tests in
     let strat = run_suite ~name:"strategy comparison (Table 4 / Triolet 22-28x)" strategy_tests in

@@ -300,9 +300,12 @@ let analyze_cmd =
           progs
           (Deptest.Analyze.run_all c progs)
     in
+    (* verdict text comes from Dt_serve.Render — the single rendering
+       shared with the serve daemon, so `deptest analyze` and a daemon
+       answer are byte-identical by construction *)
     (analyzed
     |> List.iter @@ fun (prog, sink, r) ->
-       if many then Printf.printf "===== %s =====\n" prog.Dt_ir.Nest.name;
+       print_string (Dt_serve.Render.header ~many prog.Dt_ir.Nest.name);
        if want_record then begin
        Deptest.Counters.merge_into agg_counters r.Deptest.Analyze.counters;
        let pairs, indep, degr = Dt_report.Record.summary_of_result r in
@@ -310,39 +313,23 @@ let analyze_cmd =
        agg_indep := !agg_indep + indep;
        agg_degr := !agg_degr + degr
      end;
-     Format.printf "%a@." Dt_ir.Nest.pp prog;
-     if r.Deptest.Analyze.deps = [] then print_endline "no dependences"
-     else
-       List.iter (fun d -> Format.printf "%a@." Deptest.Dep.pp d)
-         r.Deptest.Analyze.deps;
+     print_string (Dt_serve.Render.verdicts prog r);
      (match sink with
      | Some sk ->
-         if explain then
+         if explain then begin
            Format.printf "@.-- explain --@.%a" Dt_obs.Trace.pp_tree sk;
+           (* the surrounding text goes straight to the channel: push any
+              queued formatter output out so ordering is preserved *)
+           Format.print_flush ()
+         end;
          (match trace_buf with
          | Some b -> Buffer.add_string b (Dt_obs.Trace.to_jsonl sk)
          | None -> ())
      | None -> ());
-     let degraded =
-       List.filter
-         (fun (p : Deptest.Analyze.pair_record) ->
-           p.Deptest.Analyze.meta.Deptest.Pair_test.degraded <> None)
-         r.Deptest.Analyze.pairs
-     in
-     degraded_total := !degraded_total + List.length degraded;
-     List.iter
-       (fun (p : Deptest.Analyze.pair_record) ->
-         match p.Deptest.Analyze.meta.Deptest.Pair_test.degraded with
-         | Some reason ->
-             Format.printf
-               "warning: %s S%d/S%d degraded conservatively (%s)@."
-               p.Deptest.Analyze.array p.Deptest.Analyze.src_stmt
-               p.Deptest.Analyze.snk_stmt
-               (Dt_guard.Degrade.to_string reason)
-         | None -> ())
-       degraded;
-     Format.printf "@.-- tests applied --@.%a" Deptest.Counters.pp
-       r.Deptest.Analyze.counters);
+     let warn, degraded = Dt_serve.Render.warnings r in
+     degraded_total := !degraded_total + degraded;
+     print_string warn;
+     print_string (Dt_serve.Render.counters r));
     (match (trace_file, trace_buf) with
     | Some f, Some b -> write_artifact f (Buffer.contents b)
     | _ -> ());
@@ -879,6 +866,172 @@ let report_cmd =
           gate on drift against a baseline")
     [ report_list_cmd; report_show_cmd; report_diff_cmd; report_drift_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* serve / client: the persistent analysis daemon and its round-trip
+   tool. Verdict text is rendered by the same Dt_serve.Render the
+   analyze command uses, so daemon answers match one-shot runs byte for
+   byte. *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "DEPTEST_SOCKET")
+        ~doc:"Unix socket path of the analysis daemon.")
+
+let serve_cmd =
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the persistent verdict cache: versioned, \
+             fingerprinted segments written atomically; corrupt or stale \
+             segments are skipped (counted in the metrics) and rebuilt.")
+  in
+  let cache_capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Bound resident cache entries (FIFO eviction past it).")
+  in
+  let warm_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "all") (some string) None
+      & info [ "warm" ] ~docv:"SUITE"
+          ~doc:
+            "Pre-analyze the built-in workload corpus (or one suite of \
+             it) before accepting connections, so first requests hit \
+             warm caches.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress messages.")
+  in
+  let run socket jobs cache_dir cache_capacity warm quiet =
+    let log =
+      if quiet then ignore
+      else fun s -> Printf.eprintf "deptest serve: %s\n%!" s
+    in
+    let warm =
+      Option.map (function "all" -> `All | s -> `Suite s) warm
+    in
+    exit
+      (Dt_serve.Server.run ~socket ~jobs ?cache_dir ?cache_capacity ?warm
+         ~signals:true ~log ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis daemon on a unix socket \
+          (length-prefixed JSON protocol; analyze / metrics / health / \
+          flush / shutdown ops). SIGTERM or SIGINT flushes the cache and \
+          exits cleanly.")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ cache_dir_arg $ cache_capacity_arg
+      $ warm_arg $ quiet_arg)
+
+let client_fail json =
+  (match Dt_obs.Json.member "error" json with
+  | Some (Dt_obs.Json.String e) -> Printf.eprintf "%s\n" e
+  | _ -> Printf.eprintf "malformed server response\n");
+  exit 1
+
+let client_ok json =
+  match Dt_obs.Json.member "ok" json with
+  | Some (Dt_obs.Json.Bool true) -> ()
+  | _ -> client_fail json
+
+let with_client socket f =
+  match Dt_serve.Client.connect ~socket with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot connect to %s: %s\n" socket
+        (Unix.error_message e);
+      exit 2
+  | c -> Fun.protect ~finally:(fun () -> Dt_serve.Client.close c) (fun () -> f c)
+
+let client_analyze_cmd =
+  let run socket file strict =
+    with_client socket @@ fun c ->
+    let resp =
+      Dt_serve.Client.request c
+        (Dt_serve.Protocol.Analyze { source = read_file file; id = None })
+    in
+    client_ok resp;
+    (match Dt_obs.Json.member "output" resp with
+    | Some (Dt_obs.Json.String out) -> print_string out
+    | _ -> client_fail resp);
+    match Dt_obs.Json.member "degraded" resp with
+    | Some (Dt_obs.Json.Int n) when strict && n > 0 ->
+        Printf.eprintf
+          "strict mode: %d reference pair(s) degraded conservatively\n" n;
+        exit 3
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyze a file through the daemon; output is byte-identical to \
+          one-shot $(b,deptest analyze).")
+    Term.(const run $ socket_arg $ file_arg $ strict_arg)
+
+let client_metrics_cmd =
+  let prom_flag =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:"Prometheus text exposition instead of the JSON snapshot.")
+  in
+  let run socket prom =
+    with_client socket @@ fun c ->
+    let resp =
+      Dt_serve.Client.request c
+        (Dt_serve.Protocol.Metrics { prometheus = prom })
+    in
+    client_ok resp;
+    if prom then
+      match Dt_obs.Json.member "prometheus" resp with
+      | Some (Dt_obs.Json.String body) -> print_string body
+      | _ -> client_fail resp
+    else print_endline (Dt_obs.Json.to_string resp)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "The daemon's metrics. JSON by default (the snapshot under \
+          $(b,.metrics), request counters under $(b,.serve)); $(b,--prom) \
+          for Prometheus text.")
+    Term.(const run $ socket_arg $ prom_flag)
+
+let client_simple name doc req print =
+  let run socket =
+    with_client socket @@ fun c ->
+    let resp = Dt_serve.Client.request c req in
+    client_ok resp;
+    print resp
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Scripted round-trips against a running $(b,deptest serve)")
+    [
+      client_analyze_cmd;
+      client_metrics_cmd;
+      client_simple "health" "Daemon liveness and cache occupancy."
+        Dt_serve.Protocol.Health
+        (fun r -> print_endline (Dt_obs.Json.to_string r));
+      client_simple "flush" "Persist the daemon's disk cache now."
+        Dt_serve.Protocol.Flush
+        (fun r -> print_endline (Dt_obs.Json.to_string r));
+      client_simple "shutdown" "Stop the daemon (it flushes and exits 0)."
+        Dt_serve.Protocol.Shutdown (fun _ -> ());
+    ]
+
 let main =
   Cmd.group
     (Cmd.info "deptest" ~version:"1.0.0"
@@ -895,6 +1048,8 @@ let main =
       tables_cmd;
       corpus_cmd;
       report_cmd;
+      serve_cmd;
+      client_cmd;
     ]
 
 let () =

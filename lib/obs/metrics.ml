@@ -36,6 +36,10 @@ type t = {
   mutable cache_misses : int;
   mutable cache_size : int;  (* resident memo entries, snapshot after a run *)
   mutable cache_evictions : int;  (* entries dropped by capacity eviction *)
+  (* disk-cache tier (serve daemon / cross-run store), snapshot semantics *)
+  mutable disk_hits : int;
+  mutable disk_misses : int;
+  mutable disk_invalid : int;  (* corrupt segments / undecodable entries *)
   mutable bj_compile : int;  (* Banerjee linear-form kernel compilations *)
   mutable bj_inc_nodes : int;  (* hierarchy nodes via the incremental path *)
   mutable bj_scratch_nodes : int;  (* nodes re-evaluated from scratch *)
@@ -63,6 +67,9 @@ let create () =
     cache_misses = 0;
     cache_size = 0;
     cache_evictions = 0;
+    disk_hits = 0;
+    disk_misses = 0;
+    disk_invalid = 0;
     bj_compile = 0;
     bj_inc_nodes = 0;
     bj_scratch_nodes = 0;
@@ -119,6 +126,15 @@ let set_cache_usage t ~size ~evictions =
 
 let cache_size t = t.cache_size
 let cache_evictions t = t.cache_evictions
+
+let set_disk_cache t ~hits ~misses ~invalid =
+  t.disk_hits <- hits;
+  t.disk_misses <- misses;
+  t.disk_invalid <- invalid
+
+let disk_hits t = t.disk_hits
+let disk_misses t = t.disk_misses
+let disk_invalid t = t.disk_invalid
 
 let banerjee_compile t = t.bj_compile <- t.bj_compile + 1
 
@@ -205,6 +221,10 @@ let merge_into acc extra =
      double-count, so the merge keeps the larger snapshot *)
   acc.cache_size <- max acc.cache_size extra.cache_size;
   acc.cache_evictions <- max acc.cache_evictions extra.cache_evictions;
+  (* disk-tier counters are likewise snapshots of one shared store *)
+  acc.disk_hits <- max acc.disk_hits extra.disk_hits;
+  acc.disk_misses <- max acc.disk_misses extra.disk_misses;
+  acc.disk_invalid <- max acc.disk_invalid extra.disk_invalid;
   acc.bj_compile <- acc.bj_compile + extra.bj_compile;
   acc.bj_inc_nodes <- acc.bj_inc_nodes + extra.bj_inc_nodes;
   acc.bj_scratch_nodes <- acc.bj_scratch_nodes + extra.bj_scratch_nodes;
@@ -297,6 +317,9 @@ let to_json t =
                  else float_of_int t.cache_hits /. float_of_int n) );
             ("size", Json.Int t.cache_size);
             ("evictions", Json.Int t.cache_evictions);
+            ("disk_hits", Json.Int t.disk_hits);
+            ("disk_misses", Json.Int t.disk_misses);
+            ("disk_invalid", Json.Int t.disk_invalid);
           ] );
       ( "banerjee",
         Json.Obj
@@ -378,6 +401,11 @@ let pp ppf t =
        t.cache_size
        (if t.cache_size = 1 then "y" else "ies")
        t.cache_evictions);
+  if t.disk_hits + t.disk_misses + t.disk_invalid > 0 then
+    Format.fprintf ppf
+      "disk cache: %d hits / %d lookups, %d invalid object(s)@." t.disk_hits
+      (t.disk_hits + t.disk_misses)
+      t.disk_invalid;
   if t.bj_compile + t.bj_inc_nodes + t.bj_scratch_nodes + t.bj_caps > 0 then
     Format.fprintf ppf
       "banerjee kernel: %d compiled, %d incremental / %d scratch nodes, %d \
@@ -506,6 +534,16 @@ let to_prometheus t =
   family "deptest_cache_evictions_total" "counter"
     "Memo-cache entries dropped by capacity eviction.";
   int_sample "deptest_cache_evictions_total" t.cache_evictions;
+  family "deptest_disk_cache_hits_total" "counter"
+    "Verdicts served by the disk-backed cross-run store.";
+  int_sample "deptest_disk_cache_hits_total" t.disk_hits;
+  family "deptest_disk_cache_misses_total" "counter"
+    "Disk-store lookup misses.";
+  int_sample "deptest_disk_cache_misses_total" t.disk_misses;
+  family "deptest_disk_cache_invalid_total" "counter"
+    "Invalid disk-cache objects skipped (corrupt segments, tmp leftovers, \
+     undecodable entries).";
+  int_sample "deptest_disk_cache_invalid_total" t.disk_invalid;
   family "deptest_banerjee_kernel_compilations_total" "counter"
     "Subscript pairs compiled into the linear-form kernel.";
   int_sample "deptest_banerjee_kernel_compilations_total" t.bj_compile;

@@ -55,6 +55,15 @@ val set_cache_usage : t -> size:int -> evictions:int -> unit
 val cache_size : t -> int
 val cache_evictions : t -> int
 
+val set_disk_cache : t -> hits:int -> misses:int -> invalid:int -> unit
+(** Snapshot the disk-backed store's counters ({!Dt_engine.Store}-style
+    hits/misses plus invalid objects skipped). Snapshot semantics like
+    {!set_cache_usage}: {!merge} keeps the larger value. *)
+
+val disk_hits : t -> int
+val disk_misses : t -> int
+val disk_invalid : t -> int
+
 val banerjee_compile : t -> unit
 (** One subscript pair compiled into its linear-form kernel
     ({!Dt_ir.Linform}-style dense arrays) for the Banerjee evaluator. *)

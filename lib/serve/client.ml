@@ -1,0 +1,23 @@
+module Json = Dt_obs.Json
+module Frame = Dt_support.Frame
+
+type t = Unix.file_descr
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let request fd req =
+  Frame.write fd (Json.to_string (Protocol.request_to_json req));
+  match Frame.read fd with
+  | None -> failwith "server closed the connection"
+  | Some payload -> (
+      match Json.of_string payload with
+      | Ok json -> json
+      | Error e -> failwith ("bad response JSON: " ^ e))
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()

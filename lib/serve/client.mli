@@ -1,0 +1,12 @@
+(** Client side of the serve protocol: connect, round-trip, close. *)
+
+type t
+
+val connect : socket:string -> t
+(** Raises [Unix.Unix_error] when no daemon listens there. *)
+
+val request : t -> Protocol.request -> Dt_obs.Json.t
+(** One framed round-trip. Raises [Failure] on a broken or non-JSON
+    response. *)
+
+val close : t -> unit

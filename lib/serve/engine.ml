@@ -1,0 +1,206 @@
+module Json = Dt_obs.Json
+module Store = Dt_engine.Store
+module Record = Dt_report.Record
+
+type t = {
+  jobs : int;
+  config : Deptest.Analyze.Config.t;  (* shared: one memo cache for all *)
+  store : Store.t option;
+  metrics : Dt_obs.Metrics.t;
+  mutable requests : int;
+  mutable analyses : int;  (* analyze requests answered by running tests *)
+  mutable response_hits : int;  (* answered whole from the response tier *)
+  mutable errors : int;
+}
+
+(* The store key prefix for rendered responses; pair verdicts use "p:"
+   (see Pair_cache). *)
+let response_key source = "r:" ^ Digest.to_hex (Digest.string source)
+
+let create ?(jobs = 0) ?cache_dir ?cache_capacity () =
+  let jobs = Dt_support.Pool.clamp_auto jobs in
+  let metrics = Dt_obs.Metrics.create () in
+  (* the store fingerprint covers the serve configuration's semantics
+     (strategy, input pairs, cache, budget, deadline — not jobs) plus
+     the cache schema version, so a config or schema change invalidates
+     every persisted segment instead of replaying stale verdicts *)
+  let fingerprint =
+    Record.fingerprint ~label:"serve"
+      ~config:(Record.config_of (Deptest.Analyze.Config.make ~jobs ()))
+      ~source:(Record.source_of Store.schema_version)
+  in
+  let store =
+    Option.map
+      (fun dir -> Store.open_ ~dir ~fingerprint ?capacity:cache_capacity ())
+      cache_dir
+  in
+  let config =
+    Deptest.Analyze.Config.make ~jobs ?cache_capacity ?disk:store ~metrics ()
+  in
+  { jobs; config; store; metrics; requests = 0; analyses = 0;
+    response_hits = 0; errors = 0 }
+
+let jobs t = t.jobs
+let store t = t.store
+
+let parse source =
+  match
+    if Dt_frontend.Cfront.looks_like_c source then
+      [ Dt_frontend.Cfront.parse_and_lower source ]
+    else Dt_frontend.Lower.parse_unit source
+  with
+  | [] -> Error "empty compilation unit"
+  | progs -> Ok progs
+  | exception Dt_frontend.Cfront.Error (msg, line) ->
+      Error (Printf.sprintf "line %d: syntax error: %s" line msg)
+  | exception Dt_frontend.Lexer.Error (msg, line) ->
+      Error (Printf.sprintf "line %d: lexical error: %s" line msg)
+  | exception Dt_frontend.Parser.Error (msg, line) ->
+      Error (Printf.sprintf "line %d: syntax error: %s" line msg)
+  | exception Dt_frontend.Lower.Error (msg, line) ->
+      Error (Printf.sprintf "line %d: %s" line msg)
+
+let decode_response json =
+  match (Json.member "output" json, Json.member "degraded" json) with
+  | Some (Json.String output), Some (Json.Int degraded) ->
+      Some (output, degraded)
+  | _ -> None
+
+let analyze_cold t source =
+  match parse source with
+  | Error _ as e -> e
+  | Ok progs ->
+      let results = Deptest.Analyze.run_all t.config progs in
+      Ok (Render.unit_ progs results)
+
+let analyze_source t source =
+  match t.store with
+  | None -> analyze_cold t source
+  | Some store -> (
+      let key = response_key source in
+      match Store.find store key with
+      | Some json -> (
+          match decode_response json with
+          | Some (output, degraded) ->
+              t.response_hits <- t.response_hits + 1;
+              Ok (output, degraded)
+          | None ->
+              Store.note_invalid store;
+              Store.remove store key;
+              analyze_cold t source)
+      | None -> (
+          match analyze_cold t source with
+          | Error _ as e -> e
+          | Ok (output, degraded) as ok ->
+              (* a degraded response reflects this run's faults or
+                 budget, not the program: never persist it *)
+              if degraded = 0 then
+                Store.add store key
+                  (Json.Obj
+                     [
+                       ("output", Json.String output);
+                       ("degraded", Json.Int degraded);
+                     ]);
+              ok))
+
+let warm t ?suite () =
+  let entries =
+    match suite with
+    | None -> Dt_workloads.Corpus.all
+    | Some s -> Dt_workloads.Corpus.by_suite s
+  in
+  List.fold_left
+    (fun n (e : Dt_workloads.Corpus.entry) ->
+      match analyze_source t e.Dt_workloads.Corpus.source with
+      | Ok _ -> n + 1
+      | Error _ -> n)
+    0 entries
+
+let flush t = match t.store with None -> 0 | Some s -> Store.flush s
+
+let sync_disk_metrics t =
+  match t.store with
+  | None -> ()
+  | Some s ->
+      Dt_obs.Metrics.set_disk_cache t.metrics ~hits:(Store.hits s)
+        ~misses:(Store.misses s) ~invalid:(Store.invalid s)
+
+let serve_prometheus t =
+  let b = Buffer.create 256 in
+  let counter name help v =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+    Buffer.add_string b (Printf.sprintf "%s %d\n" name v)
+  in
+  counter "deptest_serve_requests_total" "Requests handled by the daemon."
+    t.requests;
+  counter "deptest_serve_analyses_total"
+    "Analyze requests that ran the test cascade." t.analyses;
+  counter "deptest_serve_response_hits_total"
+    "Analyze requests answered whole from the response cache."
+    t.response_hits;
+  counter "deptest_serve_errors_total" "Requests answered with an error."
+    t.errors;
+  Buffer.contents b
+
+let serve_json t =
+  Json.Obj
+    [
+      ("requests", Json.Int t.requests);
+      ("analyses", Json.Int t.analyses);
+      ("response_hits", Json.Int t.response_hits);
+      ("errors", Json.Int t.errors);
+    ]
+
+let handle t req =
+  t.requests <- t.requests + 1;
+  match req with
+  | Protocol.Analyze { source; id } -> (
+      let had_hits = t.response_hits in
+      match analyze_source t source with
+      | Ok (output, degraded) ->
+          if t.response_hits = had_hits then t.analyses <- t.analyses + 1;
+          Protocol.ok
+            (("output", Json.String output)
+             :: ("degraded", Json.Int degraded)
+             ::
+             (match id with
+             | None -> []
+             | Some i -> [ ("id", Json.String i) ]))
+      | Error msg ->
+          t.errors <- t.errors + 1;
+          Protocol.error msg)
+  | Protocol.Metrics { prometheus } ->
+      sync_disk_metrics t;
+      if prometheus then
+        Protocol.ok
+          [
+            ( "prometheus",
+              Json.String
+                (Dt_obs.Metrics.to_prometheus t.metrics ^ serve_prometheus t)
+            );
+          ]
+      else
+        Protocol.ok
+          [
+            ("metrics", Dt_obs.Metrics.to_json t.metrics);
+            ("serve", serve_json t);
+          ]
+  | Protocol.Health ->
+      Protocol.ok
+        [
+          ("status", Json.String "ok");
+          ("jobs", Json.Int t.jobs);
+          ( "disk",
+            match t.store with
+            | None -> Json.Bool false
+            | Some s ->
+                Json.Obj
+                  [
+                    ("dir", Json.String (Store.dir s));
+                    ("resident", Json.Int (Store.length s));
+                    ("segments", Json.Int (Store.segments s));
+                  ] );
+        ]
+  | Protocol.Flush -> Protocol.ok [ ("persisted", Json.Int (flush t)) ]
+  | Protocol.Shutdown -> Protocol.ok []

@@ -1,0 +1,42 @@
+(** The daemon's analysis core: one shared configuration (memo cache +
+    optional disk store + metrics registry) serving every request.
+
+    Two cache levels answer an analyze request:
+    + a response-level entry (key ["r:" ^ source-digest]) holding the
+      rendered verdict text — a whole round-trip short-circuits;
+    + the structural pair tier ({!Deptest.Pair_cache} over the same
+      {!Dt_engine.Store}, keys ["p:" ^ canonical-key]) — a cold response
+      over warm pairs still skips the test cascade.
+
+    Responses containing degraded verdicts are never cached at either
+    level. All verdict text comes from {!Render}, so answers are
+    byte-identical to the one-shot [deptest analyze]. *)
+
+type t
+
+val create : ?jobs:int -> ?cache_dir:string -> ?cache_capacity:int -> unit -> t
+(** [jobs] is resolved through {!Dt_support.Pool.clamp_auto} (never
+    oversubscribe). [cache_dir] attaches the persistent store, keyed by
+    the serve configuration's fingerprint; omitted means in-memory only.
+    [cache_capacity] bounds both tiers. *)
+
+val jobs : t -> int
+(** The clamped worker count actually in use. *)
+
+val store : t -> Dt_engine.Store.t option
+
+val analyze_source : t -> string -> (string * int, string) result
+(** [Ok (rendered, degraded_pairs)] or [Error message] for a source
+    text that does not parse. *)
+
+val warm : t -> ?suite:string -> unit -> int
+(** Pre-analyze the workload corpus ({!Dt_workloads.Corpus}, optionally
+    one suite) through the same caching path, so a fresh daemon answers
+    its first real requests warm. Returns the number of units warmed. *)
+
+val flush : t -> int
+(** Persist the disk store; the number of entries on disk after. *)
+
+val handle : t -> Protocol.request -> Dt_obs.Json.t
+(** Answer one request ([Shutdown] gets its [ok] response here too; the
+    server loop decides to stop). Never raises. *)

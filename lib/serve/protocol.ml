@@ -1,0 +1,54 @@
+module Json = Dt_obs.Json
+
+type request =
+  | Analyze of { source : string; id : string option }
+  | Metrics of { prometheus : bool }
+  | Health
+  | Flush
+  | Shutdown
+
+let request_to_json = function
+  | Analyze { source; id } ->
+      Json.Obj
+        (("op", Json.String "analyze")
+         :: ("source", Json.String source)
+         :: (match id with None -> [] | Some i -> [ ("id", Json.String i) ]))
+  | Metrics { prometheus } ->
+      Json.Obj
+        [
+          ("op", Json.String "metrics");
+          ("format", Json.String (if prometheus then "prometheus" else "json"));
+        ]
+  | Health -> Json.Obj [ ("op", Json.String "health") ]
+  | Flush -> Json.Obj [ ("op", Json.String "flush") ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+let request_of_json json =
+  match Json.member "op" json with
+  | Some (Json.String "analyze") -> (
+      match Json.member "source" json with
+      | Some (Json.String source) ->
+          let id =
+            match Json.member "id" json with
+            | Some (Json.String i) -> Some i
+            | _ -> None
+          in
+          Ok (Analyze { source; id })
+      | _ -> Error "analyze: missing string field \"source\"")
+  | Some (Json.String "metrics") ->
+      let prometheus =
+        match Json.member "format" json with
+        | Some (Json.String "prometheus") -> true
+        | _ -> false
+      in
+      Ok (Metrics { prometheus })
+  | Some (Json.String "health") -> Ok Health
+  | Some (Json.String "flush") -> Ok Flush
+  | Some (Json.String "shutdown") -> Ok Shutdown
+  | Some (Json.String op) -> Error (Printf.sprintf "unknown op %S" op)
+  | _ -> Error "request is not an object with a string \"op\""
+
+let error msg =
+  Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)

@@ -1,0 +1,27 @@
+(** The serve wire protocol.
+
+    Requests and responses are single JSON objects ({!Dt_obs.Json}),
+    framed by {!Dt_support.Frame} (4-byte big-endian length prefix). A
+    request carries an ["op"]; a response always carries ["ok"], with
+    either the op's payload or an ["error"] message. A client may stream
+    any number of requests over one connection. *)
+
+type request =
+  | Analyze of { source : string; id : string option }
+      (** Analyze one compilation unit (mini-Fortran or the C fragment,
+          auto-detected). [id] is echoed back for request matching. *)
+  | Metrics of { prometheus : bool }
+      (** The daemon's metrics snapshot: JSON, or the Prometheus text
+          exposition when [prometheus]. *)
+  | Health
+  | Flush  (** Persist the disk cache now. *)
+  | Shutdown  (** Stop the daemon after responding. *)
+
+val request_to_json : request -> Dt_obs.Json.t
+val request_of_json : Dt_obs.Json.t -> (request, string) result
+
+val error : string -> Dt_obs.Json.t
+(** [{"ok":false,"error":msg}]. *)
+
+val ok : (string * Dt_obs.Json.t) list -> Dt_obs.Json.t
+(** [{"ok":true, ...fields}]. *)

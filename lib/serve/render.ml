@@ -1,0 +1,54 @@
+(* Every fragment is rendered through Format.asprintf with the same
+   format strings the CLI historically passed to Format.printf, so the
+   bytes match the one-shot tool exactly. *)
+
+let header ~many name =
+  if many then Printf.sprintf "===== %s =====\n" name else ""
+
+let verdicts (prog : Dt_ir.Nest.program) (r : Deptest.Analyze.result) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Format.asprintf "%a@." Dt_ir.Nest.pp prog);
+  if r.Deptest.Analyze.deps = [] then Buffer.add_string buf "no dependences\n"
+  else
+    List.iter
+      (fun d -> Buffer.add_string buf (Format.asprintf "%a@." Deptest.Dep.pp d))
+      r.Deptest.Analyze.deps;
+  Buffer.contents buf
+
+let warnings (r : Deptest.Analyze.result) =
+  let degraded =
+    List.filter
+      (fun (p : Deptest.Analyze.pair_record) ->
+        p.Deptest.Analyze.meta.Deptest.Pair_test.degraded <> None)
+      r.Deptest.Analyze.pairs
+  in
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (p : Deptest.Analyze.pair_record) ->
+      match p.Deptest.Analyze.meta.Deptest.Pair_test.degraded with
+      | Some reason ->
+          Buffer.add_string buf
+            (Format.asprintf
+               "warning: %s S%d/S%d degraded conservatively (%s)@."
+               p.Deptest.Analyze.array p.Deptest.Analyze.src_stmt
+               p.Deptest.Analyze.snk_stmt
+               (Dt_guard.Degrade.to_string reason))
+      | None -> ())
+    degraded;
+  (Buffer.contents buf, List.length degraded)
+
+let counters (r : Deptest.Analyze.result) =
+  Format.asprintf "@.-- tests applied --@.%a" Deptest.Counters.pp
+    r.Deptest.Analyze.counters
+
+let routine ~many (prog : Dt_ir.Nest.program) r =
+  let warn, degraded = warnings r in
+  ( header ~many prog.Dt_ir.Nest.name ^ verdicts prog r ^ warn ^ counters r,
+    degraded )
+
+let unit_ progs results =
+  let many = List.length progs > 1 in
+  let texts, degraded =
+    List.split (List.map2 (fun p r -> routine ~many p r) progs results)
+  in
+  (String.concat "" texts, List.fold_left ( + ) 0 degraded)

@@ -1,0 +1,93 @@
+module Json = Dt_obs.Json
+module Frame = Dt_support.Frame
+
+(* one client connection: stream frames until EOF / shutdown / a framing
+   error. Returns [true] when a Shutdown request asked the daemon to
+   stop. *)
+let serve_connection engine fd =
+  let rec loop () =
+    match Frame.read fd with
+    | None -> false
+    | Some payload ->
+        let req =
+          match Json.of_string payload with
+          | Error e -> Error ("bad JSON: " ^ e)
+          | Ok json -> Protocol.request_of_json json
+        in
+        let response, stop =
+          match req with
+          | Error msg -> (Protocol.error msg, false)
+          | Ok r -> (Engine.handle engine r, r = Protocol.Shutdown)
+        in
+        Frame.write fd (Json.to_string response);
+        if stop then true else loop ()
+  in
+  try loop () with
+  | Failure _ -> false  (* peer broke a frame mid-message *)
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+
+let run ~socket ?(jobs = 0) ?cache_dir ?cache_capacity ?warm
+    ?(stop = Atomic.make false) ?(signals = false) ?(log = ignore) () =
+  let engine = Engine.create ~jobs ?cache_dir ?cache_capacity () in
+  (match warm with
+  | None -> ()
+  | Some w ->
+      let n =
+        match w with
+        | `All -> Engine.warm engine ()
+        | `Suite s -> Engine.warm engine ~suite:s ()
+      in
+      log (Printf.sprintf "warmed %d corpus unit(s)" n));
+  if signals then begin
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+  end;
+  (* a stale socket file from a dead daemon would make bind fail; only
+     an actual listener should *)
+  (try
+     let st = Unix.stat socket in
+     if st.Unix.st_kind = Unix.S_SOCK then Unix.unlink socket
+   with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.bind sock (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Unix.close sock;
+      log
+        (Printf.sprintf "cannot bind %s: %s" socket (Unix.error_message e));
+      2
+  | () ->
+      Unix.listen sock 16;
+      log (Printf.sprintf "listening on %s (jobs %d)" socket
+             (Engine.jobs engine));
+      let rec accept_loop () =
+        if Atomic.get stop then ()
+        else
+          (* poll with a timeout so a signal or stop flag is seen even
+             with no client activity *)
+          match Unix.select [ sock ] [] [] 0.2 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | [], _, _ -> accept_loop ()
+          | _ :: _, _, _ -> (
+              match Unix.accept sock with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+              | fd, _ ->
+                  let shutdown_requested =
+                    Fun.protect
+                      ~finally:(fun () ->
+                        try Unix.close fd with Unix.Unix_error _ -> ())
+                      (fun () -> serve_connection engine fd)
+                  in
+                  if shutdown_requested then Atomic.set stop true;
+                  accept_loop ())
+      in
+      accept_loop ();
+      (* clean shutdown: verdicts first, then the listening endpoint *)
+      let persisted = Engine.flush engine in
+      if persisted > 0 then
+        log (Printf.sprintf "flushed %d cache entr%s" persisted
+               (if persisted = 1 then "y" else "ies"));
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      log "stopped";
+      0

@@ -1,0 +1,24 @@
+(** The unix-socket accept loop around {!Engine}.
+
+    Single-threaded at the connection level — request parallelism comes
+    from the work-stealing pool inside each analysis — with a polling
+    accept (200 ms select timeout) so a stop flag or signal is honored
+    promptly. On shutdown the disk store is flushed and the socket file
+    removed. *)
+
+val run :
+  socket:string ->
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?cache_capacity:int ->
+  ?warm:[ `All | `Suite of string ] ->
+  ?stop:bool Atomic.t ->
+  ?signals:bool ->
+  ?log:(string -> unit) ->
+  unit ->
+  int
+(** Serve on the unix socket at [socket] until [stop] is set, a
+    [Shutdown] request arrives, or (with [signals], default off) SIGTERM
+    / SIGINT. [warm] pre-analyzes the workload corpus (or one suite of
+    it) before accepting. Returns the process exit code: [0] for a clean
+    shutdown, [2] if the socket cannot be bound. *)

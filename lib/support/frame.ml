@@ -1,0 +1,46 @@
+let max_frame = 16 * 1024 * 1024
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd bytes off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+(* returns bytes read, < len only at end-of-stream *)
+let rec read_all fd bytes off len =
+  if len = 0 then off
+  else
+    let n =
+      try Unix.read fd bytes off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+    in
+    if n = 0 then off
+    else if n < 0 then read_all fd bytes off len
+    else read_all fd bytes (off + n) (len - n)
+
+let write fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    invalid_arg (Printf.sprintf "Frame.write: payload %d > max %d" len max_frame);
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+let read ?(max = max_frame) fd =
+  let hdr = Bytes.create 4 in
+  let got = read_all fd hdr 0 4 in
+  if got = 0 then None
+  else if got < 4 then failwith "Frame.read: truncated length prefix"
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max then
+      failwith (Printf.sprintf "Frame.read: length %d out of bounds" len);
+    let payload = Bytes.create len in
+    if read_all fd payload 0 len < len then
+      failwith "Frame.read: truncated payload"
+    else Some (Bytes.unsafe_to_string payload)
+  end

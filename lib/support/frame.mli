@@ -1,0 +1,19 @@
+(** Length-prefixed message framing over Unix file descriptors.
+
+    The serve protocol's wire unit: a 4-byte big-endian payload length
+    followed by the payload bytes. Reads and writes retry on [EINTR] and
+    loop over short transfers, so a frame either transfers whole or the
+    call reports a broken peer. *)
+
+val max_frame : int
+(** Default payload cap (16 MiB): a length prefix beyond it is treated
+    as a protocol error rather than an allocation request. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Send one frame. Raises [Unix.Unix_error] on a broken peer and
+    [Invalid_argument] on a payload over {!max_frame}. *)
+
+val read : ?max:int -> Unix.file_descr -> string option
+(** Receive one frame. [None] on clean end-of-stream at a frame
+    boundary; raises [Failure] on a truncated frame (peer died
+    mid-message) or a length prefix over [max] (default {!max_frame}). *)

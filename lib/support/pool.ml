@@ -1,5 +1,9 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+let clamp_auto jobs =
+  let r = recommended_jobs () in
+  if jobs <= 0 || jobs > r then r else jobs
+
 type probe = {
   worker_start : int -> unit;
   worker_stop : int -> unit;

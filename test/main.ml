@@ -31,4 +31,5 @@ let () =
       ("guard", Test_guard.suite);
       ("report", Test_report.suite);
       ("properties", Test_properties.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,409 @@
+(* Tests for the serve stack: length-prefixed framing, the disk-backed
+   verdict store (round-trip, eviction, the corruption-tolerance matrix),
+   the two-tier pair cache, the never-persist-degraded guarantee, the
+   wire protocol, and an in-process daemon end-to-end — including the
+   byte-identity of daemon answers vs in-process analysis, cold and
+   warm. *)
+
+module Json = Dt_obs.Json
+module Store = Dt_engine.Store
+module Frame = Dt_support.Frame
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let tmpdir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dt_serve_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let src =
+  "      PROGRAM TSERVE\n\
+  \      DO 20 I = 2, N\n\
+  \        DO 10 J = 2, N\n\
+  \          A(I,J) = A(I-1,J) + A(I,J-1)\n\
+  \   10   CONTINUE\n\
+  \   20 CONTINUE\n\
+  \      END\n"
+
+let in_process_output ?disk () =
+  let progs = Dt_frontend.Lower.parse_unit src in
+  let cfg = Deptest.Analyze.Config.make ?disk () in
+  let results = Deptest.Analyze.run_all cfg progs in
+  fst (Dt_serve.Render.unit_ progs results)
+
+(* --- Frame ------------------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payloads = [ ""; "x"; String.make 70_000 'q'; "{\"op\":\"health\"}" ] in
+  List.iter (fun p -> Frame.write a p) payloads;
+  List.iter
+    (fun expected ->
+      match Frame.read b with
+      | Some got -> check string "frame payload" expected got
+      | None -> Alcotest.fail "unexpected EOF")
+    payloads;
+  Unix.close a;
+  check bool "clean EOF at frame boundary" true (Frame.read b = None);
+  Unix.close b
+
+let test_frame_truncated () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* a length prefix promising more bytes than ever arrive *)
+  let buf = Bytes.create 4 in
+  Bytes.set_int32_be buf 0 99l;
+  ignore (Unix.write a buf 0 4);
+  ignore (Unix.write_substring a "short" 0 5);
+  Unix.close a;
+  check bool "truncated frame raises" true
+    (match Frame.read b with
+    | exception Failure _ -> true
+    | _ -> false);
+  Unix.close b
+
+(* --- Store ------------------------------------------------------------ *)
+
+let fp = "test-fingerprint"
+
+let test_store_roundtrip () =
+  let dir = tmpdir () in
+  let s = Store.open_ ~dir ~fingerprint:fp () in
+  Store.add s "a" (Json.Int 1);
+  Store.add s "b" (Json.String "two");
+  check bool "find hit" true (Store.find s "a" = Some (Json.Int 1));
+  check bool "find miss" true (Store.find s "nope" = None);
+  check int "one hit" 1 (Store.hits s);
+  check int "one miss" 1 (Store.misses s);
+  check int "persisted" 2 (Store.flush s);
+  check int "one segment after compacting flush" 1 (Store.segments s);
+  (* unchanged store: flush is a no-op, same segment count *)
+  ignore (Store.flush s);
+  check int "still one segment" 1 (Store.segments s);
+  let s2 = Store.open_ ~dir ~fingerprint:fp () in
+  check int "reloaded entries" 2 (Store.length s2);
+  check bool "value survives" true (Store.find s2 "b" = Some (Json.String "two"));
+  check int "nothing invalid" 0 (Store.invalid s2);
+  (* fold respects insertion order *)
+  let keys = Store.fold s2 ~init:[] ~f:(fun acc k _ -> k :: acc) in
+  check (Alcotest.list string) "insertion order" [ "a"; "b" ] (List.rev keys)
+
+let test_store_eviction () =
+  let dir = tmpdir () in
+  let s = Store.open_ ~dir ~fingerprint:fp ~capacity:2 () in
+  Store.add s "a" (Json.Int 1);
+  Store.add s "b" (Json.Int 2);
+  Store.add s "c" (Json.Int 3);
+  check int "capacity held" 2 (Store.length s);
+  check int "one eviction" 1 (Store.evictions s);
+  check bool "oldest gone" true (Store.find s "a" = None);
+  ignore (Store.flush s);
+  let s2 = Store.open_ ~dir ~fingerprint:fp ~capacity:2 () in
+  check int "eviction durable" 2 (Store.length s2);
+  check bool "newest kept" true (Store.find s2 "c" = Some (Json.Int 3))
+
+(* the corruption matrix: each case must load as a cold start with the
+   damage counted, never a wrong value *)
+let corrupt_case name damage =
+  let dir = tmpdir () in
+  let s = Store.open_ ~dir ~fingerprint:fp () in
+  Store.add s "k" (Json.String "v");
+  ignore (Store.flush s);
+  let seg = Filename.concat dir "seg-0.json" in
+  damage dir seg;
+  let s2 = Store.open_ ~dir ~fingerprint:fp () in
+  check int (name ^ ": cold start") 0 (Store.length s2);
+  check bool (name ^ ": invalid counted") true (Store.invalid s2 >= 1);
+  (* the store stays usable after degrading *)
+  Store.add s2 "k2" (Json.Int 7);
+  ignore (Store.flush s2);
+  let s3 = Store.open_ ~dir ~fingerprint:fp () in
+  check bool (name ^ ": rebuilt clean") true
+    (Store.find s3 "k2" = Some (Json.Int 7) && Store.invalid s3 = 0)
+
+let test_store_truncated () =
+  corrupt_case "truncated" (fun _dir seg ->
+      let full = read_file seg in
+      write_file seg (String.sub full 0 (String.length full / 2)))
+
+let test_store_garbage () =
+  corrupt_case "garbage" (fun _dir seg -> write_file seg "not json at all {")
+
+let test_store_wrong_schema () =
+  corrupt_case "wrong schema" (fun _dir seg ->
+      write_file seg
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.String "deptest-diskcache/999");
+                ("fingerprint", Json.String fp);
+                ("entries", Json.List []);
+              ])))
+
+let test_store_wrong_fingerprint () =
+  let dir = tmpdir () in
+  let s = Store.open_ ~dir ~fingerprint:"config-A" () in
+  Store.add s "k" (Json.String "v");
+  ignore (Store.flush s);
+  (* a different config fingerprint must not see config-A's verdicts *)
+  let s2 = Store.open_ ~dir ~fingerprint:"config-B" () in
+  check int "stale segment rejected" 0 (Store.length s2);
+  check int "counted invalid" 1 (Store.invalid s2)
+
+let test_store_tmp_leftover () =
+  corrupt_case "tmp leftover" (fun dir seg ->
+      (* crashed mid-write: an orphan temp next to a segment that was
+         deleted before the rename landed *)
+      Sys.remove seg;
+      write_file (Filename.concat dir "seg-1.json.tmp") "partial")
+
+(* --- disk tier of the pair cache ------------------------------------- *)
+
+let test_disk_tier_parity () =
+  let dir = tmpdir () in
+  let baseline = in_process_output () in
+  let store = Store.open_ ~dir ~fingerprint:fp () in
+  let cold = in_process_output ~disk:store () in
+  check string "cold with disk tier = no disk tier" baseline cold;
+  ignore (Store.flush store);
+  (* fresh memo, same disk: verdicts come from disk and render identically *)
+  let store2 = Store.open_ ~dir ~fingerprint:fp () in
+  let warm = in_process_output ~disk:store2 () in
+  check string "disk-warm = cold" baseline warm;
+  check bool "disk hits occurred" true (Store.hits store2 > 0)
+
+let test_degraded_never_persisted () =
+  (* deadline 0 deterministically degrades every pair *)
+  let dir = tmpdir () in
+  let store = Store.open_ ~dir ~fingerprint:fp () in
+  let progs = Dt_frontend.Lower.parse_unit src in
+  let cfg = Deptest.Analyze.Config.make ~deadline_ms:0 ~disk:store () in
+  let results = Deptest.Analyze.run_all cfg progs in
+  let _, degraded = Dt_serve.Render.unit_ progs results in
+  check bool "run did degrade" true (degraded > 0);
+  check int "no degraded entry reached the disk tier" 0 (Store.length store);
+  check int "flush persists nothing" 0 (Store.flush store)
+
+let test_injected_fault_never_persisted () =
+  let dir = tmpdir () in
+  let store = Store.open_ ~dir ~fingerprint:fp () in
+  let progs = Dt_frontend.Lower.parse_unit src in
+  let baseline = in_process_output () in
+  Dt_guard.Inject.enable ~period:2 [ Dt_guard.Inject.Exception ];
+  Fun.protect ~finally:Dt_guard.Inject.disable (fun () ->
+      let cfg =
+        (* sequential: the inject harness is single-domain only *)
+        Deptest.Analyze.Config.make ~jobs:1 ~disk:store ()
+      in
+      let results = Deptest.Analyze.run_all cfg progs in
+      let _, degraded = Dt_serve.Render.unit_ progs results in
+      check bool "faults fired and degraded pairs" true (degraded > 0));
+  ignore (Store.flush store);
+  (* a persisted degraded verdict would replay into this warm run and
+     poison it; byte-equality with the clean baseline proves the fault
+     run persisted nothing degraded *)
+  let store2 = Store.open_ ~dir ~fingerprint:fp () in
+  let warm = in_process_output ~disk:store2 () in
+  check string "warm run after fault run = clean baseline" baseline warm
+
+(* --- protocol --------------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Dt_serve.Protocol.Analyze { source = src; id = Some "req-1" };
+      Dt_serve.Protocol.Analyze { source = ""; id = None };
+      Dt_serve.Protocol.Metrics { prometheus = true };
+      Dt_serve.Protocol.Metrics { prometheus = false };
+      Dt_serve.Protocol.Health;
+      Dt_serve.Protocol.Flush;
+      Dt_serve.Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match
+        Dt_serve.Protocol.request_of_json (Dt_serve.Protocol.request_to_json r)
+      with
+      | Ok r' -> check bool "request round-trips" true (r = r')
+      | Error e -> Alcotest.fail e)
+    reqs;
+  check bool "unknown op rejected" true
+    (Result.is_error
+       (Dt_serve.Protocol.request_of_json
+          (Json.Obj [ ("op", Json.String "frobnicate") ])))
+
+(* --- engine ----------------------------------------------------------- *)
+
+let test_engine_response_cache () =
+  let dir = tmpdir () in
+  let e = Dt_serve.Engine.create ~cache_dir:dir () in
+  let baseline = in_process_output () in
+  (match Dt_serve.Engine.analyze_source e src with
+  | Ok (out, degraded) ->
+      check string "engine = in-process" baseline out;
+      check int "nothing degraded" 0 degraded
+  | Error msg -> Alcotest.fail msg);
+  let store = Option.get (Dt_serve.Engine.store e) in
+  let hits0 = Store.hits store in
+  (match Dt_serve.Engine.analyze_source e src with
+  | Ok (out, _) -> check string "second pass identical" baseline out
+  | Error msg -> Alcotest.fail msg);
+  check bool "second pass hit the response tier" true (Store.hits store > hits0);
+  (* parse errors become Error, not exceptions *)
+  check bool "bad source is an error" true
+    (Result.is_error (Dt_serve.Engine.analyze_source e "DO 10 WAT"))
+
+let test_engine_invalid_response_entry () =
+  let dir = tmpdir () in
+  let e = Dt_serve.Engine.create ~cache_dir:dir () in
+  let baseline = in_process_output () in
+  (match Dt_serve.Engine.analyze_source e src with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let store = Option.get (Dt_serve.Engine.store e) in
+  (* sabotage the response entry: the engine must fall back to cold
+     analysis with identical output and count the damage *)
+  let key = "r:" ^ Digest.to_hex (Digest.string src) in
+  Store.add store key (Json.String "not a response object");
+  let invalid0 = Store.invalid store in
+  (match Dt_serve.Engine.analyze_source e src with
+  | Ok (out, _) -> check string "fallback output identical" baseline out
+  | Error msg -> Alcotest.fail msg);
+  check int "invalid counted" (invalid0 + 1) (Store.invalid store)
+
+(* --- clamp ------------------------------------------------------------ *)
+
+let test_clamp_auto () =
+  let r = Dt_support.Pool.recommended_jobs () in
+  check int "auto resolves to recommended" r (Dt_support.Pool.clamp_auto 0);
+  check int "negative resolves to recommended" r
+    (Dt_support.Pool.clamp_auto (-3));
+  check int "explicit 1 kept" 1 (Dt_support.Pool.clamp_auto 1);
+  check int "oversubscription clamped" r
+    (Dt_support.Pool.clamp_auto (r + 5));
+  check int "engine never oversubscribes" r
+    (Dt_serve.Engine.jobs (Dt_serve.Engine.create ~jobs:(r + 16) ()))
+
+(* --- server end-to-end ------------------------------------------------ *)
+
+let wait_for_socket path =
+  let rec go n =
+    if n = 0 then Alcotest.fail "server socket never appeared"
+    else if Sys.file_exists path then ()
+    else begin
+      Unix.sleepf 0.02;
+      go (n - 1)
+    end
+  in
+  go 250
+
+let client_analyze sock =
+  let c = Dt_serve.Client.connect ~socket:sock in
+  Fun.protect
+    ~finally:(fun () -> Dt_serve.Client.close c)
+    (fun () ->
+      let resp =
+        Dt_serve.Client.request c
+          (Dt_serve.Protocol.Analyze { source = src; id = None })
+      in
+      match
+        (Json.member "ok" resp, Json.member "output" resp)
+      with
+      | Some (Json.Bool true), Some (Json.String out) -> out
+      | _ -> Alcotest.fail ("bad analyze response: " ^ Json.to_string resp))
+
+let test_server_end_to_end () =
+  let dir = tmpdir () in
+  let sock = Filename.concat (tmpdir ()) "serve.sock" in
+  let baseline = in_process_output () in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Dt_serve.Server.run ~socket:sock ~cache_dir:dir ~stop ())
+  in
+  wait_for_socket sock;
+  let out1 = client_analyze sock in
+  let out2 = client_analyze sock in
+  check string "cold daemon = in-process" baseline out1;
+  check string "warm daemon = in-process" baseline out2;
+  (* metrics over the wire show the disk tier working *)
+  let c = Dt_serve.Client.connect ~socket:sock in
+  let m =
+    Dt_serve.Client.request c (Dt_serve.Protocol.Metrics { prometheus = false })
+  in
+  (match Json.member "metrics" m with
+  | Some metrics -> (
+      match Json.member "cache" metrics with
+      | Some cache ->
+          check bool "disk hits > 0 on second pass" true
+            (match Json.member "disk_hits" cache with
+            | Some (Json.Int h) -> h > 0
+            | _ -> false)
+      | None -> Alcotest.fail "metrics response missing cache block")
+  | None -> Alcotest.fail "metrics response missing metrics");
+  ignore (Dt_serve.Client.request c Dt_serve.Protocol.Shutdown);
+  Dt_serve.Client.close c;
+  check int "clean shutdown" 0 (Domain.join d);
+  check bool "socket removed" false (Sys.file_exists sock);
+  (* restart on the same cache dir: the first answer comes from disk *)
+  let stop2 = Atomic.make false in
+  let d2 =
+    Domain.spawn (fun () ->
+        Dt_serve.Server.run ~socket:sock ~cache_dir:dir ~stop:stop2 ())
+  in
+  wait_for_socket sock;
+  let out3 = client_analyze sock in
+  check string "disk-warm restart = in-process" baseline out3;
+  let c2 = Dt_serve.Client.connect ~socket:sock in
+  ignore (Dt_serve.Client.request c2 Dt_serve.Protocol.Shutdown);
+  Dt_serve.Client.close c2;
+  check int "clean second shutdown" 0 (Domain.join d2)
+
+let suite =
+  [
+    ("frame round-trip", `Quick, test_frame_roundtrip);
+    ("frame truncated", `Quick, test_frame_truncated);
+    ("store round-trip", `Quick, test_store_roundtrip);
+    ("store eviction durable", `Quick, test_store_eviction);
+    ("store corruption: truncated segment", `Quick, test_store_truncated);
+    ("store corruption: garbage JSON", `Quick, test_store_garbage);
+    ("store corruption: wrong schema", `Quick, test_store_wrong_schema);
+    ( "store corruption: wrong fingerprint",
+      `Quick,
+      test_store_wrong_fingerprint );
+    ("store corruption: tmp leftover", `Quick, test_store_tmp_leftover);
+    ("disk tier byte parity", `Quick, test_disk_tier_parity);
+    ("degraded never persisted (deadline)", `Quick,
+      test_degraded_never_persisted);
+    ( "degraded never persisted (injected fault)",
+      `Quick,
+      test_injected_fault_never_persisted );
+    ("protocol round-trip", `Quick, test_protocol_roundtrip);
+    ("engine response cache", `Quick, test_engine_response_cache);
+    ( "engine invalid response entry",
+      `Quick,
+      test_engine_invalid_response_entry );
+    ("jobs clamp", `Quick, test_clamp_auto);
+    ("server end-to-end", `Quick, test_server_end_to_end);
+  ]
