@@ -1289,7 +1289,7 @@ let serve_bench () =
               let t0 = Dt_obs.Metrics.now_ns () in
               let resp =
                 Dt_serve.Client.request c
-                  (Dt_serve.Protocol.Analyze { source = src; id = None })
+                  (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = None })
               in
               let ns = Int64.sub (Dt_obs.Metrics.now_ns ()) t0 in
               (match Dt_obs.Json.member "output" resp with
@@ -1423,6 +1423,215 @@ let serve_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* request-tracing benchmark: warm-path round-trips with span sampling
+   off vs always-on, the slow ledger, and a trace-last export. The
+   sampling overhead ratio is the CI gate (<= 1.05 on the warm path);
+   the exported Chrome trace is uploaded as a CI artifact. Writes
+   BENCH_reqtrace.json and BENCH_reqtrace_trace.json. *)
+
+let reqtrace_bench () =
+  Printf.printf "\n== reqtrace: warm-path sampling overhead and slow ledger ==\n";
+  let pid = Unix.getpid () in
+  let tmp = Filename.get_temp_dir_name () in
+  let sock_off =
+    Filename.concat tmp (Printf.sprintf "dt_bench_rt_off_%d.sock" pid)
+  and sock_on =
+    Filename.concat tmp (Printf.sprintf "dt_bench_rt_on_%d.sock" pid)
+  in
+  List.iter
+    (fun s -> try Sys.remove s with Sys_error _ -> ())
+    [ sock_off; sock_on ];
+  let sources =
+    List.map
+      (fun (e : Dt_workloads.Corpus.entry) -> e.Dt_workloads.Corpus.source)
+      Dt_workloads.Corpus.all
+  in
+  let expected =
+    List.map
+      (fun src ->
+        let progs = Dt_frontend.Lower.parse_unit src in
+        let cfg = Deptest.Analyze.Config.make () in
+        fst (Dt_serve.Render.unit_ progs (Deptest.Analyze.run_all cfg progs)))
+      sources
+  in
+  let identical = ref true in
+  let start_daemon ~socket ~sample_period () =
+    let stop = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          Dt_serve.Server.run ~socket ~sample_period ~slow_threshold_ns:0L
+            ~stop ())
+    in
+    let rec wait n =
+      if n = 0 then begin
+        prerr_endline "bench: FATAL: reqtrace daemon never bound its socket";
+        exit 1
+      end;
+      if not (Sys.file_exists socket) then begin
+        Unix.sleepf 0.02;
+        wait (n - 1)
+      end
+    in
+    wait 250;
+    d
+  in
+  let pass c =
+    List.map2
+      (fun src want ->
+        let t0 = Dt_obs.Metrics.now_ns () in
+        let resp =
+          Dt_serve.Client.request c
+            (Dt_serve.Protocol.Analyze
+               {
+                 source = src;
+                 id = None;
+                 trace_id = Some (Dt_obs.Reqtrace.gen_id ());
+               })
+        in
+        let ns = Int64.sub (Dt_obs.Metrics.now_ns ()) t0 in
+        (match Dt_obs.Json.member "output" resp with
+        | Some (Dt_obs.Json.String out) ->
+            if out <> want then identical := false
+        | _ -> identical := false);
+        ns)
+      sources expected
+  in
+  let shutdown ~socket d =
+    let c = Dt_serve.Client.connect ~socket in
+    ignore (Dt_serve.Client.request c Dt_serve.Protocol.Shutdown);
+    Dt_serve.Client.close c;
+    if Domain.join d <> 0 then begin
+      prerr_endline "bench: FATAL: reqtrace daemon exited non-zero";
+      exit 1
+    end
+  in
+  let warm_passes = 5 in
+  (* the overhead ratio is gated at 5% in CI, which only a paired,
+     straggler-free measurement survives: both daemons run side by side,
+     warm passes alternate between them, and each request's latency is
+     its minimum across the passes — the floor a request costs on that
+     path, with scheduler and GC stragglers squeezed out *)
+  let d_off = start_daemon ~socket:sock_off ~sample_period:0 () in
+  let d_on = start_daemon ~socket:sock_on ~sample_period:1 () in
+  let c_off = Dt_serve.Client.connect ~socket:sock_off in
+  let c_on = Dt_serve.Client.connect ~socket:sock_on in
+  let summarize floor =
+    let sorted = Array.copy floor in
+    Array.sort Int64.compare sorted;
+    (Array.fold_left Int64.add 0L floor, percentile_ns sorted 50)
+  in
+  let (off_total, off_p50), (on_total, on_p50) =
+    Fun.protect
+      ~finally:(fun () ->
+        Dt_serve.Client.close c_off;
+        Dt_serve.Client.close c_on)
+      (fun () ->
+        ignore (pass c_off) (* cold passes fill the response caches *);
+        ignore (pass c_on);
+        let n = List.length sources in
+        let floor_off = Array.make n Int64.max_int
+        and floor_on = Array.make n Int64.max_int in
+        let fold floor lat =
+          List.iteri
+            (fun i ns ->
+              if Int64.compare ns floor.(i) < 0 then floor.(i) <- ns)
+            lat
+        in
+        for _ = 1 to warm_passes do
+          fold floor_off (pass c_off);
+          fold floor_on (pass c_on)
+        done;
+        (summarize floor_off, summarize floor_on))
+  in
+  shutdown ~socket:sock_off d_off;
+  (* ledger + export straight off the sampling daemon before it stops *)
+  let ledger_total, slow_entries, trace_json =
+    let c = Dt_serve.Client.connect ~socket:sock_on in
+    Fun.protect
+      ~finally:(fun () -> Dt_serve.Client.close c)
+      (fun () ->
+        let slow =
+          Dt_serve.Client.request c
+            (Dt_serve.Protocol.Slow { n = Some 8 })
+        in
+        let total =
+          match
+            Option.bind (Dt_obs.Json.member "total" slow) Dt_obs.Json.to_int
+          with
+          | Some n -> n
+          | None -> 0
+        in
+        let entries =
+          match
+            Option.bind (Dt_obs.Json.member "entries" slow)
+              Dt_obs.Json.to_list
+          with
+          | Some l -> List.length l
+          | None -> 0
+        in
+        let trace =
+          Dt_serve.Client.request c
+            (Dt_serve.Protocol.Trace_last { trace_id = None })
+        in
+        (total, entries, Dt_obs.Json.member "chrome_trace" trace))
+  in
+  shutdown ~socket:sock_on d_on;
+  let overhead =
+    if Int64.compare off_total 0L > 0 then
+      Int64.to_float on_total /. Int64.to_float off_total
+    else 0.
+  in
+  let ms ns = Int64.to_float ns /. 1e6 in
+  Printf.printf
+    "  warm sampling-off best total %8.2f ms  p50 %8.0f ns\n\
+    \  warm sampling-on  best total %8.2f ms  p50 %8.0f ns\n\
+    \  sampling overhead %.3fx; ledger %d requests (%d slow entries); \
+     trace export: %b; identical output: %b\n"
+    (ms off_total) (Int64.to_float off_p50) (ms on_total)
+    (Int64.to_float on_p50) overhead ledger_total slow_entries
+    (trace_json <> None) !identical;
+  (match trace_json with
+  | Some t ->
+      Dt_obs.Artifact.write_atomic "BENCH_reqtrace_trace.json"
+        (Dt_obs.Json.to_string t ^ "\n");
+      print_endline
+        "captured Chrome trace written to BENCH_reqtrace_trace.json"
+  | None -> ());
+  let json =
+    Dt_obs.Json.Obj
+      [
+        ("schema", Dt_obs.Json.String "deptest-reqtrace/1");
+        ("requests_per_pass", Dt_obs.Json.Int (List.length sources));
+        ("warm_passes", Dt_obs.Json.Int warm_passes);
+        ( "sampling_off",
+          Dt_obs.Json.Obj
+            [
+              ("total_ns", Dt_obs.Json.Int (Int64.to_int off_total));
+              ("p50_ns", Dt_obs.Json.Int (Int64.to_int off_p50));
+            ] );
+        ( "sampling_on",
+          Dt_obs.Json.Obj
+            [
+              ("total_ns", Dt_obs.Json.Int (Int64.to_int on_total));
+              ("p50_ns", Dt_obs.Json.Int (Int64.to_int on_p50));
+            ] );
+        ("overhead_ratio", Dt_obs.Json.Float overhead);
+        ("ledger_total", Dt_obs.Json.Int ledger_total);
+        ("slow_entries", Dt_obs.Json.Int slow_entries);
+        ("trace_captured", Dt_obs.Json.Bool (trace_json <> None));
+        ("identical_output", Dt_obs.Json.Bool !identical);
+      ]
+  in
+  Dt_obs.Artifact.write_atomic "BENCH_reqtrace.json"
+    (Dt_obs.Json.to_string json ^ "\n");
+  print_endline "reqtrace benchmark written to BENCH_reqtrace.json";
+  if not !identical then begin
+    prerr_endline
+      "bench: FATAL: daemon output changed when span sampling was enabled";
+    exit 1
+  end
+
 let is_infix ~affix s =
   let na = String.length affix and ns = String.length s in
   let rec go i = i + na <= ns && (String.sub s i na = affix || go (i + 1)) in
@@ -1437,6 +1646,7 @@ let () =
   obs_timeline ();
   ledger_bench ();
   serve_bench ();
+  reqtrace_bench ();
   if not tables_only then begin
     let micro = run_suite ~name:"per-test microbenchmarks (Tables 2-3 tests)" micro_tests in
     let strat = run_suite ~name:"strategy comparison (Table 4 / Triolet 22-28x)" strategy_tests in

@@ -251,9 +251,23 @@ let export_timeline chrome flame profiler =
       | Some f -> write_artifact f (Dt_obs.Timeline.to_folded spans)
       | None -> ())
 
+let ledger_window_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ledger-window" ] ~docv:"N"
+        ~env:(Cmd.Env.info "DEPTEST_LEDGER_WINDOW")
+        ~doc:
+          (Printf.sprintf
+             "Ledger compaction window: keep only the newest $(docv) \
+              records per configuration fingerprint when appending \
+              (default %d)."
+             Dt_report.Ledger.default_keep))
+
 let analyze_cmd =
   let run file strategy inputs bindings explain trace_file jobs dispatch
-      no_cache strict budget deadline_ms chrome flame prom ledger label =
+      no_cache strict budget deadline_ms chrome flame prom ledger
+      ledger_window label =
     let profiler = make_profiler chrome flame in
     let trace_buf =
       match trace_file with None -> None | Some _ -> Some (Buffer.create 4096)
@@ -362,7 +376,7 @@ let analyze_cmd =
                 ~gc_major_words:(gc1.Gc.major_words -. gc0.Gc.major_words)
                 ()
             in
-            (match Dt_report.Ledger.append ~path record with
+            (match Dt_report.Ledger.append ~path ?keep:ledger_window record with
             | Ok skipped ->
                 if skipped > 0 then
                   Printf.eprintf
@@ -386,7 +400,7 @@ let analyze_cmd =
       const run $ file_arg $ strategy_arg $ inputs_arg $ bind_arg
       $ explain_arg $ trace_arg $ jobs_arg $ dispatch_arg $ no_cache_arg
       $ strict_arg $ budget_arg $ deadline_arg $ chrome_arg $ flame_arg
-      $ prom_arg $ ledger_arg $ label_arg)
+      $ prom_arg $ ledger_arg $ ledger_window_arg $ label_arg)
 
 let parallel_cmd =
   let run file =
@@ -911,7 +925,38 @@ let serve_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress messages.")
   in
-  let run socket jobs cache_dir cache_capacity warm quiet =
+  let sample_period_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "sample-period" ] ~docv:"N"
+          ~doc:
+            "Arm request-scoped span capture on every $(docv)-th analyze \
+             request (1: every request, the default; 0: never — summaries \
+             still enter the slow ledger).")
+  in
+  let slow_threshold_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "slow-threshold-ms" ] ~docv:"MS"
+          ~doc:
+            "Retain a captured span tree only when the request took at \
+             least $(docv) milliseconds (0, the default, keeps every armed \
+             capture). The summary enters the ledger either way.")
+  in
+  let ledger_recent_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "ledger-recent" ] ~docv:"N"
+          ~doc:"Capacity of the slow ledger's newest-first request ring.")
+  in
+  let ledger_top_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "ledger-top" ] ~docv:"N"
+          ~doc:"Capacity of the slow ledger's slowest-first board.")
+  in
+  let run socket jobs cache_dir cache_capacity warm quiet sample_period
+      slow_threshold_ms ledger_recent ledger_top =
     let log =
       if quiet then ignore
       else fun s -> Printf.eprintf "deptest serve: %s\n%!" s
@@ -920,19 +965,23 @@ let serve_cmd =
       Option.map (function "all" -> `All | s -> `Suite s) warm
     in
     exit
-      (Dt_serve.Server.run ~socket ~jobs ?cache_dir ?cache_capacity ?warm
-         ~signals:true ~log ())
+      (Dt_serve.Server.run ~socket ~jobs ?cache_dir ?cache_capacity
+         ~sample_period
+         ~slow_threshold_ns:
+           (Int64.of_float (slow_threshold_ms *. 1_000_000.))
+         ~ledger_recent ~ledger_top ?warm ~signals:true ~log ())
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the persistent analysis daemon on a unix socket \
           (length-prefixed JSON protocol; analyze / metrics / health / \
-          flush / shutdown ops). SIGTERM or SIGINT flushes the cache and \
-          exits cleanly.")
+          slow / top / trace-last / flush / shutdown ops). SIGTERM or \
+          SIGINT flushes the cache and exits cleanly.")
     Term.(
       const run $ socket_arg $ jobs_arg $ cache_dir_arg $ cache_capacity_arg
-      $ warm_arg $ quiet_arg)
+      $ warm_arg $ quiet_arg $ sample_period_arg $ slow_threshold_arg
+      $ ledger_recent_arg $ ledger_top_arg)
 
 let client_fail json =
   (match Dt_obs.Json.member "error" json with
@@ -954,11 +1003,24 @@ let with_client socket f =
   | c -> Fun.protect ~finally:(fun () -> Dt_serve.Client.close c) (fun () -> f c)
 
 let client_analyze_cmd =
-  let run socket file strict =
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ]
+          ~doc:"Do not print the request's trace id to stderr.")
+  in
+  let run socket file strict quiet =
     with_client socket @@ fun c ->
+    (* the client mints the trace id so a slow request can be chased
+       into the daemon's ledger (client slow / trace-last) even when the
+       response never arrives. It goes to stderr: stdout must stay
+       byte-identical to one-shot `deptest analyze`. *)
+    let trace_id = Dt_obs.Reqtrace.gen_id () in
+    if not quiet then Printf.eprintf "trace %s\n%!" trace_id;
     let resp =
       Dt_serve.Client.request c
-        (Dt_serve.Protocol.Analyze { source = read_file file; id = None })
+        (Dt_serve.Protocol.Analyze
+           { source = read_file file; id = None; trace_id = Some trace_id })
     in
     client_ok resp;
     (match Dt_obs.Json.member "output" resp with
@@ -975,8 +1037,10 @@ let client_analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Analyze a file through the daemon; output is byte-identical to \
-          one-shot $(b,deptest analyze).")
-    Term.(const run $ socket_arg $ file_arg $ strict_arg)
+          one-shot $(b,deptest analyze). The request's trace id is printed \
+          to stderr for chasing it through $(b,client slow) and \
+          $(b,client trace-last).")
+    Term.(const run $ socket_arg $ file_arg $ strict_arg $ quiet_arg)
 
 let client_metrics_cmd =
   let prom_flag =
@@ -1015,6 +1079,63 @@ let client_simple name doc req print =
   in
   Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg)
 
+let client_n_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n" ] ~docv:"N"
+        ~doc:"At most $(docv) entries (default: the ledger's capacity).")
+
+let client_ledger_cmd name doc mk =
+  let run socket n =
+    with_client socket @@ fun c ->
+    let resp = Dt_serve.Client.request c (mk n) in
+    client_ok resp;
+    print_endline (Dt_obs.Json.to_string resp)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg $ client_n_arg)
+
+let client_trace_last_cmd =
+  let trace_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:
+            "Export the capture for this trace id (default: the most \
+             recent retained capture).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace there instead of stdout.")
+  in
+  let run socket trace_id out =
+    with_client socket @@ fun c ->
+    let resp =
+      Dt_serve.Client.request c (Dt_serve.Protocol.Trace_last { trace_id })
+    in
+    client_ok resp;
+    match Dt_obs.Json.member "chrome_trace" resp with
+    | Some trace -> (
+        let body = Dt_obs.Json.to_string trace ^ "\n" in
+        match out with
+        | None -> print_string body
+        | Some f ->
+            Dt_obs.Artifact.write_atomic f body;
+            Printf.eprintf "wrote %s\n" f)
+    | None -> client_fail resp
+  in
+  Cmd.v
+    (Cmd.info "trace-last"
+       ~doc:
+         "Export the daemon's most recent captured request (or \
+          $(b,--trace-id)'s) as a Chrome trace — load it in Perfetto / \
+          chrome://tracing.")
+    Term.(const run $ socket_arg $ trace_id_arg $ out_arg)
+
 let client_cmd =
   Cmd.group
     (Cmd.info "client"
@@ -1022,7 +1143,16 @@ let client_cmd =
     [
       client_analyze_cmd;
       client_metrics_cmd;
-      client_simple "health" "Daemon liveness and cache occupancy."
+      client_ledger_cmd "slow"
+        "The newest entries in the daemon's slow-request ledger (JSON, \
+         newest first): trace id, endpoint, cache tier, degraded count, \
+         wall time."
+        (fun n -> Dt_serve.Protocol.Slow { n });
+      client_ledger_cmd "top"
+        "The slowest requests the daemon has seen (JSON, slowest first)."
+        (fun n -> Dt_serve.Protocol.Top { n });
+      client_trace_last_cmd;
+      client_simple "health" "Daemon liveness, vitals, and cache occupancy."
         Dt_serve.Protocol.Health
         (fun r -> print_endline (Dt_obs.Json.to_string r));
       client_simple "flush" "Persist the daemon's disk cache now."

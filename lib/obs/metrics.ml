@@ -16,6 +16,21 @@ let bucket_bounds_ns =
 
 let n_buckets = Array.length bucket_bounds_ns + 1
 
+(* whole-request daemon latency: warm round trips sit in the tens of
+   microseconds, cold analyses in the tens of milliseconds, so the
+   request buckets run two decades above the per-pair ones *)
+let serve_bucket_bounds_ns =
+  [| 100_000L; 1_000_000L; 10_000_000L; 100_000_000L; 1_000_000_000L |]
+
+let n_serve_buckets = Array.length serve_bucket_bounds_ns + 1
+
+(* per-endpoint serve accounting: one row per protocol op *)
+type serve_row = {
+  mutable r_count : int;
+  mutable r_sum_ns : int64;
+  r_hist : int array;  (* per serve_bucket_bounds_ns + overflow *)
+}
+
 (* per-domain engine accounting: work executed by one worker domain *)
 type engine_row = {
   mutable tasks : int;  (* grain-sized leaves executed *)
@@ -52,6 +67,8 @@ type t = {
   eng : (int, engine_row) Hashtbl.t;  (* per-domain engine rows *)
   mutable eng_registries : int;  (* worker registries merged into this one *)
   mutable eng_shards : int;  (* routine-grain shards dispatched to the pool *)
+  serve : (string, serve_row) Hashtbl.t;  (* per-endpoint request rows *)
+  answered : (string, int ref) Hashtbl.t;  (* analyze answers per cache tier *)
 }
 
 let create () =
@@ -80,6 +97,8 @@ let create () =
     eng = Hashtbl.create 8;
     eng_registries = 0;
     eng_shards = 0;
+    serve = Hashtbl.create 8;
+    answered = Hashtbl.create 8;
   }
 
 let now_ns = Clock.now_ns
@@ -189,6 +208,53 @@ let engine_rows t =
     (fun d r acc -> (d, r.tasks, r.steals, r.busy_ns, r.wait_ns) :: acc)
     t.eng []
   |> List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b)
+let serve_row t endpoint =
+  match Hashtbl.find_opt t.serve endpoint with
+  | Some r -> r
+  | None ->
+      let r = { r_count = 0; r_sum_ns = 0L; r_hist = Array.make n_serve_buckets 0 }
+      in
+      Hashtbl.replace t.serve endpoint r;
+      r
+
+let serve_bucket_of ns =
+  let rec go i =
+    if i >= Array.length serve_bucket_bounds_ns then i
+    else if Int64.compare ns serve_bucket_bounds_ns.(i) <= 0 then i
+    else go (i + 1)
+  in
+  go 0
+
+let serve_endpoint t ~endpoint = ignore (serve_row t endpoint)
+
+let serve_request t ~endpoint ~ns =
+  let r = serve_row t endpoint in
+  r.r_count <- r.r_count + 1;
+  r.r_sum_ns <- Int64.add r.r_sum_ns ns;
+  let b = serve_bucket_of ns in
+  r.r_hist.(b) <- r.r_hist.(b) + 1
+
+let tier_cell t tier =
+  match Hashtbl.find_opt t.answered tier with
+  | Some c -> c
+  | None ->
+      let c = ref 0 in
+      Hashtbl.replace t.answered tier c;
+      c
+
+let serve_tier t ~tier = ignore (tier_cell t tier)
+let serve_answered t ~tier = incr (tier_cell t tier)
+
+let serve_rows t =
+  Hashtbl.fold
+    (fun ep r acc -> (ep, r.r_count, r.r_sum_ns, Array.copy r.r_hist) :: acc)
+    t.serve []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+let serve_tiers t =
+  Hashtbl.fold (fun tier c acc -> (tier, !c) :: acc) t.answered []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let banerjee_compilations t = t.bj_compile
 let banerjee_incremental_nodes t = t.bj_inc_nodes
 let banerjee_scratch_nodes t = t.bj_scratch_nodes
@@ -241,7 +307,19 @@ let merge_into acc extra =
       r.wait_ns <- Int64.add r.wait_ns er.wait_ns)
     extra.eng;
   acc.eng_registries <- acc.eng_registries + extra.eng_registries;
-  acc.eng_shards <- acc.eng_shards + extra.eng_shards
+  acc.eng_shards <- acc.eng_shards + extra.eng_shards;
+  Hashtbl.iter
+    (fun ep (er : serve_row) ->
+      let r = serve_row acc ep in
+      r.r_count <- r.r_count + er.r_count;
+      r.r_sum_ns <- Int64.add r.r_sum_ns er.r_sum_ns;
+      Array.iteri (fun i v -> r.r_hist.(i) <- r.r_hist.(i) + v) er.r_hist)
+    extra.serve;
+  Hashtbl.iter
+    (fun tier c ->
+      let cell = tier_cell acc tier in
+      cell := !cell + !c)
+    extra.answered
 
 let merge a b =
   let t = create () in
@@ -259,6 +337,65 @@ let bucket_label i =
       Printf.sprintf "<=%Ldus" (Int64.div b 1_000L)
     else Printf.sprintf "<=%Ldms" (Int64.div b 1_000_000L)
   else ">10ms"
+
+let serve_bucket_label i =
+  if i < Array.length serve_bucket_bounds_ns then
+    let b = serve_bucket_bounds_ns.(i) in
+    if Int64.compare b 1_000_000L < 0 then
+      Printf.sprintf "<=%Ldus" (Int64.div b 1_000L)
+    else Printf.sprintf "<=%Ldms" (Int64.div b 1_000_000L)
+  else ">1s"
+
+(* the serve block appears only once the daemon reported, so batch-run
+   snapshots (analyze --metrics-out, records, the drift ledger) are
+   byte-identical to pre-serve ones *)
+let serve_json t =
+  if Hashtbl.length t.serve = 0 && Hashtbl.length t.answered = 0 then []
+  else
+    [
+      ( "serve",
+        Json.Obj
+          [
+            ( "endpoints",
+              Json.List
+                (List.map
+                   (fun (ep, count, sum_ns, hist) ->
+                     Json.Obj
+                       [
+                         ("endpoint", Json.String ep);
+                         ("requests", Json.Int count);
+                         ("total_ns", Json.Int (Int64.to_int sum_ns));
+                         ( "latency_hist",
+                           Json.List
+                             (Array.to_list
+                                (Array.mapi
+                                   (fun i c ->
+                                     Json.Obj
+                                       [
+                                         ( "le_ns",
+                                           if
+                                             i
+                                             < Array.length
+                                                 serve_bucket_bounds_ns
+                                           then
+                                             Json.Int
+                                               (Int64.to_int
+                                                  serve_bucket_bounds_ns.(i))
+                                           else Json.Null );
+                                         ( "label",
+                                           Json.String (serve_bucket_label i)
+                                         );
+                                         ("count", Json.Int c);
+                                       ])
+                                   hist)) );
+                       ])
+                   (serve_rows t)) );
+            ( "answered",
+              Json.Obj
+                (List.map (fun (tier, n) -> (tier, Json.Int n)) (serve_tiers t))
+            );
+          ] );
+    ]
 
 let to_json t =
   let tests =
@@ -293,7 +430,7 @@ let to_json t =
           ])
   in
   Json.Obj
-    [
+    ([
       (* /2: the cache block gained size and evictions *)
       ("schema", Json.String "deptest-metrics/2");
       ("tests", Json.List tests);
@@ -370,6 +507,7 @@ let to_json t =
               Json.Int (Int64.to_int (sum64 (fun (_, _, _, _, w) -> w))) );
           ] );
     ]
+    @ serve_json t)
 
 let us ns = Int64.to_float ns /. 1_000.0
 
@@ -432,6 +570,23 @@ let pp ppf t =
            d tasks steals (us busy) (us wait))
        rows
    end);
+  (let rows = serve_rows t in
+   if rows <> [] then begin
+     List.iter
+       (fun (ep, count, sum_ns, _) ->
+         Format.fprintf ppf
+           "serve %-10s %d request(s), total %.1f us, avg %.0f ns@." ep count
+           (us sum_ns)
+           (if count = 0 then 0.
+            else Int64.to_float sum_ns /. float_of_int count))
+       rows;
+     match serve_tiers t with
+     | [] -> ()
+     | tiers ->
+         Format.fprintf ppf "serve answered:";
+         List.iter (fun (tier, n) -> Format.fprintf ppf " %s:%d" tier n) tiers;
+         Format.fprintf ppf "@."
+   end);
   Format.fprintf ppf "pair latency:";
   Array.iteri
     (fun i c -> if c > 0 then Format.fprintf ppf " %s:%d" (bucket_label i) c)
@@ -455,7 +610,7 @@ let prom_escape s =
     s;
   Buffer.contents buf
 
-let to_prometheus t =
+let to_prometheus ?(build = []) t =
   let buf = Buffer.create 4096 in
   let family name typ help =
     Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
@@ -485,6 +640,20 @@ let to_prometheus t =
       (fun k -> f ~labels:[ ("kind", Test_kind.slug k) ] name (Test_kind.id k))
       Test_kind.all
   in
+  (* identity first: scrapes correlate drift with deploys by joining on
+     these labels (label values must stay space-free for text-format
+     consumers that split on whitespace) *)
+  family "deptest_build_info" "gauge"
+    "Build and schema identity of this process (value is always 1).";
+  sample
+    ~labels:
+      ([
+         ("git", Build_id.git);
+         ("metrics_schema", "deptest-metrics/2");
+         ("trace_schema", "deptest-trace/2");
+       ]
+      @ build)
+    "deptest_build_info" "1";
   family "deptest_tests_applied_total" "counter"
     "Dependence-test applications by test kind.";
   per_kind "deptest_tests_applied_total" (fun ~labels name i ->
@@ -608,4 +777,45 @@ let to_prometheus t =
         ~labels:[ ("domain", string_of_int d) ]
         "deptest_engine_queue_wait_ns_total" wait)
     rows;
+  (* serve families appear only once the daemon reported (the engine
+     pre-registers every endpoint and tier at startup, so a scrape's
+     series set never depends on traffic) *)
+  (let srows = serve_rows t in
+   if srows <> [] then begin
+     family "deptest_serve_request_duration_ns" "histogram"
+       "Whole-request daemon latency in nanoseconds, by protocol endpoint.";
+     List.iter
+       (fun (ep, count, sum_ns, hist) ->
+         let cum = ref 0 in
+         Array.iteri
+           (fun i c ->
+             cum := !cum + c;
+             let le =
+               if i < Array.length serve_bucket_bounds_ns then
+                 Int64.to_string serve_bucket_bounds_ns.(i)
+               else "+Inf"
+             in
+             int_sample
+               ~labels:[ ("endpoint", ep); ("le", le) ]
+               "deptest_serve_request_duration_ns_bucket" !cum)
+           hist;
+         ns_sample
+           ~labels:[ ("endpoint", ep) ]
+           "deptest_serve_request_duration_ns_sum" sum_ns;
+         int_sample
+           ~labels:[ ("endpoint", ep) ]
+           "deptest_serve_request_duration_ns_count" count)
+       srows
+   end);
+  (match serve_tiers t with
+  | [] -> ()
+  | tiers ->
+      family "deptest_serve_answered_total" "counter"
+        "Analyze requests answered, by cache tier (response / disk / memo / \
+         cold) or none for non-analyze and failed requests.";
+      List.iter
+        (fun (tier, n) ->
+          int_sample ~labels:[ ("tier", tier) ] "deptest_serve_answered_total"
+            n)
+        tiers);
   Buffer.contents buf

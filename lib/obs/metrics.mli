@@ -118,6 +118,45 @@ val engine_rows : t -> (int * int * int * int64 * int64) list
     executed work, sorted by domain id. Empty when the engine never
     reported. *)
 
+(** {2 Serve-daemon request accounting}
+
+    Whole-request observations from the long-lived [deptest serve]
+    daemon: a latency histogram per protocol endpoint and a counter per
+    cache tier that answered an analyze. Both live in their own key
+    space (endpoint / tier strings), are summed by {!merge_into}, and —
+    unlike every batch family — are exported (JSON [serve] block,
+    Prometheus [deptest_serve_*] families) only once at least one
+    endpoint or tier has been registered, so batch-run snapshots stay
+    byte-identical to pre-daemon ones. *)
+
+val serve_bucket_bounds_ns : int64 array
+(** Upper bounds (inclusive) of the request-latency buckets — two
+    decades above {!bucket_bounds_ns}, since a request spans many
+    pairs — plus one overflow bucket. *)
+
+val serve_request : t -> endpoint:string -> ns:int64 -> unit
+(** One daemon request on [endpoint] answered in [ns]: bump the
+    endpoint's count, total, and histogram bucket. *)
+
+val serve_endpoint : t -> endpoint:string -> unit
+(** Pre-register [endpoint] at zero so its series appear in every
+    scrape (the daemon registers all protocol endpoints at startup). *)
+
+val serve_answered : t -> tier:string -> unit
+(** One analyze request answered by cache tier [tier] (a
+    {!Reqtrace.tier_name} slug). *)
+
+val serve_tier : t -> tier:string -> unit
+(** Pre-register [tier] at zero, like {!serve_endpoint}. *)
+
+val serve_rows : t -> (string * int * int64 * int array) list
+(** [(endpoint, requests, total_ns, hist)] sorted by endpoint; [hist]
+    has [Array.length serve_bucket_bounds_ns + 1] buckets. Empty unless
+    a daemon reported. *)
+
+val serve_tiers : t -> (string * int) list
+(** [(tier, answered)] sorted by tier. Empty unless a daemon reported. *)
+
 val banerjee_compilations : t -> int
 val banerjee_incremental_nodes : t -> int
 val banerjee_scratch_nodes : t -> int
@@ -159,7 +198,7 @@ val pp : Format.formatter -> t -> unit
 (** The per-kind time/count table — the §6 Table-3 shape with wall-clock
     columns — followed by phase totals and the latency histogram. *)
 
-val to_prometheus : t -> string
+val to_prometheus : ?build:(string * string) list -> t -> string
 (** The snapshot in Prometheus text exposition format (version 0.0.4):
     one [# HELP]/[# TYPE] family header per metric, stable metric names
     under the [deptest_] prefix, label values escaped, and the pair
@@ -167,4 +206,15 @@ val to_prometheus : t -> string
     from {!bucket_bounds_ns} plus [+Inf]) with [_sum]/[_count]. Every
     per-kind series is emitted even at zero, so the set of series never
     depends on the workload. This is the exposition surface
-    [deptest analyze --prom] writes and a future serve daemon mounts. *)
+    [deptest analyze --prom] writes and the serve daemon mounts.
+
+    Leads with a [deptest_build_info] gauge (constant [1]) carrying the
+    git-describe label, the metrics and trace schema versions, and any
+    extra [build] labels the caller adds (the daemon adds its store
+    schema) — scrapes join on it to correlate drift with deploys. When
+    the serve tables are non-empty, appends the
+    [deptest_serve_request_duration_ns] per-endpoint histogram (bounds
+    from {!serve_bucket_bounds_ns}) and the
+    [deptest_serve_answered_total] per-tier counter. Label values never
+    contain spaces, so line-oriented consumers can split on
+    whitespace. *)

@@ -16,6 +16,7 @@ type kind =
   | Queue_wait
   | Shard
   | Steal
+  | Request
 
 let kind_name = function
   | Analyze -> "analyze"
@@ -35,6 +36,7 @@ let kind_name = function
   | Queue_wait -> "queue-wait"
   | Shard -> "shard"
   | Steal -> "steal"
+  | Request -> "request"
 
 type span = {
   kind : kind;

@@ -36,6 +36,9 @@ type kind =
   | Queue_wait  (** a worker acquiring work (pop, steal, backoff) *)
   | Shard  (** one routine analyzed as a unit by a batched run *)
   | Steal  (** instant: a range taken from another worker's deque *)
+  | Request
+      (** one whole daemon request (serve): the root every other span of
+          a request-scoped capture nests under *)
 
 val kind_name : kind -> string
 (** Stable slug, e.g. ["test:strong_siv"], ["queue-wait"] — the span

@@ -1,25 +1,42 @@
 module Json = Dt_obs.Json
 module Store = Dt_engine.Store
 module Record = Dt_report.Record
+module Reqtrace = Dt_obs.Reqtrace
 
 type t = {
   jobs : int;
   config : Deptest.Analyze.Config.t;  (* shared: one memo cache for all *)
   store : Store.t option;
   metrics : Dt_obs.Metrics.t;
+  sampler : Reqtrace.Sampler.t;
+  ring : Reqtrace.Ring.t;
+  started_ns : int64;  (* monotonic, for uptime *)
   mutable requests : int;
   mutable analyses : int;  (* analyze requests answered by running tests *)
   mutable response_hits : int;  (* answered whole from the response tier *)
   mutable errors : int;
+  mutable protocol_errors : int;  (* bad frames / JSON / unsupported version *)
+  mutable connections : int;  (* connections ever accepted *)
+  mutable in_flight : int;  (* requests currently being handled *)
 }
 
 (* The store key prefix for rendered responses; pair verdicts use "p:"
    (see Pair_cache). *)
 let response_key source = "r:" ^ Digest.to_hex (Digest.string source)
 
-let create ?(jobs = 0) ?cache_dir ?cache_capacity () =
+let create ?(jobs = 0) ?cache_dir ?cache_capacity ?(sample_period = 1)
+    ?(slow_threshold_ns = 0L) ?(ledger_recent = 64) ?(ledger_top = 16) () =
   let jobs = Dt_support.Pool.clamp_auto jobs in
   let metrics = Dt_obs.Metrics.create () in
+  (* pre-register every endpoint and tier series so a scrape's series
+     set never depends on what traffic arrived first *)
+  List.iter
+    (fun endpoint -> Dt_obs.Metrics.serve_endpoint metrics ~endpoint)
+    Protocol.endpoints;
+  List.iter
+    (fun tier ->
+      Dt_obs.Metrics.serve_tier metrics ~tier:(Reqtrace.tier_name tier))
+    Reqtrace.tiers;
   (* the store fingerprint covers the serve configuration's semantics
      (strategy, input pairs, cache, budget, deadline — not jobs) plus
      the cache schema version, so a config or schema change invalidates
@@ -37,11 +54,31 @@ let create ?(jobs = 0) ?cache_dir ?cache_capacity () =
   let config =
     Deptest.Analyze.Config.make ~jobs ?cache_capacity ?disk:store ~metrics ()
   in
-  { jobs; config; store; metrics; requests = 0; analyses = 0;
-    response_hits = 0; errors = 0 }
+  {
+    jobs;
+    config;
+    store;
+    metrics;
+    sampler = Reqtrace.Sampler.create ~period:sample_period
+        ~threshold_ns:slow_threshold_ns ();
+    ring = Reqtrace.Ring.create ~recent:ledger_recent ~top:ledger_top ();
+    started_ns = Dt_obs.Metrics.now_ns ();
+    requests = 0;
+    analyses = 0;
+    response_hits = 0;
+    errors = 0;
+    protocol_errors = 0;
+    connections = 0;
+    in_flight = 0;
+  }
 
 let jobs t = t.jobs
 let store t = t.store
+let note_connection t = t.connections <- t.connections + 1
+
+let note_protocol_error t =
+  t.protocol_errors <- t.protocol_errors + 1;
+  t.errors <- t.errors + 1
 
 let parse source =
   match
@@ -66,16 +103,20 @@ let decode_response json =
       Some (output, degraded)
   | _ -> None
 
-let analyze_cold t source =
+let analyze_cold config source =
   match parse source with
   | Error _ as e -> e
   | Ok progs ->
-      let results = Deptest.Analyze.run_all t.config progs in
+      let results = Deptest.Analyze.run_all config progs in
       Ok (Render.unit_ progs results)
 
-let analyze_source t source =
+(* the response-tier lookup, split out so the analyze path can decide
+   how much tracing machinery to set up before running anything *)
+type response_lookup = Hit of string * int | Invalid | Miss
+
+let response_lookup t source =
   match t.store with
-  | None -> analyze_cold t source
+  | None -> Miss
   | Some store -> (
       let key = response_key source in
       match Store.find store key with
@@ -83,25 +124,38 @@ let analyze_source t source =
           match decode_response json with
           | Some (output, degraded) ->
               t.response_hits <- t.response_hits + 1;
-              Ok (output, degraded)
+              Hit (output, degraded)
           | None ->
               Store.note_invalid store;
               Store.remove store key;
-              analyze_cold t source)
-      | None -> (
-          match analyze_cold t source with
-          | Error _ as e -> e
-          | Ok (output, degraded) as ok ->
-              (* a degraded response reflects this run's faults or
-                 budget, not the program: never persist it *)
-              if degraded = 0 then
-                Store.add store key
-                  (Json.Obj
-                     [
-                       ("output", Json.String output);
-                       ("degraded", Json.Int degraded);
-                     ]);
-              ok))
+              Invalid)
+      | None -> Miss)
+
+let persist_response t source output degraded =
+  (* a degraded response reflects this run's faults or budget, not the
+     program: never persist it *)
+  match t.store with
+  | Some store when degraded = 0 ->
+      Store.add store (response_key source)
+        (Json.Obj
+           [ ("output", Json.String output); ("degraded", Json.Int degraded) ])
+  | _ -> ()
+
+(* [config] differs from [t.config] only by an attached span profiler
+   (same memo cache, same store), so caching behavior is identical with
+   tracing on or off *)
+let analyze_with t config source =
+  match response_lookup t source with
+  | Hit (output, degraded) -> Ok (output, degraded)
+  | Invalid -> analyze_cold config source
+  | Miss -> (
+      match analyze_cold config source with
+      | Error _ as e -> e
+      | Ok (output, degraded) as ok ->
+          persist_response t source output degraded;
+          ok)
+
+let analyze_source t source = analyze_with t t.config source
 
 let warm t ?suite () =
   let entries =
@@ -127,11 +181,12 @@ let sync_disk_metrics t =
 
 let serve_prometheus t =
   let b = Buffer.create 256 in
-  let counter name help v =
+  let metric typ name help v =
     Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
-    Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
     Buffer.add_string b (Printf.sprintf "%s %d\n" name v)
   in
+  let counter = metric "counter" and gauge = metric "gauge" in
   counter "deptest_serve_requests_total" "Requests handled by the daemon."
     t.requests;
   counter "deptest_serve_analyses_total"
@@ -141,6 +196,17 @@ let serve_prometheus t =
     t.response_hits;
   counter "deptest_serve_errors_total" "Requests answered with an error."
     t.errors;
+  counter "deptest_serve_protocol_errors_total"
+    "Connections dropped on a framing, JSON, or version error." t.protocol_errors;
+  counter "deptest_serve_connections_total"
+    "Client connections ever accepted." t.connections;
+  gauge "deptest_serve_in_flight" "Requests currently being handled."
+    t.in_flight;
+  gauge "deptest_serve_uptime_ns" "Nanoseconds since the daemon started."
+    (Int64.to_int (Int64.sub (Dt_obs.Metrics.now_ns ()) t.started_ns));
+  counter "deptest_serve_traced_requests_total"
+    "Requests recorded in the slow-request ring ledger."
+    (Reqtrace.Ring.total t.ring);
   Buffer.contents b
 
 let serve_json t =
@@ -150,26 +216,144 @@ let serve_json t =
       ("analyses", Json.Int t.analyses);
       ("response_hits", Json.Int t.response_hits);
       ("errors", Json.Int t.errors);
+      ("protocol_errors", Json.Int t.protocol_errors);
+      ("connections", Json.Int t.connections);
+      ("in_flight", Json.Int t.in_flight);
+      ("traced", Json.Int (Reqtrace.Ring.total t.ring));
     ]
 
-let handle t req =
-  t.requests <- t.requests + 1;
+(* ------------------------------------------------------------------ *)
+(* the analyze path, wrapped in request-scoped tracing. The profiler is
+   attached only when the sampler arms, and worker 0 runs on the calling
+   domain, so the whole analysis nests under the Request span on the
+   domain-0 buffer. *)
+
+let handle_analyze t ~source ~id ~trace_id =
+  let trace_id =
+    match trace_id with
+    | Some i when Reqtrace.is_id i -> i
+    | _ -> Reqtrace.gen_id ()
+  in
+  let armed = Reqtrace.Sampler.arm t.sampler in
+  let ts_ms = int_of_float (Unix.gettimeofday () *. 1000.) in
+  let t0 = Dt_obs.Metrics.now_ns () in
+  let result, tier, wall_ns, spans =
+    match response_lookup t source with
+    | Hit (output, degraded) ->
+        (* the warm path: no profiler, no buffers — an armed capture is
+           one synthesized Request span, so always-on sampling costs
+           nothing where latency matters most *)
+        let wall_ns = Int64.sub (Dt_obs.Metrics.now_ns ()) t0 in
+        let spans =
+          if armed && Reqtrace.Sampler.retain t.sampler ~wall_ns then
+            [|
+              {
+                Dt_obs.Span.kind = Dt_obs.Span.Request;
+                domain = 0;
+                parent = -1;
+                t0_ns = t0;
+                t1_ns = Int64.add t0 wall_ns;
+                minor_words = 0.;
+                major_words = 0.;
+              };
+            |]
+          else [||]
+        in
+        (Ok (output, degraded), Reqtrace.Response, wall_ns, spans)
+    | lookup ->
+        let had_disk =
+          match t.store with Some s -> Store.hits s | None -> 0
+        in
+        let had_memo = Dt_obs.Metrics.cache_hits t.metrics in
+        let profiler =
+          if armed then Some (Dt_obs.Span.profiler ()) else None
+        in
+        let config =
+          match profiler with
+          | None -> t.config
+          | Some _ -> Deptest.Analyze.Config.with_profiler profiler t.config
+        in
+        let opened =
+          Option.map
+            (fun p ->
+              let b = Dt_obs.Span.buffer p ~domain:0 in
+              (b, Dt_obs.Span.enter b Dt_obs.Span.Request))
+            profiler
+        in
+        let result =
+          match analyze_cold config source with
+          | Error _ as e -> e
+          | Ok (output, degraded) as ok ->
+              (match lookup with
+              | Miss -> persist_response t source output degraded
+              | Hit _ | Invalid -> ());
+              ok
+        in
+        let wall_ns = Int64.sub (Dt_obs.Metrics.now_ns ()) t0 in
+        Option.iter (fun (b, slot) -> Dt_obs.Span.exit_ b slot) opened;
+        (* the coarsest cache tier that contributed to this answer,
+           detected by counter deltas around the request (requests are
+           handled one at a time, so the deltas are this request's) *)
+        let tier =
+          match result with
+          | Error _ -> Reqtrace.None_
+          | Ok _ ->
+              if
+                (match t.store with Some s -> Store.hits s | None -> 0)
+                > had_disk
+              then Reqtrace.Disk
+              else if Dt_obs.Metrics.cache_hits t.metrics > had_memo then
+                Reqtrace.Memo
+              else Reqtrace.Cold
+        in
+        let spans =
+          match profiler with
+          | Some p when Reqtrace.Sampler.retain t.sampler ~wall_ns ->
+              Dt_obs.Span.spans p
+          | _ -> [||]
+        in
+        (result, tier, wall_ns, spans)
+  in
+  let degraded = match result with Ok (_, d) -> d | Error _ -> 0 in
+  Reqtrace.Ring.add t.ring
+    {
+      trace_id;
+      endpoint = "analyze";
+      source_digest = Digest.to_hex (Digest.string source);
+      tier;
+      degraded;
+      error = Result.is_error result;
+      wall_ns;
+      ts_ms;
+      spans;
+    };
+  Dt_obs.Metrics.serve_answered t.metrics ~tier:(Reqtrace.tier_name tier);
+  match result with
+  | Ok (output, degraded) ->
+      if tier <> Reqtrace.Response then t.analyses <- t.analyses + 1;
+      Protocol.ok
+        (("output", Json.String output)
+         :: ("degraded", Json.Int degraded)
+         :: ("trace_id", Json.String trace_id)
+         ::
+         (match id with
+         | None -> []
+         | Some i -> [ ("id", Json.String i) ]))
+  | Error msg ->
+      t.errors <- t.errors + 1;
+      Protocol.error msg
+
+let entries_response t entries =
+  Protocol.ok
+    [
+      ("total", Json.Int (Reqtrace.Ring.total t.ring));
+      ("entries", Json.List (List.map Reqtrace.entry_to_json entries));
+    ]
+
+let handle_op t req =
   match req with
-  | Protocol.Analyze { source; id } -> (
-      let had_hits = t.response_hits in
-      match analyze_source t source with
-      | Ok (output, degraded) ->
-          if t.response_hits = had_hits then t.analyses <- t.analyses + 1;
-          Protocol.ok
-            (("output", Json.String output)
-             :: ("degraded", Json.Int degraded)
-             ::
-             (match id with
-             | None -> []
-             | Some i -> [ ("id", Json.String i) ]))
-      | Error msg ->
-          t.errors <- t.errors + 1;
-          Protocol.error msg)
+  | Protocol.Analyze { source; id; trace_id } ->
+      handle_analyze t ~source ~id ~trace_id
   | Protocol.Metrics { prometheus } ->
       sync_disk_metrics t;
       if prometheus then
@@ -177,8 +361,10 @@ let handle t req =
           [
             ( "prometheus",
               Json.String
-                (Dt_obs.Metrics.to_prometheus t.metrics ^ serve_prometheus t)
-            );
+                (Dt_obs.Metrics.to_prometheus
+                   ~build:[ ("store_schema", Store.schema_version) ]
+                   t.metrics
+                 ^ serve_prometheus t) );
           ]
       else
         Protocol.ok
@@ -191,6 +377,32 @@ let handle t req =
         [
           ("status", Json.String "ok");
           ("jobs", Json.Int t.jobs);
+          ( "uptime_ns",
+            Json.Int
+              (Int64.to_int
+                 (Int64.sub (Dt_obs.Metrics.now_ns ()) t.started_ns)) );
+          ("requests", Json.Int t.requests);
+          ("in_flight", Json.Int t.in_flight);
+          ("connections", Json.Int t.connections);
+          ("errors", Json.Int t.errors);
+          ("protocol_errors", Json.Int t.protocol_errors);
+          ( "trace",
+            Json.Obj
+              [
+                ("sample_period", Json.Int (Reqtrace.Sampler.period t.sampler));
+                ( "slow_threshold_ns",
+                  Json.Int
+                    (Int64.to_int (Reqtrace.Sampler.threshold_ns t.sampler)) );
+                ("ledger_total", Json.Int (Reqtrace.Ring.total t.ring));
+              ] );
+          ( "cache",
+            Json.Obj
+              [
+                ("memo_hits", Json.Int (Dt_obs.Metrics.cache_hits t.metrics));
+                ( "memo_misses",
+                  Json.Int (Dt_obs.Metrics.cache_misses t.metrics) );
+                ("memo_entries", Json.Int (Dt_obs.Metrics.cache_size t.metrics));
+              ] );
           ( "disk",
             match t.store with
             | None -> Json.Bool false
@@ -202,5 +414,46 @@ let handle t req =
                     ("segments", Json.Int (Store.segments s));
                   ] );
         ]
+  | Protocol.Slow { n } -> entries_response t (Reqtrace.Ring.recent ?n t.ring)
+  | Protocol.Top { n } -> entries_response t (Reqtrace.Ring.top ?n t.ring)
+  | Protocol.Trace_last { trace_id } -> (
+      let entry =
+        match trace_id with
+        | Some id -> Reqtrace.Ring.find t.ring id
+        | None -> Reqtrace.Ring.last_capture t.ring
+      in
+      match entry with
+      | None -> Protocol.error "no captured request trace in the ledger"
+      | Some e when Array.length e.spans = 0 ->
+          Protocol.error
+            (Printf.sprintf
+               "request %s is in the ledger but its span capture was not \
+                retained (sampling period or threshold)"
+               e.trace_id)
+      | Some e ->
+          Protocol.ok
+            [
+              ("trace_id", Json.String e.trace_id);
+              ("entry", Reqtrace.entry_to_json e);
+              ( "chrome_trace",
+                Dt_obs.Timeline.to_chrome ~process:("deptest req " ^ e.trace_id)
+                  e.spans );
+            ])
   | Protocol.Flush -> Protocol.ok [ ("persisted", Json.Int (flush t)) ]
   | Protocol.Shutdown -> Protocol.ok []
+
+let handle t req =
+  t.requests <- t.requests + 1;
+  t.in_flight <- t.in_flight + 1;
+  let t0 = Dt_obs.Metrics.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.in_flight <- t.in_flight - 1;
+      Dt_obs.Metrics.serve_request t.metrics
+        ~endpoint:(Protocol.endpoint_of req)
+        ~ns:(Int64.sub (Dt_obs.Metrics.now_ns ()) t0))
+    (fun () ->
+      try handle_op t req
+      with e ->
+        t.errors <- t.errors + 1;
+        Protocol.error (Printexc.to_string e))

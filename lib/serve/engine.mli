@@ -10,24 +10,57 @@
 
     Responses containing degraded verdicts are never cached at either
     level. All verdict text comes from {!Render}, so answers are
-    byte-identical to the one-shot [deptest analyze]. *)
+    byte-identical to the one-shot [deptest analyze].
+
+    Every request is additionally observed ({!Dt_obs.Reqtrace}): timed
+    into the per-endpoint latency histogram, and — for analyze — entered
+    into the slow-request ring ledger under its trace id, tagged with
+    the coarsest cache tier that answered it. When the sampler arms, the
+    whole analysis runs under a request-scoped {!Dt_obs.Span} profiler
+    whose capture (if retained by the latency threshold) the
+    [trace-last] endpoint exports as a Chrome trace. The profiler is the
+    only difference between a traced and an untraced run — same memo
+    cache, same store — so answers stay byte-identical either way. *)
 
 type t
 
-val create : ?jobs:int -> ?cache_dir:string -> ?cache_capacity:int -> unit -> t
+val create :
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?cache_capacity:int ->
+  ?sample_period:int ->
+  ?slow_threshold_ns:int64 ->
+  ?ledger_recent:int ->
+  ?ledger_top:int ->
+  unit ->
+  t
 (** [jobs] is resolved through {!Dt_support.Pool.clamp_auto} (never
     oversubscribe). [cache_dir] attaches the persistent store, keyed by
     the serve configuration's fingerprint; omitted means in-memory only.
-    [cache_capacity] bounds both tiers. *)
+    [cache_capacity] bounds both tiers.
+
+    [sample_period] (default 1: every request) arms span capture on
+    every n-th analyze, [0] never; [slow_threshold_ns] (default 0: keep
+    everything armed) drops captures of requests faster than it;
+    [ledger_recent]/[ledger_top] (64/16) bound the ring ledger. *)
 
 val jobs : t -> int
 (** The clamped worker count actually in use. *)
 
 val store : t -> Dt_engine.Store.t option
 
+val note_connection : t -> unit
+(** The server accepted one client connection. *)
+
+val note_protocol_error : t -> unit
+(** The server dropped a connection on a framing error (oversized or
+    truncated frame); counted into both [protocol_errors] and
+    [errors]. *)
+
 val analyze_source : t -> string -> (string * int, string) result
 (** [Ok (rendered, degraded_pairs)] or [Error message] for a source
-    text that does not parse. *)
+    text that does not parse. Used by [warm] and tests; the request
+    path ({!handle}) adds tracing around the same function. *)
 
 val warm : t -> ?suite:string -> unit -> int
 (** Pre-analyze the workload corpus ({!Dt_workloads.Corpus}, optionally

@@ -1,52 +1,101 @@
 module Json = Dt_obs.Json
 
+(* Wire version. v1 (PR 8) had no "v" field and no trace ids; v2 adds
+   both plus the introspection ops. Absent "v" is read as 1 so old
+   clients keep working; a version above [version] is refused so an old
+   daemon fails loud instead of misreading a future frame. *)
+let version = 2
+
 type request =
-  | Analyze of { source : string; id : string option }
+  | Analyze of { source : string; id : string option; trace_id : string option }
   | Metrics of { prometheus : bool }
   | Health
+  | Slow of { n : int option }
+  | Top of { n : int option }
+  | Trace_last of { trace_id : string option }
   | Flush
   | Shutdown
 
-let request_to_json = function
-  | Analyze { source; id } ->
+let opt_field k = function None -> [] | Some v -> [ (k, Json.String v) ]
+let opt_int k = function None -> [] | Some v -> [ (k, Json.Int v) ]
+
+let request_to_json req =
+  let v = ("v", Json.Int version) in
+  match req with
+  | Analyze { source; id; trace_id } ->
       Json.Obj
         (("op", Json.String "analyze")
+         :: v
          :: ("source", Json.String source)
-         :: (match id with None -> [] | Some i -> [ ("id", Json.String i) ]))
+         :: (opt_field "id" id @ opt_field "trace_id" trace_id))
   | Metrics { prometheus } ->
       Json.Obj
         [
           ("op", Json.String "metrics");
+          v;
           ("format", Json.String (if prometheus then "prometheus" else "json"));
         ]
-  | Health -> Json.Obj [ ("op", Json.String "health") ]
-  | Flush -> Json.Obj [ ("op", Json.String "flush") ]
-  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+  | Health -> Json.Obj [ ("op", Json.String "health"); v ]
+  | Slow { n } -> Json.Obj (("op", Json.String "slow") :: v :: opt_int "n" n)
+  | Top { n } -> Json.Obj (("op", Json.String "top") :: v :: opt_int "n" n)
+  | Trace_last { trace_id } ->
+      Json.Obj
+        (("op", Json.String "trace-last") :: v :: opt_field "trace_id" trace_id)
+  | Flush -> Json.Obj [ ("op", Json.String "flush"); v ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown"); v ]
+
+let str_member k json =
+  match Json.member k json with Some (Json.String s) -> Some s | _ -> None
+
+let int_member k json =
+  match Json.member k json with Some (Json.Int n) -> Some n | _ -> None
 
 let request_of_json json =
-  match Json.member "op" json with
-  | Some (Json.String "analyze") -> (
-      match Json.member "source" json with
-      | Some (Json.String source) ->
-          let id =
-            match Json.member "id" json with
-            | Some (Json.String i) -> Some i
-            | _ -> None
-          in
-          Ok (Analyze { source; id })
-      | _ -> Error "analyze: missing string field \"source\"")
-  | Some (Json.String "metrics") ->
-      let prometheus =
-        match Json.member "format" json with
-        | Some (Json.String "prometheus") -> true
-        | _ -> false
-      in
-      Ok (Metrics { prometheus })
-  | Some (Json.String "health") -> Ok Health
-  | Some (Json.String "flush") -> Ok Flush
-  | Some (Json.String "shutdown") -> Ok Shutdown
-  | Some (Json.String op) -> Error (Printf.sprintf "unknown op %S" op)
-  | _ -> Error "request is not an object with a string \"op\""
+  match int_member "v" json with
+  | Some v when v > version ->
+      Error
+        (Printf.sprintf
+           "protocol version %d not supported (this daemon speaks <= %d)" v
+           version)
+  | _ -> (
+      match Json.member "op" json with
+      | Some (Json.String "analyze") -> (
+          match str_member "source" json with
+          | Some source ->
+              Ok
+                (Analyze
+                   {
+                     source;
+                     id = str_member "id" json;
+                     trace_id = str_member "trace_id" json;
+                   })
+          | None -> Error "analyze: missing string field \"source\"")
+      | Some (Json.String "metrics") ->
+          Ok (Metrics { prometheus = str_member "format" json
+                                     = Some "prometheus" })
+      | Some (Json.String "health") -> Ok Health
+      | Some (Json.String "slow") -> Ok (Slow { n = int_member "n" json })
+      | Some (Json.String "top") -> Ok (Top { n = int_member "n" json })
+      | Some (Json.String "trace-last") ->
+          Ok (Trace_last { trace_id = str_member "trace_id" json })
+      | Some (Json.String "flush") -> Ok Flush
+      | Some (Json.String "shutdown") -> Ok Shutdown
+      | Some (Json.String op) -> Error (Printf.sprintf "unknown op %S" op)
+      | _ -> Error "request is not an object with a string \"op\"")
+
+let endpoint_of = function
+  | Analyze _ -> "analyze"
+  | Metrics _ -> "metrics"
+  | Health -> "health"
+  | Slow _ -> "slow"
+  | Top _ -> "top"
+  | Trace_last _ -> "trace-last"
+  | Flush -> "flush"
+  | Shutdown -> "shutdown"
+
+let endpoints =
+  [ "analyze"; "metrics"; "health"; "slow"; "top"; "trace-last"; "flush";
+    "shutdown" ]
 
 let error msg =
   Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]

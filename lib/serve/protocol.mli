@@ -2,23 +2,50 @@
 
     Requests and responses are single JSON objects ({!Dt_obs.Json}),
     framed by {!Dt_support.Frame} (4-byte big-endian length prefix). A
-    request carries an ["op"]; a response always carries ["ok"], with
-    either the op's payload or an ["error"] message. A client may stream
-    any number of requests over one connection. *)
+    request carries an ["op"] and the wire {!version} under ["v"]; a
+    response always carries ["ok"], with either the op's payload or an
+    ["error"] message. A client may stream any number of requests over
+    one connection. *)
+
+val version : int
+(** The wire version this build speaks (2). A request without ["v"] is
+    read as version 1 — the PR 8 protocol, still accepted — while a
+    ["v"] above {!version} is refused with an error response, so an old
+    daemon fails loud instead of misreading a future frame. *)
 
 type request =
-  | Analyze of { source : string; id : string option }
+  | Analyze of { source : string; id : string option; trace_id : string option }
       (** Analyze one compilation unit (mini-Fortran or the C fragment,
-          auto-detected). [id] is echoed back for request matching. *)
+          auto-detected). [id] is echoed back for request matching;
+          [trace_id] is the client-generated {!Dt_obs.Reqtrace} id that
+          keys this request's entry in the daemon's slow ledger. *)
   | Metrics of { prometheus : bool }
       (** The daemon's metrics snapshot: JSON, or the Prometheus text
           exposition when [prometheus]. *)
   | Health
+      (** Liveness plus daemon vitals: uptime, requests in flight,
+          totals, sampler settings, pool/cache usage. *)
+  | Slow of { n : int option }
+      (** The newest [n] (default: ring capacity) request summaries from
+          the slow ledger, newest first. *)
+  | Top of { n : int option }
+      (** The [n] (default: board capacity) slowest requests observed,
+          slowest first. *)
+  | Trace_last of { trace_id : string option }
+      (** The most recent retained span capture — or the capture for
+          [trace_id] when given — exported as a Chrome trace. *)
   | Flush  (** Persist the disk cache now. *)
   | Shutdown  (** Stop the daemon after responding. *)
 
 val request_to_json : request -> Dt_obs.Json.t
 val request_of_json : Dt_obs.Json.t -> (request, string) result
+
+val endpoint_of : request -> string
+(** The op slug — the [endpoint] label on the daemon's request metrics
+    and ledger entries. *)
+
+val endpoints : string list
+(** Every op slug, for pre-registering metric series at startup. *)
 
 val error : string -> Dt_obs.Json.t
 (** [{"ok":false,"error":msg}]. *)

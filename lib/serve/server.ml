@@ -1,34 +1,60 @@
 module Json = Dt_obs.Json
 module Frame = Dt_support.Frame
 
-(* one client connection: stream frames until EOF / shutdown / a framing
-   error. Returns [true] when a Shutdown request asked the daemon to
-   stop. *)
-let serve_connection engine fd =
-  let rec loop () =
-    match Frame.read fd with
-    | None -> false
-    | Some payload ->
-        let req =
-          match Json.of_string payload with
-          | Error e -> Error ("bad JSON: " ^ e)
-          | Ok json -> Protocol.request_of_json json
-        in
-        let response, stop =
-          match req with
-          | Error msg -> (Protocol.error msg, false)
-          | Ok r -> (Engine.handle engine r, r = Protocol.Shutdown)
-        in
-        Frame.write fd (Json.to_string response);
-        if stop then true else loop ()
-  in
-  try loop () with
-  | Failure _ -> false  (* peer broke a frame mid-message *)
-  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+(* Service one readable client: read one frame, answer it. Returns what
+   to do with the connection afterwards. Frame granularity is the
+   multiplexing unit — two clients interleave between requests, not
+   inside one — which keeps responses strictly ordered per connection
+   without threads. *)
+type step = Keep | Close | Stop
 
-let run ~socket ?(jobs = 0) ?cache_dir ?cache_capacity ?warm
+let serve_frame engine fd =
+  match Frame.read_r fd with
+  | Ok None -> Close
+  | Error e ->
+      (* a bad frame poisons the stream position, so the connection
+         cannot survive; it still deserves a counted protocol error
+         response rather than a raw exception. The oversized payload is
+         NOT drained first — a malicious length prefix need not be
+         backed by real bytes, and draining would block the daemon. *)
+      Engine.note_protocol_error engine;
+      (try
+         Frame.write fd
+           (Json.to_string
+              (Protocol.error ("protocol error: " ^ Frame.error_message e)))
+       with
+      | Unix.Unix_error _ | Invalid_argument _ -> ());
+      Close
+  | Ok (Some payload) -> (
+      let req =
+        match Json.of_string payload with
+        | Error e -> Error ("bad JSON: " ^ e)
+        | Ok json -> Protocol.request_of_json json
+      in
+      let response, stop =
+        match req with
+        | Error msg -> (Protocol.error msg, false)
+        | Ok r -> (Engine.handle engine r, r = Protocol.Shutdown)
+      in
+      match Frame.write fd (Json.to_string response) with
+      | () -> if stop then Stop else Keep
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          Close
+      | exception Invalid_argument _ ->
+          (* response over the frame cap (a giant trace export): the
+             peer cannot be answered in-protocol, drop it *)
+          Engine.note_protocol_error engine;
+          Close)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let run ~socket ?(jobs = 0) ?cache_dir ?cache_capacity ?sample_period
+    ?slow_threshold_ns ?ledger_recent ?ledger_top ?warm
     ?(stop = Atomic.make false) ?(signals = false) ?(log = ignore) () =
-  let engine = Engine.create ~jobs ?cache_dir ?cache_capacity () in
+  let engine =
+    Engine.create ~jobs ?cache_dir ?cache_capacity ?sample_period
+      ?slow_threshold_ns ?ledger_recent ?ledger_top ()
+  in
   (match warm with
   | None -> ()
   | Some w ->
@@ -60,34 +86,49 @@ let run ~socket ?(jobs = 0) ?cache_dir ?cache_capacity ?warm
       Unix.listen sock 16;
       log (Printf.sprintf "listening on %s (jobs %d)" socket
              (Engine.jobs engine));
-      let rec accept_loop () =
+      (* connections are multiplexed with select at frame granularity,
+         so several clients may hold connections open concurrently; a
+         request is served whole before the next readable fd is
+         visited *)
+      let clients = ref [] in
+      let drop fd =
+        clients := List.filter (fun c -> c <> fd) !clients;
+        close_quiet fd
+      in
+      let rec loop () =
         if Atomic.get stop then ()
         else
           (* poll with a timeout so a signal or stop flag is seen even
              with no client activity *)
-          match Unix.select [ sock ] [] [] 0.2 with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-          | [], _, _ -> accept_loop ()
-          | _ :: _, _, _ -> (
-              match Unix.accept sock with
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-              | fd, _ ->
-                  let shutdown_requested =
-                    Fun.protect
-                      ~finally:(fun () ->
-                        try Unix.close fd with Unix.Unix_error _ -> ())
-                      (fun () -> serve_connection engine fd)
-                  in
-                  if shutdown_requested then Atomic.set stop true;
-                  accept_loop ())
+          match Unix.select (sock :: !clients) [] [] 0.2 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | readable, _, _ ->
+              List.iter
+                (fun fd ->
+                  if fd = sock then (
+                    match Unix.accept sock with
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                    | client, _ ->
+                        Engine.note_connection engine;
+                        clients := !clients @ [ client ])
+                  else if List.mem fd !clients then
+                    match serve_frame engine fd with
+                    | Keep -> ()
+                    | Close -> drop fd
+                    | Stop ->
+                        drop fd;
+                        Atomic.set stop true)
+                readable;
+              loop ()
       in
-      accept_loop ();
+      loop ();
+      List.iter close_quiet !clients;
       (* clean shutdown: verdicts first, then the listening endpoint *)
       let persisted = Engine.flush engine in
       if persisted > 0 then
         log (Printf.sprintf "flushed %d cache entr%s" persisted
                (if persisted = 1 then "y" else "ies"));
-      (try Unix.close sock with Unix.Unix_error _ -> ());
+      close_quiet sock;
       (try Unix.unlink socket with Unix.Unix_error _ -> ());
       log "stopped";
       0

@@ -1,16 +1,26 @@
 (** The unix-socket accept loop around {!Engine}.
 
-    Single-threaded at the connection level — request parallelism comes
-    from the work-stealing pool inside each analysis — with a polling
-    accept (200 ms select timeout) so a stop flag or signal is honored
-    promptly. On shutdown the disk store is flushed and the socket file
-    removed. *)
+    Connections are multiplexed with [select] at {e frame} granularity:
+    several clients may hold connections open concurrently, each request
+    is served whole before the next readable descriptor is visited, and
+    responses stay strictly ordered per connection — request parallelism
+    still comes from the work-stealing pool inside each analysis. The
+    200 ms select timeout keeps a stop flag or signal honored promptly.
+
+    A framing error (oversized or truncated frame) or malformed JSON is
+    answered with a counted protocol-error response and a clean close of
+    that connection only; the daemon keeps serving the others. On
+    shutdown the disk store is flushed and the socket file removed. *)
 
 val run :
   socket:string ->
   ?jobs:int ->
   ?cache_dir:string ->
   ?cache_capacity:int ->
+  ?sample_period:int ->
+  ?slow_threshold_ns:int64 ->
+  ?ledger_recent:int ->
+  ?ledger_top:int ->
   ?warm:[ `All | `Suite of string ] ->
   ?stop:bool Atomic.t ->
   ?signals:bool ->
@@ -20,5 +30,6 @@ val run :
 (** Serve on the unix socket at [socket] until [stop] is set, a
     [Shutdown] request arrives, or (with [signals], default off) SIGTERM
     / SIGINT. [warm] pre-analyzes the workload corpus (or one suite of
-    it) before accepting. Returns the process exit code: [0] for a clean
+    it) before accepting. The sampling and ledger options are passed to
+    {!Engine.create}. Returns the process exit code: [0] for a clean
     shutdown, [2] if the socket cannot be bound. *)

@@ -30,17 +30,30 @@ let write fd payload =
   Bytes.blit_string payload 0 buf 4 len;
   write_all fd buf 0 (4 + len)
 
-let read ?(max = max_frame) fd =
+type error = Truncated | Oversize of int
+
+let error_message = function
+  | Truncated -> "truncated frame: peer died mid-message"
+  | Oversize len ->
+      Printf.sprintf "frame length %d exceeds the %d-byte cap" len max_frame
+
+let read_r ?(max = max_frame) fd =
   let hdr = Bytes.create 4 in
   let got = read_all fd hdr 0 4 in
-  if got = 0 then None
-  else if got < 4 then failwith "Frame.read: truncated length prefix"
+  if got = 0 then Ok None
+  else if got < 4 then Error Truncated
   else begin
     let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-    if len < 0 || len > max then
-      failwith (Printf.sprintf "Frame.read: length %d out of bounds" len);
-    let payload = Bytes.create len in
-    if read_all fd payload 0 len < len then
-      failwith "Frame.read: truncated payload"
-    else Some (Bytes.unsafe_to_string payload)
+    if len < 0 || len > max then Error (Oversize len)
+    else
+      let payload = Bytes.create len in
+      if read_all fd payload 0 len < len then Error Truncated
+      else Ok (Some (Bytes.unsafe_to_string payload))
   end
+
+let read ?max fd =
+  match read_r ?max fd with
+  | Ok r -> r
+  | Error Truncated -> failwith "Frame.read: truncated frame"
+  | Error (Oversize len) ->
+      failwith (Printf.sprintf "Frame.read: length %d out of bounds" len)

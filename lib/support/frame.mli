@@ -13,7 +13,23 @@ val write : Unix.file_descr -> string -> unit
 (** Send one frame. Raises [Unix.Unix_error] on a broken peer and
     [Invalid_argument] on a payload over {!max_frame}. *)
 
+type error =
+  | Truncated  (** end-of-stream inside a header or payload *)
+  | Oversize of int
+      (** the length prefix (payload bytes promised) exceeded the cap *)
+
+val error_message : error -> string
+(** Human-readable description, suitable for a protocol error reply. *)
+
+val read_r : ?max:int -> Unix.file_descr -> (string option, error) result
+(** Receive one frame. [Ok None] on clean end-of-stream at a frame
+    boundary; [Error] on a truncated frame (peer died mid-message) or a
+    length prefix over [max] (default {!max_frame}). After an [Error]
+    the stream position is unusable — the connection must be closed, and
+    on [Oversize] the oversized payload has {e not} been drained (a
+    malicious prefix need not be backed by real bytes, so draining could
+    block forever). *)
+
 val read : ?max:int -> Unix.file_descr -> string option
-(** Receive one frame. [None] on clean end-of-stream at a frame
-    boundary; raises [Failure] on a truncated frame (peer died
-    mid-message) or a length prefix over [max] (default {!max_frame}). *)
+(** {!read_r} with errors raised as [Failure] — for callers (tests,
+    one-shot tools) where a bad peer is fatal anyway. *)

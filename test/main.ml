@@ -26,6 +26,7 @@ let () =
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("span", Test_span.suite);
+      ("reqtrace", Test_reqtrace.suite);
       ("emit", Test_emit.suite);
       ("semantics", Test_semantics.suite);
       ("guard", Test_guard.suite);

@@ -183,6 +183,46 @@ let test_ledger_compaction () =
         (count other.Dt_report.Record.fingerprint));
   Sys.remove path
 
+let test_ledger_window_default () =
+  (* the compaction window: [?keep] falls back to [default_keep], and an
+     explicit window is honored exactly — this is what the CLI's
+     [--ledger-window] / [DEPTEST_LEDGER_WINDOW] plumbs through *)
+  let path = tmp_path "window.jsonl" in
+  if Sys.file_exists path then Sys.remove path;
+  let r = record_of small_prog in
+  let n = Dt_report.Ledger.default_keep + 3 in
+  for _ = 1 to n do
+    match Dt_report.Ledger.append ~path r with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "append failed: %s" e
+  done;
+  (match Dt_report.Ledger.load ~path () with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok (records, _) ->
+      Alcotest.(check int) "default window caps per-config history"
+        Dt_report.Ledger.default_keep (List.length records));
+  (* widening the window on a later append must not drop history that
+     still fits *)
+  (match Dt_report.Ledger.append ~path ~keep:(n + 10) r with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "append failed: %s" e);
+  (match Dt_report.Ledger.load ~path () with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok (records, _) ->
+      Alcotest.(check int) "wider window keeps everything present"
+        (Dt_report.Ledger.default_keep + 1)
+        (List.length records));
+  (* and narrowing it compacts immediately *)
+  (match Dt_report.Ledger.append ~path ~keep:3 r with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "append failed: %s" e);
+  (match Dt_report.Ledger.load ~path () with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok (records, _) ->
+      Alcotest.(check int) "narrow window compacts on append" 3
+        (List.length records));
+  Sys.remove path
+
 let test_ledger_merge_idempotent () =
   let a = [ record_of small_prog; record_of ~label:"b" small_prog ] in
   let b = [ List.hd a; record_of ~label:"c" small_prog ] in
@@ -495,6 +535,8 @@ let suite =
       test_ledger_corrupt_lines;
     Alcotest.test_case "append compacts per fingerprint" `Quick
       test_ledger_compaction;
+    Alcotest.test_case "compaction window defaults and overrides" `Quick
+      test_ledger_window_default;
     Alcotest.test_case "merge deduplicates" `Quick test_ledger_merge_idempotent;
     Alcotest.test_case "identical runs never drift" `Quick
       test_drift_identical_runs;

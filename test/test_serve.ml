@@ -82,6 +82,21 @@ let test_frame_truncated () =
     | _ -> false);
   Unix.close b
 
+let test_frame_read_r () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Frame.write a "payload";
+  check bool "read_r round-trips" true (Frame.read_r b = Ok (Some "payload"));
+  (* an oversized length prefix is an Error carrying the length, without
+     reading (or waiting for) the promised bytes *)
+  let buf = Bytes.create 4 in
+  Bytes.set_int32_be buf 0 (Int32.of_int (Frame.max_frame + 1));
+  ignore (Unix.write a buf 0 4);
+  check bool "oversize is typed" true
+    (Frame.read_r b = Error (Frame.Oversize (Frame.max_frame + 1)));
+  Unix.close a;
+  check bool "EOF after error is clean" true (Frame.read_r b = Ok None);
+  Unix.close b
+
 (* --- Store ------------------------------------------------------------ *)
 
 let fp = "test-fingerprint"
@@ -231,11 +246,17 @@ let test_injected_fault_never_persisted () =
 let test_protocol_roundtrip () =
   let reqs =
     [
-      Dt_serve.Protocol.Analyze { source = src; id = Some "req-1" };
-      Dt_serve.Protocol.Analyze { source = ""; id = None };
+      Dt_serve.Protocol.Analyze
+        { source = src; id = Some "req-1"; trace_id = Some "0123456789abcdef" };
+      Dt_serve.Protocol.Analyze { source = ""; id = None; trace_id = None };
       Dt_serve.Protocol.Metrics { prometheus = true };
       Dt_serve.Protocol.Metrics { prometheus = false };
       Dt_serve.Protocol.Health;
+      Dt_serve.Protocol.Slow { n = Some 5 };
+      Dt_serve.Protocol.Slow { n = None };
+      Dt_serve.Protocol.Top { n = Some 3 };
+      Dt_serve.Protocol.Trace_last { trace_id = Some "0123456789abcdef" };
+      Dt_serve.Protocol.Trace_last { trace_id = None };
       Dt_serve.Protocol.Flush;
       Dt_serve.Protocol.Shutdown;
     ]
@@ -252,6 +273,31 @@ let test_protocol_roundtrip () =
     (Result.is_error
        (Dt_serve.Protocol.request_of_json
           (Json.Obj [ ("op", Json.String "frobnicate") ])))
+
+let test_protocol_version () =
+  (* absent "v" reads as v1 — the PR 8 wire format keeps working *)
+  check bool "v1 (no v field) accepted" true
+    (Dt_serve.Protocol.request_of_json (Json.Obj [ ("op", Json.String "health") ])
+    = Ok Dt_serve.Protocol.Health);
+  (* a v1 analyze has no trace id *)
+  (match
+     Dt_serve.Protocol.request_of_json
+       (Json.Obj
+          [ ("op", Json.String "analyze"); ("source", Json.String "X") ])
+   with
+  | Ok (Dt_serve.Protocol.Analyze { trace_id = None; _ }) -> ()
+  | other ->
+      Alcotest.failf "v1 analyze misparsed: %s"
+        (match other with Ok _ -> "some other request" | Error e -> e));
+  (* a future version is refused loudly, never misread *)
+  match
+    Dt_serve.Protocol.request_of_json
+      (Json.Obj [ ("op", Json.String "health"); ("v", Json.Int 99) ])
+  with
+  | Error e ->
+      check bool "refusal names the version" true
+        (Astring_contains.contains e "version")
+  | Ok _ -> Alcotest.fail "future protocol version accepted"
 
 (* --- engine ----------------------------------------------------------- *)
 
@@ -325,7 +371,7 @@ let client_analyze sock =
     (fun () ->
       let resp =
         Dt_serve.Client.request c
-          (Dt_serve.Protocol.Analyze { source = src; id = None })
+          (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = None })
       in
       match
         (Json.member "ok" resp, Json.member "output" resp)
@@ -380,10 +426,203 @@ let test_server_end_to_end () =
   Dt_serve.Client.close c2;
   check int "clean second shutdown" 0 (Domain.join d2)
 
+(* --- request tracing -------------------------------------------------- *)
+
+(* raw frame-level client: lets a test hold several connections open and
+   interleave requests across them, which Client.request (strict
+   round-trips) cannot express *)
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let raw_send fd req =
+  Frame.write fd (Json.to_string (Dt_serve.Protocol.request_to_json req))
+
+let raw_recv fd =
+  match Frame.read fd with
+  | None -> Alcotest.fail "server closed the connection"
+  | Some payload -> (
+      match Json.of_string payload with
+      | Ok json -> json
+      | Error e -> Alcotest.fail ("bad response JSON: " ^ e))
+
+let output_of resp =
+  match (Json.member "ok" resp, Json.member "output" resp) with
+  | Some (Json.Bool true), Some (Json.String out) -> out
+  | _ -> Alcotest.fail ("bad analyze response: " ^ Json.to_string resp)
+
+let entry_ids resp =
+  match Json.member "entries" resp with
+  | Some (Json.List es) ->
+      List.filter_map
+        (fun e ->
+          match Json.member "trace_id" e with
+          | Some (Json.String i) -> Some i
+          | _ -> None)
+        es
+  | _ -> Alcotest.fail ("no entries in: " ^ Json.to_string resp)
+
+let with_server ?(jobs = 1) ?cache_dir ?sample_period ?slow_threshold_ns f =
+  let sock = Filename.concat (tmpdir ()) "serve.sock" in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Dt_serve.Server.run ~socket:sock ~jobs ?cache_dir ?sample_period
+          ?slow_threshold_ns ~stop ())
+  in
+  wait_for_socket sock;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      check int "clean shutdown" 0 (Domain.join d))
+    (fun () -> f sock)
+
+(* a traced analysis must answer byte-identically to an untraced one:
+   the profiler is the only difference between the configs *)
+let test_tracing_byte_parity () =
+  let baseline = in_process_output () in
+  let ask engine =
+    match
+      Json.member "output"
+        (Dt_serve.Engine.handle engine
+           (Dt_serve.Protocol.Analyze
+              { source = src; id = None; trace_id = None }))
+    with
+    | Some (Json.String out) -> out
+    | _ -> Alcotest.fail "no output"
+  in
+  let traced = Dt_serve.Engine.create ~jobs:1 ~sample_period:1 () in
+  let untraced = Dt_serve.Engine.create ~jobs:1 ~sample_period:0 () in
+  check string "tracing on = in-process" baseline (ask traced);
+  check string "tracing off = in-process" baseline (ask untraced)
+
+(* the acceptance e2e: a slow analyze (injected delay) must land in the
+   slow ledger under its client-chosen trace id, and trace-last must
+   export its span capture as a Chrome trace rooted in a request span *)
+let test_slow_ledger_end_to_end () =
+  let baseline = in_process_output () in
+  with_server ~jobs:1 ~sample_period:1 ~slow_threshold_ns:0L @@ fun sock ->
+  let trace_id = "feedfacecafe0123" in
+  let fd = raw_connect sock in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  (* jobs 1: the inject harness is global and single-domain only, so the
+     delay must fire on the daemon's own domain *)
+  Dt_guard.Inject.enable ~period:1 [ Dt_guard.Inject.Delay ];
+  let resp =
+    Fun.protect ~finally:Dt_guard.Inject.disable (fun () ->
+        raw_send fd
+          (Dt_serve.Protocol.Analyze
+             { source = src; id = None; trace_id = Some trace_id });
+        raw_recv fd)
+  in
+  (* an injected delay slows the run without changing any verdict *)
+  check string "delayed analyze still byte-correct" baseline (output_of resp);
+  check bool "response echoes the trace id" true
+    (Json.member "trace_id" resp = Some (Json.String trace_id));
+  (* the slow ledger has it, newest first *)
+  raw_send fd (Dt_serve.Protocol.Slow { n = None });
+  let slow = raw_recv fd in
+  check bool "slow ledger lists the trace id" true
+    (List.mem trace_id (entry_ids slow));
+  raw_send fd (Dt_serve.Protocol.Top { n = None });
+  check bool "top board lists the trace id" true
+    (List.mem trace_id (entry_ids (raw_recv fd)));
+  (* its capture exports as a Chrome trace rooted in a request span *)
+  raw_send fd (Dt_serve.Protocol.Trace_last { trace_id = Some trace_id });
+  let tl = raw_recv fd in
+  (match Json.member "chrome_trace" tl with
+  | Some chrome -> (
+      match Json.member "traceEvents" chrome with
+      | Some (Json.List events) ->
+          check bool "trace has events" true (events <> []);
+          check bool "trace carries the request span" true
+            (List.exists
+               (fun e ->
+                 Json.member "name" e = Some (Json.String "request"))
+               events)
+      | _ -> Alcotest.fail "chrome trace has no traceEvents")
+  | None -> Alcotest.fail ("no chrome_trace in: " ^ Json.to_string tl));
+  (* the ledger entry records endpoint and tier *)
+  match Json.member "entries" slow with
+  | Some (Json.List (e :: _)) ->
+      check bool "entry has endpoint analyze" true
+        (Json.member "endpoint" e = Some (Json.String "analyze"));
+      check bool "entry has a tier" true
+        (match Json.member "tier" e with
+        | Some (Json.String t) ->
+            List.mem t [ "response"; "disk"; "memo"; "cold"; "none" ]
+        | _ -> false);
+      check bool "entry was captured" true
+        (Json.member "captured" e = Some (Json.Bool true))
+  | _ -> Alcotest.fail "slow returned no entries"
+
+(* two clients holding connections open concurrently: the second to
+   connect is answered first (impossible under the old serial accept
+   loop), both byte-correct, both trace ids in the ledger *)
+let test_concurrent_clients () =
+  let baseline = in_process_output () in
+  with_server ~jobs:1 @@ fun sock ->
+  let t1 = "1111111111111111" and t2 = "2222222222222222" in
+  let c1 = raw_connect sock in
+  Fun.protect ~finally:(fun () -> Unix.close c1) @@ fun () ->
+  let c2 = raw_connect sock in
+  Fun.protect ~finally:(fun () -> Unix.close c2) @@ fun () ->
+  (* c1 connected first but stays silent; c2 must be served regardless *)
+  raw_send c2
+    (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = Some t2 });
+  check string "second connection answered while first is open" baseline
+    (output_of (raw_recv c2));
+  raw_send c1
+    (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = Some t1 });
+  check string "first connection answered after" baseline
+    (output_of (raw_recv c1));
+  raw_send c1 (Dt_serve.Protocol.Slow { n = None });
+  let ids = entry_ids (raw_recv c1) in
+  check bool "both trace ids in the ledger" true
+    (List.mem t1 ids && List.mem t2 ids);
+  check bool "trace ids are distinct" true (t1 <> t2)
+
+(* an oversized frame gets a counted protocol error response and a clean
+   close of that connection only — the daemon keeps serving others *)
+let test_oversize_frame_connection () =
+  with_server ~jobs:1 @@ fun sock ->
+  let evil = raw_connect sock in
+  let buf = Bytes.create 4 in
+  Bytes.set_int32_be buf 0 (Int32.of_int (Frame.max_frame + 1));
+  ignore (Unix.write evil buf 0 4);
+  (* the daemon answers in-protocol before closing *)
+  (match Frame.read evil with
+  | Some payload ->
+      let resp = Result.get_ok (Json.of_string payload) in
+      check bool "error response" true
+        (Json.member "ok" resp = Some (Json.Bool false));
+      check bool "names the protocol error" true
+        (match Json.member "error" resp with
+        | Some (Json.String e) -> Astring_contains.contains e "protocol error"
+        | _ -> false)
+  | None -> Alcotest.fail "no protocol error response before close");
+  check bool "connection closed after the error" true (Frame.read evil = None);
+  Unix.close evil;
+  (* the daemon is unharmed and counted the error *)
+  let fd = raw_connect sock in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  raw_send fd
+    (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = None });
+  check string "daemon still serves" (in_process_output ())
+    (output_of (raw_recv fd));
+  raw_send fd Dt_serve.Protocol.Health;
+  let health = raw_recv fd in
+  check bool "protocol error counted in health" true
+    (match Json.member "protocol_errors" health with
+    | Some (Json.Int n) -> n >= 1
+    | _ -> false)
+
 let suite =
   [
     ("frame round-trip", `Quick, test_frame_roundtrip);
     ("frame truncated", `Quick, test_frame_truncated);
+    ("frame read_r oversize", `Quick, test_frame_read_r);
     ("store round-trip", `Quick, test_store_roundtrip);
     ("store eviction durable", `Quick, test_store_eviction);
     ("store corruption: truncated segment", `Quick, test_store_truncated);
@@ -400,10 +639,15 @@ let suite =
       `Quick,
       test_injected_fault_never_persisted );
     ("protocol round-trip", `Quick, test_protocol_roundtrip);
+    ("protocol versioning", `Quick, test_protocol_version);
     ("engine response cache", `Quick, test_engine_response_cache);
     ( "engine invalid response entry",
       `Quick,
       test_engine_invalid_response_entry );
     ("jobs clamp", `Quick, test_clamp_auto);
     ("server end-to-end", `Quick, test_server_end_to_end);
+    ("tracing byte parity", `Quick, test_tracing_byte_parity);
+    ("slow ledger end-to-end", `Quick, test_slow_ledger_end_to_end);
+    ("concurrent clients", `Quick, test_concurrent_clients);
+    ("oversize frame connection", `Quick, test_oversize_frame_connection);
   ]
