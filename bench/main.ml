@@ -1289,7 +1289,7 @@ let serve_bench () =
               let t0 = Dt_obs.Metrics.now_ns () in
               let resp =
                 Dt_serve.Client.request c
-                  (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = None })
+                  (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = None; deadline_ms = None })
               in
               let ns = Int64.sub (Dt_obs.Metrics.now_ns ()) t0 in
               (match Dt_obs.Json.member "output" resp with
@@ -1487,6 +1487,7 @@ let reqtrace_bench () =
                  source = src;
                  id = None;
                  trace_id = Some (Dt_obs.Reqtrace.gen_id ());
+                 deadline_ms = None;
                })
         in
         let ns = Int64.sub (Dt_obs.Metrics.now_ns ()) t0 in
@@ -1632,6 +1633,223 @@ let reqtrace_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* resilience: a deliberately starved daemon (max_inflight 1) under
+   pipelined load must shed with structured, hint-carrying overloaded
+   responses — never a dropped connection — while admitted requests
+   stay byte-identical and bounded; and retrying clients over the same
+   starved daemon must all converge to byte-identical answers. Writes
+   BENCH_resilience.json and exits 1 on any drop, hintless shed, or
+   divergence. *)
+
+let resilience_bench () =
+  Printf.printf "\n== resilience: overload shedding and retry convergence ==\n";
+  let pid = Unix.getpid () in
+  let tmp = Filename.get_temp_dir_name () in
+  let mk_sock tag =
+    Filename.concat tmp (Printf.sprintf "dt_bench_resil_%s_%d.sock" tag pid)
+  in
+  let fatal msg =
+    prerr_endline ("bench: FATAL: " ^ msg);
+    exit 1
+  in
+  (* distinct sources, so every admitted request does cold analysis
+     work — overload needs the queue to actually back up *)
+  let mk_src i =
+    Printf.sprintf
+      "      PROGRAM R%04d\n\
+      \      DO 20 I = 2, %d\n\
+      \        DO 10 J = 2, %d\n\
+      \          A(I,J) = A(I-1,J) + A(I,J-1)\n\
+      \   10   CONTINUE\n\
+      \   20 CONTINUE\n\
+      \      END\n"
+      i (40 + i) (50 + i)
+  in
+  let n_conns = 8 and per_conn = 3 in
+  let n_sources = n_conns * per_conn in
+  let sources = Array.init n_sources mk_src in
+  let expected =
+    Array.map
+      (fun src ->
+        let progs = Dt_frontend.Lower.parse_unit src in
+        let cfg = Deptest.Analyze.Config.make () in
+        fst (Dt_serve.Render.unit_ progs (Deptest.Analyze.run_all cfg progs)))
+      sources
+  in
+  let start_daemon ~socket =
+    (try Sys.remove socket with Sys_error _ -> ());
+    let d =
+      Domain.spawn (fun () ->
+          Dt_serve.Server.run ~socket ~jobs:1 ~max_inflight:1 ())
+    in
+    let rec wait n =
+      if n = 0 then fatal "resilience daemon never answered health";
+      if not (Dt_serve.Client.ping ~socket ()) then begin
+        Unix.sleepf 0.02;
+        wait (n - 1)
+      end
+    in
+    wait 250;
+    d
+  in
+  let shutdown ~socket d =
+    let c = Dt_serve.Client.connect ~socket in
+    ignore (Dt_serve.Client.request c Dt_serve.Protocol.Shutdown);
+    Dt_serve.Client.close c;
+    if Domain.join d <> 0 then fatal "resilience daemon exited non-zero"
+  in
+  let analyze_req i =
+    Dt_serve.Protocol.Analyze
+      {
+        source = sources.(i);
+        id = Some (string_of_int i);
+        trace_id = None;
+        deadline_ms = None;
+      }
+  in
+  (* --- phase 1: pipelined overload against max_inflight 1 ---------- *)
+  let sock = mk_sock "over" in
+  let d = start_daemon ~socket:sock in
+  let conns =
+    Array.init n_conns (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        fd)
+  in
+  let t0 = Dt_obs.Metrics.now_ns () in
+  Array.iteri
+    (fun c fd ->
+      for k = 0 to per_conn - 1 do
+        Dt_support.Frame.write fd
+          (Dt_obs.Json.to_string
+             (Dt_serve.Protocol.request_to_json
+                (analyze_req ((c * per_conn) + k))))
+      done)
+    conns;
+  let served = ref 0 and shed = ref 0 and hintless = ref 0 in
+  let identical = ref true in
+  let admitted_ms = ref [] in
+  Array.iteri
+    (fun c fd ->
+      for k = 0 to per_conn - 1 do
+        match Dt_support.Frame.read fd with
+        | None -> fatal "overload dropped a connection"
+        | Some payload -> (
+            let resp =
+              match Dt_obs.Json.of_string payload with
+              | Ok j -> j
+              | Error e -> fatal ("bad response JSON: " ^ e)
+            in
+            match Dt_serve.Protocol.retry_after_of resp with
+            | Some ms ->
+                incr shed;
+                if ms < 1 then incr hintless
+            | None ->
+                incr served;
+                let ms =
+                  Int64.to_float (Int64.sub (Dt_obs.Metrics.now_ns ()) t0)
+                  /. 1e6
+                in
+                admitted_ms := ms :: !admitted_ms;
+                (match Dt_obs.Json.member "output" resp with
+                | Some (Dt_obs.Json.String out) ->
+                    if out <> expected.((c * per_conn) + k) then
+                      identical := false
+                | _ -> identical := false))
+      done;
+      Unix.close fd)
+    conns;
+  shutdown ~socket:sock d;
+  let p99_ms =
+    match List.sort compare !admitted_ms with
+    | [] -> 0.
+    | l ->
+        let arr = Array.of_list l in
+        arr.(min (Array.length arr - 1)
+               (int_of_float (ceil (0.99 *. float_of_int (Array.length arr)))
+                - 1))
+  in
+  Printf.printf
+    "  overload: %d requests -> %d served, %d shed (admitted p99 %.1f ms)\n%!"
+    n_sources !served !shed p99_ms;
+  if !shed = 0 then
+    fatal "overload phase never shed (admission control inert)";
+  if !served = 0 then fatal "overload phase served nothing";
+  if !hintless > 0 then fatal "a shed response carried no retry_after_ms";
+  (* --- phase 2: retrying clients converge over the starved daemon -- *)
+  let sock2 = mk_sock "retry" in
+  let d2 = start_daemon ~socket:sock2 in
+  let n_clients = 4 in
+  let per_client = n_sources / n_clients in
+  let t1 = Dt_obs.Metrics.now_ns () in
+  let workers =
+    List.init n_clients (fun w ->
+        Domain.spawn (fun () ->
+            let retry =
+              {
+                Dt_serve.Client.Retry.attempts = 30;
+                base_ms = 1;
+                cap_ms = 50;
+                seed = Int64.of_int (w + 1);
+                retry_truncated = true;
+              }
+            in
+            let ok = ref true in
+            for k = 0 to per_client - 1 do
+              let i = (w * per_client) + k in
+              match
+                Dt_serve.Client.call ~retry ~socket:sock2 (analyze_req i)
+              with
+              | Ok resp -> (
+                  match Dt_obs.Json.member "output" resp with
+                  | Some (Dt_obs.Json.String out) ->
+                      if out <> expected.(i) then ok := false
+                  | _ -> ok := false)
+              | Error _ -> ok := false
+            done;
+            !ok))
+  in
+  let converged = List.for_all Domain.join workers in
+  let retry_wall_ms =
+    Int64.to_float (Int64.sub (Dt_obs.Metrics.now_ns ()) t1) /. 1e6
+  in
+  shutdown ~socket:sock2 d2;
+  Printf.printf "  retry: %d clients x %d requests converged in %.1f ms\n%!"
+    n_clients per_client retry_wall_ms;
+  let json =
+    Dt_obs.Json.Obj
+      [
+        ("schema", Dt_obs.Json.String "deptest-resilience/1");
+        ( "overload",
+          Dt_obs.Json.Obj
+            [
+              ("requests", Dt_obs.Json.Int n_sources);
+              ("served", Dt_obs.Json.Int !served);
+              ("shed", Dt_obs.Json.Int !shed);
+              ("shed_without_hint", Dt_obs.Json.Int !hintless);
+              ("connection_drops", Dt_obs.Json.Int 0);
+              ("admitted_p99_ms", Dt_obs.Json.Float p99_ms);
+            ] );
+        ( "retry",
+          Dt_obs.Json.Obj
+            [
+              ("clients", Dt_obs.Json.Int n_clients);
+              ("requests", Dt_obs.Json.Int (n_clients * per_client));
+              ("converged", Dt_obs.Json.Bool converged);
+              ("wall_ms", Dt_obs.Json.Float retry_wall_ms);
+            ] );
+        ("identical_output", Dt_obs.Json.Bool !identical);
+      ]
+  in
+  Dt_obs.Artifact.write_atomic "BENCH_resilience.json"
+    (Dt_obs.Json.to_string json ^ "\n");
+  print_endline "resilience benchmark written to BENCH_resilience.json";
+  if not !identical then
+    fatal "an admitted response diverged from the in-process answer";
+  if not converged then
+    fatal "a retrying client failed to converge under overload"
+
 let is_infix ~affix s =
   let na = String.length affix and ns = String.length s in
   let rec go i = i + na <= ns && (String.sub s i na = affix || go (i + 1)) in
@@ -1647,6 +1865,7 @@ let () =
   ledger_bench ();
   serve_bench ();
   reqtrace_bench ();
+  resilience_bench ();
   if not tables_only then begin
     let micro = run_suite ~name:"per-test microbenchmarks (Tables 2-3 tests)" micro_tests in
     let strat = run_suite ~name:"strategy comparison (Table 4 / Triolet 22-28x)" strategy_tests in

@@ -955,8 +955,63 @@ let serve_cmd =
       & info [ "ledger-top" ] ~docv:"N"
           ~doc:"Capacity of the slow ledger's slowest-first board.")
   in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission budget: when more than $(docv) requests are queued \
+             at service time, analyze requests are shed with a structured \
+             overloaded response carrying retry_after_ms (0, the default: \
+             unbounded). Introspection ops always answer.")
+  in
+  let queue_deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "queue-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Shed an analyze request that already waited more than \
+             $(docv) ms in the queue (0, the default: no queue deadline).")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "On SIGTERM/SIGINT/shutdown, keep answering requests already \
+             sent for up to $(docv) ms before flushing and exiting.")
+  in
+  let supervise_arg =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Fork the daemon and restart it on abnormal exit with \
+             crash-loop backoff, up to $(b,--max-restarts) times. The \
+             disk cache makes restarts warm; the restart count is \
+             exported on $(b,client health) and \
+             $(b,deptest_serve_restarts_total).")
+  in
+  let max_restarts_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:"Give up after $(docv) supervised restarts.")
+  in
+  let restart_backoff_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "restart-backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Base of the supervisor's crash-loop backoff: the k-th \
+             restart waits $(docv) * 2^k ms (capped). Lower it when a \
+             watching client's retry budget is tighter than the default \
+             restart cadence.")
+  in
   let run socket jobs cache_dir cache_capacity warm quiet sample_period
-      slow_threshold_ms ledger_recent ledger_top =
+      slow_threshold_ms ledger_recent ledger_top max_inflight
+      queue_deadline_ms drain_grace_ms supervise max_restarts
+      restart_backoff_ms =
     let log =
       if quiet then ignore
       else fun s -> Printf.eprintf "deptest serve: %s\n%!" s
@@ -964,12 +1019,22 @@ let serve_cmd =
     let warm =
       Option.map (function "all" -> `All | s -> `Suite s) warm
     in
+    let serve ~restarts =
+      Dt_serve.Server.run ~socket ~jobs ?cache_dir ?cache_capacity
+        ~sample_period
+        ~slow_threshold_ns:
+          (Int64.of_float (slow_threshold_ms *. 1_000_000.))
+        ~ledger_recent ~ledger_top ~max_inflight ~queue_deadline_ms
+        ~restarts ~drain_grace_ms ?warm ~signals:true ~log ()
+    in
     exit
-      (Dt_serve.Server.run ~socket ~jobs ?cache_dir ?cache_capacity
-         ~sample_period
-         ~slow_threshold_ns:
-           (Int64.of_float (slow_threshold_ms *. 1_000_000.))
-         ~ledger_recent ~ledger_top ?warm ~signals:true ~log ())
+      (if supervise then
+         Dt_serve.Supervise.run ~max_restarts
+           ~backoff_ms:(max 1 restart_backoff_ms) ~signals:true
+           ~log:(fun s ->
+             if not quiet then Printf.eprintf "deptest supervise: %s\n%!" s)
+           (fun ~restarts -> serve ~restarts)
+       else serve ~restarts:0)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -977,11 +1042,16 @@ let serve_cmd =
          "Run the persistent analysis daemon on a unix socket \
           (length-prefixed JSON protocol; analyze / metrics / health / \
           slow / top / trace-last / flush / shutdown ops). SIGTERM or \
-          SIGINT flushes the cache and exits cleanly.")
+          SIGINT drains in-flight requests, flushes the cache, and exits \
+          cleanly; $(b,--max-inflight)/$(b,--queue-deadline-ms) shed \
+          excess analyze load with retryable overloaded responses; \
+          $(b,--supervise) restarts the daemon on crashes.")
     Term.(
       const run $ socket_arg $ jobs_arg $ cache_dir_arg $ cache_capacity_arg
       $ warm_arg $ quiet_arg $ sample_period_arg $ slow_threshold_arg
-      $ ledger_recent_arg $ ledger_top_arg)
+      $ ledger_recent_arg $ ledger_top_arg $ max_inflight_arg
+      $ queue_deadline_arg $ drain_grace_arg $ supervise_arg
+      $ max_restarts_arg $ restart_backoff_arg)
 
 let client_fail json =
   (match Dt_obs.Json.member "error" json with
@@ -994,13 +1064,39 @@ let client_ok json =
   | Some (Dt_obs.Json.Bool true) -> ()
   | _ -> client_fail json
 
-let with_client socket f =
-  match Dt_serve.Client.connect ~socket with
-  | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "cannot connect to %s: %s\n" socket
-        (Unix.error_message e);
+(* the documented exit taxonomy: transport problems (no daemon, timeout,
+   connection lost, still overloaded after every retry) are exit 2 with
+   one line on stderr naming the socket; an ok:false response is the
+   analysis' own failure, exit 1 *)
+let client_call socket ~retries ~timeout_ms ?(retry_truncated = false) req =
+  let retry =
+    {
+      Dt_serve.Client.Retry.default with
+      attempts = 1 + max 0 retries;
+      retry_truncated;
+    }
+  in
+  match Dt_serve.Client.call ~retry ~timeout_ms ~socket req with
+  | Ok json -> json
+  | Error f ->
+      Printf.eprintf "%s\n" (Dt_serve.Client.failure_message ~socket f);
       exit 2
-  | c -> Fun.protect ~finally:(fun () -> Dt_serve.Client.close c) (fun () -> f c)
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry up to $(docv) additional times when no daemon answers, \
+           the connection dies before any response byte, or the daemon \
+           sheds the request as overloaded (sleeping at least its \
+           retry_after_ms, with decorrelated-jitter backoff).")
+
+let timeout_ms_arg =
+  Arg.(
+    value & opt int 30_000
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:"Per-attempt connect and receive timeout.")
 
 let client_analyze_cmd =
   let quiet_arg =
@@ -1009,18 +1105,36 @@ let client_analyze_cmd =
       & info [ "quiet"; "q" ]
           ~doc:"Do not print the request's trace id to stderr.")
   in
-  let run socket file strict quiet =
-    with_client socket @@ fun c ->
+  let deadline_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Total latency budget for the request. The daemon subtracts \
+             the time it queued and analyzes under the remainder \
+             (degrading conservatively rather than overrunning); a \
+             budget already spent queueing is a deadline-exceeded \
+             error.")
+  in
+  let run socket file strict quiet retries timeout_ms deadline_ms =
     (* the client mints the trace id so a slow request can be chased
        into the daemon's ledger (client slow / trace-last) even when the
        response never arrives. It goes to stderr: stdout must stay
-       byte-identical to one-shot `deptest analyze`. *)
+       byte-identical to one-shot `deptest analyze`. The same id rides
+       every retry attempt, so the ledger shows the whole chain. *)
     let trace_id = Dt_obs.Reqtrace.gen_id () in
     if not quiet then Printf.eprintf "trace %s\n%!" trace_id;
     let resp =
-      Dt_serve.Client.request c
+      (* analyze is idempotent (pure analysis + idempotent cache
+         writes), so a mid-response disconnect is safe to re-ask *)
+      client_call socket ~retries ~timeout_ms ~retry_truncated:true
         (Dt_serve.Protocol.Analyze
-           { source = read_file file; id = None; trace_id = Some trace_id })
+           {
+             source = read_file file;
+             id = None;
+             trace_id = Some trace_id;
+             deadline_ms;
+           })
     in
     client_ok resp;
     (match Dt_obs.Json.member "output" resp with
@@ -1040,7 +1154,9 @@ let client_analyze_cmd =
           one-shot $(b,deptest analyze). The request's trace id is printed \
           to stderr for chasing it through $(b,client slow) and \
           $(b,client trace-last).")
-    Term.(const run $ socket_arg $ file_arg $ strict_arg $ quiet_arg)
+    Term.(
+      const run $ socket_arg $ file_arg $ strict_arg $ quiet_arg
+      $ retries_arg $ timeout_ms_arg $ deadline_arg)
 
 let client_metrics_cmd =
   let prom_flag =
@@ -1049,10 +1165,9 @@ let client_metrics_cmd =
       & info [ "prom" ]
           ~doc:"Prometheus text exposition instead of the JSON snapshot.")
   in
-  let run socket prom =
-    with_client socket @@ fun c ->
+  let run socket prom retries timeout_ms =
     let resp =
-      Dt_serve.Client.request c
+      client_call socket ~retries ~timeout_ms
         (Dt_serve.Protocol.Metrics { prometheus = prom })
     in
     client_ok resp;
@@ -1068,16 +1183,16 @@ let client_metrics_cmd =
          "The daemon's metrics. JSON by default (the snapshot under \
           $(b,.metrics), request counters under $(b,.serve)); $(b,--prom) \
           for Prometheus text.")
-    Term.(const run $ socket_arg $ prom_flag)
+    Term.(const run $ socket_arg $ prom_flag $ retries_arg $ timeout_ms_arg)
 
 let client_simple name doc req print =
-  let run socket =
-    with_client socket @@ fun c ->
-    let resp = Dt_serve.Client.request c req in
+  let run socket retries timeout_ms =
+    let resp = client_call socket ~retries ~timeout_ms req in
     client_ok resp;
     print resp
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ socket_arg $ retries_arg $ timeout_ms_arg)
 
 let client_n_arg =
   Arg.(
@@ -1087,13 +1202,13 @@ let client_n_arg =
         ~doc:"At most $(docv) entries (default: the ledger's capacity).")
 
 let client_ledger_cmd name doc mk =
-  let run socket n =
-    with_client socket @@ fun c ->
-    let resp = Dt_serve.Client.request c (mk n) in
+  let run socket n retries timeout_ms =
+    let resp = client_call socket ~retries ~timeout_ms (mk n) in
     client_ok resp;
     print_endline (Dt_obs.Json.to_string resp)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg $ client_n_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ socket_arg $ client_n_arg $ retries_arg $ timeout_ms_arg)
 
 let client_trace_last_cmd =
   let trace_id_arg =
@@ -1112,10 +1227,10 @@ let client_trace_last_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write the Chrome trace there instead of stdout.")
   in
-  let run socket trace_id out =
-    with_client socket @@ fun c ->
+  let run socket trace_id out retries timeout_ms =
     let resp =
-      Dt_serve.Client.request c (Dt_serve.Protocol.Trace_last { trace_id })
+      client_call socket ~retries ~timeout_ms
+        (Dt_serve.Protocol.Trace_last { trace_id })
     in
     client_ok resp;
     match Dt_obs.Json.member "chrome_trace" resp with
@@ -1134,7 +1249,9 @@ let client_trace_last_cmd =
          "Export the daemon's most recent captured request (or \
           $(b,--trace-id)'s) as a Chrome trace — load it in Perfetto / \
           chrome://tracing.")
-    Term.(const run $ socket_arg $ trace_id_arg $ out_arg)
+    Term.(
+      const run $ socket_arg $ trace_id_arg $ out_arg $ retries_arg
+      $ timeout_ms_arg)
 
 let client_cmd =
   Cmd.group

@@ -84,22 +84,44 @@ let fire c site n =
   | Exception -> raise (Injected site)
   | Delay -> delay_spin ()
 
+let count c site =
+  match Hashtbl.find_opt c.counts site with
+  | Some r ->
+      incr r;
+      !r
+  | None ->
+      Hashtbl.add c.counts site (ref 1);
+      1
+
 let hit site =
   match !active with
   | None -> ()
   | Some c ->
       let skip = match c.only with Some s -> s <> site | None -> false in
       if not skip then begin
-        let n =
-          match Hashtbl.find_opt c.counts site with
-          | Some r ->
-              incr r;
-              !r
-          | None ->
-              Hashtbl.add c.counts site (ref 1);
-              1
-        in
+        let n = count c site in
         if (n + c.seed) mod c.period = 0 then fire c site n
+      end
+
+let probe site =
+  match !active with
+  | None -> None
+  | Some c ->
+      (* probe sites take fd- or process-destructive actions (dropped
+         connections, truncated frames, kills), so unlike [hit] they
+         fire only when the configuration names them explicitly: a
+         broadly-enabled harness (no [only]) must not take a daemon
+         down as a side effect of exercising guard sites. *)
+      let targeted = c.only = Some site in
+      if not targeted then None
+      else begin
+        let n = count c site in
+        if (n + c.seed) mod c.period = 0 then begin
+          let k = ((n + c.seed) / c.period) mod Array.length c.kinds in
+          c.injected <- c.injected + 1;
+          Some c.kinds.(k)
+        end
+        else None
       end
 
 (* --- environment wiring (opt-in per process; only the CLI calls it) - *)

@@ -38,8 +38,24 @@ val enabled : unit -> bool
 val injected_count : unit -> int
 (** Faults fired since {!enable} (0 when disabled). *)
 
+val delay_spin : unit -> unit
+(** The [Delay] kind's deterministic busy loop — exported so sites using
+    {!probe} can perform the same delay themselves. *)
+
 val hit : string -> unit
 (** Mark a containment site. No-op (one ref load) when disabled. *)
+
+val probe : string -> kind option
+(** Like {!hit}, but instead of raising or spinning, a firing hit
+    returns its kind and the caller performs the fault itself. For
+    sites whose fault is not an exception — the serve layer's dropped
+    connections, mid-frame closes, and pre-reply kills — where the
+    chaotic behavior must happen to a file descriptor or the process,
+    not to the control flow of the probing function. Counting, seeding,
+    and [period] behave exactly as for {!hit}, but a probe site fires
+    {e only} when [only] names it explicitly: destructive faults must
+    be asked for by site, never triggered as a side effect of a
+    broadly-enabled harness. *)
 
 val from_env : unit -> unit
 (** Opt-in per process: read [DEPTEST_INJECT] (comma-separated kinds),

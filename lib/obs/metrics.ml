@@ -18,9 +18,13 @@ let n_buckets = Array.length bucket_bounds_ns + 1
 
 (* whole-request daemon latency: warm round trips sit in the tens of
    microseconds, cold analyses in the tens of milliseconds, so the
-   request buckets run two decades above the per-pair ones *)
+   request buckets run two decades above the per-pair ones. The top
+   decade exists for saturation: with admission control a queued-then-
+   admitted request can legitimately take seconds, and a histogram
+   capped at 1s could not tell bounded queueing from a hang *)
 let serve_bucket_bounds_ns =
-  [| 100_000L; 1_000_000L; 10_000_000L; 100_000_000L; 1_000_000_000L |]
+  [| 100_000L; 1_000_000L; 10_000_000L; 100_000_000L; 1_000_000_000L;
+     10_000_000_000L |]
 
 let n_serve_buckets = Array.length serve_bucket_bounds_ns + 1
 
@@ -343,8 +347,10 @@ let serve_bucket_label i =
     let b = serve_bucket_bounds_ns.(i) in
     if Int64.compare b 1_000_000L < 0 then
       Printf.sprintf "<=%Ldus" (Int64.div b 1_000L)
-    else Printf.sprintf "<=%Ldms" (Int64.div b 1_000_000L)
-  else ">1s"
+    else if Int64.compare b 1_000_000_000L < 0 then
+      Printf.sprintf "<=%Ldms" (Int64.div b 1_000_000L)
+    else Printf.sprintf "<=%Lds" (Int64.div b 1_000_000_000L)
+  else ">10s"
 
 (* the serve block appears only once the daemon reported, so batch-run
    snapshots (analyze --metrics-out, records, the drift ledger) are

@@ -1,4 +1,15 @@
-(** Client side of the serve protocol: connect, round-trip, close. *)
+(** Client side of the serve protocol.
+
+    Two surfaces: the raw connection ({!connect}/{!request}/{!close} —
+    one fd, exceptions on failure, used by tests and tools that manage
+    their own connections) and the resilient {!call}, which owns the
+    whole attempt: per-attempt connect and receive timeouts carried by
+    [select], structured failures instead of exceptions, and an optional
+    {!Retry} policy with seeded decorrelated-jitter backoff.
+
+    {!call} (and {!Server.run}) set SIGPIPE to ignore for the process —
+    a peer that vanishes mid-write must surface as a classified failure,
+    not kill the caller. *)
 
 type t
 
@@ -10,3 +21,72 @@ val request : t -> Protocol.request -> Dt_obs.Json.t
     response. *)
 
 val close : t -> unit
+
+(** The retry policy: how many attempts, and how to space them. *)
+module Retry : sig
+  type t = {
+    attempts : int;  (** total attempts, including the first (>= 1) *)
+    base_ms : int;  (** backoff floor; [0] disables sleeping *)
+    cap_ms : int;  (** backoff ceiling *)
+    seed : int64;
+        (** seeds the jitter stream — a fixed seed replays the exact
+            backoff sequence, so tests are deterministic *)
+    retry_truncated : bool;
+        (** also retry a mid-frame close. The request then {e may} have
+            executed once already, so enable it only for idempotent ops
+            (analyze is: pure analysis plus idempotent cache writes). *)
+  }
+
+  val none : t
+  (** One attempt, no sleeping: {!call}'s default. *)
+
+  val default : t
+  (** 3 attempts, 5 ms base, 2 s cap. *)
+
+  val next_backoff_ms : t -> int64 ref -> prev_ms:int -> int
+  (** One step of decorrelated jitter: uniform in
+      [\[base_ms, prev_ms * 3\]] clamped to [cap_ms], drawn from the
+      seeded splitmix64 stream in the ref. *)
+
+  val plan : t -> int list
+  (** The full backoff sequence ([attempts - 1] sleeps) the policy would
+      produce — what the tests assert on. *)
+end
+
+type failure =
+  | Refused  (** nothing listening ([ECONNREFUSED]/[ENOENT]) *)
+  | Timed_out of [ `Connect | `Receive ]
+  | Closed  (** clean EOF (or reset) before any response byte *)
+  | Truncated  (** the connection died mid-response-frame *)
+  | Overloaded of int
+      (** every attempt was shed; the daemon's last [retry_after_ms] *)
+  | Bad_response of string
+
+val failure_message : socket:string -> failure -> string
+(** One operator-readable line naming the socket path — what the CLI
+    prints to stderr before exiting 2. *)
+
+val call :
+  ?retry:Retry.t ->
+  ?timeout_ms:int ->
+  socket:string ->
+  Protocol.request ->
+  (Dt_obs.Json.t, failure) result
+(** One request, resiliently: a fresh connection per attempt,
+    [timeout_ms] (default 30 000) bounding both the connect and the
+    receive of each attempt via [select], and up to [retry.attempts]
+    attempts. Never raises.
+
+    Only outcomes where the request provably did not complete — or
+    where the daemon explicitly asked us back — are retried: [Refused],
+    [Closed] (EOF before any response byte), and [Overloaded] (sleeping
+    at least the daemon's [retry_after_ms]); plus [Truncated] when the
+    policy opts in. A receive timeout is {e not} retried — the analysis
+    may still be running. The request value (and so its trace id) is
+    reused verbatim across attempts, so the daemon's slow ledger shows
+    the whole retry chain under one id. *)
+
+val ping : socket:string -> ?timeout_ms:int -> unit -> bool
+(** One [Health] round-trip with a short timeout (default 500 ms):
+    [true] iff a live daemon answered [ok]. The server's stale-socket
+    check — never unlink a socket that still answers. *)

@@ -11,6 +11,9 @@ type t = {
   sampler : Reqtrace.Sampler.t;
   ring : Reqtrace.Ring.t;
   started_ns : int64;  (* monotonic, for uptime *)
+  max_inflight : int;  (* admission budget; 0 = unbounded *)
+  queue_deadline_ms : int;  (* max queue wait before shedding; 0 = none *)
+  restarts : int;  (* supervised restarts before this incarnation *)
   mutable requests : int;
   mutable analyses : int;  (* analyze requests answered by running tests *)
   mutable response_hits : int;  (* answered whole from the response tier *)
@@ -18,14 +21,27 @@ type t = {
   mutable protocol_errors : int;  (* bad frames / JSON / unsupported version *)
   mutable connections : int;  (* connections ever accepted *)
   mutable in_flight : int;  (* requests currently being handled *)
+  mutable shed : int;  (* analyze requests answered `overloaded` *)
+  mutable deadline_exceeded : int;  (* shed because the request budget was spent *)
+  mutable injected_faults : int;  (* chaos faults the server performed *)
+  mutable queue_depth : int;  (* gauge: requests waiting, set by the server *)
+  mutable ewma_analyze_ns : int64;  (* smoothed analyze wall, for retry_after *)
 }
+
+(* What the server's select loop knows about a request when it hands it
+   over: how many other requests are waiting behind it, and how long it
+   sat in the queue before service started. *)
+type admission = { depth : int; waited_ns : int64 }
+
+let no_admission = { depth = 0; waited_ns = 0L }
 
 (* The store key prefix for rendered responses; pair verdicts use "p:"
    (see Pair_cache). *)
 let response_key source = "r:" ^ Digest.to_hex (Digest.string source)
 
 let create ?(jobs = 0) ?cache_dir ?cache_capacity ?(sample_period = 1)
-    ?(slow_threshold_ns = 0L) ?(ledger_recent = 64) ?(ledger_top = 16) () =
+    ?(slow_threshold_ns = 0L) ?(ledger_recent = 64) ?(ledger_top = 16)
+    ?(max_inflight = 0) ?(queue_deadline_ms = 0) ?(restarts = 0) () =
   let jobs = Dt_support.Pool.clamp_auto jobs in
   let metrics = Dt_obs.Metrics.create () in
   (* pre-register every endpoint and tier series so a scrape's series
@@ -63,6 +79,9 @@ let create ?(jobs = 0) ?cache_dir ?cache_capacity ?(sample_period = 1)
         ~threshold_ns:slow_threshold_ns ();
     ring = Reqtrace.Ring.create ~recent:ledger_recent ~top:ledger_top ();
     started_ns = Dt_obs.Metrics.now_ns ();
+    max_inflight = max 0 max_inflight;
+    queue_deadline_ms = max 0 queue_deadline_ms;
+    restarts = max 0 restarts;
     requests = 0;
     analyses = 0;
     response_hits = 0;
@@ -70,11 +89,21 @@ let create ?(jobs = 0) ?cache_dir ?cache_capacity ?(sample_period = 1)
     protocol_errors = 0;
     connections = 0;
     in_flight = 0;
+    shed = 0;
+    deadline_exceeded = 0;
+    injected_faults = 0;
+    queue_depth = 0;
+    ewma_analyze_ns = 0L;
   }
 
 let jobs t = t.jobs
 let store t = t.store
+let restarts t = t.restarts
+let shed_total t = t.shed
+let deadline_exceeded_total t = t.deadline_exceeded
 let note_connection t = t.connections <- t.connections + 1
+let note_injected_fault t = t.injected_faults <- t.injected_faults + 1
+let set_queue_depth t depth = t.queue_depth <- max 0 depth
 
 let note_protocol_error t =
   t.protocol_errors <- t.protocol_errors + 1;
@@ -207,7 +236,33 @@ let serve_prometheus t =
   counter "deptest_serve_traced_requests_total"
     "Requests recorded in the slow-request ring ledger."
     (Reqtrace.Ring.total t.ring);
+  counter "deptest_serve_shed_total"
+    "Analyze requests shed with a structured overloaded response."
+    t.shed;
+  counter "deptest_serve_deadline_exceeded_total"
+    "Analyze requests shed because their own deadline budget was spent \
+     queueing." t.deadline_exceeded;
+  counter "deptest_serve_restarts_total"
+    "Supervised daemon restarts before this incarnation." t.restarts;
+  counter "deptest_serve_injected_faults_total"
+    "Chaos-harness faults the server performed (accept drops, mid-frame \
+     closes, response delays)." t.injected_faults;
+  gauge "deptest_serve_queue_depth"
+    "Requests waiting in the server's select queue." t.queue_depth;
   Buffer.contents b
+
+let saturation_json t =
+  Json.Obj
+    [
+      ("in_flight", Json.Int t.in_flight);
+      ("queue_depth", Json.Int t.queue_depth);
+      ("max_inflight", Json.Int t.max_inflight);
+      ("queue_deadline_ms", Json.Int t.queue_deadline_ms);
+      ("shed", Json.Int t.shed);
+      ("deadline_exceeded", Json.Int t.deadline_exceeded);
+      ("injected_faults", Json.Int t.injected_faults);
+      ("restarts", Json.Int t.restarts);
+    ]
 
 let serve_json t =
   Json.Obj
@@ -220,6 +275,7 @@ let serve_json t =
       ("connections", Json.Int t.connections);
       ("in_flight", Json.Int t.in_flight);
       ("traced", Json.Int (Reqtrace.Ring.total t.ring));
+      ("saturation", saturation_json t);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -228,7 +284,25 @@ let serve_json t =
    domain, so the whole analysis nests under the Request span on the
    domain-0 buffer. *)
 
-let handle_analyze t ~source ~id ~trace_id =
+(* the smoothed analyze wall time feeds the retry_after_ms estimate: a
+   shed client should come back roughly when the queue ahead of it has
+   drained *)
+let note_analyze_wall t wall_ns =
+  t.ewma_analyze_ns <-
+    (if t.ewma_analyze_ns = 0L then wall_ns
+     else
+       Int64.div
+         (Int64.add (Int64.mul 3L t.ewma_analyze_ns) wall_ns)
+         4L)
+
+let retry_after_ms t ~depth =
+  let per_request_ms =
+    max 1L (Int64.div t.ewma_analyze_ns 1_000_000L)
+  in
+  let ms = Int64.mul (Int64.of_int (max 1 depth)) per_request_ms in
+  Int64.to_int (min 5_000L ms)
+
+let handle_analyze t ~source ~id ~trace_id ~deadline_ms =
   let trace_id =
     match trace_id with
     | Some i when Reqtrace.is_id i -> i
@@ -273,6 +347,16 @@ let handle_analyze t ~source ~id ~trace_id =
           | None -> t.config
           | Some _ -> Deptest.Analyze.Config.with_profiler profiler t.config
         in
+        (* the remaining request budget becomes this run's analysis
+           deadline: pairs that cannot finish inside it degrade
+           conservatively (never cached) instead of blowing the
+           client's latency budget *)
+        let config =
+          match deadline_ms with
+          | None -> config
+          | Some ms ->
+              Deptest.Analyze.Config.with_deadline_ms (Some ms) config
+        in
         let opened =
           Option.map
             (fun p ->
@@ -290,6 +374,7 @@ let handle_analyze t ~source ~id ~trace_id =
               ok
         in
         let wall_ns = Int64.sub (Dt_obs.Metrics.now_ns ()) t0 in
+        note_analyze_wall t wall_ns;
         Option.iter (fun (b, slot) -> Dt_obs.Span.exit_ b slot) opened;
         (* the coarsest cache tier that contributed to this answer,
            detected by counter deltas around the request (requests are
@@ -350,10 +435,37 @@ let entries_response t entries =
       ("entries", Json.List (List.map Reqtrace.entry_to_json entries));
     ]
 
-let handle_op t req =
+(* Admission control, applied to analyze only — the introspection ops
+   (health, metrics, shutdown...) are cheap and must keep answering
+   precisely when the daemon is saturated. Sheds are structured
+   responses on a healthy connection, never dropped connections, and
+   never counted as errors: overload is load management, not failure. *)
+let admit t admission ~deadline_ms =
+  let waited_ms = Int64.to_int (Int64.div admission.waited_ns 1_000_000L) in
+  let remaining_ms = Option.map (fun d -> d - waited_ms) deadline_ms in
+  match remaining_ms with
+  | Some r when r <= 0 ->
+      t.shed <- t.shed + 1;
+      t.deadline_exceeded <- t.deadline_exceeded + 1;
+      Error (Protocol.deadline_exceeded ~waited_ms)
+  | _ ->
+      if
+        (t.max_inflight > 0 && admission.depth > t.max_inflight)
+        || (t.queue_deadline_ms > 0 && waited_ms > t.queue_deadline_ms)
+      then begin
+        t.shed <- t.shed + 1;
+        Error
+          (Protocol.overloaded
+             ~retry_after_ms:(retry_after_ms t ~depth:admission.depth))
+      end
+      else Ok remaining_ms
+
+let handle_op t admission req =
   match req with
-  | Protocol.Analyze { source; id; trace_id } ->
-      handle_analyze t ~source ~id ~trace_id
+  | Protocol.Analyze { source; id; trace_id; deadline_ms } -> (
+      match admit t admission ~deadline_ms with
+      | Error shed_response -> shed_response
+      | Ok deadline_ms -> handle_analyze t ~source ~id ~trace_id ~deadline_ms)
   | Protocol.Metrics { prometheus } ->
       sync_disk_metrics t;
       if prometheus then
@@ -386,6 +498,8 @@ let handle_op t req =
           ("connections", Json.Int t.connections);
           ("errors", Json.Int t.errors);
           ("protocol_errors", Json.Int t.protocol_errors);
+          ("pid", Json.Int (Unix.getpid ()));
+          ("saturation", saturation_json t);
           ( "trace",
             Json.Obj
               [
@@ -442,7 +556,7 @@ let handle_op t req =
   | Protocol.Flush -> Protocol.ok [ ("persisted", Json.Int (flush t)) ]
   | Protocol.Shutdown -> Protocol.ok []
 
-let handle t req =
+let handle ?(admission = no_admission) t req =
   t.requests <- t.requests + 1;
   t.in_flight <- t.in_flight + 1;
   let t0 = Dt_obs.Metrics.now_ns () in
@@ -453,7 +567,7 @@ let handle t req =
         ~endpoint:(Protocol.endpoint_of req)
         ~ns:(Int64.sub (Dt_obs.Metrics.now_ns ()) t0))
     (fun () ->
-      try handle_op t req
+      try handle_op t admission req
       with e ->
         t.errors <- t.errors + 1;
         Protocol.error (Printexc.to_string e))

@@ -24,6 +24,15 @@
 
 type t
 
+type admission = { depth : int; waited_ns : int64 }
+(** What the server loop knows about a request at service time: [depth]
+    is the number of requests waiting in the queue (including this one),
+    [waited_ns] how long this one sat queued before being served. *)
+
+val no_admission : admission
+(** [depth 0, waited 0] — the default for direct callers (tests, the
+    drain path): nothing is ever shed under it. *)
+
 val create :
   ?jobs:int ->
   ?cache_dir:string ->
@@ -32,6 +41,9 @@ val create :
   ?slow_threshold_ns:int64 ->
   ?ledger_recent:int ->
   ?ledger_top:int ->
+  ?max_inflight:int ->
+  ?queue_deadline_ms:int ->
+  ?restarts:int ->
   unit ->
   t
 (** [jobs] is resolved through {!Dt_support.Pool.clamp_auto} (never
@@ -42,15 +54,41 @@ val create :
     [sample_period] (default 1: every request) arms span capture on
     every n-th analyze, [0] never; [slow_threshold_ns] (default 0: keep
     everything armed) drops captures of requests faster than it;
-    [ledger_recent]/[ledger_top] (64/16) bound the ring ledger. *)
+    [ledger_recent]/[ledger_top] (64/16) bound the ring ledger.
+
+    [max_inflight] (default 0: unbounded) sheds an analyze request with
+    {!Protocol.overloaded} when more than that many requests are queued
+    at service time; [queue_deadline_ms] (default 0: none) sheds one
+    that already waited longer than that in the queue. [restarts] is the
+    supervised-restart count this incarnation inherits, exported on
+    [health] and [deptest_serve_restarts_total]. *)
 
 val jobs : t -> int
 (** The clamped worker count actually in use. *)
 
 val store : t -> Dt_engine.Store.t option
 
+val restarts : t -> int
+
+val shed_total : t -> int
+(** Analyze requests answered with {!Protocol.overloaded} or
+    {!Protocol.deadline_exceeded} so far. *)
+
+val deadline_exceeded_total : t -> int
+
 val note_connection : t -> unit
 (** The server accepted one client connection. *)
+
+val note_injected_fault : t -> unit
+(** The server performed one chaos-harness fault (accept drop, mid-frame
+    close, response delay) — counted on
+    [deptest_serve_injected_faults_total] so every injected degradation
+    is observable. *)
+
+val set_queue_depth : t -> int -> unit
+(** The server publishes its current select-queue depth here; exported
+    as the [deptest_serve_queue_depth] gauge and in [health]'s
+    saturation block. *)
 
 val note_protocol_error : t -> unit
 (** The server dropped a connection on a framing error (oversized or
@@ -70,6 +108,17 @@ val warm : t -> ?suite:string -> unit -> int
 val flush : t -> int
 (** Persist the disk store; the number of entries on disk after. *)
 
-val handle : t -> Protocol.request -> Dt_obs.Json.t
+val handle : ?admission:admission -> t -> Protocol.request -> Dt_obs.Json.t
 (** Answer one request ([Shutdown] gets its [ok] response here too; the
-    server loop decides to stop). Never raises. *)
+    server loop decides to stop). Never raises.
+
+    [admission] drives overload shedding for analyze requests only —
+    introspection ops answer even when saturated. A request over the
+    [max_inflight] depth or the [queue_deadline_ms] wait gets
+    {!Protocol.overloaded} with a [retry_after_ms] estimated from queue
+    depth times the smoothed analyze wall time; one whose own
+    [deadline_ms] budget was spent queueing gets
+    {!Protocol.deadline_exceeded}. Otherwise the remaining budget
+    (request deadline minus queue wait) becomes the analysis deadline
+    via {!Deptest.Analyze.Config}, degrading conservatively rather than
+    overrunning. Sheds are counted ([shed_total]) but are not errors. *)

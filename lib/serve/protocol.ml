@@ -1,13 +1,19 @@
 module Json = Dt_obs.Json
 
-(* Wire version. v1 (PR 8) had no "v" field and no trace ids; v2 adds
-   both plus the introspection ops. Absent "v" is read as 1 so old
-   clients keep working; a version above [version] is refused so an old
-   daemon fails loud instead of misreading a future frame. *)
-let version = 2
+(* Wire version. v1 (PR 8) had no "v" field and no trace ids; v2 added
+   both plus the introspection ops; v3 adds the optional analyze
+   deadline and the structured overload response. Absent "v" is read as
+   1 so old clients keep working; a version above [version] is refused
+   so an old daemon fails loud instead of misreading a future frame. *)
+let version = 3
 
 type request =
-  | Analyze of { source : string; id : string option; trace_id : string option }
+  | Analyze of {
+      source : string;
+      id : string option;
+      trace_id : string option;
+      deadline_ms : int option;
+    }
   | Metrics of { prometheus : bool }
   | Health
   | Slow of { n : int option }
@@ -22,12 +28,13 @@ let opt_int k = function None -> [] | Some v -> [ (k, Json.Int v) ]
 let request_to_json req =
   let v = ("v", Json.Int version) in
   match req with
-  | Analyze { source; id; trace_id } ->
+  | Analyze { source; id; trace_id; deadline_ms } ->
       Json.Obj
         (("op", Json.String "analyze")
          :: v
          :: ("source", Json.String source)
-         :: (opt_field "id" id @ opt_field "trace_id" trace_id))
+         :: (opt_field "id" id @ opt_field "trace_id" trace_id
+             @ opt_int "deadline_ms" deadline_ms))
   | Metrics { prometheus } ->
       Json.Obj
         [
@@ -68,6 +75,7 @@ let request_of_json json =
                      source;
                      id = str_member "id" json;
                      trace_id = str_member "trace_id" json;
+                     deadline_ms = int_member "deadline_ms" json;
                    })
           | None -> Error "analyze: missing string field \"source\"")
       | Some (Json.String "metrics") ->
@@ -101,3 +109,37 @@ let error msg =
   Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
 
 let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let overloaded ~retry_after_ms =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ("error", Json.String "overloaded");
+      ("overloaded", Json.Bool true);
+      ("retry_after_ms", Json.Int (max 1 retry_after_ms));
+    ]
+
+let deadline_exceeded ~waited_ms =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.String
+          (Printf.sprintf
+             "deadline exceeded: request budget spent after %d ms in queue"
+             waited_ms) );
+      ("deadline_exceeded", Json.Bool true);
+    ]
+
+let retry_after_of json =
+  match Json.member "overloaded" json with
+  | Some (Json.Bool true) -> (
+      match int_member "retry_after_ms" json with
+      | Some ms -> Some (max 1 ms)
+      | None -> Some 1)
+  | _ -> None
+
+let is_deadline_exceeded json =
+  match Json.member "deadline_exceeded" json with
+  | Some (Json.Bool true) -> true
+  | _ -> false

@@ -8,23 +8,35 @@
     one connection. *)
 
 val version : int
-(** The wire version this build speaks (2). A request without ["v"] is
+(** The wire version this build speaks (3). A request without ["v"] is
     read as version 1 — the PR 8 protocol, still accepted — while a
     ["v"] above {!version} is refused with an error response, so an old
-    daemon fails loud instead of misreading a future frame. *)
+    daemon fails loud instead of misreading a future frame. v2 added
+    trace ids and the introspection ops; v3 adds the optional analyze
+    deadline and the structured {!overloaded} response. *)
 
 type request =
-  | Analyze of { source : string; id : string option; trace_id : string option }
+  | Analyze of {
+      source : string;
+      id : string option;
+      trace_id : string option;
+      deadline_ms : int option;
+    }
       (** Analyze one compilation unit (mini-Fortran or the C fragment,
           auto-detected). [id] is echoed back for request matching;
           [trace_id] is the client-generated {!Dt_obs.Reqtrace} id that
-          keys this request's entry in the daemon's slow ledger. *)
+          keys this request's entry in the daemon's slow ledger.
+          [deadline_ms] is the client's total latency budget: the daemon
+          subtracts the time the request waited in its queue and runs
+          the analysis under the {e remaining} budget
+          ({!Deptest.Analyze.Config} [deadline_ms]), shedding outright
+          with {!deadline_exceeded} when nothing remains. *)
   | Metrics of { prometheus : bool }
       (** The daemon's metrics snapshot: JSON, or the Prometheus text
           exposition when [prometheus]. *)
   | Health
       (** Liveness plus daemon vitals: uptime, requests in flight,
-          totals, sampler settings, pool/cache usage. *)
+          totals, sampler settings, pool/cache usage, saturation. *)
   | Slow of { n : int option }
       (** The newest [n] (default: ring capacity) request summaries from
           the slow ledger, newest first. *)
@@ -52,3 +64,22 @@ val error : string -> Dt_obs.Json.t
 
 val ok : (string * Dt_obs.Json.t) list -> Dt_obs.Json.t
 (** [{"ok":true, ...fields}]. *)
+
+val overloaded : retry_after_ms:int -> Dt_obs.Json.t
+(** The admission-control shed response:
+    [{"ok":false,"error":"overloaded","overloaded":true,
+    "retry_after_ms":N}]. Always a structured reply on a healthy
+    connection — overload never drops the connection — and always
+    retryable: [retry_after_ms] (clamped to at least 1) is the daemon's
+    estimate of when capacity frees up. *)
+
+val deadline_exceeded : waited_ms:int -> Dt_obs.Json.t
+(** The shed response for a request whose own [deadline_ms] budget was
+    already spent queueing. Not retryable — the budget belonged to the
+    request, so the client reports it rather than trying again. *)
+
+val retry_after_of : Dt_obs.Json.t -> int option
+(** [Some ms] iff the response is an {!overloaded} shed; the client's
+    retry loop sleeps at least this long before the next attempt. *)
+
+val is_deadline_exceeded : Dt_obs.Json.t -> bool

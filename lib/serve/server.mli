@@ -1,16 +1,35 @@
 (** The unix-socket accept loop around {!Engine}.
 
     Connections are multiplexed with [select] at {e frame} granularity:
-    several clients may hold connections open concurrently, each request
-    is served whole before the next readable descriptor is visited, and
-    responses stay strictly ordered per connection — request parallelism
-    still comes from the work-stealing pool inside each analysis. The
-    200 ms select timeout keeps a stop flag or signal honored promptly.
+    readable clients enter a FIFO queue stamped with arrival time, one
+    queued request is served whole per select round, and responses stay
+    strictly ordered per connection — request parallelism still comes
+    from the work-stealing pool inside each analysis. The 200 ms select
+    timeout keeps a stop flag or signal honored promptly.
+
+    The queue is also the admission-control boundary: its depth and the
+    time a request waited in it are handed to {!Engine.handle}, which
+    sheds analyze requests over the [max_inflight]/[queue_deadline_ms]
+    budgets with a structured {!Protocol.overloaded} response — never a
+    dropped connection — and runs admitted ones under their remaining
+    deadline budget.
 
     A framing error (oversized or truncated frame) or malformed JSON is
     answered with a counted protocol-error response and a clean close of
-    that connection only; the daemon keeps serving the others. On
-    shutdown the disk store is flushed and the socket file removed. *)
+    that connection only; the daemon keeps serving the others. On stop
+    (flag, [Shutdown], SIGTERM/SIGINT with [signals]) the listener
+    closes first, requests already sent are drained for up to
+    [drain_grace_ms], then the disk store is flushed and the socket file
+    removed.
+
+    The server is also the home of the serve-layer chaos sites
+    ([serve.accept_drop], [serve.frame_close], [serve.delay],
+    [serve.kill] — see {!Dt_guard.Inject}): enabled via the
+    [DEPTEST_INJECT*] discipline they deterministically drop accepted
+    connections, truncate response frames, delay replies, or kill the
+    process before replying, each counted on
+    [deptest_serve_injected_faults_total] (except the kill, which dies
+    uncounted — that is the point). *)
 
 val run :
   socket:string ->
@@ -21,6 +40,10 @@ val run :
   ?slow_threshold_ns:int64 ->
   ?ledger_recent:int ->
   ?ledger_top:int ->
+  ?max_inflight:int ->
+  ?queue_deadline_ms:int ->
+  ?restarts:int ->
+  ?drain_grace_ms:int ->
   ?warm:[ `All | `Suite of string ] ->
   ?stop:bool Atomic.t ->
   ?signals:bool ->
@@ -30,6 +53,13 @@ val run :
 (** Serve on the unix socket at [socket] until [stop] is set, a
     [Shutdown] request arrives, or (with [signals], default off) SIGTERM
     / SIGINT. [warm] pre-analyzes the workload corpus (or one suite of
-    it) before accepting. The sampling and ledger options are passed to
-    {!Engine.create}. Returns the process exit code: [0] for a clean
-    shutdown, [2] if the socket cannot be bound. *)
+    it) before accepting. The sampling, ledger, and admission options
+    are passed to {!Engine.create}; [drain_grace_ms] (default 2000)
+    bounds the shutdown drain. Ignores SIGPIPE for the process (a
+    vanished client must be an [EPIPE], not a death).
+
+    A socket file that a live daemon still answers [health] on is {e
+    not} unlinked: the call refuses to start and returns [2]. A truly
+    stale file (no answer) is replaced. Returns the process exit code:
+    [0] for a clean shutdown, [2] if the socket cannot be bound or a
+    live daemon already serves it. *)

@@ -1,0 +1,91 @@
+(* Crash-only serving: the daemon body runs in a forked child; the
+   supervisor restarts it on abnormal exit with exponential backoff and
+   a restart cap. The disk store (PR 8) makes each restart warm, and the
+   restart count is threaded back into the child so `health` and
+   deptest_serve_restarts_total expose it. *)
+
+type outcome = Exited of int | Signaled of int
+
+let run ?(max_restarts = 5) ?(backoff_ms = 100) ?(backoff_cap_ms = 5_000)
+    ?(signals = false) ?(log = ignore) body =
+  let stopping = ref false in
+  let child = ref None in
+  if signals then begin
+    let forward signum _ =
+      stopping := true;
+      match !child with
+      | Some pid -> ( try Unix.kill pid signum with Unix.Unix_error _ -> ())
+      | None -> ()
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (forward Sys.sigterm));
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (forward Sys.sigint))
+  end;
+  let rec waitpid pid =
+    match Unix.waitpid [] pid with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid pid
+    | _, Unix.WEXITED code -> Exited code
+    | _, Unix.WSIGNALED signum | _, Unix.WSTOPPED signum -> Signaled signum
+  in
+  (* interruptible backoff: a stop signal during the sleep must not be
+     followed by another restart *)
+  let rec sleep_ms ms =
+    if ms > 0 && not !stopping then begin
+      let chunk = min ms 50 in
+      (try Unix.sleepf (float_of_int chunk /. 1000.)
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      sleep_ms (ms - chunk)
+    end
+  in
+  let rec spawn restarts =
+    match Unix.fork () with
+    | 0 ->
+        (* the child must not inherit the supervisor's forwarding
+           handlers: until the daemon installs its own, a forwarded
+           SIGTERM should kill it (and end supervision), not be
+           swallowed *)
+        if signals then begin
+          Sys.set_signal Sys.sigterm Sys.Signal_default;
+          Sys.set_signal Sys.sigint Sys.Signal_default
+        end;
+        (* the child never returns to the supervisor's code *)
+        Stdlib.exit (body ~restarts)
+    | pid -> (
+        child := Some pid;
+        match waitpid pid with
+        | Exited 0 ->
+            log (Printf.sprintf "daemon exited cleanly after %d restart(s)"
+                   restarts);
+            0
+        | outcome ->
+            let describe = function
+              | Exited code -> Printf.sprintf "exited %d" code
+              | Signaled signum -> Printf.sprintf "killed by signal %d" signum
+            in
+            if !stopping then begin
+              log (Printf.sprintf "daemon %s during shutdown"
+                     (describe outcome));
+              (match outcome with Exited code -> code | Signaled _ -> 1)
+            end
+            else if restarts >= max_restarts then begin
+              log
+                (Printf.sprintf
+                   "daemon %s; restart cap (%d) reached, giving up"
+                   (describe outcome) max_restarts);
+              (match outcome with Exited code -> code | Signaled _ -> 1)
+            end
+            else begin
+              (* crash-loop backoff: 1x, 2x, 4x ... the base, capped *)
+              let ms =
+                min backoff_cap_ms
+                  (backoff_ms * (1 lsl min restarts 16))
+              in
+              log
+                (Printf.sprintf "daemon %s; restart %d/%d in %d ms"
+                   (describe outcome) (restarts + 1) max_restarts ms);
+              sleep_ms ms;
+              if !stopping then
+                match outcome with Exited code -> code | Signaled _ -> 1
+              else spawn (restarts + 1)
+            end)
+  in
+  spawn 0

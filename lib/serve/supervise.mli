@@ -1,0 +1,31 @@
+(** Supervised (crash-only) serving: fork the daemon, restart it on
+    abnormal exit.
+
+    The body runs in a forked child process; the supervisor [waitpid]s.
+    A clean exit (code 0) ends supervision; any other exit — nonzero
+    code or a fatal signal — triggers a restart after exponential
+    crash-loop backoff ([backoff_ms] doubling per consecutive restart,
+    capped at [backoff_cap_ms]) until [max_restarts] is reached, at
+    which point the child's last status is returned. The PR 8 disk
+    store makes each restart warm, and the body receives the restart
+    count so the daemon can export it ({!Engine.create}'s [restarts] →
+    [health] and [deptest_serve_restarts_total]).
+
+    With [signals], SIGTERM/SIGINT are forwarded to the current child
+    and mark the supervisor stopping — the child drains and exits
+    cleanly, and no further restart follows (even mid-backoff).
+
+    Must be called before any domain is spawned (the CLI calls it ahead
+    of [Server.run], whose worker pool lives in the child). *)
+
+val run :
+  ?max_restarts:int ->
+  ?backoff_ms:int ->
+  ?backoff_cap_ms:int ->
+  ?signals:bool ->
+  ?log:(string -> unit) ->
+  (restarts:int -> int) ->
+  int
+(** [run body] forks and runs [Stdlib.exit (body ~restarts)] in the
+    child; returns the supervisor's exit code. Defaults: 5 restarts,
+    100 ms base backoff, 5 s cap. *)

@@ -1,5 +1,7 @@
 let max_frame = 16 * 1024 * 1024
 
+exception Timed_out
+
 let rec write_all fd bytes off len =
   if len > 0 then begin
     let n =
@@ -9,17 +11,32 @@ let rec write_all fd bytes off len =
     write_all fd bytes (off + n) (len - n)
   end
 
-(* returns bytes read, < len only at end-of-stream *)
-let rec read_all fd bytes off len =
-  if len = 0 then off
+(* block until [fd] is readable or the absolute monotonic deadline
+   passes; EINTR just shortens the wait and retries *)
+let rec wait_readable fd deadline_ns =
+  let remaining_ns = Int64.sub deadline_ns (Monotonic_clock.now ()) in
+  if Int64.compare remaining_ns 0L <= 0 then raise Timed_out
   else
+    let timeout = Int64.to_float remaining_ns /. 1e9 in
+    match Unix.select [ fd ] [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        wait_readable fd deadline_ns
+    | [], _, _ -> raise Timed_out
+    | _ -> ()
+
+(* returns bytes read, < len only at end-of-stream *)
+let rec read_all ?deadline_ns fd bytes off len =
+  if len = 0 then off
+  else begin
+    Option.iter (wait_readable fd) deadline_ns;
     let n =
       try Unix.read fd bytes off len
       with Unix.Unix_error (Unix.EINTR, _, _) -> -1
     in
     if n = 0 then off
-    else if n < 0 then read_all fd bytes off len
-    else read_all fd bytes (off + n) (len - n)
+    else if n < 0 then read_all ?deadline_ns fd bytes off len
+    else read_all ?deadline_ns fd bytes (off + n) (len - n)
+  end
 
 let write fd payload =
   let len = String.length payload in
@@ -30,26 +47,45 @@ let write fd payload =
   Bytes.blit_string payload 0 buf 4 len;
   write_all fd buf 0 (4 + len)
 
-type error = Truncated | Oversize of int
+let write_truncated fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    invalid_arg
+      (Printf.sprintf "Frame.write_truncated: payload %d > max %d" len
+         max_frame);
+  (* promise the whole payload in the header, deliver only half: the
+     peer sees end-of-stream mid-frame once the sender closes *)
+  let sent = len / 2 in
+  let buf = Bytes.create (4 + sent) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 sent;
+  write_all fd buf 0 (4 + sent)
+
+type error = Truncated | Oversize of int | Timeout
 
 let error_message = function
   | Truncated -> "truncated frame: peer died mid-message"
   | Oversize len ->
       Printf.sprintf "frame length %d exceeds the %d-byte cap" len max_frame
+  | Timeout -> "timed out waiting for a frame"
 
-let read_r ?(max = max_frame) fd =
-  let hdr = Bytes.create 4 in
-  let got = read_all fd hdr 0 4 in
-  if got = 0 then Ok None
-  else if got < 4 then Error Truncated
-  else begin
-    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-    if len < 0 || len > max then Error (Oversize len)
-    else
-      let payload = Bytes.create len in
-      if read_all fd payload 0 len < len then Error Truncated
-      else Ok (Some (Bytes.unsafe_to_string payload))
-  end
+let read_r ?(max = max_frame) ?deadline_ns fd =
+  match
+    let hdr = Bytes.create 4 in
+    let got = read_all ?deadline_ns fd hdr 0 4 in
+    if got = 0 then Ok None
+    else if got < 4 then Error Truncated
+    else begin
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max then Error (Oversize len)
+      else
+        let payload = Bytes.create len in
+        if read_all ?deadline_ns fd payload 0 len < len then Error Truncated
+        else Ok (Some (Bytes.unsafe_to_string payload))
+    end
+  with
+  | r -> r
+  | exception Timed_out -> Error Timeout
 
 let read ?max fd =
   match read_r ?max fd with
@@ -57,3 +93,4 @@ let read ?max fd =
   | Error Truncated -> failwith "Frame.read: truncated frame"
   | Error (Oversize len) ->
       failwith (Printf.sprintf "Frame.read: length %d out of bounds" len)
+  | Error Timeout -> failwith "Frame.read: timed out"

@@ -13,20 +13,32 @@ val write : Unix.file_descr -> string -> unit
 (** Send one frame. Raises [Unix.Unix_error] on a broken peer and
     [Invalid_argument] on a payload over {!max_frame}. *)
 
+val write_truncated : Unix.file_descr -> string -> unit
+(** Chaos-harness helper: send a header promising the whole payload but
+    only half the payload bytes, so the peer — once this end closes —
+    observes a mid-frame end-of-stream. Exercises the receiver's
+    [Truncated] containment path deterministically. *)
+
 type error =
   | Truncated  (** end-of-stream inside a header or payload *)
   | Oversize of int
       (** the length prefix (payload bytes promised) exceeded the cap *)
+  | Timeout  (** the receive deadline passed mid-frame (see {!read_r}) *)
 
 val error_message : error -> string
 (** Human-readable description, suitable for a protocol error reply. *)
 
-val read_r : ?max:int -> Unix.file_descr -> (string option, error) result
+val read_r :
+  ?max:int -> ?deadline_ns:int64 -> Unix.file_descr -> (string option, error) result
 (** Receive one frame. [Ok None] on clean end-of-stream at a frame
     boundary; [Error] on a truncated frame (peer died mid-message) or a
-    length prefix over [max] (default {!max_frame}). After an [Error]
-    the stream position is unusable — the connection must be closed, and
-    on [Oversize] the oversized payload has {e not} been drained (a
+    length prefix over [max] (default {!max_frame}). [deadline_ns] is an
+    absolute monotonic deadline (same clock as [Monotonic_clock.now]):
+    each blocking read first waits in [select] for readability, and
+    [Error Timeout] is returned once the deadline passes — the resilient
+    client's per-attempt receive timeout. After any [Error] the stream
+    position is unusable — the connection must be closed, and on
+    [Oversize] the oversized payload has {e not} been drained (a
     malicious prefix need not be backed by real bytes, so draining could
     block forever). *)
 

@@ -33,4 +33,5 @@ let () =
       ("report", Test_report.suite);
       ("properties", Test_properties.suite);
       ("serve", Test_serve.suite);
+      ("resilience", Test_resilience.suite);
     ]

@@ -1,0 +1,33 @@
+(* Subprocess harness for the Supervise tests: [Unix.fork] is forbidden
+   once a domain exists, and the test binary spawns server domains, so
+   the supervisor scenarios run here, in a fresh single-domain process.
+   The scenario name arrives in argv; results leave via stdout and the
+   exit code. *)
+
+let write_line s =
+  let line = s ^ "\n" in
+  ignore (Unix.write_substring Unix.stdout line 0 (String.length line))
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "" with
+  | "recover" ->
+      (* crash twice, then report the restart count and exit clean; the
+         supervisor's return code must be 0 *)
+      exit
+        (Dt_serve.Supervise.run ~max_restarts:5 ~backoff_ms:1
+           (fun ~restarts ->
+             if restarts < 2 then Unix._exit 7
+             else begin
+               write_line (string_of_int restarts);
+               Unix._exit 0
+             end))
+  | "cap" ->
+      (* always crash: after the cap the supervisor gives up and
+         surfaces the child's code (9) *)
+      exit
+        (Dt_serve.Supervise.run ~max_restarts:2 ~backoff_ms:1
+           ~log:write_line
+           (fun ~restarts:_ -> Unix._exit 9))
+  | other ->
+      prerr_endline ("supervise_probe: unknown scenario " ^ other);
+      exit 64

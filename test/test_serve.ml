@@ -247,8 +247,8 @@ let test_protocol_roundtrip () =
   let reqs =
     [
       Dt_serve.Protocol.Analyze
-        { source = src; id = Some "req-1"; trace_id = Some "0123456789abcdef" };
-      Dt_serve.Protocol.Analyze { source = ""; id = None; trace_id = None };
+        { source = src; id = Some "req-1"; trace_id = Some "0123456789abcdef"; deadline_ms = None };
+      Dt_serve.Protocol.Analyze { source = ""; id = None; trace_id = None; deadline_ms = None };
       Dt_serve.Protocol.Metrics { prometheus = true };
       Dt_serve.Protocol.Metrics { prometheus = false };
       Dt_serve.Protocol.Health;
@@ -371,7 +371,7 @@ let client_analyze sock =
     (fun () ->
       let resp =
         Dt_serve.Client.request c
-          (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = None })
+          (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = None; deadline_ms = None })
       in
       match
         (Json.member "ok" resp, Json.member "output" resp)
@@ -487,7 +487,7 @@ let test_tracing_byte_parity () =
       Json.member "output"
         (Dt_serve.Engine.handle engine
            (Dt_serve.Protocol.Analyze
-              { source = src; id = None; trace_id = None }))
+              { source = src; id = None; trace_id = None; deadline_ms = None }))
     with
     | Some (Json.String out) -> out
     | _ -> Alcotest.fail "no output"
@@ -513,7 +513,7 @@ let test_slow_ledger_end_to_end () =
     Fun.protect ~finally:Dt_guard.Inject.disable (fun () ->
         raw_send fd
           (Dt_serve.Protocol.Analyze
-             { source = src; id = None; trace_id = Some trace_id });
+             { source = src; id = None; trace_id = Some trace_id; deadline_ms = None });
         raw_recv fd)
   in
   (* an injected delay slows the run without changing any verdict *)
@@ -570,11 +570,11 @@ let test_concurrent_clients () =
   Fun.protect ~finally:(fun () -> Unix.close c2) @@ fun () ->
   (* c1 connected first but stays silent; c2 must be served regardless *)
   raw_send c2
-    (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = Some t2 });
+    (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = Some t2; deadline_ms = None });
   check string "second connection answered while first is open" baseline
     (output_of (raw_recv c2));
   raw_send c1
-    (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = Some t1 });
+    (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = Some t1; deadline_ms = None });
   check string "first connection answered after" baseline
     (output_of (raw_recv c1));
   raw_send c1 (Dt_serve.Protocol.Slow { n = None });
@@ -608,7 +608,7 @@ let test_oversize_frame_connection () =
   let fd = raw_connect sock in
   Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
   raw_send fd
-    (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = None });
+    (Dt_serve.Protocol.Analyze { source = src; id = None; trace_id = None; deadline_ms = None });
   check string "daemon still serves" (in_process_output ())
     (output_of (raw_recv fd));
   raw_send fd Dt_serve.Protocol.Health;
